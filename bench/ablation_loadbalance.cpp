@@ -1,0 +1,109 @@
+//===- bench/ablation_loadbalance.cpp - Re-memoization ablation -----------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 4/5 discussion: memoizing live-ins on *every* invocation both
+// adapts predictions to churn and load-balances the chunks. This ablation
+// runs the native runtime on the shrinking ks candidate list (the
+// workload whose trip count changes every invocation) with the paper's
+// adaptive scheme versus the memoize-once "trivial strategy".
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SpiceLoop.h"
+#include "workloads/Ks.h"
+#include "workloads/Otter.h"
+
+#include <cstdio>
+
+using namespace spice;
+using namespace spice::core;
+using namespace spice::workloads;
+
+namespace {
+
+struct Outcome {
+  SpiceStats Stats;
+  bool Correct = true;
+};
+
+Outcome runKsPass(bool Rememoize) {
+  KsGraph G(512, 6, 7);
+  KsTraits Traits;
+  Traits.Graph = &G;
+  SpiceConfig C;
+  C.NumThreads = 4;
+  C.RememoizeEveryInvocation = Rememoize;
+  SpiceLoop<KsTraits> Loop(Traits, C);
+  Outcome Out;
+  int Steps = 0;
+  while (G.aListHead() && G.bListHead() && Steps < 200) {
+    KsVertex *A = G.aListHead();
+    Traits.FixedA = A->Id;
+    Traits.FixedADValue = G.dValue(A->Id);
+    KsTraits::State Got = Loop.invoke(G.bListHead());
+    KsTraits::State Want = Loop.runSequentialReference(G.bListHead());
+    Out.Correct &= Got.BestB == Want.BestB && Got.BestGain == Want.BestGain;
+    G.applySwap(A->Id, Got.BestB->Id);
+    ++Steps;
+  }
+  Out.Stats = Loop.stats();
+  return Out;
+}
+
+Outcome runOtterChurn(bool Rememoize) {
+  ClauseList List(1200, 8);
+  OtterTraits Traits;
+  SpiceConfig C;
+  C.NumThreads = 4;
+  C.RememoizeEveryInvocation = Rememoize;
+  SpiceLoop<OtterTraits> Loop(Traits, C);
+  Outcome Out;
+  for (int I = 0; I != 150 && List.head(); ++I) {
+    OtterTraits::State Got = Loop.invoke(List.head());
+    Out.Correct &= Got.MinClause == List.findLightestReference();
+    List.mutate(Got.MinClause, 2);
+  }
+  Out.Stats = Loop.stats();
+  return Out;
+}
+
+void report(const char *Title, const Outcome &Adaptive,
+            const Outcome &Once) {
+  std::printf("--- %s ---\n", Title);
+  std::printf("%-28s | %12s | %12s\n", "", "re-memoize", "memoize-once");
+  std::printf("%-28s | %11.1f%% | %11.1f%%\n",
+              "mis-speculated invocations",
+              100 * Adaptive.Stats.misspeculationRate(),
+              100 * Once.Stats.misspeculationRate());
+  std::printf("%-28s | %12lu | %12lu\n", "sequential invocations",
+              static_cast<unsigned long>(
+                  Adaptive.Stats.SequentialInvocations),
+              static_cast<unsigned long>(Once.Stats.SequentialInvocations));
+  std::printf("%-28s | %12lu | %12lu\n", "wasted iterations",
+              static_cast<unsigned long>(Adaptive.Stats.WastedIterations),
+              static_cast<unsigned long>(Once.Stats.WastedIterations));
+  std::printf("%-28s | %12.3f | %12.3f\n",
+              "load imbalance (max/ideal)",
+              Adaptive.Stats.loadImbalance(), Once.Stats.loadImbalance());
+  std::printf("%-28s | %12s | %12s\n\n", "all results correct",
+              Adaptive.Correct ? "yes" : "NO",
+              Once.Correct ? "yes" : "NO");
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Ablation: adaptive re-memoization vs memoize-once "
+              "===\n\n");
+  report("ks FindMaxGp (list shrinks every invocation)",
+         runKsPass(true), runKsPass(false));
+  report("otter find_lightest_cl (remove-min + inserts)",
+         runOtterChurn(true), runOtterChurn(false));
+  std::printf("Re-memoizing every invocation keeps predictions fresh and "
+              "chunks balanced as the\niteration space drifts -- the "
+              "paper's justification for Algorithm 2.\n");
+  return 0;
+}

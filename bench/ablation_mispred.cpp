@@ -1,0 +1,58 @@
+//===- bench/ablation_mispred.cpp - Speedup vs mis-speculation rate -------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Sweeps the otter churn rate on the full simulator pipeline and relates
+// the measured speedup to the paper's 2/(2-p)-style model: as predictions
+// break more often, squashes and sequential fallbacks eat the parallelism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/AnalyticModel.h"
+#include "workloads/SimHarness.h"
+
+#include <cstdio>
+
+using namespace spice;
+using namespace spice::workloads;
+
+int main() {
+  std::printf("=== Ablation: speedup vs churn (otter, 4 threads, "
+              "simulated) ===\n\n");
+  std::printf("%-14s | %9s | %10s | %9s\n", "removals/invoc", "speedup",
+              "misspec%", "resteers");
+  std::printf("%.*s\n", 52,
+              "----------------------------------------------------");
+  sim::MachineConfig Config;
+  for (unsigned Removals : {0u, 1u, 4u, 16u, 64u, 200u}) {
+    unsigned Inserts = Removals; // Keep the list size stable.
+    auto Make = [Inserts, Removals] {
+      auto W = std::make_unique<OtterIR>(1500, 400 + Inserts);
+      W->InsertsPerInvocation = Inserts;
+      W->RandomRemovalsPerInvocation = Removals;
+      return W;
+    };
+    HarnessResult R = runTwinExperiment(Make, 4, 16, Config, 1500);
+    if (!R.AllCorrect) {
+      std::printf("RESULT MISMATCH at churn %u\n", Removals);
+      return 1;
+    }
+    std::printf("%-14u | %9.2f | %9.1f%% | %9lu\n", Removals, R.speedup(),
+                100.0 * R.MisspeculatedInvocations / R.Invocations,
+                static_cast<unsigned long>(R.Resteers));
+  }
+
+  std::printf("\nModel reference (4 threads): speedup at chunk-prediction "
+              "probability p\n");
+  std::printf("%-6s | %8s\n", "p", "model");
+  for (double P : {1.0, 0.95, 0.8, 0.5, 0.2}) {
+    model::LoopModelParams M{1, 2, 2, P, 6000};
+    std::printf("%-6.2f | %8.2f\n", P, model::spiceSpeedup(M, 4));
+  }
+  std::printf("\nChurn lowers the per-chunk prediction probability; "
+              "measured speedups track the\nmodel's decay from ~4x toward "
+              "1x.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+//===- bench/micro_runtime.cpp - Runtime primitive microbenchmarks --------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// google-benchmark micro measurements of the native runtime's primitives:
+// the per-iteration detection compare at live-in widths 1..8 (the paper's
+// sjeng overhead discussion), speculative write-buffer operations, the
+// re-memoization planner, and a worker-pool invocation round trip.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Planner.h"
+#include "core/SpecWriteBuffer.h"
+#include "core/WorkerPool.h"
+#include "workloads/Sjeng.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace spice;
+using namespace spice::core;
+
+namespace {
+
+/// Live-in tuple of parameterizable width.
+template <unsigned W> struct WideLiveIn {
+  int64_t V[W];
+  bool operator==(const WideLiveIn &O) const {
+    for (unsigned I = 0; I != W; ++I)
+      if (V[I] != O.V[I])
+        return false;
+    return true;
+  }
+};
+
+template <unsigned W> void BM_DetectionCompare(benchmark::State &State) {
+  WideLiveIn<W> A{}, B{};
+  for (unsigned I = 0; I != W; ++I)
+    A.V[I] = B.V[I] = I * 7;
+  B.V[W - 1] ^= 1; // Mismatch on the last word: worst case.
+  for (auto _ : State) {
+    benchmark::DoNotOptimize(A == B);
+    A.V[0] ^= 1; // Defeat hoisting.
+  }
+}
+
+void BM_SpecBufferWrite(benchmark::State &State) {
+  std::vector<int64_t> Cells(1024, 0);
+  SpecWriteBuffer Buf;
+  size_t I = 0;
+  for (auto _ : State) {
+    Buf.write(&Cells[I & 1023], static_cast<int64_t>(I));
+    if ((++I & 1023) == 0)
+      Buf.clear();
+  }
+}
+
+void BM_SpecBufferReadOwnWrite(benchmark::State &State) {
+  int64_t Cell = 0;
+  SpecWriteBuffer Buf;
+  Buf.write(&Cell, int64_t{42});
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Buf.read(&Cell));
+}
+
+void BM_SpecBufferValidate(benchmark::State &State) {
+  std::vector<int64_t> Cells(static_cast<size_t>(State.range(0)), 7);
+  SpecWriteBuffer Buf;
+  for (int64_t &C : Cells)
+    benchmark::DoNotOptimize(Buf.read(&C));
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Buf.validateReads());
+}
+
+void BM_PlannerCompute(benchmark::State &State) {
+  std::vector<uint64_t> Work = {1000, 900, 1100, 1000};
+  for (auto _ : State) {
+    MemoizationPlan Plan = planMemoization(Work, 4);
+    benchmark::DoNotOptimize(Plan);
+  }
+}
+
+void BM_WorkerPoolRoundTrip(benchmark::State &State) {
+  WorkerPool Pool(3);
+  std::atomic<uint64_t> Sink{0};
+  for (auto _ : State) {
+    Pool.launch(3, [&](unsigned I) { Sink.fetch_add(I); });
+    Pool.wait();
+  }
+}
+
+void BM_SjengEvalStep(benchmark::State &State) {
+  workloads::SjengBoard Board(256, 3);
+  workloads::SjengLiveIn LI = Board.start();
+  workloads::SjengScore S;
+  for (auto _ : State) {
+    if (!LI.Cursor)
+      LI = Board.start();
+    workloads::sjengEvalStep(LI, S);
+    benchmark::DoNotOptimize(S);
+  }
+}
+
+} // namespace
+
+BENCHMARK(BM_DetectionCompare<1>);
+BENCHMARK(BM_DetectionCompare<2>);
+BENCHMARK(BM_DetectionCompare<4>);
+BENCHMARK(BM_DetectionCompare<8>);
+BENCHMARK(BM_SpecBufferWrite);
+BENCHMARK(BM_SpecBufferReadOwnWrite);
+BENCHMARK(BM_SpecBufferValidate)->Arg(16)->Arg(256);
+BENCHMARK(BM_PlannerCompute);
+BENCHMARK(BM_WorkerPoolRoundTrip);
+BENCHMARK(BM_SjengEvalStep);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+//===- bench/predictor_accuracy.cpp - Section 2.2 predictor comparison ----===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Section 2.2 argues that last-value, stride and trace/context predictors
+// cannot sustain TLS on churning pointer chases, while Spice's
+// memoize-membership prediction can. This bench measures all four on the
+// otter clause list across invocations with insert/delete churn:
+//
+//   * per-iteration accuracy for the conventional predictors,
+//   * the induced whole-chunk success probability (every iteration of a
+//     50-iteration chunk predicted correctly), which is what an
+//     iteration-granular TLS scheme actually needs,
+//   * the Spice criterion: the memoized mid-list live-in reappears during
+//     the next invocation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Predictors.h"
+#include "workloads/Otter.h"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace spice;
+using namespace spice::baselines;
+using namespace spice::workloads;
+
+int main() {
+  std::printf("=== Section 2.2: value predictors on the otter clause list "
+              "===\n\n");
+  std::printf("%-12s | %9s | %9s | %9s | %10s\n", "churn/invoc",
+              "last-val", "stride", "context", "spice-memo");
+  std::printf("%.*s\n", 62,
+              "-------------------------------------------------------------");
+
+  for (unsigned Inserts : {0u, 2u, 8u, 32u}) {
+    ClauseList List(400, 900 + Inserts);
+    LastValuePredictor LV;
+    StridePredictor ST;
+    ContextPredictor CX(2);
+    double LvSum = 0, StSum = 0, CxSum = 0;
+    uint64_t SpiceHit = 0;
+    const int Rounds = 40;
+    for (int R = 0; R != Rounds; ++R) {
+      std::vector<int64_t> Addrs;
+      for (Clause *C = List.head(); C; C = C->Next)
+        Addrs.push_back(reinterpret_cast<int64_t>(C));
+      LvSum += LV.measureAccuracy(Addrs);
+      StSum += ST.measureAccuracy(Addrs);
+      CxSum += CX.measureAccuracy(Addrs);
+      Clause *Mid = List.head();
+      for (size_t I = 0; I != List.size() / 2; ++I)
+        Mid = Mid->Next;
+      List.mutate(List.findLightestReference(), Inserts);
+      SpiceHit += Mid->OnList;
+    }
+    std::printf("%-12u | %8.1f%% | %8.1f%% | %8.1f%% | %9.1f%%\n", Inserts,
+                100 * LvSum / Rounds, 100 * StSum / Rounds,
+                100 * CxSum / Rounds,
+                100.0 * SpiceHit / Rounds);
+  }
+
+  std::printf("\n=== What iteration-granular TLS actually needs: a whole "
+              "chunk predicted ===\n\n");
+  std::printf("%-12s | %18s | %18s\n", "churn/invoc",
+              "context^50 (chunk)", "spice (1 membership)");
+  std::printf("%.*s\n", 56,
+              "--------------------------------------------------------");
+  for (unsigned Inserts : {0u, 2u, 8u, 32u}) {
+    ClauseList List(400, 950 + Inserts);
+    ContextPredictor CX(2);
+    double CxSum = 0;
+    uint64_t SpiceHit = 0;
+    const int Rounds = 40;
+    for (int R = 0; R != Rounds; ++R) {
+      std::vector<int64_t> Addrs;
+      for (Clause *C = List.head(); C; C = C->Next)
+        Addrs.push_back(reinterpret_cast<int64_t>(C));
+      CxSum += CX.measureAccuracy(Addrs);
+      Clause *Mid = List.head();
+      for (size_t I = 0; I != List.size() / 2; ++I)
+        Mid = Mid->Next;
+      List.mutate(List.findLightestReference(), Inserts);
+      SpiceHit += Mid->OnList;
+    }
+    std::printf("%-12u | %17.2f%% | %17.1f%%\n", Inserts,
+                100 * std::pow(CxSum / Rounds, 50.0),
+                100.0 * SpiceHit / Rounds);
+  }
+  std::printf("\nThe paper's insight: predicting that a value recurs "
+              "*somewhere* in the next\ninvocation succeeds far more often "
+              "than predicting the exact next value of\nevery iteration.\n");
+  return 0;
+}

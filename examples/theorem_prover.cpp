@@ -1,0 +1,62 @@
+//===- examples/theorem_prover.cpp - The paper's otter scenario ------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// The paper's running example (Figure 1): a theorem prover repeatedly
+// selects the lightest clause from its set-of-support, removes it, and
+// inserts newly derived clauses. The selection loop is Spice-parallelized;
+// the churn between invocations is exactly what the re-memoizing value
+// predictor absorbs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SpiceLoop.h"
+#include "workloads/Otter.h"
+
+#include <cstdio>
+
+using namespace spice::core;
+using namespace spice::workloads;
+
+int main() {
+  ClauseList SetOfSupport(5000, /*Seed=*/2026);
+  OtterTraits Traits;
+  SpiceConfig Config;
+  Config.NumThreads = 4;
+  SpiceLoop<OtterTraits> Selection(Traits, Config);
+
+  std::printf("proving... (each round: select lightest of %zu clauses, "
+              "derive 3 new ones)\n\n",
+              SetOfSupport.size());
+  long TotalSelectedWeight = 0;
+  for (int Round = 0; Round != 400 && SetOfSupport.head(); ++Round) {
+    OtterTraits::State Picked = Selection.invoke(SetOfSupport.head());
+    // Sanity: the speculative result must equal the sequential oracle.
+    Clause *Oracle = SetOfSupport.findLightestReference();
+    if (Picked.MinClause != Oracle) {
+      std::printf("MISMATCH at round %d!\n", Round);
+      return 1;
+    }
+    TotalSelectedWeight += Picked.MinWeight;
+    SetOfSupport.mutate(Picked.MinClause, /*Inserts=*/3);
+  }
+
+  const SpiceStats &S = Selection.stats();
+  std::printf("rounds:                    %lu\n",
+              (unsigned long)S.Invocations);
+  std::printf("checksum (sum of minima):  %ld\n", TotalSelectedWeight);
+  std::printf("mis-speculation rate:      %.2f%%\n",
+              100.0 * S.misspeculationRate());
+  std::printf("squashed threads:          %lu\n",
+              (unsigned long)S.SquashedThreads);
+  std::printf("wasted iterations:         %lu of %lu\n",
+              (unsigned long)S.WastedIterations,
+              (unsigned long)S.TotalIterations);
+  std::printf("load imbalance:            %.3f (1.0 = perfect)\n",
+              S.loadImbalance());
+  std::printf("\nEvery round's speculative selection matched the "
+              "sequential oracle.\n");
+  return 0;
+}

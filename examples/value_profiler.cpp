@@ -1,0 +1,70 @@
+//===- examples/value_profiler.cpp - Section 6 profiler walkthrough --------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs the value-profiler pipeline on three variants of the same list
+// loop: stable, lightly churning, and fully rebuilt between invocations.
+// The profiler instruments the IR, the interpreter feeds live-in
+// signatures to the analyzer, and each loop lands in a predictability
+// bin -- the evidence Figure 8 aggregates across 38 applications.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiler/Instrumenter.h"
+#include "profiler/ValueProfiler.h"
+#include "vm/Interpreter.h"
+#include "workloads/IRWorkloads.h"
+
+#include <cstdio>
+
+using namespace spice;
+using namespace spice::profiler;
+using namespace spice::workloads;
+
+namespace {
+
+void profileVariant(const char *Label, unsigned Inserts, bool Rebuild) {
+  ir::Module M;
+  OtterIR W(150, 5);
+  W.InsertsPerInvocation = Inserts;
+  ir::Function *F = W.build(M);
+
+  std::vector<InstrumentedLoop> Loops =
+      instrumentFunction(M, *F, InstrumenterOptions());
+  vm::Memory Mem(1 << 20);
+  Mem.layoutGlobals(M);
+  W.initData(Mem);
+
+  ValueProfiler VP;
+  for (int I = 0; I != 30; ++I) {
+    vm::runFunction(*F, Mem, W.invocationArgs(Mem), &VP);
+    if (Rebuild)
+      W.initData(Mem); // Fresh list: nothing survives.
+    else
+      W.mutate(Mem);
+  }
+  VP.finish();
+
+  const LoopSummary &S = VP.summary(Loops[0].LoopId);
+  std::printf("%-24s | %3lu invocations | %5.1f%% predictable | bin: %s\n",
+              Label, (unsigned long)S.Invocations,
+              100.0 * S.predictableFraction(), getBinName(S.bin()));
+}
+
+} // namespace
+
+int main() {
+  std::printf("=== Value profiler (paper section 6) ===\n\n");
+  std::printf("Loop live-ins are recorded per iteration; an invocation is "
+              "predictable when more\nthan half its live-in signatures "
+              "appeared in the previous invocation.\n\n");
+  profileVariant("stable list", 0, false);
+  profileVariant("remove-min + 2 inserts", 2, false);
+  profileVariant("heavy churn (+60/invoc)", 60, false);
+  profileVariant("rebuilt every invocation", 0, true);
+  std::printf("\nLoops in the good/high bins are Spice candidates; the "
+              "rebuilt list shows why\nsome loops never profit.\n");
+  return 0;
+}

@@ -1,0 +1,52 @@
+//===- analysis/CFG.cpp - CFG predecessors and orderings ------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/CFG.h"
+
+#include <algorithm>
+
+using namespace spice;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+CFGInfo::CFGInfo(const Function &F) : F(F) {
+  for (const auto &BB : F) {
+    Indices[BB.get()] = static_cast<unsigned>(Order.size());
+    Order.push_back(BB.get());
+  }
+  Preds.resize(Order.size());
+  for (BasicBlock *BB : Order)
+    for (BasicBlock *Succ : BB->successors())
+      Preds[getIndex(Succ)].push_back(BB);
+
+  // Iterative post-order DFS from the entry.
+  if (!Order.empty()) {
+    std::vector<std::pair<BasicBlock *, size_t>> Stack;
+    std::vector<BasicBlock *> PostOrder;
+    Stack.push_back({Order.front(), 0});
+    Reachable[Order.front()] = 1;
+    while (!Stack.empty()) {
+      auto &[BB, NextSucc] = Stack.back();
+      std::vector<BasicBlock *> Succs = BB->successors();
+      if (NextSucc < Succs.size()) {
+        BasicBlock *S = Succs[NextSucc++];
+        if (!Reachable.count(S)) {
+          Reachable[S] = 1;
+          Stack.push_back({S, 0});
+        }
+        continue;
+      }
+      PostOrder.push_back(BB);
+      Stack.pop_back();
+    }
+    RPO.assign(PostOrder.rbegin(), PostOrder.rend());
+  }
+  for (BasicBlock *BB : Order)
+    if (!Reachable.count(BB))
+      RPO.push_back(BB);
+  for (unsigned I = 0, E = static_cast<unsigned>(RPO.size()); I != E; ++I)
+    RPOIndices[RPO[I]] = I;
+}

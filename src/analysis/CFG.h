@@ -1,0 +1,81 @@
+//===- analysis/CFG.h - CFG predecessors and orderings ----------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CFGInfo caches block indices, predecessor lists, and a reverse post-order
+/// for one function. All other analyses build on it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_ANALYSIS_CFG_H
+#define SPICE_ANALYSIS_CFG_H
+
+#include "ir/Function.h"
+
+#include <unordered_map>
+
+namespace spice {
+namespace analysis {
+
+/// Cached CFG shape for a single function. Invalidated by any structural
+/// change to the function; rebuild by constructing a new CFGInfo.
+class CFGInfo {
+public:
+  explicit CFGInfo(const ir::Function &F);
+
+  const ir::Function &getFunction() const { return F; }
+
+  unsigned getNumBlocks() const {
+    return static_cast<unsigned>(Order.size());
+  }
+
+  /// Dense index of \p BB in function layout order.
+  unsigned getIndex(const ir::BasicBlock *BB) const {
+    auto It = Indices.find(BB);
+    assert(It != Indices.end() && "block not in CFGInfo");
+    return It->second;
+  }
+
+  const std::vector<ir::BasicBlock *> &predecessors(
+      const ir::BasicBlock *BB) const {
+    return Preds[getIndex(BB)];
+  }
+
+  std::vector<ir::BasicBlock *> successors(const ir::BasicBlock *BB) const {
+    return BB->successors();
+  }
+
+  /// Blocks in reverse post-order of a DFS from the entry. Unreachable
+  /// blocks are appended after all reachable ones, in layout order.
+  const std::vector<ir::BasicBlock *> &reversePostOrder() const {
+    return RPO;
+  }
+
+  /// Position of \p BB within reversePostOrder().
+  unsigned getRPOIndex(const ir::BasicBlock *BB) const {
+    auto It = RPOIndices.find(BB);
+    assert(It != RPOIndices.end() && "block not in RPO");
+    return It->second;
+  }
+
+  bool isReachable(const ir::BasicBlock *BB) const {
+    return Reachable.count(BB) != 0;
+  }
+
+private:
+  const ir::Function &F;
+  std::vector<ir::BasicBlock *> Order;
+  std::unordered_map<const ir::BasicBlock *, unsigned> Indices;
+  std::vector<std::vector<ir::BasicBlock *>> Preds;
+  std::vector<ir::BasicBlock *> RPO;
+  std::unordered_map<const ir::BasicBlock *, unsigned> RPOIndices;
+  std::unordered_map<const ir::BasicBlock *, char> Reachable;
+};
+
+} // namespace analysis
+} // namespace spice
+
+#endif // SPICE_ANALYSIS_CFG_H

@@ -1,0 +1,129 @@
+//===- analysis/Dominators.cpp - Dominator tree ---------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Implements the iterative dominator algorithm of Cooper, Harvey and
+// Kennedy, "A Simple, Fast Dominance Algorithm" (2001). Intersection walks
+// RPO indices upward until the fingers meet.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+
+#include <unordered_map>
+
+using namespace spice;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+DominatorTree::DominatorTree(const CFGInfo &CFG) : CFG(CFG) {
+  const std::vector<BasicBlock *> &RPO = CFG.reversePostOrder();
+  IDom.assign(RPO.size(), -1);
+  if (RPO.empty())
+    return;
+
+  auto Intersect = [this](int A, int B) {
+    while (A != B) {
+      while (A > B)
+        A = IDom[static_cast<size_t>(A)];
+      while (B > A)
+        B = IDom[static_cast<size_t>(B)];
+    }
+    return A;
+  };
+
+  IDom[0] = 0; // Entry is its own idom (normalized to null in the getter).
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 1, E = static_cast<unsigned>(RPO.size()); I != E; ++I) {
+      BasicBlock *BB = RPO[I];
+      if (!CFG.isReachable(BB))
+        continue;
+      int NewIDom = -1;
+      for (BasicBlock *Pred : CFG.predecessors(BB)) {
+        if (!CFG.isReachable(Pred))
+          continue;
+        int PredIdx = static_cast<int>(CFG.getRPOIndex(Pred));
+        if (IDom[static_cast<size_t>(PredIdx)] < 0)
+          continue; // Not yet processed.
+        NewIDom = NewIDom < 0 ? PredIdx : Intersect(NewIDom, PredIdx);
+      }
+      if (NewIDom >= 0 && IDom[I] != NewIDom) {
+        IDom[I] = NewIDom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+BasicBlock *DominatorTree::getIDom(const BasicBlock *BB) const {
+  if (!CFG.isReachable(BB))
+    return nullptr;
+  unsigned I = CFG.getRPOIndex(BB);
+  if (I == 0 || IDom[I] < 0)
+    return nullptr;
+  return CFG.reversePostOrder()[static_cast<size_t>(IDom[I])];
+}
+
+bool DominatorTree::dominates(const BasicBlock *A, const BasicBlock *B) const {
+  if (A == B)
+    return true;
+  if (!CFG.isReachable(A) || !CFG.isReachable(B))
+    return false;
+  unsigned Target = CFG.getRPOIndex(A);
+  int Cur = static_cast<int>(CFG.getRPOIndex(B));
+  // Walk up the idom chain; RPO indices strictly decrease along it.
+  while (Cur > static_cast<int>(Target))
+    Cur = IDom[static_cast<size_t>(Cur)];
+  return Cur == static_cast<int>(Target);
+}
+
+bool DominatorTree::dominatesUse(const Instruction *Def,
+                                 const Instruction *User,
+                                 unsigned OperandIdx) const {
+  const BasicBlock *DefBB = Def->getParent();
+  const BasicBlock *UseBB = User->getParent();
+  if (User->getOpcode() == Opcode::Phi) {
+    // A phi uses its operand at the end of the incoming block.
+    const BasicBlock *Incoming = User->getBlockOperand(OperandIdx);
+    return dominates(DefBB, Incoming);
+  }
+  if (DefBB != UseBB)
+    return dominates(DefBB, UseBB);
+  // Same block: definition must appear strictly earlier.
+  for (const auto &I : *DefBB) {
+    if (I.get() == Def)
+      return true;
+    if (I.get() == User)
+      return false;
+  }
+  return false;
+}
+
+bool analysis::verifySSADominance(const Function &F, const DominatorTree &DT,
+                                  std::vector<std::string> *Errors) {
+  bool Ok = true;
+  auto Fail = [&](const std::string &Msg) {
+    Ok = false;
+    if (Errors)
+      Errors->push_back("@" + F.getName() + ": " + Msg);
+  };
+  for (const auto &BB : F) {
+    if (!DT.getCFG().isReachable(BB.get()))
+      continue;
+    for (const auto &Inst : *BB) {
+      for (unsigned I = 0, E = Inst->getNumOperands(); I != E; ++I) {
+        const auto *DefInst = dyn_cast<Instruction>(Inst->getOperand(I));
+        if (!DefInst)
+          continue; // Constants, arguments and globals dominate everything.
+        if (!DT.dominatesUse(DefInst, Inst.get(), I))
+          Fail("use of value not dominated by its definition in block " +
+               BB->getName());
+      }
+    }
+  }
+  return Ok;
+}

@@ -1,0 +1,56 @@
+//===- analysis/Dominators.h - Dominator tree -------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the Cooper–Harvey–Kennedy iterative algorithm, plus an
+/// SSA dominance verifier (every use dominated by its definition) that
+/// complements the structural ir::Verifier.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_ANALYSIS_DOMINATORS_H
+#define SPICE_ANALYSIS_DOMINATORS_H
+
+#include "analysis/CFG.h"
+
+namespace spice {
+namespace analysis {
+
+/// Immediate-dominator tree over the reachable blocks of a function.
+class DominatorTree {
+public:
+  explicit DominatorTree(const CFGInfo &CFG);
+
+  /// Immediate dominator of \p BB; null for the entry block and for
+  /// unreachable blocks.
+  ir::BasicBlock *getIDom(const ir::BasicBlock *BB) const;
+
+  /// Returns true when \p A dominates \p B (reflexively). Unreachable
+  /// blocks are dominated by nothing and dominate nothing but themselves.
+  bool dominates(const ir::BasicBlock *A, const ir::BasicBlock *B) const;
+
+  /// Returns true when instruction \p Def dominates the use of it in
+  /// instruction \p User (for phis, the use point is the end of the
+  /// corresponding incoming block).
+  bool dominatesUse(const ir::Instruction *Def, const ir::Instruction *User,
+                    unsigned OperandIdx) const;
+
+  const CFGInfo &getCFG() const { return CFG; }
+
+private:
+  const CFGInfo &CFG;
+  std::vector<int> IDom; // by RPO index; -1 = none/unreachable.
+};
+
+/// Checks that every operand use is dominated by its definition. Appends
+/// problems to \p Errors; returns true when the function is in valid SSA.
+bool verifySSADominance(const ir::Function &F, const DominatorTree &DT,
+                        std::vector<std::string> *Errors);
+
+} // namespace analysis
+} // namespace spice
+
+#endif // SPICE_ANALYSIS_DOMINATORS_H

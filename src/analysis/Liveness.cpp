@@ -1,0 +1,85 @@
+//===- analysis/Liveness.cpp - Backward liveness dataflow -----------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Standard iterate-to-fixpoint backward dataflow. Phi uses are attributed to
+// the incoming edge: an operand of a phi in successor S coming from this
+// block is live-out of this block but not live-in of S via the phi.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace spice;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+static bool isTrackable(const Value *V) {
+  return isa<Instruction>(V) || isa<Argument>(V);
+}
+
+Liveness::Liveness(const CFGInfo &CFG) : CFG(CFG) {
+  unsigned N = CFG.getNumBlocks();
+  LiveIn.resize(N);
+  LiveOut.resize(N);
+
+  // Per-block upward-exposed uses (Gen) and definitions (Def). Phi operands
+  // are charged to predecessor edges, handled in the flow step below.
+  std::vector<std::unordered_set<const Value *>> Gen(N), Def(N);
+  const Function &F = CFG.getFunction();
+  for (const auto &BB : F) {
+    unsigned Idx = CFG.getIndex(BB.get());
+    for (const auto &I : *BB) {
+      if (I->getOpcode() != Opcode::Phi)
+        for (const Value *Op : I->operands())
+          if (isTrackable(Op) && !Def[Idx].count(Op))
+            Gen[Idx].insert(Op);
+      if (I->producesValue())
+        Def[Idx].insert(I.get());
+    }
+  }
+
+  // live-out(B) = union over successors S of
+  //                 (live-in(S) - phis(S)) + phi-incomings(S via B)
+  // live-in(B)  = Gen(B) + (live-out(B) - Def(B)), phi results live-in.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    const std::vector<BasicBlock *> &RPO = CFG.reversePostOrder();
+    for (auto It = RPO.rbegin(), E = RPO.rend(); It != E; ++It) {
+      BasicBlock *BB = *It;
+      unsigned Idx = CFG.getIndex(BB);
+      std::unordered_set<const Value *> Out;
+      for (BasicBlock *Succ : BB->successors()) {
+        unsigned SIdx = CFG.getIndex(Succ);
+        for (const Value *V : LiveIn[SIdx]) {
+          const auto *VI = dyn_cast<Instruction>(V);
+          bool IsSuccPhi = VI && VI->getOpcode() == Opcode::Phi &&
+                           VI->getParent() == Succ;
+          if (!IsSuccPhi)
+            Out.insert(V);
+        }
+        Succ->forEachPhi([&](Instruction *Phi) {
+          if (Value *In = Phi->getPhiIncomingFor(BB))
+            if (isTrackable(In))
+              Out.insert(In);
+        });
+      }
+      std::unordered_set<const Value *> In = Gen[Idx];
+      for (const Value *V : Out)
+        if (!Def[Idx].count(V))
+          In.insert(V);
+      // Phi results are defined "at the top": they are live-in so that
+      // predecessors see them live across the edge only via incomings, but
+      // the phi itself must be treated as live-in if used below... it is a
+      // Def, so exclude. Phis contribute liveness via their uses (Gen).
+      if (Out != LiveOut[Idx] || In != LiveIn[Idx]) {
+        LiveOut[Idx] = std::move(Out);
+        LiveIn[Idx] = std::move(In);
+        Changed = true;
+      }
+    }
+  }
+}

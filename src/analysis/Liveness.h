@@ -1,0 +1,54 @@
+//===- analysis/Liveness.h - Backward liveness dataflow ---------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward may-liveness over SSA values at block boundaries. The
+/// value profiler's instrumenter uses it to size live-in record buffers, and
+/// it provides an independent cross-check of the loop-carried analysis in
+/// tests (every loop-carried live-in must be live into the loop header).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_ANALYSIS_LIVENESS_H
+#define SPICE_ANALYSIS_LIVENESS_H
+
+#include "analysis/CFG.h"
+
+#include <unordered_set>
+
+namespace spice {
+namespace analysis {
+
+/// Per-block live-in/live-out sets of SSA values (instructions and
+/// arguments; constants and globals are never "live").
+class Liveness {
+public:
+  explicit Liveness(const CFGInfo &CFG);
+
+  const std::unordered_set<const ir::Value *> &
+  liveIn(const ir::BasicBlock *BB) const {
+    return LiveIn[CFG.getIndex(BB)];
+  }
+
+  const std::unordered_set<const ir::Value *> &
+  liveOut(const ir::BasicBlock *BB) const {
+    return LiveOut[CFG.getIndex(BB)];
+  }
+
+  bool isLiveIn(const ir::Value *V, const ir::BasicBlock *BB) const {
+    return liveIn(BB).count(V) != 0;
+  }
+
+private:
+  const CFGInfo &CFG;
+  std::vector<std::unordered_set<const ir::Value *>> LiveIn;
+  std::vector<std::unordered_set<const ir::Value *>> LiveOut;
+};
+
+} // namespace analysis
+} // namespace spice
+
+#endif // SPICE_ANALYSIS_LIVENESS_H

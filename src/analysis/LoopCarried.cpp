@@ -1,0 +1,386 @@
+//===- analysis/LoopCarried.cpp - Loop-carried live-in analysis -----------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopCarried.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <climits>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spice;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+int64_t analysis::getReductionIdentity(ReductionKind Kind) {
+  switch (Kind) {
+  case ReductionKind::Sum:
+    return 0;
+  case ReductionKind::Product:
+    return 1;
+  case ReductionKind::BitAnd:
+    return -1;
+  case ReductionKind::BitOr:
+    return 0;
+  case ReductionKind::BitXor:
+    return 0;
+  case ReductionKind::Min:
+    return INT64_MAX;
+  case ReductionKind::Max:
+    return INT64_MIN;
+  case ReductionKind::MinPayload:
+  case ReductionKind::MaxPayload:
+    return 0;
+  }
+  spice_unreachable("unhandled reduction kind");
+}
+
+const char *analysis::getReductionKindName(ReductionKind Kind) {
+  switch (Kind) {
+  case ReductionKind::Sum:
+    return "sum";
+  case ReductionKind::Product:
+    return "product";
+  case ReductionKind::BitAnd:
+    return "and";
+  case ReductionKind::BitOr:
+    return "or";
+  case ReductionKind::BitXor:
+    return "xor";
+  case ReductionKind::Min:
+    return "min";
+  case ReductionKind::Max:
+    return "max";
+  case ReductionKind::MinPayload:
+    return "min-payload";
+  case ReductionKind::MaxPayload:
+    return "max-payload";
+  }
+  spice_unreachable("unhandled reduction kind");
+}
+
+namespace {
+
+/// Per-loop use index: for every value, the in-loop instructions using it.
+class LoopUses {
+public:
+  explicit LoopUses(const Loop &L) {
+    for (BasicBlock *BB : L.blocks())
+      for (const auto &I : *BB)
+        for (Value *Op : I->operands())
+          Uses[Op].push_back(I.get());
+  }
+
+  /// In-loop users of \p V (empty when unused inside the loop).
+  const std::vector<Instruction *> &usersOf(const Value *V) const {
+    static const std::vector<Instruction *> Empty;
+    auto It = Uses.find(V);
+    return It == Uses.end() ? Empty : It->second;
+  }
+
+  /// True when the in-loop users of \p V form a subset of \p Allowed.
+  bool usedOnlyBy(const Value *V,
+                  std::initializer_list<const Instruction *> Allowed) const {
+    for (const Instruction *U : usersOf(V)) {
+      bool Found = false;
+      for (const Instruction *A : Allowed)
+        Found |= (U == A);
+      if (!Found)
+        return false;
+    }
+    return true;
+  }
+
+private:
+  std::unordered_map<const Value *, std::vector<Instruction *>> Uses;
+};
+
+/// Pattern matcher for reductions over one header phi.
+class ReductionMatcher {
+public:
+  ReductionMatcher(const Loop &L, const LoopUses &Uses) : L(L), Uses(Uses) {}
+
+  /// Tries to classify the update of \p Phi (latch incoming \p Next) as a
+  /// simple associative reduction or a compare+select min/max. Payload
+  /// phis are matched separately (they need the set of recognized selects).
+  bool matchSimple(Instruction *Phi, Value *Next, ReductionInfo &Out) {
+    auto *Update = dyn_cast<Instruction>(Next);
+    if (!Update || !L.contains(Update))
+      return false;
+    if (matchBinary(Phi, Update, Out))
+      return true;
+    return matchMinMaxSelect(Phi, Update, Out);
+  }
+
+  /// Matches `Phi` updated by select(SharedCond, ...) where SharedCond also
+  /// drives the recognized min/max reduction \p Primary.
+  bool matchPayload(Instruction *Phi, Value *Next,
+                    const ReductionInfo &Primary, ReductionInfo &Out) {
+    if (Primary.Kind != ReductionKind::Min &&
+        Primary.Kind != ReductionKind::Max)
+      return false;
+    auto *Update = dyn_cast<Instruction>(Next);
+    if (!Update || !L.contains(Update) ||
+        Update->getOpcode() != Opcode::Select)
+      return false;
+    const Instruction *PrimarySel = Primary.Update;
+    assert(PrimarySel->getOpcode() == Opcode::Select &&
+           "min/max primary must be a select to steer a payload");
+    if (Update->getOperand(0) != PrimarySel->getOperand(0))
+      return false;
+    // The payload must keep its old value exactly when the primary keeps
+    // its accumulator: the "old" slots must line up.
+    unsigned PrimaryKeepSlot =
+        PrimarySel->getOperand(1) == Primary.Phi ? 1 : 2;
+    if (PrimarySel->getOperand(PrimaryKeepSlot) != Primary.Phi)
+      return false;
+    if (Update->getOperand(PrimaryKeepSlot) != Phi)
+      return false;
+    // The phi must feed nothing else in the loop.
+    if (!Uses.usedOnlyBy(Phi, {Update}))
+      return false;
+    Out.Kind = Primary.Kind == ReductionKind::Min ? ReductionKind::MinPayload
+                                                  : ReductionKind::MaxPayload;
+    Out.Phi = Phi;
+    Out.Update = Update;
+    Out.PrimaryPhi = Primary.Phi;
+    return true;
+  }
+
+private:
+  bool matchBinary(Instruction *Phi, Instruction *Update,
+                   ReductionInfo &Out) {
+    ReductionKind Kind;
+    switch (Update->getOpcode()) {
+    case Opcode::Add:
+      Kind = ReductionKind::Sum;
+      break;
+    case Opcode::Mul:
+      Kind = ReductionKind::Product;
+      break;
+    case Opcode::And:
+      Kind = ReductionKind::BitAnd;
+      break;
+    case Opcode::Or:
+      Kind = ReductionKind::BitOr;
+      break;
+    case Opcode::Xor:
+      Kind = ReductionKind::BitXor;
+      break;
+    case Opcode::SMin:
+      Kind = ReductionKind::Min;
+      break;
+    case Opcode::SMax:
+      Kind = ReductionKind::Max;
+      break;
+    default:
+      return false;
+    }
+    if (Update->getOperand(0) != Phi && Update->getOperand(1) != Phi)
+      return false;
+    // The accumulator must flow only through the update, and the update
+    // only back into the phi (either may additionally be live-out; uses
+    // outside the loop are not indexed by LoopUses and thus allowed).
+    if (!Uses.usedOnlyBy(Phi, {Update}) || !Uses.usedOnlyBy(Update, {Phi}))
+      return false;
+    Out.Kind = Kind;
+    Out.Phi = Phi;
+    Out.Update = Update;
+    return true;
+  }
+
+  bool matchMinMaxSelect(Instruction *Phi, Instruction *Update,
+                         ReductionInfo &Out) {
+    if (Update->getOpcode() != Opcode::Select)
+      return false;
+    auto *Cond = dyn_cast<Instruction>(Update->getOperand(0));
+    if (!Cond || !L.contains(Cond) || !Cond->isComparison())
+      return false;
+
+    Value *TrueV = Update->getOperand(1);
+    Value *FalseV = Update->getOperand(2);
+    if (TrueV != Phi && FalseV != Phi)
+      return false;
+    Value *Candidate = TrueV == Phi ? FalseV : TrueV;
+
+    // Normalize the predicate to "Lhs less-than Rhs".
+    Value *Lhs = Cond->getOperand(0);
+    Value *Rhs = Cond->getOperand(1);
+    bool LessLike;
+    switch (Cond->getOpcode()) {
+    case Opcode::ICmpSLt:
+    case Opcode::ICmpSLe:
+      LessLike = true;
+      break;
+    case Opcode::ICmpSGt:
+    case Opcode::ICmpSGe:
+      LessLike = false;
+      break;
+    default:
+      return false;
+    }
+    if (!LessLike)
+      std::swap(Lhs, Rhs);
+    // Now the condition reads "Lhs < Rhs" (possibly non-strict).
+    if (!((Lhs == Candidate && Rhs == Phi) ||
+          (Lhs == Phi && Rhs == Candidate)))
+      return false;
+
+    // select(cand < phi, cand, phi) = min; select(cand < phi, phi, cand)
+    // = max, and symmetrically with swapped compare operands.
+    bool CandWhenTrue = TrueV == Candidate;
+    bool CandIsLhs = Lhs == Candidate;
+    bool IsMin = CandWhenTrue == CandIsLhs;
+
+    // The accumulator may feed only the compare and the select.
+    if (!Uses.usedOnlyBy(Phi, {Cond, Update}) ||
+        !Uses.usedOnlyBy(Update, {Phi}))
+      return false;
+
+    Out.Kind = IsMin ? ReductionKind::Min : ReductionKind::Max;
+    Out.Phi = Phi;
+    Out.Update = Update;
+    return true;
+  }
+
+  const Loop &L;
+  const LoopUses &Uses;
+};
+
+} // namespace
+
+/// True when the phi is a basic induction: latch value = phi +/- invariant.
+static bool isInduction(const Loop &L, const Instruction *Phi,
+                        const Value *Next) {
+  const auto *Update = dyn_cast<Instruction>(Next);
+  if (!Update || !L.contains(Update))
+    return false;
+  if (Update->getOpcode() != Opcode::Add &&
+      Update->getOpcode() != Opcode::Sub)
+    return false;
+  const Value *Other = nullptr;
+  if (Update->getOperand(0) == Phi)
+    Other = Update->getOperand(1);
+  else if (Update->getOperand(1) == Phi &&
+           Update->getOpcode() == Opcode::Add)
+    Other = Update->getOperand(0);
+  else
+    return false;
+  // The step must be loop-invariant.
+  const auto *StepInst = dyn_cast<Instruction>(Other);
+  return !StepInst || !L.contains(StepInst);
+}
+
+LoopCarriedInfo analysis::analyzeLoopCarried(const CFGInfo &CFG,
+                                             const Loop &L) {
+  LoopCarriedInfo Info;
+  Info.L = &L;
+
+  BasicBlock *Latch = L.getSingleLatch();
+  assert(Latch && "loop-carried analysis requires a single latch");
+  BasicBlock *Header = L.getHeader();
+
+  // Collect header phis and split their incomings into start (from outside)
+  // and next (from the latch).
+  Header->forEachPhi([&](Instruction *Phi) {
+    Value *Start = nullptr;
+    Value *Next = nullptr;
+    for (unsigned I = 0, E = Phi->getNumOperands(); I != E; ++I) {
+      if (Phi->getBlockOperand(I) == Latch)
+        Next = Phi->getOperand(I);
+      else
+        Start = Phi->getOperand(I);
+    }
+    assert(Start && Next && "header phi missing an incoming");
+    Info.HeaderPhis.push_back(Phi);
+    Info.StartValues.push_back(Start);
+    Info.NextValues.push_back(Next);
+  });
+
+  LoopUses Uses(L);
+  ReductionMatcher Matcher(L, Uses);
+
+  // First pass: simple reductions.
+  std::vector<bool> IsReduction(Info.HeaderPhis.size(), false);
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I) {
+    ReductionInfo R;
+    if (Matcher.matchSimple(Info.HeaderPhis[I], Info.NextValues[I], R)) {
+      R.StartValue = Info.StartValues[I];
+      Info.Reductions.push_back(R);
+      IsReduction[I] = true;
+    }
+  }
+  // Second pass: payload phis steered by an already-recognized min/max.
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I) {
+    if (IsReduction[I])
+      continue;
+    for (const ReductionInfo &Primary : Info.Reductions) {
+      ReductionInfo R;
+      if (Primary.PrimaryPhi == nullptr && // Primaries only, not payloads.
+          Matcher.matchPayload(Info.HeaderPhis[I], Info.NextValues[I],
+                               Primary, R)) {
+        R.StartValue = Info.StartValues[I];
+        Info.Reductions.push_back(R);
+        IsReduction[I] = true;
+        break;
+      }
+    }
+  }
+
+  // S = live-ins minus reductions (paper Algorithm 1, line 4).
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+    if (!IsReduction[I])
+      Info.SpeculatedLiveIns.push_back(Info.HeaderPhis[I]);
+
+  // Invariant live-ins, loads/stores, and live-outs. The analyzed loop's
+  // own header phis are skipped: their outside incomings are "used" on the
+  // entry edge (they are the phi start values, communicated separately),
+  // and their latch incomings are loop-defined.
+  std::unordered_set<const Value *> SeenInvariant;
+  for (BasicBlock *BB : L.blocks()) {
+    for (const auto &I : *BB) {
+      if (BB == Header && I->getOpcode() == Opcode::Phi)
+        continue;
+      Info.HasLoads |= I->getOpcode() == Opcode::Load;
+      Info.HasStores |= I->getOpcode() == Opcode::Store;
+      for (Value *Op : I->operands()) {
+        if (isa<ConstantInt>(Op) || isa<GlobalVariable>(Op))
+          continue;
+        bool DefinedOutside = false;
+        if (isa<Argument>(Op))
+          DefinedOutside = true;
+        else if (auto *OpInst = dyn_cast<Instruction>(Op))
+          DefinedOutside = !L.contains(OpInst);
+        if (DefinedOutside && SeenInvariant.insert(Op).second)
+          Info.InvariantLiveIns.push_back(Op);
+      }
+    }
+  }
+  const Function &F = CFG.getFunction();
+  for (const auto &BB : F) {
+    if (L.contains(BB.get()))
+      continue;
+    for (const auto &I : *BB)
+      for (Value *Op : I->operands()) {
+        auto *Def = dyn_cast<Instruction>(Op);
+        if (!Def || !L.contains(Def))
+          continue;
+        if (std::find(Info.LiveOuts.begin(), Info.LiveOuts.end(), Def) ==
+            Info.LiveOuts.end())
+          Info.LiveOuts.push_back(Def);
+      }
+  }
+
+  // DOALL: every phi is an induction or reduction and nothing is stored.
+  Info.IsDoall = !Info.HasStores;
+  for (size_t I = 0; I != Info.HeaderPhis.size() && Info.IsDoall; ++I)
+    if (!IsReduction[I] &&
+        !isInduction(L, Info.HeaderPhis[I], Info.NextValues[I]))
+      Info.IsDoall = false;
+  return Info;
+}

@@ -1,0 +1,114 @@
+//===- analysis/LoopCarried.h - Loop-carried live-in analysis ---*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Computes, for one loop, everything the Spice transformation (paper
+/// Algorithm 1, lines 2-4) needs:
+///
+///   * the inter-iteration live-ins (SSA header phis),
+///   * which of them are reduction candidates (sum/product/bitwise ops,
+///     min/max through smin/smax or compare+select, and argmin/argmax
+///     payload phis steered by the same compare),
+///   * the speculated live-in set S = live-ins minus reductions,
+///   * loop-invariant live-ins that must be communicated to worker threads,
+///   * loop-defined values used after the loop (live-outs),
+///   * a conservative DOALL classification used by the value profiler to
+///     skip trivially parallel loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_ANALYSIS_LOOPCARRIED_H
+#define SPICE_ANALYSIS_LOOPCARRIED_H
+
+#include "analysis/LoopInfo.h"
+
+namespace spice {
+namespace analysis {
+
+/// Kinds of reductions the analysis recognizes. Payload kinds describe
+/// argmin/argmax companions: a phi updated by a select sharing the compare
+/// of a Min/Max reduction (e.g. `cm` tracking the clause whose weight is the
+/// running minimum `wm` in the paper's otter loop).
+enum class ReductionKind : uint8_t {
+  Sum,
+  Product,
+  BitAnd,
+  BitOr,
+  BitXor,
+  Min,
+  Max,
+  MinPayload,
+  MaxPayload,
+};
+
+/// Returns the identity element for \p Kind (payloads have no meaningful
+/// identity of their own; 0 is returned and the merge logic must consult the
+/// primary reduction).
+int64_t getReductionIdentity(ReductionKind Kind);
+
+/// Returns a printable name for \p Kind.
+const char *getReductionKindName(ReductionKind Kind);
+
+/// One recognized reduction over a header phi.
+struct ReductionInfo {
+  ReductionKind Kind;
+  /// The header phi carrying the accumulator.
+  ir::Instruction *Phi = nullptr;
+  /// Initial value (incoming from outside the loop).
+  ir::Value *StartValue = nullptr;
+  /// The in-loop update producing the latch incoming (binop or select).
+  ir::Instruction *Update = nullptr;
+  /// For payload kinds: the phi of the Min/Max reduction they accompany.
+  ir::Instruction *PrimaryPhi = nullptr;
+};
+
+/// Everything Spice needs to know about one loop's dependences.
+struct LoopCarriedInfo {
+  const Loop *L = nullptr;
+
+  /// All inter-iteration live-ins (header phis), in block order. For each,
+  /// StartValues[i] is the incoming from outside and NextValues[i] the
+  /// incoming along the (single) latch.
+  std::vector<ir::Instruction *> HeaderPhis;
+  std::vector<ir::Value *> StartValues;
+  std::vector<ir::Value *> NextValues;
+
+  /// Recognized reduction phis.
+  std::vector<ReductionInfo> Reductions;
+
+  /// S: live-ins requiring value speculation (HeaderPhis minus reductions).
+  std::vector<ir::Instruction *> SpeculatedLiveIns;
+
+  /// Values defined outside the loop but used inside (arguments and
+  /// instructions; constants and globals excluded). Ordered by first use.
+  std::vector<ir::Value *> InvariantLiveIns;
+
+  /// Loop-defined values with uses outside the loop.
+  std::vector<ir::Instruction *> LiveOuts;
+
+  bool HasStores = false;
+  bool HasLoads = false;
+
+  /// Conservative: true when every phi is an induction or a reduction and
+  /// the loop performs no stores (iterations then commute).
+  bool IsDoall = false;
+
+  /// Returns the ReductionInfo for \p Phi, or null.
+  const ReductionInfo *getReductionFor(const ir::Instruction *Phi) const {
+    for (const ReductionInfo &R : Reductions)
+      if (R.Phi == Phi)
+        return &R;
+    return nullptr;
+  }
+};
+
+/// Analyzes \p L. Requires a single-latch loop (asserts otherwise).
+LoopCarriedInfo analyzeLoopCarried(const CFGInfo &CFG, const Loop &L);
+
+} // namespace analysis
+} // namespace spice
+
+#endif // SPICE_ANALYSIS_LOOPCARRIED_H

@@ -1,0 +1,128 @@
+//===- analysis/LoopInfo.cpp - Natural loop detection ---------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+
+using namespace spice;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+BasicBlock *Loop::getPreheader(const CFGInfo &CFG) const {
+  BasicBlock *Candidate = nullptr;
+  for (BasicBlock *Pred : CFG.predecessors(Header)) {
+    if (contains(Pred))
+      continue;
+    if (Candidate && Candidate != Pred)
+      return nullptr;
+    Candidate = Pred;
+  }
+  return Candidate;
+}
+
+std::vector<BasicBlock *> Loop::getExitBlocks(const CFGInfo &CFG) const {
+  (void)CFG;
+  std::vector<BasicBlock *> Exits;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (!contains(Succ) &&
+          std::find(Exits.begin(), Exits.end(), Succ) == Exits.end())
+        Exits.push_back(Succ);
+  return Exits;
+}
+
+std::vector<BasicBlock *> Loop::getExitingBlocks() const {
+  std::vector<BasicBlock *> Exiting;
+  for (BasicBlock *BB : Blocks)
+    for (BasicBlock *Succ : BB->successors())
+      if (!contains(Succ)) {
+        Exiting.push_back(BB);
+        break;
+      }
+  return Exiting;
+}
+
+LoopInfo::LoopInfo(const CFGInfo &CFG, const DominatorTree &DT) {
+  // Find back edges, grouped by header.
+  std::unordered_map<BasicBlock *, std::vector<BasicBlock *>> BackEdges;
+  for (BasicBlock *BB : CFG.reversePostOrder()) {
+    if (!CFG.isReachable(BB))
+      continue;
+    for (BasicBlock *Succ : BB->successors())
+      if (DT.dominates(Succ, BB))
+        BackEdges[Succ].push_back(BB);
+  }
+
+  // Build each loop body: reverse reachability from the latches, stopping
+  // at the header.
+  for (auto &[Header, Latches] : BackEdges) {
+    auto L = std::make_unique<Loop>(Header);
+    L->Latches = Latches;
+    L->BlockSet.insert(Header);
+    L->Blocks.push_back(Header);
+    std::vector<BasicBlock *> Work(Latches.begin(), Latches.end());
+    while (!Work.empty()) {
+      BasicBlock *BB = Work.back();
+      Work.pop_back();
+      if (L->BlockSet.count(BB))
+        continue;
+      L->BlockSet.insert(BB);
+      L->Blocks.push_back(BB);
+      for (BasicBlock *Pred : CFG.predecessors(BB))
+        if (CFG.isReachable(Pred))
+          Work.push_back(Pred);
+    }
+    Loops.push_back(std::move(L));
+  }
+
+  // Sort loops by size so nesting resolution sees inner loops first; a loop
+  // nests in the smallest strictly larger loop containing its header.
+  std::sort(Loops.begin(), Loops.end(),
+            [](const std::unique_ptr<Loop> &A, const std::unique_ptr<Loop> &B) {
+              if (A->blocks().size() != B->blocks().size())
+                return A->blocks().size() < B->blocks().size();
+              // Tie-break deterministically by header RPO order.
+              return A->getHeader()->getName() < B->getHeader()->getName();
+            });
+  for (size_t I = 0; I != Loops.size(); ++I) {
+    for (size_t J = I + 1; J != Loops.size(); ++J) {
+      if (Loops[J]->blocks().size() > Loops[I]->blocks().size() &&
+          Loops[J]->contains(Loops[I]->getHeader())) {
+        Loops[I]->Parent = Loops[J].get();
+        Loops[J]->SubLoops.push_back(Loops[I].get());
+        break;
+      }
+    }
+  }
+
+  // Innermost-loop map: smallest loop containing each block wins; loops are
+  // already sorted by ascending size.
+  for (const auto &L : Loops)
+    for (BasicBlock *BB : L->blocks())
+      if (!InnermostLoop.count(BB))
+        InnermostLoop[BB] = L.get();
+}
+
+std::vector<Loop *> LoopInfo::topLevelLoops() const {
+  std::vector<Loop *> Top;
+  for (const auto &L : Loops)
+    if (!L->getParent())
+      Top.push_back(L.get());
+  return Top;
+}
+
+Loop *LoopInfo::getLoopFor(const BasicBlock *BB) const {
+  auto It = InnermostLoop.find(BB);
+  return It == InnermostLoop.end() ? nullptr : It->second;
+}
+
+Loop *LoopInfo::getLoopByHeader(const BasicBlock *Header) const {
+  for (const auto &L : Loops)
+    if (L->getHeader() == Header)
+      return L.get();
+  return nullptr;
+}

@@ -1,0 +1,111 @@
+//===- analysis/LoopInfo.h - Natural loop detection -------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection from back edges (latch -> header where the header
+/// dominates the latch), plus a loop-nest tree. The Spice transformation and
+/// the value profiler both operate on Loop objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_ANALYSIS_LOOPINFO_H
+#define SPICE_ANALYSIS_LOOPINFO_H
+
+#include "analysis/Dominators.h"
+
+#include <memory>
+#include <unordered_set>
+
+namespace spice {
+namespace analysis {
+
+/// One natural loop: header, latches, member blocks, nest links.
+class Loop {
+public:
+  Loop(ir::BasicBlock *Header) : Header(Header) {}
+
+  ir::BasicBlock *getHeader() const { return Header; }
+
+  /// Latch blocks (sources of back edges into the header).
+  const std::vector<ir::BasicBlock *> &getLatches() const { return Latches; }
+
+  /// The unique latch, or null when the loop has several.
+  ir::BasicBlock *getSingleLatch() const {
+    return Latches.size() == 1 ? Latches.front() : nullptr;
+  }
+
+  bool contains(const ir::BasicBlock *BB) const {
+    return BlockSet.count(BB) != 0;
+  }
+  bool contains(const ir::Instruction *I) const {
+    return contains(I->getParent());
+  }
+  bool contains(const Loop *Other) const {
+    for (const Loop *L = Other; L; L = L->getParent())
+      if (L == this)
+        return true;
+    return false;
+  }
+
+  const std::vector<ir::BasicBlock *> &blocks() const { return Blocks; }
+
+  Loop *getParent() const { return Parent; }
+  const std::vector<Loop *> &subLoops() const { return SubLoops; }
+
+  /// Nesting depth; 1 for outermost loops.
+  unsigned getDepth() const {
+    unsigned D = 0;
+    for (const Loop *L = this; L; L = L->getParent())
+      ++D;
+    return D;
+  }
+
+  /// The unique predecessor of the header outside the loop, or null when
+  /// there are several (no canonical preheader).
+  ir::BasicBlock *getPreheader(const CFGInfo &CFG) const;
+
+  /// Blocks outside the loop that are targets of edges leaving the loop.
+  std::vector<ir::BasicBlock *> getExitBlocks(const CFGInfo &CFG) const;
+
+  /// Blocks inside the loop with a successor outside it.
+  std::vector<ir::BasicBlock *> getExitingBlocks() const;
+
+private:
+  friend class LoopInfo;
+
+  ir::BasicBlock *Header;
+  std::vector<ir::BasicBlock *> Latches;
+  std::vector<ir::BasicBlock *> Blocks;
+  std::unordered_set<const ir::BasicBlock *> BlockSet;
+  Loop *Parent = nullptr;
+  std::vector<Loop *> SubLoops;
+};
+
+/// All natural loops of a function, with nesting resolved.
+class LoopInfo {
+public:
+  LoopInfo(const CFGInfo &CFG, const DominatorTree &DT);
+
+  const std::vector<std::unique_ptr<Loop>> &loops() const { return Loops; }
+
+  /// Outermost loops only.
+  std::vector<Loop *> topLevelLoops() const;
+
+  /// The innermost loop containing \p BB, or null.
+  Loop *getLoopFor(const ir::BasicBlock *BB) const;
+
+  /// The loop whose header is \p Header, or null.
+  Loop *getLoopByHeader(const ir::BasicBlock *Header) const;
+
+private:
+  std::vector<std::unique_ptr<Loop>> Loops;
+  std::unordered_map<const ir::BasicBlock *, Loop *> InnermostLoop;
+};
+
+} // namespace analysis
+} // namespace spice
+
+#endif // SPICE_ANALYSIS_LOOPINFO_H

@@ -1,0 +1,25 @@
+//===- baselines/Predictors.cpp - Conventional value predictors -----------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "baselines/Predictors.h"
+
+using namespace spice;
+using namespace spice::baselines;
+
+double ValuePredictorBase::measureAccuracy(
+    const std::vector<int64_t> &Stream) {
+  uint64_t Correct = 0, Predicted = 0;
+  for (int64_t V : Stream) {
+    if (hasPrediction()) {
+      ++Predicted;
+      Correct += predict() == V;
+    }
+    observe(V);
+  }
+  return Predicted ? static_cast<double>(Correct) /
+                         static_cast<double>(Predicted)
+                   : 0.0;
+}

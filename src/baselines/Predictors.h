@@ -1,0 +1,123 @@
+//===- baselines/Predictors.h - Conventional value predictors ---*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The conventional value predictors the paper's section 2.2 argues fail
+/// on pointer-chasing loops with churn: last-value, stride, and a
+/// context-based (finite-context-method) predictor standing in for the
+/// trace-based increment predictor of Marcuello et al. They share one
+/// interface: predict the next value, then observe the actual one.
+/// bench/predictor_accuracy compares their per-iteration accuracy against
+/// the Spice memoization criterion (the memoized value reappears some time
+/// during the next invocation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_BASELINES_PREDICTORS_H
+#define SPICE_BASELINES_PREDICTORS_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace spice {
+namespace baselines {
+
+/// Interface of a single-value stream predictor.
+class ValuePredictorBase {
+public:
+  virtual ~ValuePredictorBase() = default;
+
+  /// Predicted next value; HasPrediction() distinguishes cold starts.
+  virtual int64_t predict() const = 0;
+  virtual bool hasPrediction() const = 0;
+
+  /// Feeds the actual value produced by the stream.
+  virtual void observe(int64_t Actual) = 0;
+
+  virtual const char *name() const = 0;
+
+  /// Convenience: run over \p Stream and return per-value accuracy
+  /// (prediction correct / values with a prediction available).
+  double measureAccuracy(const std::vector<int64_t> &Stream);
+};
+
+/// Predicts the previous value.
+class LastValuePredictor : public ValuePredictorBase {
+public:
+  int64_t predict() const override { return Last; }
+  bool hasPrediction() const override { return Seen > 0; }
+  void observe(int64_t Actual) override {
+    Last = Actual;
+    ++Seen;
+  }
+  const char *name() const override { return "last-value"; }
+
+private:
+  int64_t Last = 0;
+  uint64_t Seen = 0;
+};
+
+/// Predicts last + (last - secondLast).
+class StridePredictor : public ValuePredictorBase {
+public:
+  int64_t predict() const override { return Last + Stride; }
+  bool hasPrediction() const override { return Seen >= 2; }
+  void observe(int64_t Actual) override {
+    if (Seen >= 1)
+      Stride = Actual - Last;
+    Last = Actual;
+    ++Seen;
+  }
+  const char *name() const override { return "stride"; }
+
+private:
+  int64_t Last = 0;
+  int64_t Stride = 0;
+  uint64_t Seen = 0;
+};
+
+/// Order-K finite-context predictor: hash the last K values, look up the
+/// value that followed this context last time (the trace-based flavor of
+/// Marcuello et al. adapted to a single stream).
+class ContextPredictor : public ValuePredictorBase {
+public:
+  explicit ContextPredictor(unsigned Order = 2) : Order(Order) {}
+
+  int64_t predict() const override {
+    auto It = Table.find(contextHash());
+    return It == Table.end() ? 0 : It->second;
+  }
+  bool hasPrediction() const override {
+    return History.size() >= Order && Table.count(contextHash()) > 0;
+  }
+  void observe(int64_t Actual) override {
+    if (History.size() >= Order)
+      Table[contextHash()] = Actual;
+    History.push_back(Actual);
+    if (History.size() > Order)
+      History.erase(History.begin());
+  }
+  const char *name() const override { return "context"; }
+
+private:
+  uint64_t contextHash() const {
+    uint64_t H = 14695981039346656037ull;
+    for (int64_t V : History)
+      H = (H ^ static_cast<uint64_t>(V)) * 1099511628211ull;
+    return H;
+  }
+
+  unsigned Order;
+  std::vector<int64_t> History;
+  std::unordered_map<uint64_t, int64_t> Table;
+};
+
+} // namespace baselines
+} // namespace spice
+
+#endif // SPICE_BASELINES_PREDICTORS_H

@@ -1,0 +1,116 @@
+//===- core/BootstrapSampler.h - First-invocation live-in sampling -*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's Algorithm 2 needs work thresholds, which are derived from the
+/// *previous* invocation's work counters — unavailable on the very first
+/// invocation. This streaming sampler bootstraps: it keeps a bounded,
+/// evenly spaced set of (work, live-in) samples using period doubling
+/// (record every Stride-th iteration; when the reservoir fills, drop every
+/// other sample and double the stride). At the end of the sequential first
+/// invocation, the t-1 samples closest to the equal-work split points
+/// seed the speculated values array.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_CORE_BOOTSTRAPSAMPLER_H
+#define SPICE_CORE_BOOTSTRAPSAMPLER_H
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace spice {
+namespace core {
+
+/// Streaming uniform sampler of loop live-ins over an unknown-length
+/// iteration stream.
+template <typename LiveIn> class BootstrapSampler {
+public:
+  /// \p Capacity bounds memory; must be at least 2*(NumThreads-1) for the
+  /// extraction step to have adequate resolution.
+  explicit BootstrapSampler(size_t Capacity) : Capacity(Capacity) {
+    assert(Capacity >= 2 && "sampler capacity too small");
+  }
+
+  /// Offers the live-in observed when the cumulative work counter equals
+  /// \p Work (monotonically nondecreasing across calls).
+  void offer(uint64_t Work, const LiveIn &LI) {
+    TotalWork = Work;
+    if (Work < NextSampleAt)
+      return;
+    Samples.push_back({Work, LI});
+    NextSampleAt = Work + Stride;
+    if (Samples.size() < Capacity)
+      return;
+    // Compact: keep every other sample, double the stride.
+    size_t Keep = 0;
+    for (size_t I = 0; I < Samples.size(); I += 2)
+      Samples[Keep++] = Samples[I];
+    Samples.resize(Keep);
+    Stride *= 2;
+    NextSampleAt = Samples.back().Work + Stride;
+  }
+
+  /// Extracts predicted live-ins for threads 1..NumThreads-1: the samples
+  /// nearest the split points k*W/NumThreads. Returns nullopt when there
+  /// are not enough distinct samples (tiny invocation): the caller then
+  /// stays sequential, exactly like the paper's early otter invocations.
+  std::optional<std::vector<LiveIn>>
+  extract(unsigned NumThreads) const {
+    unsigned Needed = NumThreads - 1;
+    if (Samples.size() < Needed || TotalWork == 0)
+      return std::nullopt;
+    std::vector<LiveIn> Rows;
+    Rows.reserve(Needed);
+    size_t Cursor = 0;
+    for (unsigned K = 1; K <= Needed; ++K) {
+      uint64_t Target =
+          (static_cast<uint64_t>(K) * TotalWork) / NumThreads;
+      // Advance to the closest sample at or after the target, but keep
+      // samples strictly increasing across rows so no row is duplicated.
+      while (Cursor + 1 < Samples.size() &&
+             Samples[Cursor].Work < Target &&
+             remainingRows(Cursor + 1) >= (Needed - K + 1))
+        ++Cursor;
+      Rows.push_back(Samples[Cursor].LI);
+      ++Cursor;
+      if (Cursor >= Samples.size() && K < Needed)
+        return std::nullopt; // Ran out of distinct samples.
+    }
+    return Rows;
+  }
+
+  /// Number of samples currently held (for tests).
+  size_t size() const { return Samples.size(); }
+
+  void reset() {
+    Samples.clear();
+    Stride = 1;
+    NextSampleAt = 0;
+    TotalWork = 0;
+  }
+
+private:
+  size_t remainingRows(size_t From) const { return Samples.size() - From; }
+
+  struct Sample {
+    uint64_t Work;
+    LiveIn LI;
+  };
+
+  size_t Capacity;
+  std::vector<Sample> Samples;
+  uint64_t Stride = 1;
+  uint64_t NextSampleAt = 0;
+  uint64_t TotalWork = 0;
+};
+
+} // namespace core
+} // namespace spice
+
+#endif // SPICE_CORE_BOOTSTRAPSAMPLER_H

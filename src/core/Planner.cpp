@@ -1,0 +1,46 @@
+//===- core/Planner.cpp - Re-memoization planning (svat/svai) -------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Planner.h"
+
+#include <cassert>
+
+using namespace spice;
+using namespace spice::core;
+
+MemoizationPlan core::planMemoization(const std::vector<uint64_t> &Work,
+                                      unsigned NumThreads) {
+  assert(NumThreads >= 2 && "planning needs at least two threads");
+  assert(Work.size() <= NumThreads && "more work entries than threads");
+
+  MemoizationPlan Plan;
+  Plan.PerThread.resize(NumThreads);
+
+  uint64_t W = 0;
+  for (uint64_t V : Work)
+    W += V;
+  Plan.TotalWork = W;
+  if (W == 0)
+    return Plan;
+
+  // Prefix[j] = work preceding thread j's chunk.
+  std::vector<uint64_t> Prefix(Work.size() + 1, 0);
+  for (size_t J = 0; J != Work.size(); ++J)
+    Prefix[J + 1] = Prefix[J] + Work[J];
+
+  for (unsigned K = 1; K != NumThreads; ++K) {
+    uint64_t Target = (static_cast<uint64_t>(K) * W) / NumThreads;
+    // Find the thread whose interval [Prefix[j], Prefix[j+1]) holds Target.
+    // Skip zero-work threads: their empty interval can't contain anything.
+    size_t J = 0;
+    while (J + 1 < Work.size() && Prefix[J + 1] <= Target)
+      ++J;
+    assert(Work[J] > 0 && "target landed in an empty chunk");
+    Plan.PerThread[J].push_back(
+        {Target - Prefix[J], /*Row=*/K - 1});
+  }
+  return Plan;
+}

@@ -1,0 +1,96 @@
+//===- core/Planner.h - Re-memoization planning (svat/svai) -----*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central component of the paper's value predictor (section 4). At the
+/// end of each invocation it takes the per-thread work counters and decides
+/// which threads must memoize live-ins at which local work thresholds during
+/// the *next* invocation, so that the recorded values split the following
+/// invocation into equal-work chunks (dynamic load balancing).
+///
+/// Paper assumptions encoded here:
+///  1. the total work of the next invocation matches this one;
+///  2. the per-thread work distribution of the next invocation matches this
+///     one (the reading consistent with the paper's worked example: work
+///     {10,1,1} with 3 threads yields svat=[4,8], svai=[0,1] for thread 0
+///     and empty lists for the others).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_CORE_PLANNER_H
+#define SPICE_CORE_PLANNER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spice {
+namespace core {
+
+/// One memoization instruction for a thread: "when your local work counter
+/// exceeds Threshold, record the current live-ins into SVA row Row".
+struct MemoEntry {
+  uint64_t Threshold; ///< svat entry (local work units).
+  unsigned Row;       ///< svai entry (SVA row index, 0-based).
+
+  bool operator==(const MemoEntry &O) const {
+    return Threshold == O.Threshold && Row == O.Row;
+  }
+};
+
+/// Per-thread memoization schedules for the next invocation.
+struct MemoizationPlan {
+  /// PerThread[i] is thread i's (svat, svai) list, thresholds ascending.
+  /// An empty list is the paper's "head of svat set to infinity".
+  std::vector<std::vector<MemoEntry>> PerThread;
+
+  /// Total work the plan was computed from.
+  uint64_t TotalWork = 0;
+
+  bool empty() const {
+    for (const auto &L : PerThread)
+      if (!L.empty())
+        return false;
+    return true;
+  }
+};
+
+/// Computes the plan from the finished invocation's per-thread work.
+///
+/// \p Work has one entry per thread in chunk order; threads that executed
+/// nothing (inactive or squashed) must carry 0. Targets are the cumulative
+/// positions k*W/NumThreads (k = 1..NumThreads-1); target k lands in the
+/// thread whose cumulative work interval contains it and becomes SVA row
+/// k-1. Returns an all-empty plan when W == 0.
+MemoizationPlan planMemoization(const std::vector<uint64_t> &Work,
+                                unsigned NumThreads);
+
+/// Streaming cursor over one thread's plan: Algorithm 2 of the paper.
+class MemoCursor {
+public:
+  MemoCursor() = default;
+  explicit MemoCursor(const std::vector<MemoEntry> *Entries)
+      : Entries(Entries) {}
+
+  /// Returns the SVA row to record into when \p WorkSoFar exceeds the
+  /// current threshold, advancing the cursor; ~0u otherwise.
+  unsigned shouldRecord(uint64_t WorkSoFar) {
+    if (!Entries || Next >= Entries->size())
+      return ~0u;
+    if (WorkSoFar <= (*Entries)[Next].Threshold)
+      return ~0u;
+    return (*Entries)[Next++].Row;
+  }
+
+private:
+  const std::vector<MemoEntry> *Entries = nullptr;
+  size_t Next = 0;
+};
+
+} // namespace core
+} // namespace spice
+
+#endif // SPICE_CORE_PLANNER_H

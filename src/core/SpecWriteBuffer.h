@@ -1,0 +1,213 @@
+//===- core/SpecWriteBuffer.h - Software speculative memory -----*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Software stand-in for the paper's hardware speculative-state buffering
+/// (section 3): speculative threads redirect stores into a private buffer
+/// with read-own-writes semantics; on validation the buffer is committed in
+/// chunk order, on squash it is discarded. Reads of shared memory are
+/// logged with the value observed so the runtime can perform commit-time
+/// value validation (the software analogue of conflict detection; silent
+/// same-value re-writes validate cleanly).
+///
+/// Concurrent access discipline: locations that may be written by one
+/// thread while read speculatively by another are accessed through
+/// std::atomic_ref with relaxed ordering, which keeps the racy reads the
+/// hardware would permit well-defined in C++.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_CORE_SPECWRITEBUFFER_H
+#define SPICE_CORE_SPECWRITEBUFFER_H
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+namespace spice {
+namespace core {
+
+/// A value small enough to live in one buffer slot.
+template <typename T>
+concept BufferableValue =
+    std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(uint64_t);
+
+/// Private buffer of speculative stores plus a read-validation log.
+class SpecWriteBuffer {
+public:
+  /// Buffered speculative store.
+  template <BufferableValue T> void write(T *Ptr, T V) {
+    uint64_t Raw = 0;
+    std::memcpy(&Raw, &V, sizeof(T));
+    void *Key = Ptr;
+    auto [It, Inserted] = WriteMap.try_emplace(Key, WriteLog.size());
+    if (Inserted)
+      WriteLog.push_back({Key, Raw, sizeof(T)});
+    else
+      WriteLog[It->second].Raw = Raw;
+  }
+
+  /// Speculative load: own writes first, then shared memory (relaxed
+  /// atomic), logging the observed value for commit-time validation.
+  template <BufferableValue T> T read(const T *Ptr) {
+    auto It = WriteMap.find(const_cast<T *>(Ptr));
+    if (It != WriteMap.end()) {
+      T V;
+      std::memcpy(&V, &WriteLog[It->second].Raw, sizeof(T));
+      return V;
+    }
+    T V = loadShared(Ptr);
+    uint64_t Raw = 0;
+    std::memcpy(&Raw, &V, sizeof(T));
+    ReadLog.try_emplace(Ptr, LoggedRead{Raw, sizeof(T)});
+    return V;
+  }
+
+  /// Commit-time validation: true when every logged read still matches
+  /// shared memory. Chunks commit in iteration order, so success implies
+  /// the chunk's execution serializes after its predecessors.
+  bool validateReads() const {
+    for (const auto &[Ptr, LR] : ReadLog) {
+      uint64_t Now = 0;
+      switch (LR.Size) {
+      case 8:
+        Now = rawLoad<uint64_t>(Ptr);
+        break;
+      case 4:
+        Now = rawLoad<uint32_t>(Ptr);
+        break;
+      case 2:
+        Now = rawLoad<uint16_t>(Ptr);
+        break;
+      default:
+        Now = rawLoad<uint8_t>(Ptr);
+        break;
+      }
+      if (Now != LR.Raw)
+        return false;
+    }
+    return true;
+  }
+
+  /// Publishes buffered stores to shared memory (relaxed atomics) in
+  /// program order. The caller must have validated first.
+  void commit() {
+    for (const Slot &S : WriteLog) {
+      switch (S.Size) {
+      case 8:
+        rawStore<uint64_t>(S.Addr, S.Raw);
+        break;
+      case 4:
+        rawStore<uint32_t>(S.Addr, S.Raw);
+        break;
+      case 2:
+        rawStore<uint16_t>(S.Addr, S.Raw);
+        break;
+      default:
+        rawStore<uint8_t>(S.Addr, S.Raw);
+        break;
+      }
+    }
+    clear();
+  }
+
+  /// Discards all buffered state (squash).
+  void clear() {
+    WriteLog.clear();
+    WriteMap.clear();
+    ReadLog.clear();
+  }
+
+  bool empty() const { return WriteLog.empty() && ReadLog.empty(); }
+  size_t numWrites() const { return WriteLog.size(); }
+  size_t numLoggedReads() const { return ReadLog.size(); }
+
+  /// Relaxed-atomic load usable for both speculative and direct accesses.
+  /// (atomic_ref<const T> is not available until after C++20, hence the
+  /// const_cast; the object itself is never const.)
+  template <BufferableValue T> static T loadShared(const T *Ptr) {
+    if constexpr (sizeof(T) == 8 || sizeof(T) == 4 || sizeof(T) == 2 ||
+                  sizeof(T) == 1) {
+      std::atomic_ref<T> Ref(*const_cast<T *>(Ptr));
+      return Ref.load(std::memory_order_relaxed);
+    } else {
+      return *Ptr; // Odd-sized trivially copyable types: plain load.
+    }
+  }
+
+  /// Relaxed-atomic store for direct (non-speculative) accesses.
+  template <BufferableValue T> static void storeShared(T *Ptr, T V) {
+    if constexpr (sizeof(T) == 8 || sizeof(T) == 4 || sizeof(T) == 2 ||
+                  sizeof(T) == 1) {
+      std::atomic_ref<T> Ref(*Ptr);
+      Ref.store(V, std::memory_order_relaxed);
+    } else {
+      *Ptr = V;
+    }
+  }
+
+private:
+  struct Slot {
+    void *Addr;
+    uint64_t Raw;
+    uint8_t Size;
+  };
+  struct LoggedRead {
+    uint64_t Raw;
+    uint8_t Size;
+  };
+
+  template <typename U> static uint64_t rawLoad(const void *Ptr) {
+    std::atomic_ref<U> Ref(*static_cast<U *>(const_cast<void *>(Ptr)));
+    return static_cast<uint64_t>(Ref.load(std::memory_order_relaxed));
+  }
+  template <typename U> static void rawStore(void *Ptr, uint64_t Raw) {
+    std::atomic_ref<U> Ref(*static_cast<U *>(Ptr));
+    Ref.store(static_cast<U>(Raw), std::memory_order_relaxed);
+  }
+
+  std::vector<Slot> WriteLog;
+  std::unordered_map<void *, size_t> WriteMap;
+  std::unordered_map<const void *, LoggedRead> ReadLog;
+};
+
+/// The memory view handed to loop bodies: direct when the executing thread
+/// is non-speculative, buffered when speculative. Loop bodies route every
+/// access to shared mutable state through this object.
+class SpecSpace {
+public:
+  /// Direct (non-speculative) view.
+  SpecSpace() = default;
+  /// Buffered (speculative) view.
+  explicit SpecSpace(SpecWriteBuffer *Buf) : Buf(Buf) {}
+
+  bool isSpeculative() const { return Buf != nullptr; }
+
+  template <BufferableValue T> T read(const T *Ptr) {
+    if (Buf)
+      return Buf->read(Ptr);
+    return SpecWriteBuffer::loadShared(Ptr);
+  }
+
+  template <BufferableValue T> void write(T *Ptr, T V) {
+    if (Buf) {
+      Buf->write(Ptr, V);
+      return;
+    }
+    SpecWriteBuffer::storeShared(Ptr, V);
+  }
+
+private:
+  SpecWriteBuffer *Buf = nullptr;
+};
+
+} // namespace core
+} // namespace spice
+
+#endif // SPICE_CORE_SPECWRITEBUFFER_H

@@ -1,0 +1,91 @@
+//===- core/SpiceConfig.h - Runtime configuration and statistics -*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tunables of the native Spice runtime plus the statistics block every
+/// experiment reads (mis-speculation rates, squashes, load balance).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_CORE_SPICECONFIG_H
+#define SPICE_CORE_SPICECONFIG_H
+
+#include <cstdint>
+#include <vector>
+
+namespace spice {
+namespace core {
+
+/// Knobs of the native Spice runtime.
+struct SpiceConfig {
+  /// Total threads including the non-speculative main thread.
+  unsigned NumThreads = 4;
+
+  /// Paper's adaptive scheme: memoize fresh live-ins on *every* invocation.
+  /// When false, the first invocation's memoized values are reused forever
+  /// (the paper's "trivial strategy", used as an ablation baseline).
+  bool RememoizeEveryInvocation = true;
+
+  /// Use the Traits-provided per-iteration weight as the work metric
+  /// instead of iteration counts (the paper's "better metric" remark in
+  /// section 5; ablated in bench/ablation_workmetric).
+  bool UseWeightedWork = false;
+
+  /// Commit-time value validation of speculative reads (software analogue
+  /// of the conflict-detection hardware of section 3). Required for loops
+  /// whose bodies write shared memory (e.g. mcf's refresh_potential).
+  bool EnableConflictDetection = false;
+
+  /// Runaway guard: a speculative chunk aborts itself after this many
+  /// iterations (a mis-predicted pointer can enter a stale cycle).
+  uint64_t MaxSpecIterations = 1ull << 32;
+
+  /// Capacity of the bootstrap sampler used on the first invocation.
+  size_t BootstrapCapacity = 64;
+};
+
+/// Counters accumulated across invocations of one SpiceLoop.
+struct SpiceStats {
+  uint64_t Invocations = 0;
+  /// Invocations executed entirely sequentially (no predictions yet, or
+  /// fewer valid SVA rows than threads).
+  uint64_t SequentialInvocations = 0;
+  /// Invocations in which at least one speculative thread was squashed.
+  uint64_t MisspeculatedInvocations = 0;
+  /// Invocations where every launched thread validated.
+  uint64_t FullySpeculativeInvocations = 0;
+  uint64_t TotalIterations = 0;
+  uint64_t SquashedThreads = 0;
+  uint64_t LaunchedSpecThreads = 0;
+  /// Squashes caused by read-validation (conflict) failures.
+  uint64_t ConflictSquashes = 0;
+  /// Iterations re-executed sequentially after a validated thread failed.
+  uint64_t RecoveryIterations = 0;
+  /// Wasted iterations executed by squashed threads.
+  uint64_t WastedIterations = 0;
+  /// Per-invocation imbalance numerator: sum over invocations of
+  /// (max chunk work * threads) relative to total; see loadImbalance().
+  double ImbalanceSum = 0.0;
+  uint64_t ImbalanceSamples = 0;
+
+  /// Mean ratio max-chunk / ideal-chunk across parallel invocations
+  /// (1.0 = perfectly balanced).
+  double loadImbalance() const {
+    return ImbalanceSamples ? ImbalanceSum / ImbalanceSamples : 0.0;
+  }
+
+  /// Fraction of invocations with at least one squash.
+  double misspeculationRate() const {
+    return Invocations
+               ? static_cast<double>(MisspeculatedInvocations) / Invocations
+               : 0.0;
+  }
+};
+
+} // namespace core
+} // namespace spice
+
+#endif // SPICE_CORE_SPICECONFIG_H

@@ -1,0 +1,417 @@
+//===- core/SpiceLoop.h - Speculative parallel iteration chunks -*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SpiceLoop is the native-runtime embodiment of the paper's technique:
+/// given a loop expressed as a live-in transition function plus a private
+/// reduction state, it executes each invocation as t speculative chunks.
+///
+/// A loop is adapted through a Traits object:
+///
+/// \code
+///   struct ListMin {
+///     using LiveIn = Node *;            // speculated live-ins S
+///     struct State { long Min; ... };   // reductions + live-outs
+///     State initialState();             // identity values
+///     // One iteration: returns false when the loop exits (no iteration
+///     // executed). Shared mutable memory goes through Mem.
+///     bool step(LiveIn &LI, State &S, SpecSpace &Mem);
+///     // Ordered (left-to-right) merge of a later chunk into Into.
+///     void combine(State &Into, State &&Chunk);
+///     // Optional: per-iteration work weight (cost-based load balancing).
+///     uint64_t weight(const LiveIn &LI);
+///   };
+/// \endcode
+///
+/// Protocol per invocation (paper sections 3-4):
+///  * thread 0 (main, non-speculative) starts from the real live-in; thread
+///    i >= 1 starts from SVA row i-1 (the value memoized last invocation);
+///  * every thread with a successor compares its live-in against the
+///    successor's predicted start at the top of each iteration; a match
+///    validates the successor and ends the chunk;
+///  * a natural loop exit in thread i means threads i+1.. mis-speculated:
+///    they are squashed via cooperative resteer (abort flags polled per
+///    iteration) and their buffered stores are discarded;
+///  * every thread runs Algorithm 2 re-memoization driven by the plan the
+///    central component computed from the previous invocation's work
+///    counters (dynamic load balancing);
+///  * speculative chunks buffer stores in a SpecWriteBuffer; with conflict
+///    detection enabled their reads are value-validated at commit, and a
+///    failed validation triggers sequential re-execution of the remainder
+///    (the only case that loses validated work).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_CORE_SPICELOOP_H
+#define SPICE_CORE_SPICELOOP_H
+
+#include "core/BootstrapSampler.h"
+#include "core/Planner.h"
+#include "core/SpecWriteBuffer.h"
+#include "core/SpiceConfig.h"
+#include "core/WorkerPool.h"
+
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <thread>
+
+namespace spice {
+namespace core {
+
+/// Detects an optional Traits::weight(LiveIn) member.
+template <typename Traits, typename LiveIn>
+concept HasWeight = requires(Traits T, const LiveIn &LI) {
+  { T.weight(LI) } -> std::convertible_to<uint64_t>;
+};
+
+/// Speculatively parallelized loop. One instance per static loop; reuse it
+/// across invocations so the value predictor can learn.
+template <typename Traits> class SpiceLoop {
+public:
+  using LiveIn = typename Traits::LiveIn;
+  using State = typename Traits::State;
+
+  SpiceLoop(Traits &T, const SpiceConfig &Config)
+      : T(T), Config(Config), Pool(Config.NumThreads - 1),
+        Sampler(Config.BootstrapCapacity),
+        SVA(Config.NumThreads > 1 ? Config.NumThreads - 1 : 0),
+        RowValid(SVA.size(), 0), Buffers(Config.NumThreads),
+        AbortFlags(std::make_unique<std::atomic<bool>[]>(Config.NumThreads)),
+        DoneFlags(std::make_unique<std::atomic<bool>[]>(Config.NumThreads)),
+        Results(Config.NumThreads) {
+    assert(Config.NumThreads >= 1 && "need at least one thread");
+  }
+
+  /// Executes one invocation starting from \p Start and returns the merged
+  /// state (reductions and live-outs).
+  State invoke(const LiveIn &Start) {
+    ++Stats.Invocations;
+    unsigned ActiveSpec = countLaunchableSpecThreads();
+    if (ActiveSpec == 0)
+      return invokeSequential(Start);
+    return invokeParallel(Start, ActiveSpec);
+  }
+
+  /// Plain sequential execution with no Spice machinery (baseline oracle
+  /// for tests and benchmarks). Does not touch predictor state.
+  State runSequentialReference(LiveIn LI) {
+    State S = T.initialState();
+    SpecSpace Direct;
+    while (T.step(LI, S, Direct)) {
+    }
+    return S;
+  }
+
+  const SpiceStats &stats() const { return Stats; }
+  const SpiceConfig &config() const { return Config; }
+
+  /// Current memoization plan (exposed for tests and load-balance benches).
+  const MemoizationPlan &currentPlan() const { return Plan; }
+
+  /// Number of SVA rows currently holding a prediction.
+  unsigned validRows() const {
+    unsigned N = 0;
+    for (uint8_t V : RowValid)
+      N += V;
+    return N;
+  }
+
+private:
+  enum class ChunkStatus : uint8_t {
+    Matched, ///< Found the successor's predicted live-in: chunk complete.
+    Exited,  ///< Reached the natural loop exit.
+    Squashed,///< Aborted by the runtime (mis-speculation upstream of us).
+    Runaway, ///< Hit MaxSpecIterations (stale-pointer cycle guard).
+  };
+
+  struct ChunkResult {
+    ChunkStatus Status = ChunkStatus::Exited;
+    uint64_t Work = 0;
+    uint64_t Iterations = 0;
+    std::optional<State> S;
+    std::vector<unsigned> WrittenRows;
+  };
+
+  uint64_t weightOf(const LiveIn &LI) {
+    if constexpr (HasWeight<Traits, LiveIn>) {
+      if (Config.UseWeightedWork)
+        return T.weight(LI);
+    }
+    return 1;
+  }
+
+  /// Longest launchable prefix: thread i+1 needs a valid SVA row i.
+  unsigned countLaunchableSpecThreads() const {
+    unsigned N = 0;
+    while (N < SVA.size() && RowValid[N])
+      ++N;
+    return N;
+  }
+
+  /// Runs one chunk. \p Target is the successor's predicted start (null
+  /// for the last active thread); \p ThreadIdx is 0 for main.
+  ChunkResult runChunk(LiveIn LI, const LiveIn *Target, unsigned ThreadIdx,
+                       MemoCursor Cursor) {
+    ChunkResult R;
+    R.S = T.initialState();
+    bool Speculative = ThreadIdx != 0;
+    SpecSpace Mem =
+        Speculative ? SpecSpace(&Buffers[ThreadIdx]) : SpecSpace();
+    for (;;) {
+      if (Speculative &&
+          AbortFlags[ThreadIdx].load(std::memory_order_relaxed)) {
+        R.Status = ChunkStatus::Squashed;
+        break;
+      }
+      // Algorithm 2: bump the work counter, then memoize when a threshold
+      // is crossed (before the detection check so a threshold equal to the
+      // chunk length still fires and refreshes the successor's row).
+      uint64_t W = weightOf(LI);
+      R.Work += W;
+      if (unsigned Row = Cursor.shouldRecord(R.Work); Row != ~0u)
+        recordRow(Row, LI, R);
+      if (Target && LI == *Target) {
+        R.Status = ChunkStatus::Matched;
+        R.Work -= W; // The matched iteration belongs to the successor.
+        break;
+      }
+      if (!T.step(LI, *R.S, Mem)) {
+        R.Status = ChunkStatus::Exited;
+        R.Work -= W; // Exit test only; no iteration executed.
+        break;
+      }
+      ++R.Iterations;
+      if (Speculative && R.Iterations >= Config.MaxSpecIterations) {
+        R.Status = ChunkStatus::Runaway;
+        break;
+      }
+    }
+    return R;
+  }
+
+  void recordRow(unsigned Row, const LiveIn &LI, ChunkResult &R) {
+    assert(Row < SVA.size() && "memoization row out of range");
+    SVA[Row] = LI;
+    RowValid[Row] = 1;
+    R.WrittenRows.push_back(Row);
+  }
+
+  /// Sequential invocation: no predictions available (first invocation, or
+  /// every row invalidated). Memoizes via the plan when one exists,
+  /// otherwise through the bootstrap sampler.
+  State invokeSequential(LiveIn LI) {
+    ++Stats.SequentialInvocations;
+    State S = T.initialState();
+    SpecSpace Direct;
+    uint64_t Work = 0;
+    bool UsePlan = !Plan.empty();
+    MemoCursor Cursor =
+        UsePlan ? MemoCursor(&Plan.PerThread[0]) : MemoCursor();
+    ChunkResult Dummy;
+    if (!UsePlan)
+      Sampler.reset();
+    for (;;) {
+      uint64_t W = weightOf(LI);
+      Work += W;
+      if (UsePlan) {
+        if (unsigned Row = Cursor.shouldRecord(Work); Row != ~0u)
+          recordRow(Row, LI, Dummy);
+      } else {
+        Sampler.offer(Work, LI);
+      }
+      if (!T.step(LI, S, Direct)) {
+        Work -= W;
+        break;
+      }
+      ++Stats.TotalIterations;
+    }
+    if (!UsePlan)
+      seedFromSampler();
+    planNext({Work});
+    return S;
+  }
+
+  void seedFromSampler() {
+    std::optional<std::vector<LiveIn>> Rows =
+        Sampler.extract(Config.NumThreads);
+    if (!Rows)
+      return; // Too few iterations: stay sequential next time too.
+    for (size_t I = 0; I != Rows->size(); ++I) {
+      SVA[I] = (*Rows)[I];
+      RowValid[I] = 1;
+    }
+  }
+
+  void waitForThread(unsigned ThreadIdx) {
+    while (!DoneFlags[ThreadIdx].load(std::memory_order_acquire))
+      std::this_thread::yield();
+  }
+
+  /// Parallel invocation with \p ActiveSpec speculative threads (threads
+  /// 1..ActiveSpec; main is thread 0).
+  State invokeParallel(const LiveIn &Start, unsigned ActiveSpec) {
+    Stats.LaunchedSpecThreads += ActiveSpec;
+    // Snapshot predictions: memoization overwrites SVA during the run.
+    std::vector<LiveIn> Pred(SVA.begin(), SVA.begin() + ActiveSpec);
+    for (unsigned I = 0; I <= ActiveSpec; ++I) {
+      AbortFlags[I].store(false, std::memory_order_relaxed);
+      DoneFlags[I].store(false, std::memory_order_relaxed);
+      Buffers[I].clear();
+      Results[I].reset();
+    }
+
+    Pool.launch(ActiveSpec, [&](unsigned WorkerIdx) {
+      unsigned ThreadIdx = WorkerIdx + 1;
+      const LiveIn *Target =
+          ThreadIdx < ActiveSpec ? &Pred[ThreadIdx] : nullptr;
+      Results[ThreadIdx] = runChunk(Pred[ThreadIdx - 1], Target, ThreadIdx,
+                                    cursorFor(ThreadIdx));
+      DoneFlags[ThreadIdx].store(true, std::memory_order_release);
+    });
+    Results[0] = runChunk(Start, &Pred[0], /*ThreadIdx=*/0, cursorFor(0));
+
+    // --- Ordered chain resolution (main thread) ---
+    State Merged = std::move(*Results[0]->S);
+    std::vector<uint64_t> Work(Config.NumThreads, 0);
+    Work[0] = Results[0]->Work;
+    Stats.TotalIterations += Results[0]->Iterations;
+
+    bool PrevMatched = Results[0]->Status == ChunkStatus::Matched;
+    unsigned Committed = 0;    // Highest committed speculative thread.
+    unsigned RecoverFrom = ~0u; // Thread whose chunk must be re-executed.
+    for (unsigned J = 1; J <= ActiveSpec; ++J) {
+      if (!PrevMatched) {
+        // Thread J's start was never seen: mis-speculation. Squash.
+        AbortFlags[J].store(true, std::memory_order_relaxed);
+        continue;
+      }
+      // Thread J's start was validated, so its chunk terminates by itself.
+      waitForThread(J);
+      ChunkResult &R = *Results[J];
+      bool Healthy =
+          R.Status == ChunkStatus::Matched || R.Status == ChunkStatus::Exited;
+      bool ReadsOk = !Config.EnableConflictDetection ||
+                     Buffers[J].validateReads();
+      if (!Healthy || !ReadsOk) {
+        // Validated start but unusable chunk (conflict or runaway):
+        // everything from J on must be redone sequentially.
+        if (!ReadsOk)
+          ++Stats.ConflictSquashes;
+        RecoverFrom = J;
+        PrevMatched = false;
+        AbortFlags[J].store(true, std::memory_order_relaxed);
+        continue;
+      }
+      Buffers[J].commit();
+      T.combine(Merged, std::move(*R.S));
+      Work[J] = R.Work;
+      Stats.TotalIterations += R.Iterations;
+      Committed = J;
+      PrevMatched = R.Status == ChunkStatus::Matched;
+    }
+    // Exhaustiveness: the chain either commits through a thread that
+    // Exited (loop complete), stops at a squash whose predecessor Exited
+    // (also complete: the predecessor covered the remainder), or stops at
+    // an unhealthy validated thread (RecoverFrom set). The last active
+    // thread has no detection target, so it can never end Matched.
+    bool NeedRecovery = RecoverFrom != ~0u;
+    if (NeedRecovery)
+      Merged = runRecovery(std::move(Merged), Pred[RecoverFrom - 1], Work,
+                           RecoverFrom);
+
+    Pool.wait();
+
+    // Post-join bookkeeping: wasted work and stale rows of dead threads.
+    bool AnySquash = false;
+    for (unsigned J = Committed + 1; J <= ActiveSpec; ++J) {
+      ChunkResult &R = *Results[J];
+      AnySquash = true;
+      ++Stats.SquashedThreads;
+      Stats.WastedIterations += R.Iterations;
+      Buffers[J].clear();
+      for (unsigned Row : R.WrittenRows)
+        RowValid[Row] = 0; // Memoized by a dead thread: untrustworthy.
+    }
+
+    if (AnySquash)
+      ++Stats.MisspeculatedInvocations;
+    else
+      ++Stats.FullySpeculativeInvocations;
+
+    // Load balance: only meaningful for fully validated invocations.
+    if (!AnySquash) {
+      uint64_t Total = 0, MaxChunk = 0;
+      for (uint64_t W : Work) {
+        Total += W;
+        MaxChunk = std::max(MaxChunk, W);
+      }
+      if (Total > 0) {
+        double Ideal = static_cast<double>(Total) /
+                       static_cast<double>(ActiveSpec + 1);
+        Stats.ImbalanceSum += static_cast<double>(MaxChunk) / Ideal;
+        ++Stats.ImbalanceSamples;
+      }
+    }
+
+    planNext(Work);
+    return Merged;
+  }
+
+  /// Sequential re-execution from \p From to the natural exit after a
+  /// validated thread produced an unusable chunk. Runs concurrently with
+  /// doomed speculative threads (which only touch private buffers).
+  State runRecovery(State Merged, LiveIn LI, std::vector<uint64_t> &Work,
+                    unsigned FailedThread) {
+    State S = T.initialState();
+    SpecSpace Direct;
+    uint64_t Iters = 0;
+    while (T.step(LI, S, Direct))
+      ++Iters;
+    T.combine(Merged, std::move(S));
+    // Positionally, the redone iterations replace the failed thread's
+    // segment (and everything after it).
+    Work[FailedThread] = Iters;
+    Stats.RecoveryIterations += Iters;
+    Stats.TotalIterations += Iters;
+    return Merged;
+  }
+
+  MemoCursor cursorFor(unsigned ThreadIdx) {
+    if (Plan.PerThread.size() <= ThreadIdx)
+      return MemoCursor();
+    return MemoCursor(&Plan.PerThread[ThreadIdx]);
+  }
+
+  /// Central predictor component: plan the next invocation's memoization.
+  void planNext(const std::vector<uint64_t> &Work) {
+    if (Config.NumThreads < 2)
+      return;
+    if (!Config.RememoizeEveryInvocation && !Plan.empty())
+      return; // Memoize-once ablation: keep the first plan forever.
+    std::vector<uint64_t> Padded(Work);
+    Padded.resize(Config.NumThreads, 0);
+    Plan = planMemoization(Padded, Config.NumThreads);
+  }
+
+  Traits &T;
+  SpiceConfig Config;
+  WorkerPool Pool;
+  BootstrapSampler<LiveIn> Sampler;
+  MemoizationPlan Plan;
+  std::vector<LiveIn> SVA;
+  std::vector<uint8_t> RowValid;
+  std::vector<SpecWriteBuffer> Buffers;
+  std::unique_ptr<std::atomic<bool>[]> AbortFlags;
+  std::unique_ptr<std::atomic<bool>[]> DoneFlags;
+  std::vector<std::optional<ChunkResult>> Results;
+  SpiceStats Stats;
+};
+
+} // namespace core
+} // namespace spice
+
+#endif // SPICE_CORE_SPICELOOP_H

@@ -1,0 +1,72 @@
+//===- core/WorkerPool.cpp - Pre-allocated worker threads -----------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/WorkerPool.h"
+
+using namespace spice;
+using namespace spice::core;
+
+WorkerPool::WorkerPool(unsigned NumWorkers) {
+  Threads.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    ShuttingDown = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::launch(unsigned Count, std::function<void(unsigned)> NewJob) {
+  assert(Count <= Threads.size() && "launch exceeds pool size");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(Remaining == 0 && "previous launch not waited for");
+    Job = std::move(NewJob);
+    ActiveCount = Count;
+    Remaining = Count;
+    ++Generation;
+  }
+  if (Count > 0)
+    WakeCV.notify_all();
+}
+
+void WorkerPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCV.wait(Lock, [this] { return Remaining == 0; });
+}
+
+void WorkerPool::workerMain(unsigned Index) {
+  uint64_t SeenGeneration = 0;
+  for (;;) {
+    std::function<void(unsigned)> LocalJob;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeCV.wait(Lock, [&] {
+        return ShuttingDown || Generation != SeenGeneration;
+      });
+      if (ShuttingDown)
+        return;
+      SeenGeneration = Generation;
+      if (Index >= ActiveCount) {
+        // Not part of this launch; keep parking.
+        continue;
+      }
+      LocalJob = Job;
+    }
+    LocalJob(Index);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      --Remaining;
+    }
+    DoneCV.notify_all();
+  }
+}

@@ -1,0 +1,101 @@
+//===- ir/BasicBlock.h - Basic block ----------------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A BasicBlock owns an ordered list of Instructions ending (when complete)
+/// in a single terminator. Phis must appear as a prefix of the block.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_IR_BASICBLOCK_H
+#define SPICE_IR_BASICBLOCK_H
+
+#include "ir/Instruction.h"
+
+#include <memory>
+
+namespace spice {
+namespace ir {
+
+class Function;
+
+/// A straight-line sequence of instructions with a single entry point.
+class BasicBlock {
+public:
+  explicit BasicBlock(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+  Function *getParent() const { return Parent; }
+  void setParent(Function *F) { Parent = F; }
+
+  /// Appends \p I and returns a raw pointer to it.
+  Instruction *append(std::unique_ptr<Instruction> I) {
+    I->setParent(this);
+    Insts.push_back(std::move(I));
+    return Insts.back().get();
+  }
+
+  /// Inserts \p I before position \p Index (0 = block front).
+  Instruction *insertAt(size_t Index, std::unique_ptr<Instruction> I) {
+    assert(Index <= Insts.size() && "insert position out of range");
+    I->setParent(this);
+    auto It = Insts.begin() + static_cast<ptrdiff_t>(Index);
+    return Insts.insert(It, std::move(I))->get();
+  }
+
+  /// Inserts \p I immediately before the terminator (or appends when the
+  /// block has no terminator yet).
+  Instruction *insertBeforeTerminator(std::unique_ptr<Instruction> I) {
+    if (!empty() && back()->isTerminator())
+      return insertAt(Insts.size() - 1, std::move(I));
+    return append(std::move(I));
+  }
+
+  bool empty() const { return Insts.empty(); }
+  size_t size() const { return Insts.size(); }
+  Instruction *front() const { return Insts.front().get(); }
+  Instruction *back() const { return Insts.back().get(); }
+  Instruction *get(size_t I) const { return Insts[I].get(); }
+
+  /// Returns the terminator, or null if the block is not yet terminated.
+  Instruction *getTerminator() const {
+    if (empty() || !back()->isTerminator())
+      return nullptr;
+    return back();
+  }
+
+  /// Successor blocks (from the terminator's block operands).
+  std::vector<BasicBlock *> successors() const {
+    Instruction *Term = getTerminator();
+    if (!Term || Term->getOpcode() == Opcode::Ret ||
+        Term->getOpcode() == Opcode::Halt)
+      return {};
+    return Term->blockOperands();
+  }
+
+  /// Iteration over owned instructions.
+  auto begin() const { return Insts.begin(); }
+  auto end() const { return Insts.end(); }
+
+  /// Visits the phi prefix of the block.
+  template <typename Fn> void forEachPhi(Fn F) const {
+    for (const auto &I : Insts) {
+      if (I->getOpcode() != Opcode::Phi)
+        break;
+      F(I.get());
+    }
+  }
+
+private:
+  std::string Name;
+  Function *Parent = nullptr;
+  std::vector<std::unique_ptr<Instruction>> Insts;
+};
+
+} // namespace ir
+} // namespace spice
+
+#endif // SPICE_IR_BASICBLOCK_H

@@ -1,0 +1,90 @@
+//===- ir/Function.h - Function ---------------------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Function owns its arguments and basic blocks; the first block is the
+/// entry. renumber() assigns dense value numbers used by the interpreter's
+/// register file and by analyses for bit-vector indexing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_IR_FUNCTION_H
+#define SPICE_IR_FUNCTION_H
+
+#include "ir/BasicBlock.h"
+
+#include <memory>
+
+namespace spice {
+namespace ir {
+
+/// A function: arguments plus a list of basic blocks (entry first).
+class Function {
+public:
+  explicit Function(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  Argument *addArgument(std::string ArgName) {
+    auto A = std::make_unique<Argument>(
+        static_cast<unsigned>(Args.size()), this);
+    A->setName(std::move(ArgName));
+    Args.push_back(std::move(A));
+    return Args.back().get();
+  }
+
+  unsigned getNumArguments() const {
+    return static_cast<unsigned>(Args.size());
+  }
+  Argument *getArgument(unsigned I) const {
+    assert(I < Args.size() && "argument index out of range");
+    return Args[I].get();
+  }
+
+  BasicBlock *createBlock(std::string BlockName) {
+    auto BB = std::make_unique<BasicBlock>(std::move(BlockName));
+    BB->setParent(this);
+    Blocks.push_back(std::move(BB));
+    return Blocks.back().get();
+  }
+
+  bool empty() const { return Blocks.empty(); }
+  size_t size() const { return Blocks.size(); }
+  BasicBlock *getEntryBlock() const {
+    assert(!Blocks.empty() && "function has no entry block");
+    return Blocks.front().get();
+  }
+  BasicBlock *getBlock(size_t I) const { return Blocks[I].get(); }
+
+  auto begin() const { return Blocks.begin(); }
+  auto end() const { return Blocks.end(); }
+
+  /// Assigns dense numbers to all instructions (and argument slots) and
+  /// returns the total number of value slots. Must be re-run after any
+  /// structural mutation and before interpretation.
+  unsigned renumber() {
+    unsigned N = 0;
+    for (const auto &BB : Blocks)
+      for (const auto &I : *BB)
+        I->setNumber(N++);
+    NumberedSlots = N;
+    return N;
+  }
+
+  /// Number of instruction slots assigned by the last renumber().
+  unsigned getNumSlots() const { return NumberedSlots; }
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Argument>> Args;
+  std::vector<std::unique_ptr<BasicBlock>> Blocks;
+  unsigned NumberedSlots = 0;
+};
+
+} // namespace ir
+} // namespace spice
+
+#endif // SPICE_IR_FUNCTION_H

@@ -1,0 +1,170 @@
+//===- ir/IRBuilder.h - Instruction construction helpers --------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IRBuilder appends instructions at an insertion block, with one creator
+/// per opcode. All workload builders and the Spice transformation emit code
+/// through this interface.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_IR_IRBUILDER_H
+#define SPICE_IR_IRBUILDER_H
+
+#include "ir/Module.h"
+
+namespace spice {
+namespace ir {
+
+/// Appends instructions to a designated insertion block.
+class IRBuilder {
+public:
+  explicit IRBuilder(Module &M, BasicBlock *InsertBlock = nullptr)
+      : M(M), BB(InsertBlock) {}
+
+  Module &getModule() const { return M; }
+  BasicBlock *getInsertBlock() const { return BB; }
+  void setInsertBlock(BasicBlock *NewBB) { BB = NewBB; }
+
+  /// Shorthand for the module's uniqued integer constant.
+  ConstantInt *getInt(int64_t V) { return M.getConstant(V); }
+
+  Instruction *createBinary(Opcode Op, Value *L, Value *R,
+                            std::string Name = "") {
+    return emit(Op, {L, R}, {}, std::move(Name));
+  }
+
+  Instruction *createAdd(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Add, L, R, std::move(Name));
+  }
+  Instruction *createSub(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Sub, L, R, std::move(Name));
+  }
+  Instruction *createMul(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Mul, L, R, std::move(Name));
+  }
+  Instruction *createSDiv(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::SDiv, L, R, std::move(Name));
+  }
+  Instruction *createSRem(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::SRem, L, R, std::move(Name));
+  }
+  Instruction *createAnd(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::And, L, R, std::move(Name));
+  }
+  Instruction *createOr(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Or, L, R, std::move(Name));
+  }
+  Instruction *createXor(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Xor, L, R, std::move(Name));
+  }
+  Instruction *createShl(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::Shl, L, R, std::move(Name));
+  }
+  Instruction *createLShr(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::LShr, L, R, std::move(Name));
+  }
+  Instruction *createSMin(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::SMin, L, R, std::move(Name));
+  }
+  Instruction *createSMax(Value *L, Value *R, std::string Name = "") {
+    return createBinary(Opcode::SMax, L, R, std::move(Name));
+  }
+
+  Instruction *createICmp(Opcode Pred, Value *L, Value *R,
+                          std::string Name = "") {
+    return emit(Pred, {L, R}, {}, std::move(Name));
+  }
+  Instruction *createICmpEq(Value *L, Value *R, std::string Name = "") {
+    return createICmp(Opcode::ICmpEq, L, R, std::move(Name));
+  }
+  Instruction *createICmpNe(Value *L, Value *R, std::string Name = "") {
+    return createICmp(Opcode::ICmpNe, L, R, std::move(Name));
+  }
+  Instruction *createICmpSLt(Value *L, Value *R, std::string Name = "") {
+    return createICmp(Opcode::ICmpSLt, L, R, std::move(Name));
+  }
+  Instruction *createICmpSGt(Value *L, Value *R, std::string Name = "") {
+    return createICmp(Opcode::ICmpSGt, L, R, std::move(Name));
+  }
+  Instruction *createICmpSGe(Value *L, Value *R, std::string Name = "") {
+    return createICmp(Opcode::ICmpSGe, L, R, std::move(Name));
+  }
+  Instruction *createICmpSLe(Value *L, Value *R, std::string Name = "") {
+    return createICmp(Opcode::ICmpSLe, L, R, std::move(Name));
+  }
+
+  Instruction *createSelect(Value *Cond, Value *TrueV, Value *FalseV,
+                            std::string Name = "") {
+    return emit(Opcode::Select, {Cond, TrueV, FalseV}, {}, std::move(Name));
+  }
+
+  Instruction *createLoad(Value *Addr, std::string Name = "") {
+    return emit(Opcode::Load, {Addr}, {}, std::move(Name));
+  }
+  Instruction *createStore(Value *Addr, Value *Val) {
+    return emit(Opcode::Store, {Addr, Val}, {});
+  }
+
+  Instruction *createBr(BasicBlock *Dest) {
+    return emit(Opcode::Br, {}, {Dest});
+  }
+  Instruction *createCondBr(Value *Cond, BasicBlock *TrueDest,
+                            BasicBlock *FalseDest) {
+    return emit(Opcode::CondBr, {Cond}, {TrueDest, FalseDest});
+  }
+  Instruction *createRet(Value *V) { return emit(Opcode::Ret, {V}, {}); }
+
+  /// Creates an empty phi; add incomings with Instruction::addPhiIncoming.
+  Instruction *createPhi(std::string Name = "") {
+    return emit(Opcode::Phi, {}, {}, std::move(Name));
+  }
+
+  Instruction *createSend(Value *ChanId, Value *V) {
+    return emit(Opcode::Send, {ChanId, V}, {});
+  }
+  Instruction *createRecv(Value *ChanId, std::string Name = "") {
+    return emit(Opcode::Recv, {ChanId}, {}, std::move(Name));
+  }
+  Instruction *createSpecBegin() { return emit(Opcode::SpecBegin, {}, {}); }
+  Instruction *createSpecCommit() { return emit(Opcode::SpecCommit, {}, {}); }
+  Instruction *createSpecRollback() {
+    return emit(Opcode::SpecRollback, {}, {});
+  }
+  Instruction *createResteer(Value *CoreId, BasicBlock *Target) {
+    return emit(Opcode::Resteer, {CoreId}, {Target});
+  }
+  Instruction *createHalt() { return emit(Opcode::Halt, {}, {}); }
+
+  Instruction *createProfNewInvoc(Value *LoopId) {
+    return emit(Opcode::ProfNewInvoc, {LoopId}, {});
+  }
+  Instruction *createProfRecord(Value *LoopId, Value *SlotIdx, Value *V) {
+    return emit(Opcode::ProfRecord, {LoopId, SlotIdx, V}, {});
+  }
+  Instruction *createProfIterEnd(Value *LoopId) {
+    return emit(Opcode::ProfIterEnd, {LoopId}, {});
+  }
+
+private:
+  Instruction *emit(Opcode Op, std::vector<Value *> Ops,
+                    std::vector<BasicBlock *> Blocks, std::string Name = "") {
+    assert(BB && "IRBuilder has no insertion block");
+    auto I = std::make_unique<Instruction>(Op, std::move(Ops),
+                                           std::move(Blocks));
+    if (!Name.empty())
+      I->setName(std::move(Name));
+    return BB->append(std::move(I));
+  }
+
+  Module &M;
+  BasicBlock *BB;
+};
+
+} // namespace ir
+} // namespace spice
+
+#endif // SPICE_IR_IRBUILDER_H

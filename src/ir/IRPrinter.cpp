@@ -1,0 +1,134 @@
+//===- ir/IRPrinter.cpp - Textual IR output ------------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "ir/Module.h"
+#include "support/ErrorHandling.h"
+
+#include <unordered_map>
+
+using namespace spice;
+using namespace spice::ir;
+
+namespace {
+
+/// Assigns printable names to values within one function.
+class NameTable {
+public:
+  explicit NameTable(const Function &F) {
+    for (unsigned I = 0, E = F.getNumArguments(); I != E; ++I)
+      add(F.getArgument(I));
+    for (const auto &BB : F)
+      for (const auto &Inst : *BB)
+        if (Inst->producesValue())
+          add(Inst.get());
+  }
+
+  std::string nameOf(const Value *V) const {
+    if (const auto *C = dyn_cast<ConstantInt>(V))
+      return std::to_string(C->getValue());
+    if (const auto *G = dyn_cast<GlobalVariable>(V))
+      return "@" + G->getName();
+    auto It = Names.find(V);
+    if (It != Names.end())
+      return It->second;
+    return "%<unnamed>";
+  }
+
+private:
+  void add(const Value *V) {
+    if (!V->getName().empty()) {
+      Names[V] = "%" + V->getName() + "." + std::to_string(NextId);
+      ++NextId;
+      return;
+    }
+    Names[V] = "%" + std::to_string(NextId);
+    ++NextId;
+  }
+
+  std::unordered_map<const Value *, std::string> Names;
+  unsigned NextId = 0;
+};
+
+} // namespace
+
+static void printInstruction(const Instruction &I, const NameTable &NT,
+                             std::string &Out) {
+  assert(I.getOpcode() != Opcode::Phi && "phis are printed by printPhi");
+  Out += "  ";
+  if (I.producesValue()) {
+    Out += NT.nameOf(&I);
+    Out += " = ";
+  }
+  Out += getOpcodeName(I.getOpcode());
+  bool First = true;
+  for (const Value *Op : I.operands()) {
+    Out += First ? " " : ", ";
+    First = false;
+    Out += NT.nameOf(Op);
+  }
+  for (const BasicBlock *B : I.blockOperands()) {
+    Out += First ? " " : ", ";
+    First = false;
+    Out += "label ";
+    Out += B->getName();
+  }
+  Out += '\n';
+}
+
+static void printPhi(const Instruction &I, const NameTable &NT,
+                     std::string &Out) {
+  Out += "  ";
+  Out += NT.nameOf(&I);
+  Out += " = phi ";
+  for (unsigned K = 0, E = I.getNumOperands(); K != E; ++K) {
+    if (K)
+      Out += ", ";
+    Out += "[";
+    Out += NT.nameOf(I.getOperand(K));
+    Out += ", ";
+    Out += I.getBlockOperand(K)->getName();
+    Out += "]";
+  }
+  Out += '\n';
+}
+
+std::string ir::printFunction(const Function &F) {
+  NameTable NT(F);
+  std::string Out = "func @" + F.getName() + "(";
+  for (unsigned I = 0, E = F.getNumArguments(); I != E; ++I) {
+    if (I)
+      Out += ", ";
+    Out += NT.nameOf(F.getArgument(I));
+  }
+  Out += ") {\n";
+  for (const auto &BB : F) {
+    Out += BB->getName();
+    Out += ":\n";
+    for (const auto &Inst : *BB) {
+      if (Inst->getOpcode() == Opcode::Phi)
+        printPhi(*Inst, NT, Out);
+      else
+        printInstruction(*Inst, NT, Out);
+    }
+  }
+  Out += "}\n";
+  return Out;
+}
+
+std::string ir::printModule(const Module &M) {
+  std::string Out = "; module " + M.getName() + "\n";
+  for (const auto &G : M.globals()) {
+    Out += "@" + G->getName() + " = global [" +
+           std::to_string(G->getSize()) + " x i64]\n";
+  }
+  for (const auto &F : M) {
+    Out += '\n';
+    Out += printFunction(*F);
+  }
+  return Out;
+}

@@ -1,0 +1,34 @@
+//===- ir/IRPrinter.h - Textual IR output -----------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders functions and modules as readable text for debugging, examples,
+/// and golden tests. The format is write-only (there is no parser); every
+/// program is constructed through IRBuilder.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_IR_IRPRINTER_H
+#define SPICE_IR_IRPRINTER_H
+
+#include <string>
+
+namespace spice {
+namespace ir {
+
+class Function;
+class Module;
+
+/// Returns a textual rendering of \p F.
+std::string printFunction(const Function &F);
+
+/// Returns a textual rendering of \p M (globals then functions).
+std::string printModule(const Module &M);
+
+} // namespace ir
+} // namespace spice
+
+#endif // SPICE_IR_IRPRINTER_H

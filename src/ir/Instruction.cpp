@@ -1,0 +1,101 @@
+//===- ir/Instruction.cpp - IR instructions ------------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Instruction.h"
+
+#include "ir/BasicBlock.h"
+#include "support/ErrorHandling.h"
+
+using namespace spice;
+using namespace spice::ir;
+
+const char *ir::getOpcodeName(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+    return "add";
+  case Opcode::Sub:
+    return "sub";
+  case Opcode::Mul:
+    return "mul";
+  case Opcode::SDiv:
+    return "sdiv";
+  case Opcode::SRem:
+    return "srem";
+  case Opcode::And:
+    return "and";
+  case Opcode::Or:
+    return "or";
+  case Opcode::Xor:
+    return "xor";
+  case Opcode::Shl:
+    return "shl";
+  case Opcode::LShr:
+    return "lshr";
+  case Opcode::AShr:
+    return "ashr";
+  case Opcode::SMin:
+    return "smin";
+  case Opcode::SMax:
+    return "smax";
+  case Opcode::ICmpEq:
+    return "icmp.eq";
+  case Opcode::ICmpNe:
+    return "icmp.ne";
+  case Opcode::ICmpSLt:
+    return "icmp.slt";
+  case Opcode::ICmpSLe:
+    return "icmp.sle";
+  case Opcode::ICmpSGt:
+    return "icmp.sgt";
+  case Opcode::ICmpSGe:
+    return "icmp.sge";
+  case Opcode::ICmpULt:
+    return "icmp.ult";
+  case Opcode::Select:
+    return "select";
+  case Opcode::Load:
+    return "load";
+  case Opcode::Store:
+    return "store";
+  case Opcode::Br:
+    return "br";
+  case Opcode::CondBr:
+    return "condbr";
+  case Opcode::Ret:
+    return "ret";
+  case Opcode::Phi:
+    return "phi";
+  case Opcode::Send:
+    return "send";
+  case Opcode::Recv:
+    return "recv";
+  case Opcode::SpecBegin:
+    return "spec.begin";
+  case Opcode::SpecCommit:
+    return "spec.commit";
+  case Opcode::SpecRollback:
+    return "spec.rollback";
+  case Opcode::Resteer:
+    return "resteer";
+  case Opcode::Halt:
+    return "halt";
+  case Opcode::ProfNewInvoc:
+    return "prof.newinvoc";
+  case Opcode::ProfRecord:
+    return "prof.record";
+  case Opcode::ProfIterEnd:
+    return "prof.iterend";
+  }
+  spice_unreachable("unhandled opcode in getOpcodeName");
+}
+
+Value *Instruction::getPhiIncomingFor(const BasicBlock *Pred) const {
+  assert(Op == Opcode::Phi && "getPhiIncomingFor on a non-phi");
+  for (unsigned I = 0, E = getNumBlockOperands(); I != E; ++I)
+    if (BlockOps[I] == Pred)
+      return Operands[I];
+  return nullptr;
+}

@@ -1,0 +1,211 @@
+//===- ir/Instruction.h - IR instructions -----------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single monomorphic Instruction class with an Opcode discriminator and a
+/// uniform operand list. Control-flow edges and phi incoming blocks are kept
+/// in a parallel block-operand list. A monomorphic design keeps cloning (the
+/// heart of the Spice transformation, which replicates loop bodies t-1
+/// times) and interpretation simple and fast.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_IR_INSTRUCTION_H
+#define SPICE_IR_INSTRUCTION_H
+
+#include "ir/Value.h"
+
+#include <cassert>
+
+namespace spice {
+namespace ir {
+
+class BasicBlock;
+
+/// Operation codes. The "parallel" group is only meaningful on the multicore
+/// simulator; the "profiling" group only under an instrumented interpreter.
+enum class Opcode : uint8_t {
+  // Binary arithmetic / logic.
+  Add,
+  Sub,
+  Mul,
+  SDiv,
+  SRem,
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  SMin,
+  SMax,
+  // Comparisons; produce 0 or 1.
+  ICmpEq,
+  ICmpNe,
+  ICmpSLt,
+  ICmpSLe,
+  ICmpSGt,
+  ICmpSGe,
+  ICmpULt,
+  // Select(Cond, TrueVal, FalseVal).
+  Select,
+  // Memory: Load(Addr) and Store(Addr, Val); addresses are word indices.
+  Load,
+  Store,
+  // Control flow.
+  Br,
+  CondBr,
+  Ret,
+  Phi,
+  // Parallel intrinsics (multicore simulator only).
+  Send,      ///< Send(ChanId, Val): enqueue Val on channel ChanId.
+  Recv,      ///< Recv(ChanId) -> Val: block until a value is available.
+  SpecBegin, ///< Enter speculative mode: stores buffered, not visible.
+  SpecCommit,///< Publish buffered speculative stores to shared memory.
+  SpecRollback, ///< Discard buffered speculative stores.
+  Resteer,   ///< Resteer(CoreId) + block op: redirect another core.
+  Halt,      ///< Stop this core.
+  // Profiling hooks (value-profiler instrumentation).
+  ProfNewInvoc, ///< ProfNewInvoc(LoopId): a profiled loop invocation begins.
+  ProfRecord,   ///< ProfRecord(LoopId, SlotIdx, Val): record one live-in.
+  ProfIterEnd,  ///< ProfIterEnd(LoopId): live-in set for this iter complete.
+};
+
+/// Returns a stable mnemonic for \p Op (used by the printer and tests).
+const char *getOpcodeName(Opcode Op);
+
+/// An SSA instruction. Owned by its parent BasicBlock.
+class Instruction : public Value {
+public:
+  Instruction(Opcode Op, std::vector<Value *> Ops,
+              std::vector<BasicBlock *> Blocks = {})
+      : Value(ValueKind::VK_Instruction), Op(Op), Operands(std::move(Ops)),
+        BlockOps(std::move(Blocks)) {}
+
+  Opcode getOpcode() const { return Op; }
+
+  unsigned getNumOperands() const {
+    return static_cast<unsigned>(Operands.size());
+  }
+  Value *getOperand(unsigned I) const {
+    assert(I < Operands.size() && "operand index out of range");
+    return Operands[I];
+  }
+  void setOperand(unsigned I, Value *V) {
+    assert(I < Operands.size() && "operand index out of range");
+    Operands[I] = V;
+  }
+  const std::vector<Value *> &operands() const { return Operands; }
+
+  unsigned getNumBlockOperands() const {
+    return static_cast<unsigned>(BlockOps.size());
+  }
+  BasicBlock *getBlockOperand(unsigned I) const {
+    assert(I < BlockOps.size() && "block operand index out of range");
+    return BlockOps[I];
+  }
+  void setBlockOperand(unsigned I, BasicBlock *B) {
+    assert(I < BlockOps.size() && "block operand index out of range");
+    BlockOps[I] = B;
+  }
+  const std::vector<BasicBlock *> &blockOperands() const { return BlockOps; }
+
+  /// Appends a (Value, Block) incoming pair to a phi.
+  void addPhiIncoming(Value *V, BasicBlock *Pred) {
+    assert(Op == Opcode::Phi && "addPhiIncoming on a non-phi");
+    Operands.push_back(V);
+    BlockOps.push_back(Pred);
+  }
+
+  /// For a phi, returns the incoming value for predecessor \p Pred, or null.
+  Value *getPhiIncomingFor(const BasicBlock *Pred) const;
+
+  BasicBlock *getParent() const { return Parent; }
+  void setParent(BasicBlock *BB) { Parent = BB; }
+
+  /// Dense per-function number assigned by Function::renumber(); the
+  /// interpreter uses it to index its register file.
+  unsigned getNumber() const { return Number; }
+  void setNumber(unsigned N) { Number = N; }
+
+  bool isTerminator() const {
+    return Op == Opcode::Br || Op == Opcode::CondBr || Op == Opcode::Ret ||
+           Op == Opcode::Halt;
+  }
+
+  /// True for instructions that yield a value usable as an operand.
+  bool producesValue() const {
+    switch (Op) {
+    case Opcode::Store:
+    case Opcode::Br:
+    case Opcode::CondBr:
+    case Opcode::Ret:
+    case Opcode::Send:
+    case Opcode::SpecBegin:
+    case Opcode::SpecRollback:
+    case Opcode::Resteer:
+    case Opcode::Halt:
+    case Opcode::ProfNewInvoc:
+    case Opcode::ProfRecord:
+    case Opcode::ProfIterEnd:
+      return false;
+    default:
+      return true;
+    }
+  }
+
+  bool isBinaryOp() const {
+    switch (Op) {
+    case Opcode::Add:
+    case Opcode::Sub:
+    case Opcode::Mul:
+    case Opcode::SDiv:
+    case Opcode::SRem:
+    case Opcode::And:
+    case Opcode::Or:
+    case Opcode::Xor:
+    case Opcode::Shl:
+    case Opcode::LShr:
+    case Opcode::AShr:
+    case Opcode::SMin:
+    case Opcode::SMax:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  bool isComparison() const {
+    switch (Op) {
+    case Opcode::ICmpEq:
+    case Opcode::ICmpNe:
+    case Opcode::ICmpSLt:
+    case Opcode::ICmpSLe:
+    case Opcode::ICmpSGt:
+    case Opcode::ICmpSGe:
+    case Opcode::ICmpULt:
+      return true;
+    default:
+      return false;
+    }
+  }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::VK_Instruction;
+  }
+
+private:
+  Opcode Op;
+  std::vector<Value *> Operands;
+  std::vector<BasicBlock *> BlockOps;
+  BasicBlock *Parent = nullptr;
+  unsigned Number = ~0u;
+};
+
+} // namespace ir
+} // namespace spice
+
+#endif // SPICE_IR_INSTRUCTION_H

@@ -1,0 +1,84 @@
+//===- ir/Module.h - Module -------------------------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Module owns functions, globals, and a uniqued constant pool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_IR_MODULE_H
+#define SPICE_IR_MODULE_H
+
+#include "ir/Function.h"
+
+#include <map>
+#include <memory>
+
+namespace spice {
+namespace ir {
+
+/// Top-level IR container.
+class Module {
+public:
+  explicit Module(std::string Name = "module") : Name(std::move(Name)) {}
+
+  const std::string &getName() const { return Name; }
+
+  Function *createFunction(std::string FnName) {
+    Functions.push_back(std::make_unique<Function>(std::move(FnName)));
+    return Functions.back().get();
+  }
+
+  Function *getFunction(const std::string &FnName) const {
+    for (const auto &F : Functions)
+      if (F->getName() == FnName)
+        return F.get();
+    return nullptr;
+  }
+
+  GlobalVariable *createGlobal(std::string GName, uint64_t SizeInWords) {
+    Globals.push_back(
+        std::make_unique<GlobalVariable>(std::move(GName), SizeInWords));
+    return Globals.back().get();
+  }
+
+  GlobalVariable *getGlobal(const std::string &GName) const {
+    for (const auto &G : Globals)
+      if (G->getName() == GName)
+        return G.get();
+    return nullptr;
+  }
+
+  /// Returns the uniqued ConstantInt for \p V.
+  ConstantInt *getConstant(int64_t V) {
+    auto It = Constants.find(V);
+    if (It != Constants.end())
+      return It->second.get();
+    auto C = std::make_unique<ConstantInt>(V);
+    ConstantInt *Raw = C.get();
+    Constants.emplace(V, std::move(C));
+    return Raw;
+  }
+
+  auto begin() const { return Functions.begin(); }
+  auto end() const { return Functions.end(); }
+  size_t size() const { return Functions.size(); }
+
+  const std::vector<std::unique_ptr<GlobalVariable>> &globals() const {
+    return Globals;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::unique_ptr<Function>> Functions;
+  std::vector<std::unique_ptr<GlobalVariable>> Globals;
+  std::map<int64_t, std::unique_ptr<ConstantInt>> Constants;
+};
+
+} // namespace ir
+} // namespace spice
+
+#endif // SPICE_IR_MODULE_H

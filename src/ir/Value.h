@@ -1,0 +1,119 @@
+//===- ir/Value.h - Base of the IR value hierarchy --------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value is the root of the IR hierarchy: ConstantInt, Argument,
+/// GlobalVariable and Instruction. The IR is deliberately small: a single
+/// 64-bit integer type, word-addressed memory, SSA form with explicit phis.
+/// That is sufficient to express every loop the Spice paper transforms
+/// (pointer traversals, reductions, branchy bodies) without the weight of a
+/// full type system.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_IR_VALUE_H
+#define SPICE_IR_VALUE_H
+
+#include "support/Casting.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace spice {
+namespace ir {
+
+class Function;
+
+/// Root of the IR value hierarchy. Every Value produces a 64-bit integer
+/// when evaluated (addresses are plain integers: the VM memory is a flat
+/// word-addressed array).
+class Value {
+public:
+  enum class ValueKind : uint8_t {
+    VK_ConstantInt,
+    VK_Argument,
+    VK_GlobalVariable,
+    VK_Instruction,
+  };
+
+  ValueKind getKind() const { return Kind; }
+
+  /// Optional name used by the printer; empty means "print by number".
+  const std::string &getName() const { return Name; }
+  void setName(std::string N) { Name = std::move(N); }
+
+protected:
+  explicit Value(ValueKind K) : Kind(K) {}
+  ~Value() = default;
+
+private:
+  ValueKind Kind;
+  std::string Name;
+};
+
+/// A uniqued 64-bit integer constant, owned by the Module.
+class ConstantInt : public Value {
+public:
+  explicit ConstantInt(int64_t V)
+      : Value(ValueKind::VK_ConstantInt), Val(V) {}
+
+  int64_t getValue() const { return Val; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::VK_ConstantInt;
+  }
+
+private:
+  int64_t Val;
+};
+
+/// A formal parameter of a Function.
+class Argument : public Value {
+public:
+  Argument(unsigned Index, Function *Parent)
+      : Value(ValueKind::VK_Argument), Index(Index), Parent(Parent) {}
+
+  unsigned getIndex() const { return Index; }
+  Function *getParent() const { return Parent; }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::VK_Argument;
+  }
+
+private:
+  unsigned Index;
+  Function *Parent;
+};
+
+/// A named region of VM memory, sized in 64-bit words. The VM assigns the
+/// base address at layout time; evaluating the global yields that address.
+class GlobalVariable : public Value {
+public:
+  GlobalVariable(std::string N, uint64_t SizeInWords)
+      : Value(ValueKind::VK_GlobalVariable), Size(SizeInWords) {
+    setName(std::move(N));
+  }
+
+  uint64_t getSize() const { return Size; }
+
+  /// Optional initial contents (shorter than Size is zero-padded).
+  const std::vector<int64_t> &getInitializer() const { return Init; }
+  void setInitializer(std::vector<int64_t> Words) { Init = std::move(Words); }
+
+  static bool classof(const Value *V) {
+    return V->getKind() == ValueKind::VK_GlobalVariable;
+  }
+
+private:
+  uint64_t Size;
+  std::vector<int64_t> Init;
+};
+
+} // namespace ir
+} // namespace spice
+
+#endif // SPICE_IR_VALUE_H

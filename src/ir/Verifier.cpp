@@ -1,0 +1,181 @@
+//===- ir/Verifier.cpp - IR structural verifier ---------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Module.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace spice;
+using namespace spice::ir;
+
+namespace {
+
+/// Collects verification errors for one function.
+class FunctionVerifier {
+public:
+  FunctionVerifier(const Function &F, std::vector<std::string> *Errors)
+      : F(F), Errors(Errors) {}
+
+  bool run() {
+    if (F.empty()) {
+      error("function has no blocks");
+      return Ok;
+    }
+    collectBlocks();
+    computePredecessors();
+    for (const auto &BB : F)
+      verifyBlock(*BB);
+    return Ok;
+  }
+
+private:
+  void error(const std::string &Msg) {
+    Ok = false;
+    if (Errors)
+      Errors->push_back("@" + F.getName() + ": " + Msg);
+  }
+
+  void collectBlocks() {
+    for (const auto &BB : F)
+      KnownBlocks.insert(BB.get());
+  }
+
+  void computePredecessors() {
+    for (const auto &BB : F)
+      for (BasicBlock *Succ : BB->successors())
+        ++PredCount[Succ];
+  }
+
+  /// Expected value-operand count for \p I, or -1 when variadic.
+  static int expectedOperands(const Instruction &I) {
+    if (I.isBinaryOp() || I.isComparison())
+      return 2;
+    switch (I.getOpcode()) {
+    case Opcode::Select:
+    case Opcode::ProfRecord:
+      return 3;
+    case Opcode::Load:
+    case Opcode::Ret:
+    case Opcode::CondBr:
+    case Opcode::Recv:
+    case Opcode::Resteer:
+    case Opcode::ProfNewInvoc:
+    case Opcode::ProfIterEnd:
+      return 1;
+    case Opcode::Store:
+    case Opcode::Send:
+      return 2;
+    case Opcode::Br:
+    case Opcode::SpecBegin:
+    case Opcode::SpecCommit:
+    case Opcode::SpecRollback:
+    case Opcode::Halt:
+      return 0;
+    case Opcode::Phi:
+      return -1;
+    default:
+      return -1;
+    }
+  }
+
+  static int expectedBlockOperands(const Instruction &I) {
+    switch (I.getOpcode()) {
+    case Opcode::Br:
+    case Opcode::Resteer:
+      return 1;
+    case Opcode::CondBr:
+      return 2;
+    case Opcode::Phi:
+      return -1;
+    default:
+      return 0;
+    }
+  }
+
+  void verifyBlock(const BasicBlock &BB) {
+    if (BB.empty()) {
+      error("block " + BB.getName() + " is empty");
+      return;
+    }
+    if (!BB.back()->isTerminator())
+      error("block " + BB.getName() + " lacks a terminator");
+
+    bool SeenNonPhi = false;
+    for (size_t I = 0, E = BB.size(); I != E; ++I) {
+      const Instruction &Inst = *BB.get(I);
+      if (Inst.isTerminator() && I + 1 != E)
+        error("block " + BB.getName() + " has a terminator mid-block");
+      if (Inst.getOpcode() == Opcode::Phi) {
+        if (SeenNonPhi)
+          error("block " + BB.getName() + " has a phi after a non-phi");
+        verifyPhi(BB, Inst);
+      } else {
+        SeenNonPhi = true;
+      }
+      verifyArity(BB, Inst);
+      for (const Value *Op : Inst.operands())
+        if (!Op)
+          error("null operand in block " + BB.getName());
+      // Resteer legitimately targets a recovery block in another thread's
+      // function (the paper's remote-resteer); everything else must stay
+      // within the function.
+      if (Inst.getOpcode() != Opcode::Resteer)
+        for (BasicBlock *Target : Inst.blockOperands())
+          if (!KnownBlocks.count(Target))
+            error("block " + BB.getName() +
+                  " references a block outside the function");
+    }
+  }
+
+  void verifyArity(const BasicBlock &BB, const Instruction &Inst) {
+    int Want = expectedOperands(Inst);
+    if (Want >= 0 && Inst.getNumOperands() != static_cast<unsigned>(Want))
+      error("bad operand count for " +
+            std::string(getOpcodeName(Inst.getOpcode())) + " in block " +
+            BB.getName());
+    int WantBlocks = expectedBlockOperands(Inst);
+    if (WantBlocks >= 0 &&
+        Inst.getNumBlockOperands() != static_cast<unsigned>(WantBlocks))
+      error("bad block-operand count for " +
+            std::string(getOpcodeName(Inst.getOpcode())) + " in block " +
+            BB.getName());
+  }
+
+  void verifyPhi(const BasicBlock &BB, const Instruction &Phi) {
+    if (Phi.getNumOperands() != Phi.getNumBlockOperands()) {
+      error("phi in block " + BB.getName() +
+            " has mismatched value/block incoming counts");
+      return;
+    }
+    unsigned Preds = PredCount.count(&BB) ? PredCount.at(&BB) : 0;
+    if (Phi.getNumOperands() != Preds)
+      error("phi in block " + BB.getName() + " has " +
+            std::to_string(Phi.getNumOperands()) + " incomings but block has " +
+            std::to_string(Preds) + " predecessors");
+  }
+
+  const Function &F;
+  std::vector<std::string> *Errors;
+  std::unordered_set<const BasicBlock *> KnownBlocks;
+  std::unordered_map<const BasicBlock *, unsigned> PredCount;
+  bool Ok = true;
+};
+
+} // namespace
+
+bool ir::verifyFunction(const Function &F, std::vector<std::string> *Errors) {
+  return FunctionVerifier(F, Errors).run();
+}
+
+bool ir::verifyModule(const Module &M, std::vector<std::string> *Errors) {
+  bool Ok = true;
+  for (const auto &F : M)
+    Ok &= verifyFunction(*F, Errors);
+  return Ok;
+}

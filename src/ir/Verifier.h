@@ -1,0 +1,38 @@
+//===- ir/Verifier.h - IR structural verifier -------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural well-formedness checks for functions and modules: exactly one
+/// terminator per block (at the end), phis as a block prefix with one
+/// incoming per CFG predecessor, operand arities per opcode, branch targets
+/// inside the function. SSA dominance is checked separately by the analysis
+/// library (it needs a dominator tree).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_IR_VERIFIER_H
+#define SPICE_IR_VERIFIER_H
+
+#include <string>
+#include <vector>
+
+namespace spice {
+namespace ir {
+
+class Function;
+class Module;
+
+/// Appends human-readable problems found in \p F to \p Errors. Returns true
+/// when the function is well formed.
+bool verifyFunction(const Function &F, std::vector<std::string> *Errors);
+
+/// Verifies all functions in \p M.
+bool verifyModule(const Module &M, std::vector<std::string> *Errors);
+
+} // namespace ir
+} // namespace spice
+
+#endif // SPICE_IR_VERIFIER_H

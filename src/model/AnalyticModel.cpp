@@ -1,0 +1,132 @@
+//===- model/AnalyticModel.cpp - Section 2 execution-schedule math --------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/AnalyticModel.h"
+
+#include <cassert>
+
+using namespace spice;
+using namespace spice::model;
+
+double model::sequentialTime(const LoopModelParams &M) {
+  return static_cast<double>(M.Iterations) * (M.T1 + M.T2);
+}
+
+double model::tlsTime(const LoopModelParams &M) {
+  double N = static_cast<double>(M.Iterations) / 2.0;
+  // Paper section 2.1: if t2 > t1 + 2*t3 the computation is the critical
+  // path and time is ~ n*(t1+t2); otherwise every iteration waits for the
+  // forwarded live-in: 2n*(t1+t3).
+  if (M.T2 > M.T1 + 2.0 * M.T3)
+    return N * (M.T1 + M.T2);
+  return 2.0 * N * (M.T1 + M.T3);
+}
+
+double model::tlsValuePredTime(const LoopModelParams &M) {
+  // Paper section 2.2: expected speedup 2/(2-p) on two cores, i.e. time
+  // (n + (1-p) n)(t1 + t2).
+  double N = static_cast<double>(M.Iterations) / 2.0;
+  return (N + (1.0 - M.P) * N) * (M.T1 + M.T2);
+}
+
+double model::spiceTime(const LoopModelParams &M, unsigned Threads) {
+  assert(Threads >= 1 && "need at least one thread");
+  // Perfect split into `Threads` chunks; each of the Threads-1 predicted
+  // chunk boundaries independently holds with probability p. A failed
+  // boundary merges its chunk into the predecessor's sequential work; in
+  // expectation the critical path is the largest run of merged chunks.
+  // For the paper's two-core discussion this reduces to 2/(2-p); we use
+  // the expected-longest-run generalization for t > 2.
+  double Total = static_cast<double>(M.Iterations) * (M.T1 + M.T2);
+  double Chunk = Total / Threads;
+  // Expected length of the run of consecutive failed boundaries starting
+  // at any chunk is sum_k (1-p)^k; the main thread's expected critical
+  // path is Chunk * (1 + (1-p)/p * (1 - ...)). A simple closed form that
+  // matches 2/(2-p) at t=2 is Total / (Threads * p - (Threads-1) * p + ...)
+  // -- instead keep the direct expectation: per boundary, a failure costs
+  // an extra Chunk of serialized work on the critical path.
+  double Q = 1.0 - M.P;
+  return Chunk * (1.0 + static_cast<double>(Threads - 1) * Q) +
+         // Overhead of one forwarding/merge round.
+         2.0 * M.T3;
+}
+
+double model::tlsSpeedup(const LoopModelParams &M) {
+  return sequentialTime(M) / tlsTime(M);
+}
+
+double model::tlsValuePredSpeedup(const LoopModelParams &M) {
+  return sequentialTime(M) / tlsValuePredTime(M);
+}
+
+double model::spiceSpeedup(const LoopModelParams &M, unsigned Threads) {
+  return sequentialTime(M) / spiceTime(M, Threads);
+}
+
+//===----------------------------------------------------------------------===//
+// ASCII schedules
+//===----------------------------------------------------------------------===//
+
+static void appendLane(std::string &Out, const char *Label,
+                       const std::string &Lane) {
+  Out += Label;
+  Out += Lane;
+  Out += '\n';
+}
+
+std::string model::renderTlsSchedule(unsigned Iterations) {
+  // Iterations alternate between cores; the traversal (T) of iteration
+  // i+1 starts only after iteration i's traversal arrives (forward F).
+  std::string P1, P2;
+  for (unsigned I = 1; I <= Iterations; ++I) {
+    bool OnP1 = (I % 2) == 1;
+    std::string Seg = "T" + std::to_string(I) + "+C" + std::to_string(I) +
+                      " ";
+    std::string Pad(Seg.size(), ' ');
+    (OnP1 ? P1 : P2) += Seg;
+    (OnP1 ? P2 : P1) += Pad;
+  }
+  std::string Out =
+      "TLS without value speculation (T=traversal, C=compute):\n";
+  appendLane(Out, "P1: ", P1);
+  appendLane(Out, "P2: ", P2);
+  Out += "every T(i+1) waits for T(i) forwarded from the other core\n";
+  return Out;
+}
+
+std::string model::renderTlsValuePredSchedule(
+    unsigned Iterations, unsigned MispredictedIteration) {
+  std::string P1, P2;
+  for (unsigned I = 1; I <= Iterations; ++I) {
+    bool OnP1 = (I % 2) == 1;
+    std::string Seg = "I" + std::to_string(I);
+    if (I == MispredictedIteration)
+      Seg += "!xI" + std::to_string(I); // Squash and re-execute.
+    Seg += " ";
+    (OnP1 ? P1 : P2) += Seg;
+  }
+  std::string Out = "TLS with per-iteration value prediction "
+                    "(! = mis-speculated, x = re-executed):\n";
+  appendLane(Out, "P1: ", P1);
+  appendLane(Out, "P2: ", P2);
+  return Out;
+}
+
+std::string model::renderSpiceSchedule(unsigned Iterations) {
+  unsigned Half = Iterations / 2;
+  std::string P1, P2;
+  for (unsigned I = 1; I <= Half; ++I)
+    P1 += "I" + std::to_string(I) + " ";
+  for (unsigned I = Half + 1; I <= Iterations; ++I)
+    P2 += "I" + std::to_string(I) + " ";
+  std::string Out =
+      "Spice (one predicted live-in splits the iteration space):\n";
+  appendLane(Out, "P1: ", P1);
+  appendLane(Out, "P2: ", P2);
+  Out += "both halves run concurrently; one compare per iteration detects "
+         "the split point\n";
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- model/AnalyticModel.h - Section 2 execution-schedule math -*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The closed-form execution-time models of paper section 2 for a loop
+/// whose iteration splits into a synchronized part t1 (the pointer chase),
+/// a parallel part t2 (the computation), with inter-core value-forwarding
+/// latency t3 and per-prediction success probability p:
+///
+///   * Sequential:            2n (t1 + t2)
+///   * TLS, no speculation:   critical path = computation when
+///                            t2 > t1 + 2 t3, else communication-bound
+///                            (Figure 2)
+///   * TLS + value pred.:     2/(2-p) of ideal 2x on 2 cores (Figure 3)
+///   * Spice:                 chunked: 2/(2-p) with one prediction per
+///                            chunk instead of one per iteration
+///                            (Figure 5)
+///
+/// The module also renders the figures' ASCII schedules so the benches can
+/// regenerate them visually.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_MODEL_ANALYTICMODEL_H
+#define SPICE_MODEL_ANALYTICMODEL_H
+
+#include <cstdint>
+#include <string>
+
+namespace spice {
+namespace model {
+
+/// Parameters of the two-core model of section 2.
+struct LoopModelParams {
+  double T1 = 1.0; ///< Synchronized (traversal) latency per iteration.
+  double T2 = 1.0; ///< Parallelizable latency per iteration.
+  double T3 = 1.0; ///< Inter-core forwarding latency.
+  double P = 1.0;  ///< Probability one value prediction is correct.
+  uint64_t Iterations = 1000; ///< 2n in the paper's notation.
+};
+
+/// Sequential execution time: n * (t1 + t2).
+double sequentialTime(const LoopModelParams &M);
+
+/// TLS without value speculation on two cores (Figure 2): when the
+/// computation dominates (t2 > t1 + 2*t3) the loop reaches 2x; otherwise
+/// the forwarding chain t1 + t3 paces every iteration.
+double tlsTime(const LoopModelParams &M);
+
+/// TLS with per-iteration value prediction on two cores (Figure 3):
+/// expected time with independent mis-speculations re-executing.
+double tlsValuePredTime(const LoopModelParams &M);
+
+/// Spice on \p Threads cores (Figure 5): chunks of n/threads iterations;
+/// each of the threads-1 predictions fails independently with (1-p),
+/// losing that chunk to sequential re-execution by its predecessor chain.
+double spiceTime(const LoopModelParams &M, unsigned Threads);
+
+/// Speedups over sequentialTime().
+double tlsSpeedup(const LoopModelParams &M);
+double tlsValuePredSpeedup(const LoopModelParams &M);
+double spiceSpeedup(const LoopModelParams &M, unsigned Threads);
+
+/// ASCII rendering of the Figure 2 / 3 / 5 schedules for two cores.
+std::string renderTlsSchedule(unsigned Iterations);
+std::string renderTlsValuePredSchedule(unsigned Iterations,
+                                       unsigned MispredictedIteration);
+std::string renderSpiceSchedule(unsigned Iterations);
+
+} // namespace model
+} // namespace spice
+
+#endif // SPICE_MODEL_ANALYTICMODEL_H

@@ -1,0 +1,95 @@
+//===- profiler/Instrumenter.cpp - Live-in profiling instrumentation ------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiler/Instrumenter.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+
+using namespace spice;
+using namespace spice::profiler;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+std::vector<InstrumentedLoop> profiler::instrumentFunction(
+    Module &M, Function &F, const InstrumenterOptions &Opts,
+    const std::unordered_map<const BasicBlock *, uint64_t> *BlockCounts) {
+  CFGInfo CFG(F);
+  DominatorTree DT(CFG);
+  LoopInfo LI(CFG, DT);
+
+  uint64_t TotalDyn = 0;
+  if (BlockCounts)
+    for (const auto &[BB, N] : *BlockCounts)
+      TotalDyn += N;
+
+  std::vector<InstrumentedLoop> Out;
+  int64_t NextId = Opts.FirstLoopId;
+  for (const auto &L : LI.loops()) {
+    if (!L->getSingleLatch())
+      continue; // Canonicalization out of scope for the profiler.
+    LoopCarriedInfo Info = analyzeLoopCarried(CFG, *L);
+    // Paper section 6.1: skip DOALL-able loops; remove reduction live-ins.
+    if (Info.IsDoall)
+      continue;
+    if (Info.SpeculatedLiveIns.empty())
+      continue;
+    double Hotness = 1.0;
+    if (BlockCounts && TotalDyn > 0) {
+      uint64_t LoopDyn = 0;
+      for (BasicBlock *BB : L->blocks()) {
+        auto It = BlockCounts->find(BB);
+        if (It != BlockCounts->end())
+          LoopDyn += It->second;
+      }
+      Hotness = static_cast<double>(LoopDyn) /
+                static_cast<double>(TotalDyn);
+      if (Hotness < Opts.HotnessThreshold)
+        continue;
+    }
+
+    int64_t LoopId = NextId++;
+    IRBuilder B(M, nullptr);
+    ConstantInt *Id = M.getConstant(LoopId);
+
+    // prof.newinvoc in the preheader, before its terminator.
+    BasicBlock *Preheader = L->getPreheader(CFG);
+    assert(Preheader && "candidate loop lacks a preheader");
+    {
+      auto I = std::make_unique<Instruction>(
+          Opcode::ProfNewInvoc, std::vector<Value *>{Id});
+      Preheader->insertBeforeTerminator(std::move(I));
+    }
+
+    // Records at the top of each iteration, right after the phi prefix.
+    BasicBlock *Header = L->getHeader();
+    size_t InsertAt = 0;
+    while (InsertAt < Header->size() &&
+           Header->get(InsertAt)->getOpcode() == Opcode::Phi)
+      ++InsertAt;
+    int64_t Slot = 0;
+    for (Instruction *LiveIn : Info.SpeculatedLiveIns) {
+      auto I = std::make_unique<Instruction>(
+          Opcode::ProfRecord,
+          std::vector<Value *>{Id, M.getConstant(Slot++), LiveIn});
+      Header->insertAt(InsertAt++, std::move(I));
+    }
+    {
+      auto I = std::make_unique<Instruction>(
+          Opcode::ProfIterEnd, std::vector<Value *>{Id});
+      Header->insertAt(InsertAt, std::move(I));
+    }
+
+    InstrumentedLoop Rec;
+    Rec.LoopId = LoopId;
+    Rec.Header = Header;
+    Rec.NumLiveIns = static_cast<unsigned>(Info.SpeculatedLiveIns.size());
+    Rec.Hotness = Hotness;
+    Out.push_back(Rec);
+  }
+  F.renumber();
+  return Out;
+}

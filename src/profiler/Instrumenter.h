@@ -1,0 +1,59 @@
+//===- profiler/Instrumenter.h - Live-in profiling instrumentation -*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instrumenter half of the section-6 value profiler. For every
+/// candidate loop (hot enough, not DOALL), it computes the inter-iteration
+/// live-in set minus reduction candidates (exactly the set Spice would
+/// speculate) and inserts:
+///
+///   * prof.newinvoc in the loop preheader,
+///   * one prof.record per live-in plus a prof.iterend at the top of every
+///     iteration (after the header phis).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_PROFILER_INSTRUMENTER_H
+#define SPICE_PROFILER_INSTRUMENTER_H
+
+#include "analysis/LoopCarried.h"
+#include "ir/Module.h"
+
+#include <unordered_map>
+
+namespace spice {
+namespace profiler {
+
+/// One loop selected and instrumented for value profiling.
+struct InstrumentedLoop {
+  int64_t LoopId = 0;
+  ir::BasicBlock *Header = nullptr;
+  unsigned NumLiveIns = 0;
+  double Hotness = 0.0;
+};
+
+/// Instrumentation options.
+struct InstrumenterOptions {
+  /// Minimum fraction of dynamic instructions a loop must account for
+  /// (paper: 0.5%). Only enforced when block counts are supplied.
+  double HotnessThreshold = 0.005;
+  /// First loop id to assign (ids are unique per module).
+  int64_t FirstLoopId = 1;
+};
+
+/// Instruments every candidate loop of \p F in place. \p BlockCounts, when
+/// non-null, supplies dynamic per-block instruction counts from a prior
+/// profiling run (vm::ExecutionResult::BlockCounts) used for the hotness
+/// filter. Returns the instrumented loops; the function is renumbered.
+std::vector<InstrumentedLoop> instrumentFunction(
+    ir::Module &M, ir::Function &F, const InstrumenterOptions &Opts,
+    const std::unordered_map<const ir::BasicBlock *, uint64_t> *BlockCounts
+    = nullptr);
+
+} // namespace profiler
+} // namespace spice
+
+#endif // SPICE_PROFILER_INSTRUMENTER_H

@@ -1,0 +1,92 @@
+//===- profiler/ValueProfiler.cpp - Live-in predictability analyzer -------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "profiler/ValueProfiler.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace spice;
+using namespace spice::profiler;
+
+const char *profiler::getBinName(PredictabilityBin Bin) {
+  switch (Bin) {
+  case PredictabilityBin::None:
+    return "none";
+  case PredictabilityBin::Low:
+    return "low";
+  case PredictabilityBin::Average:
+    return "average";
+  case PredictabilityBin::Good:
+    return "good";
+  case PredictabilityBin::High:
+    return "high";
+  }
+  spice_unreachable("unhandled predictability bin");
+}
+
+ValueProfiler::ValueProfiler(double SampleProbability, double MatchThreshold,
+                             uint64_t Seed)
+    : SampleProbability(SampleProbability), MatchThreshold(MatchThreshold),
+      Rng(Seed) {}
+
+void ValueProfiler::closeInvocation(int64_t LoopId, LoopState &LS) {
+  (void)LoopId;
+  if (!LS.HasOpenInvocation)
+    return;
+  LoopSummary &Sum = Summaries[LoopId];
+  if (LS.Sampling) {
+    ++Sum.SampledInvocations;
+    Sum.Iterations += LS.IterationsThisInvocation;
+    if (LS.IterationsThisInvocation > 0) {
+      double F = static_cast<double>(LS.MatchedThisInvocation) /
+                 static_cast<double>(LS.IterationsThisInvocation);
+      if (F > MatchThreshold)
+        ++Sum.PredictableInvocations;
+    }
+    LS.PrevSignatures = std::move(LS.CurSignatures);
+    LS.CurSignatures.clear();
+  }
+  LS.HasOpenInvocation = false;
+}
+
+void ValueProfiler::onNewInvocation(int64_t LoopId) {
+  LoopState &LS = States[LoopId];
+  closeInvocation(LoopId, LS);
+  ++Summaries[LoopId].Invocations;
+  LS.HasOpenInvocation = true;
+  LS.Sampling = Rng.nextBool(SampleProbability);
+  LS.IterationsThisInvocation = 0;
+  LS.MatchedThisInvocation = 0;
+  LS.CurrentSig = 14695981039346656037ull;
+}
+
+void ValueProfiler::onRecord(int64_t LoopId, int64_t SlotIdx, int64_t Val) {
+  LoopState &LS = States[LoopId];
+  if (!LS.Sampling || !LS.HasOpenInvocation)
+    return;
+  // FNV-1a over (slot, value).
+  auto Mix = [&](uint64_t X) {
+    LS.CurrentSig = (LS.CurrentSig ^ X) * 1099511628211ull;
+  };
+  Mix(static_cast<uint64_t>(SlotIdx));
+  Mix(static_cast<uint64_t>(Val));
+}
+
+void ValueProfiler::onIterEnd(int64_t LoopId) {
+  LoopState &LS = States[LoopId];
+  if (!LS.Sampling || !LS.HasOpenInvocation)
+    return;
+  ++LS.IterationsThisInvocation;
+  if (LS.PrevSignatures.count(LS.CurrentSig))
+    ++LS.MatchedThisInvocation;
+  LS.CurSignatures.insert(LS.CurrentSig);
+  LS.CurrentSig = 14695981039346656037ull;
+}
+
+void ValueProfiler::finish() {
+  for (auto &[LoopId, LS] : States)
+    closeInvocation(LoopId, LS);
+}

@@ -1,0 +1,117 @@
+//===- profiler/ValueProfiler.h - Live-in predictability analyzer -*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The analyzer half of the paper's section-6 value profiler. It receives
+/// per-iteration loop live-in values from instrumented programs, computes a
+/// signature per iteration, and measures -- per loop invocation -- the
+/// fraction of iterations whose signature already appeared in the previous
+/// (sampled) invocation. Invocations above the threshold are "predictable";
+/// loops are then binned by the percentage of predictable invocations:
+/// low (1-25%), average (26-50%), good (51-75%), high (76-100%).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_PROFILER_VALUEPROFILER_H
+#define SPICE_PROFILER_VALUEPROFILER_H
+
+#include "support/Random.h"
+#include "vm/ExecutionEnv.h"
+
+#include <map>
+#include <unordered_set>
+
+namespace spice {
+namespace profiler {
+
+/// Predictability bins of Figure 8.
+enum class PredictabilityBin : uint8_t {
+  None,    ///< No invocation was predictable (missing bar).
+  Low,     ///< 1-25%.
+  Average, ///< 26-50%.
+  Good,    ///< 51-75%.
+  High,    ///< 76-100%.
+};
+
+const char *getBinName(PredictabilityBin Bin);
+
+/// Collected statistics for one profiled loop.
+struct LoopSummary {
+  uint64_t Invocations = 0;
+  uint64_t SampledInvocations = 0;
+  uint64_t PredictableInvocations = 0;
+  uint64_t Iterations = 0;
+
+  double predictableFraction() const {
+    return SampledInvocations
+               ? static_cast<double>(PredictableInvocations) /
+                     static_cast<double>(SampledInvocations)
+               : 0.0;
+  }
+
+  PredictabilityBin bin() const {
+    double F = predictableFraction();
+    if (PredictableInvocations == 0)
+      return PredictabilityBin::None;
+    if (F <= 0.25)
+      return PredictabilityBin::Low;
+    if (F <= 0.50)
+      return PredictabilityBin::Average;
+    if (F <= 0.75)
+      return PredictabilityBin::Good;
+    return PredictabilityBin::High;
+  }
+};
+
+/// ProfileSink implementation: plug into the interpreter, run the
+/// instrumented program, then call finish() and read the summaries.
+class ValueProfiler : public vm::ProfileSink {
+public:
+  /// \p SampleProbability is the paper's P(L) (identical for all loops
+  /// here); \p MatchThreshold its t (default 0.5).
+  explicit ValueProfiler(double SampleProbability = 1.0,
+                         double MatchThreshold = 0.5, uint64_t Seed = 42);
+
+  void onNewInvocation(int64_t LoopId) override;
+  void onRecord(int64_t LoopId, int64_t SlotIdx, int64_t Val) override;
+  void onIterEnd(int64_t LoopId) override;
+
+  /// Closes any open invocations; call before reading summaries.
+  void finish();
+
+  const std::map<int64_t, LoopSummary> &summaries() const {
+    return Summaries;
+  }
+  const LoopSummary &summary(int64_t LoopId) const {
+    static const LoopSummary Empty;
+    auto It = Summaries.find(LoopId);
+    return It == Summaries.end() ? Empty : It->second;
+  }
+
+private:
+  struct LoopState {
+    bool Sampling = false;
+    bool HasOpenInvocation = false;
+    uint64_t IterationsThisInvocation = 0;
+    uint64_t MatchedThisInvocation = 0;
+    uint64_t CurrentSig = 14695981039346656037ull; // FNV offset basis.
+    std::unordered_set<uint64_t> PrevSignatures;
+    std::unordered_set<uint64_t> CurSignatures;
+  };
+
+  void closeInvocation(int64_t LoopId, LoopState &LS);
+
+  double SampleProbability;
+  double MatchThreshold;
+  RandomEngine Rng;
+  std::map<int64_t, LoopState> States;
+  std::map<int64_t, LoopSummary> Summaries;
+};
+
+} // namespace profiler
+} // namespace spice
+
+#endif // SPICE_PROFILER_VALUEPROFILER_H

@@ -1,0 +1,114 @@
+//===- sim/Cache.cpp - Private L1/L2 + shared L3 with invalidation --------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Cache.h"
+
+using namespace spice;
+using namespace spice::sim;
+
+bool CacheArray::lookup(uint64_t Line) {
+  unsigned Set = setOf(Line);
+  ++Clock;
+  for (unsigned W = 0; W != Ways; ++W) {
+    unsigned Idx = Set * Ways + W;
+    if (Tags[Idx] == Line) {
+      LRU[Idx] = Clock;
+      ++Hits;
+      return true;
+    }
+  }
+  ++Misses;
+  return false;
+}
+
+void CacheArray::fill(uint64_t Line) {
+  unsigned Set = setOf(Line);
+  ++Clock;
+  unsigned Victim = Set * Ways;
+  for (unsigned W = 0; W != Ways; ++W) {
+    unsigned Idx = Set * Ways + W;
+    if (Tags[Idx] == Line) { // Already present; refresh.
+      LRU[Idx] = Clock;
+      return;
+    }
+    if (LRU[Idx] < LRU[Victim])
+      Victim = Idx;
+  }
+  Tags[Victim] = Line;
+  LRU[Victim] = Clock;
+}
+
+bool CacheArray::invalidate(uint64_t Line) {
+  unsigned Set = setOf(Line);
+  for (unsigned W = 0; W != Ways; ++W) {
+    unsigned Idx = Set * Ways + W;
+    if (Tags[Idx] == Line) {
+      Tags[Idx] = ~0ull;
+      LRU[Idx] = 0;
+      return true;
+    }
+  }
+  return false;
+}
+
+void CacheArray::clear() {
+  for (uint64_t &T : Tags)
+    T = ~0ull;
+  for (uint64_t &L : LRU)
+    L = 0;
+}
+
+CacheSystem::CacheSystem(const MachineConfig &Config)
+    : Config(Config), L3(Config.L3Sets, Config.L3Ways) {
+  for (unsigned C = 0; C != Config.NumCores; ++C) {
+    L1.emplace_back(Config.L1Sets, Config.L1Ways);
+    L2.emplace_back(Config.L2Sets, Config.L2Ways);
+  }
+}
+
+unsigned CacheSystem::loadCost(unsigned Core, uint64_t Addr) {
+  uint64_t Line = lineOf(Addr);
+  if (L1[Core].lookup(Line))
+    return Config.L1Latency;
+  if (L2[Core].lookup(Line)) {
+    L1[Core].fill(Line);
+    return Config.L2Latency;
+  }
+  unsigned Cost;
+  if (L3.lookup(Line)) {
+    Cost = Config.L3Latency;
+  } else {
+    L3.fill(Line);
+    Cost = Config.MemLatency;
+  }
+  // Dirty in another core's private cache: snoop supplies the line.
+  auto It = Directory.find(Line);
+  if (It != Directory.end() && It->second.Dirty && It->second.Owner != Core)
+    Cost = Config.L3Latency + Config.CacheToCachePenalty;
+  L2[Core].fill(Line);
+  L1[Core].fill(Line);
+  return Cost;
+}
+
+unsigned CacheSystem::storeCost(unsigned Core, uint64_t Addr) {
+  uint64_t Line = lineOf(Addr);
+  // Write-invalidate: remove the line from every other private cache.
+  for (unsigned C = 0; C != L1.size(); ++C) {
+    if (C == Core)
+      continue;
+    L1[C].invalidate(Line);
+    L2[C].invalidate(Line);
+  }
+  Directory[Line] = {Core, true};
+  // L1 is write-through into the core's L2 (Table 1): hit cost when
+  // present, otherwise allocate.
+  unsigned Cost =
+      L1[Core].lookup(Line) ? Config.L1Latency : Config.L2Latency;
+  L1[Core].fill(Line);
+  L2[Core].fill(Line);
+  L3.fill(Line);
+  return Cost;
+}

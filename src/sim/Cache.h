@@ -1,0 +1,93 @@
+//===- sim/Cache.h - Private L1/L2 + shared L3 with invalidation -*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A latency-oriented cache model: set-associative L1/L2 per core and a
+/// shared L3, with snoop-style write-invalidate coherence and a last-writer
+/// directory that charges cache-to-cache transfer penalties. The model
+/// tracks only tags (data lives in vm::Memory); its job is to make
+/// pointer-chasing loads and cross-core value forwarding cost what they
+/// cost on the paper's Table 1 machine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_SIM_CACHE_H
+#define SPICE_SIM_CACHE_H
+
+#include "sim/CostModel.h"
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace spice {
+namespace sim {
+
+/// One set-associative tag array with LRU replacement.
+class CacheArray {
+public:
+  CacheArray(unsigned Sets, unsigned Ways)
+      : Sets(Sets), Ways(Ways), Tags(Sets * Ways, ~0ull),
+        LRU(Sets * Ways, 0) {}
+
+  bool lookup(uint64_t Line);
+  void fill(uint64_t Line);
+  bool invalidate(uint64_t Line);
+  void clear();
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  unsigned setOf(uint64_t Line) const {
+    // Multiplicative hash spreads heap structures across sets.
+    return static_cast<unsigned>((Line * 0x9e3779b97f4a7c15ULL) >> 32) %
+           Sets;
+  }
+
+  unsigned Sets;
+  unsigned Ways;
+  std::vector<uint64_t> Tags;
+  std::vector<uint64_t> LRU;
+  uint64_t Clock = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+/// The full hierarchy: per-core L1/L2, shared L3, last-writer directory.
+class CacheSystem {
+public:
+  CacheSystem(const MachineConfig &Config);
+
+  /// Returns the latency of a load of \p Addr by \p Core and updates state.
+  unsigned loadCost(unsigned Core, uint64_t Addr);
+
+  /// Returns the latency of a store by \p Core and invalidates remote
+  /// copies of the line.
+  unsigned storeCost(unsigned Core, uint64_t Addr);
+
+  uint64_t l1Hits(unsigned Core) const { return L1[Core].hits(); }
+  uint64_t l1Misses(unsigned Core) const { return L1[Core].misses(); }
+
+private:
+  uint64_t lineOf(uint64_t Addr) const { return Addr / Config.LineWords; }
+
+  const MachineConfig &Config;
+  std::vector<CacheArray> L1;
+  std::vector<CacheArray> L2;
+  CacheArray L3;
+  /// Line -> last writing core + dirty flag (write-back L2/L3).
+  struct DirEntry {
+    unsigned Owner;
+    bool Dirty;
+  };
+  std::unordered_map<uint64_t, DirEntry> Directory;
+};
+
+} // namespace sim
+} // namespace spice
+
+#endif // SPICE_SIM_CACHE_H

@@ -1,0 +1,85 @@
+//===- sim/CostModel.h - Machine configuration and op costs -----*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// MachineConfig mirrors the paper's Table 1 (4-core Itanium 2 CMP model):
+/// L1 1 cycle, L2 7 cycles, shared L3 >12 cycles, main memory 141 cycles,
+/// snoop-based write-invalidate coherence, and a multi-cycle inter-core
+/// interconnect. Non-memory opcodes get small fixed costs; memory costs
+/// come from the cache model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_SIM_COSTMODEL_H
+#define SPICE_SIM_COSTMODEL_H
+
+#include "ir/Instruction.h"
+
+#include <cstdint>
+
+namespace spice {
+namespace sim {
+
+/// Timing and structure parameters of the simulated multicore.
+struct MachineConfig {
+  unsigned NumCores = 4;
+
+  // --- Cache hierarchy (Table 1) ---
+  bool EnableCaches = true;
+  unsigned LineWords = 8;     ///< 64-byte lines (8 x 8-byte words).
+  unsigned L1Sets = 64;       ///< 16KB, 4-way, 64B lines.
+  unsigned L1Ways = 4;
+  unsigned L1Latency = 1;
+  unsigned L2Sets = 256;      ///< 256KB (approximated with 64B lines), 8-way.
+  unsigned L2Ways = 8;
+  unsigned L2Latency = 7;
+  unsigned L3Sets = 2048;     ///< 1.5MB shared, 12-way.
+  unsigned L3Ways = 12;
+  unsigned L3Latency = 12;
+  unsigned MemLatency = 141;
+  /// Extra cycles for a dirty line supplied by another core's cache
+  /// (snoop + cache-to-cache transfer).
+  unsigned CacheToCachePenalty = 12;
+
+  // --- Interconnect ---
+  /// Cycles for a value sent on a channel to become visible remotely.
+  unsigned ChannelLatency = 16;
+  /// Channel capacity in values; sends block when full.
+  unsigned ChannelCapacity = 64;
+  /// Cycles from a resteer instruction to the target core redirecting.
+  unsigned ResteerLatency = 32;
+
+  // --- Speculation ---
+  /// Per-word cost of publishing buffered speculative stores on commit.
+  unsigned CommitCostPerWord = 2;
+  /// Cost of discarding the speculative buffer.
+  unsigned RollbackCost = 8;
+
+  // --- Execution ---
+  uint64_t MaxCycles = 1ull << 40; ///< Deadlock/livelock guard.
+
+  /// Fixed issue cost of \p Op excluding memory-hierarchy latency.
+  unsigned baseCost(ir::Opcode Op) const {
+    switch (Op) {
+    case ir::Opcode::Mul:
+      return 3;
+    case ir::Opcode::SDiv:
+    case ir::Opcode::SRem:
+      return 12;
+    case ir::Opcode::SpecCommit:
+      return 1; // Plus CommitCostPerWord per buffered word.
+    case ir::Opcode::SpecRollback:
+      return RollbackCost;
+    default:
+      return 1;
+    }
+  }
+};
+
+} // namespace sim
+} // namespace spice
+
+#endif // SPICE_SIM_COSTMODEL_H

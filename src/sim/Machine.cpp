@@ -1,0 +1,279 @@
+//===- sim/Machine.cpp - Discrete-event multicore simulator ---------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Machine.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace spice;
+using namespace spice::sim;
+using namespace spice::ir;
+
+namespace spice {
+namespace sim {
+
+/// The world as seen by one simulated core: memory through the cache model
+/// and the speculative buffer, channels with latency, resteer postings.
+/// Lives in the .cpp: only Machine ever instantiates it.
+class CoreEnv : public vm::ExecutionEnv {
+public:
+  CoreEnv(Machine &M, unsigned CoreId) : M(M), CoreId(CoreId) {}
+
+  /// Cycles accumulated by the current instruction beyond its base cost.
+  unsigned takeExtraCost() {
+    unsigned C = ExtraCost;
+    ExtraCost = 0;
+    return C;
+  }
+
+  int64_t load(uint64_t Addr) override;
+  void store(uint64_t Addr, int64_t V) override;
+  bool send(int64_t Chan, int64_t V) override;
+  std::optional<int64_t> recv(int64_t Chan) override;
+  void specBegin() override;
+  bool specCommit() override;
+  void specRollback() override;
+  void resteer(int64_t CoreId, const ir::BasicBlock *Target) override;
+
+private:
+  Machine &M;
+  unsigned CoreId;
+  unsigned ExtraCost = 0;
+};
+
+} // namespace sim
+} // namespace spice
+
+Machine::Machine(const MachineConfig &Config, vm::Memory &Mem)
+    : Config(Config), Mem(Mem), Caches(this->Config) {}
+
+Machine::~Machine() = default;
+
+unsigned Machine::addThread(const Function &F, std::vector<int64_t> Args) {
+  assert(Cores.size() < Config.NumCores && "machine is out of cores");
+  unsigned CoreId = static_cast<unsigned>(Cores.size());
+  Cores.push_back({});
+  CoreState &CS = Cores.back();
+  auto Env = std::make_unique<CoreEnv>(*this, CoreId);
+  CS.Thread =
+      std::make_unique<vm::ThreadContext>(F, Mem, *Env, std::move(Args));
+  CS.Env = std::move(Env);
+  return CoreId;
+}
+
+Machine::ChannelState &Machine::channel(int64_t Id) { return Channels[Id]; }
+
+unsigned Machine::pickNextCore() const {
+  unsigned Best = ~0u;
+  for (unsigned I = 0; I != Cores.size(); ++I) {
+    const CoreState &CS = Cores[I];
+    if (CS.Finished || CS.WaitChannel >= 0)
+      continue;
+    if (Best == ~0u || CS.Clock < Cores[Best].Clock)
+      Best = I;
+  }
+  return Best;
+}
+
+void Machine::stepCore(unsigned CoreId) {
+  CoreState &CS = Cores[CoreId];
+
+  // Apply a due resteer before fetching the next instruction.
+  if (CS.Resteer && CS.Resteer->Time <= CS.Clock) {
+    CS.Thread->jumpTo(CS.Resteer->Target);
+    CS.Resteer.reset();
+  }
+
+  auto *Env = static_cast<CoreEnv *>(CS.Env.get());
+  vm::StepResult R = CS.Thread->step();
+  unsigned Cost = Config.baseCost(R.Inst->getOpcode()) + Env->takeExtraCost();
+
+  switch (R.Status) {
+  case vm::StepStatus::Blocked:
+    // Send into a full channel: retry after a cycle. Recv marked the wait
+    // channel itself (it must distinguish empty from not-ready).
+    if (R.Inst->getOpcode() == Opcode::Send)
+      CS.Clock += 1;
+    return;
+  case vm::StepStatus::Returned:
+    CS.Finished = true;
+    CS.ReturnValue = CS.Thread->getReturnValue();
+    break;
+  case vm::StepStatus::Halted:
+    CS.Finished = true;
+    break;
+  case vm::StepStatus::Ran:
+    break;
+  }
+  CS.Clock += Cost;
+  CS.Instructions += 1;
+}
+
+SimResult Machine::run() {
+  assert(!Cores.empty() && "no threads added");
+  for (;;) {
+    unsigned Next = pickNextCore();
+    if (Next == ~0u) {
+      // Either everything finished, or every live core waits on a channel.
+      bool AllDone = true;
+      for (const CoreState &CS : Cores)
+        AllDone &= CS.Finished;
+      if (AllDone)
+        break;
+      spice_unreachable("simulated deadlock: all live cores blocked");
+    }
+    if (Cores[Next].Clock > Config.MaxCycles)
+      spice_unreachable("simulation exceeded MaxCycles (livelock?)");
+    stepCore(Next);
+  }
+
+  SimResult Res;
+  Res.CoreFinishCycles.reserve(Cores.size());
+  for (CoreState &CS : Cores) {
+    Res.CoreFinishCycles.push_back(CS.Clock);
+    Res.CoreInstructions.push_back(CS.Instructions);
+    Res.ReturnValues.push_back(CS.ReturnValue);
+    Res.Cycles = std::max(Res.Cycles, CS.Clock);
+  }
+  Res.MainCycles = Res.CoreFinishCycles.front();
+  Res.ChannelMessages = ChannelMessages;
+  Res.Resteers = ResteerCount;
+  Res.Conflicts = ConflictsDetected;
+  return Res;
+}
+
+//===----------------------------------------------------------------------===//
+// CoreEnv
+//===----------------------------------------------------------------------===//
+
+int64_t CoreEnv::load(uint64_t Addr) {
+  Machine::CoreState &CS = M.Cores[CoreId];
+  if (M.Config.EnableCaches)
+    ExtraCost += M.Caches.loadCost(CoreId, Addr);
+  // Read own speculative writes first.
+  if (CS.Speculative) {
+    auto It = CS.SpecMap.find(Addr);
+    if (It != CS.SpecMap.end())
+      return It->second;
+    int64_t V = M.Mem.load(Addr);
+    CS.SpecReads.emplace(Addr, V); // First read wins for validation.
+    return V;
+  }
+  return M.Mem.load(Addr);
+}
+
+void CoreEnv::store(uint64_t Addr, int64_t V) {
+  Machine::CoreState &CS = M.Cores[CoreId];
+  if (CS.Speculative) {
+    // Buffered: cheap, invisible to other cores until commit.
+    CS.SpecLog.push_back({Addr, V});
+    CS.SpecMap[Addr] = V;
+    ExtraCost += M.Config.L1Latency;
+    return;
+  }
+  if (M.Config.EnableCaches)
+    ExtraCost += M.Caches.storeCost(CoreId, Addr);
+  M.Mem.store(Addr, V);
+}
+
+bool CoreEnv::send(int64_t Chan, int64_t V) {
+  Machine::ChannelState &Ch = M.channel(Chan);
+  if (Ch.Queue.size() >= M.Config.ChannelCapacity)
+    return false;
+  Machine::CoreState &CS = M.Cores[CoreId];
+  uint64_t Ready = CS.Clock + M.Config.ChannelLatency;
+  Ch.Queue.push_back({V, Ready});
+  ++M.ChannelMessages;
+  // Wake receivers parked on this channel.
+  for (Machine::CoreState &Other : M.Cores) {
+    if (Other.WaitChannel != Chan)
+      continue;
+    Other.WaitChannel = -1;
+    Other.Clock = std::max(Other.Clock, Ready);
+  }
+  return true;
+}
+
+std::optional<int64_t> CoreEnv::recv(int64_t Chan) {
+  Machine::ChannelState &Ch = M.channel(Chan);
+  Machine::CoreState &CS = M.Cores[CoreId];
+  if (Ch.Queue.empty()) {
+    // Park until a send wakes this core.
+    CS.WaitChannel = Chan;
+    return std::nullopt;
+  }
+  const Machine::Message &Msg = Ch.Queue.front();
+  if (Msg.ReadyTime > CS.Clock) {
+    // In flight: fast-forward to its arrival and retry.
+    CS.Clock = Msg.ReadyTime;
+    return std::nullopt;
+  }
+  int64_t V = Msg.Value;
+  Ch.Queue.pop_front();
+  return V;
+}
+
+void CoreEnv::specBegin() {
+  Machine::CoreState &CS = M.Cores[CoreId];
+  assert(!CS.Speculative && "nested spec.begin");
+  CS.Speculative = true;
+}
+
+bool CoreEnv::specCommit() {
+  Machine::CoreState &CS = M.Cores[CoreId];
+  assert(CS.Speculative && "spec.commit outside speculation");
+  // Conflict check (paper section 3, "Conflict Detection"): validate every
+  // speculatively read location against commit-time memory. Chunks commit
+  // in iteration order, so passing validation means this chunk's execution
+  // is equivalent to running serially after its predecessors.
+  bool Conflict = false;
+  for (const auto &[Addr, SeenValue] : CS.SpecReads) {
+    if (M.Mem.load(Addr) != SeenValue) {
+      Conflict = true;
+      break;
+    }
+  }
+  if (Conflict) {
+    ++M.ConflictsDetected;
+    ExtraCost += M.Config.RollbackCost;
+  } else {
+    for (const auto &[Addr, V] : CS.SpecLog) {
+      if (M.Config.EnableCaches)
+        M.Caches.storeCost(CoreId, Addr);
+      M.Mem.store(Addr, V);
+      ExtraCost += M.Config.CommitCostPerWord;
+    }
+  }
+  CS.SpecLog.clear();
+  CS.SpecMap.clear();
+  CS.SpecReads.clear();
+  CS.Speculative = false;
+  return Conflict;
+}
+
+void CoreEnv::specRollback() {
+  Machine::CoreState &CS = M.Cores[CoreId];
+  CS.SpecLog.clear();
+  CS.SpecMap.clear();
+  CS.SpecReads.clear();
+  CS.Speculative = false;
+}
+
+void CoreEnv::resteer(int64_t TargetCore, const ir::BasicBlock *Target) {
+  assert(TargetCore >= 0 &&
+         static_cast<size_t>(TargetCore) < M.Cores.size() &&
+         "resteer target out of range");
+  Machine::CoreState &CS = M.Cores[CoreId];
+  Machine::CoreState &TargetCS = M.Cores[static_cast<size_t>(TargetCore)];
+  assert(!TargetCS.Finished && "resteer of a finished core");
+  TargetCS.Resteer = {CS.Clock + M.Config.ResteerLatency, Target};
+  // A parked core must be released so it can observe the resteer.
+  if (TargetCS.WaitChannel >= 0) {
+    TargetCS.WaitChannel = -1;
+    TargetCS.Clock = std::max(TargetCS.Clock, TargetCS.Resteer->Time);
+  }
+  ++M.ResteerCount;
+}

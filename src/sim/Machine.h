@@ -1,0 +1,124 @@
+//===- sim/Machine.h - Discrete-event multicore simulator -------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machine executes one IR thread per simulated core, advancing the core
+/// with the smallest local clock (ties broken by core id) so that shared
+/// memory is sequentially consistent in simulated time and runs are fully
+/// deterministic. It provides:
+///
+///   * per-instruction costing through CostModel + CacheSystem,
+///   * latency-bearing bounded channels (the paper's inter-core value
+///     forwarding),
+///   * per-core speculative write buffers (SpecBegin/SpecCommit/
+///     SpecRollback), and
+///   * the remote-resteer mechanism of paper section 3: a Resteer executed
+///     on one core redirects another core to its recovery block after
+///     ResteerLatency cycles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_SIM_MACHINE_H
+#define SPICE_SIM_MACHINE_H
+
+#include "sim/Cache.h"
+#include "vm/ThreadContext.h"
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <unordered_set>
+
+namespace spice {
+namespace sim {
+
+/// Result of a completed simulation.
+struct SimResult {
+  /// Finish time of the last core (total execution time).
+  uint64_t Cycles = 0;
+  /// Finish time of core 0 (the main thread in Spice programs).
+  uint64_t MainCycles = 0;
+  std::vector<uint64_t> CoreFinishCycles;
+  std::vector<uint64_t> CoreInstructions;
+  std::vector<int64_t> ReturnValues;
+  uint64_t ChannelMessages = 0;
+  uint64_t Resteers = 0;
+  uint64_t Conflicts = 0;
+};
+
+/// A multicore machine executing one function per core over shared memory.
+class Machine {
+public:
+  Machine(const MachineConfig &Config, vm::Memory &Mem);
+  ~Machine();
+
+  /// Adds a thread pinned to the next free core. Functions must be
+  /// renumbered. Returns the core id.
+  unsigned addThread(const ir::Function &F, std::vector<int64_t> Args);
+
+  /// Runs all threads to completion and returns timing results. Fatal on
+  /// deadlock or when MaxCycles is exceeded.
+  SimResult run();
+
+  const MachineConfig &getConfig() const { return Config; }
+
+private:
+  friend class CoreEnv;
+
+  struct Message {
+    int64_t Value;
+    uint64_t ReadyTime;
+  };
+  struct ChannelState {
+    std::deque<Message> Queue;
+  };
+  struct PendingResteer {
+    uint64_t Time;
+    const ir::BasicBlock *Target;
+  };
+  struct CoreState {
+    std::unique_ptr<vm::ExecutionEnv> Env;
+    std::unique_ptr<vm::ThreadContext> Thread;
+    uint64_t Clock = 0;
+    uint64_t Instructions = 0;
+    bool Finished = false;
+    int64_t ReturnValue = 0;
+    /// Channel this core is blocked on (-1 when runnable). A core waiting
+    /// on an empty channel is only rescheduled by a send to that channel.
+    int64_t WaitChannel = -1;
+    std::optional<PendingResteer> Resteer;
+    /// Buffered speculative stores (addr -> value), program order kept for
+    /// deterministic commit.
+    std::vector<std::pair<uint64_t, int64_t>> SpecLog;
+    std::unordered_map<uint64_t, int64_t> SpecMap;
+    /// First value read from each address while speculative. Commit-time
+    /// value validation: if memory then differs, the chunk read stale data
+    /// and must squash (value-based conflict detection; silent re-writes
+    /// of the same value — the common case in mcf's refresh_potential —
+    /// validate cleanly).
+    std::unordered_map<uint64_t, int64_t> SpecReads;
+    bool Speculative = false;
+  };
+
+  ChannelState &channel(int64_t Id);
+  void stepCore(unsigned CoreId);
+  /// Picks the runnable core with the smallest clock; ~0u when none.
+  unsigned pickNextCore() const;
+
+  MachineConfig Config;
+  vm::Memory &Mem;
+  CacheSystem Caches;
+  std::vector<CoreState> Cores;
+  std::unordered_map<int64_t, ChannelState> Channels;
+  uint64_t ChannelMessages = 0;
+  uint64_t ResteerCount = 0;
+  uint64_t ConflictsDetected = 0;
+};
+
+} // namespace sim
+} // namespace spice
+
+#endif // SPICE_SIM_MACHINE_H

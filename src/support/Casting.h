@@ -1,0 +1,84 @@
+//===- support/Casting.h - isa/cast/dyn_cast templates ----------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Hand-rolled, opt-in RTTI in the style of LLVM's llvm/Support/Casting.h.
+/// A class hierarchy participates by providing a Kind discriminator and a
+/// static classof(const Base *) predicate on each subclass.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_SUPPORT_CASTING_H
+#define SPICE_SUPPORT_CASTING_H
+
+#include <cassert>
+#include <type_traits>
+
+namespace spice {
+
+/// Returns true if \p Val is an instance of the class \p To.
+///
+/// \p Val must be non-null; use isa_and_nonnull for possibly-null values.
+template <typename To, typename From> bool isa(const From *Val) {
+  assert(Val && "isa<> used on a null pointer");
+  return To::classof(Val);
+}
+
+template <typename To, typename From>
+  requires(!std::is_pointer_v<From>)
+bool isa(const From &Val) {
+  return To::classof(&Val);
+}
+
+/// isa that tolerates a null pointer (a null pointer is not an instance of
+/// anything).
+template <typename To, typename From> bool isa_and_nonnull(const From *Val) {
+  return Val && To::classof(Val);
+}
+
+/// Checked cast: asserts that the dynamic type matches.
+template <typename To, typename From> To *cast(From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<To *>(Val);
+}
+
+template <typename To, typename From> const To *cast(const From *Val) {
+  assert(isa<To>(Val) && "cast<> argument of incompatible type");
+  return static_cast<const To *>(Val);
+}
+
+template <typename To, typename From> To &cast(From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<To &>(Val);
+}
+
+template <typename To, typename From> const To &cast(const From &Val) {
+  assert(isa<To>(&Val) && "cast<> argument of incompatible type");
+  return static_cast<const To &>(Val);
+}
+
+/// Checking cast: returns null when the dynamic type does not match.
+template <typename To, typename From> To *dyn_cast(From *Val) {
+  return isa<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From> const To *dyn_cast(const From *Val) {
+  return isa<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+/// dyn_cast that tolerates a null input pointer.
+template <typename To, typename From> To *dyn_cast_or_null(From *Val) {
+  return isa_and_nonnull<To>(Val) ? static_cast<To *>(Val) : nullptr;
+}
+
+template <typename To, typename From>
+const To *dyn_cast_or_null(const From *Val) {
+  return isa_and_nonnull<To>(Val) ? static_cast<const To *>(Val) : nullptr;
+}
+
+} // namespace spice
+
+#endif // SPICE_SUPPORT_CASTING_H

@@ -1,0 +1,27 @@
+//===- support/Debug.cpp - Debug output macros ---------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Debug.h"
+
+#include <set>
+#include <string>
+
+// Function-local static avoids a static constructor at load time.
+static std::set<std::string> &debugTypes() {
+  static std::set<std::string> Types;
+  return Types;
+}
+
+bool spice::isDebugTypeEnabled(const char *Type) {
+  const std::set<std::string> &Types = debugTypes();
+  if (Types.empty())
+    return false;
+  return Types.count("all") || Types.count(Type);
+}
+
+void spice::enableDebugType(const char *Type) { debugTypes().insert(Type); }
+
+void spice::clearDebugTypes() { debugTypes().clear(); }

@@ -1,0 +1,43 @@
+//===- support/Debug.h - Debug output macros --------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SPICE_DEBUG: debug-only trace output gated on a runtime debug-type set,
+/// modeled on LLVM_DEBUG / -debug-only. Debug output goes to stderr and
+/// compiles away entirely in NDEBUG builds.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_SUPPORT_DEBUG_H
+#define SPICE_SUPPORT_DEBUG_H
+
+namespace spice {
+
+/// Returns true if debug tracing is enabled for \p Type (or for all types).
+bool isDebugTypeEnabled(const char *Type);
+
+/// Enables debug tracing for \p Type; pass "all" to enable everything.
+void enableDebugType(const char *Type);
+
+/// Disables all debug tracing.
+void clearDebugTypes();
+
+} // namespace spice
+
+#ifndef NDEBUG
+#define SPICE_DEBUG(Type, Stmt)                                                \
+  do {                                                                         \
+    if (::spice::isDebugTypeEnabled(Type)) {                                   \
+      Stmt;                                                                    \
+    }                                                                          \
+  } while (false)
+#else
+#define SPICE_DEBUG(Type, Stmt)                                                \
+  do {                                                                         \
+  } while (false)
+#endif
+
+#endif // SPICE_SUPPORT_DEBUG_H

@@ -1,0 +1,49 @@
+//===- support/MathUtil.h - Small math helpers ------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Geometric mean and other small numeric helpers used by the benchmark
+/// harnesses and the load-balancing planner.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_SUPPORT_MATHUTIL_H
+#define SPICE_SUPPORT_MATHUTIL_H
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace spice {
+
+/// Geometric mean of strictly positive values. Returns 0 for an empty input.
+inline double geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometricMean() requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+/// Integer ceiling division for nonnegative operands.
+inline uint64_t ceilDiv(uint64_t Num, uint64_t Den) {
+  assert(Den != 0 && "ceilDiv() by zero");
+  return (Num + Den - 1) / Den;
+}
+
+/// Returns true when |A - B| <= Tol * max(1, |A|, |B|).
+inline bool approxEqual(double A, double B, double Tol = 1e-9) {
+  double Scale = std::fmax(1.0, std::fmax(std::fabs(A), std::fabs(B)));
+  return std::fabs(A - B) <= Tol * Scale;
+}
+
+} // namespace spice
+
+#endif // SPICE_SUPPORT_MATHUTIL_H

@@ -1,0 +1,106 @@
+//===- support/Random.h - Deterministic random number engine ----*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small deterministic PRNG (SplitMix64 seeding a xoshiro256**) used by
+/// workload generators and property tests. Determinism across platforms
+/// matters more than statistical strength here: every experiment must be
+/// reproducible from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_SUPPORT_RANDOM_H
+#define SPICE_SUPPORT_RANDOM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spice {
+
+/// Deterministic 64-bit PRNG (xoshiro256** seeded via SplitMix64).
+class RandomEngine {
+public:
+  explicit RandomEngine(uint64_t Seed = 0x5eed5eed5eed5eedULL) { seed(Seed); }
+
+  /// Re-seeds the engine; identical seeds yield identical streams.
+  void seed(uint64_t Seed) {
+    // SplitMix64 expansion of the seed into the 256-bit state.
+    uint64_t X = Seed;
+    for (uint64_t &Word : State) {
+      X += 0x9e3779b97f4a7c15ULL;
+      uint64_t Z = X;
+      Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+      Word = Z ^ (Z >> 31);
+    }
+  }
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next() {
+    uint64_t *S = State;
+    uint64_t Result = rotl(S[1] * 5, 7) * 9;
+    uint64_t T = S[1] << 17;
+    S[2] ^= S[0];
+    S[3] ^= S[1];
+    S[1] ^= S[2];
+    S[0] ^= S[3];
+    S[2] ^= T;
+    S[3] = rotl(S[3], 45);
+    return Result;
+  }
+
+  /// Returns a uniform value in [0, Bound). \p Bound must be nonzero.
+  uint64_t nextBelow(uint64_t Bound) {
+    assert(Bound != 0 && "nextBelow() with zero bound");
+    // Debiased multiply-shift (Lemire). The rejection loop terminates fast.
+    uint64_t Threshold = (0 - Bound) % Bound;
+    for (;;) {
+      uint64_t X = next();
+      __uint128_t M = static_cast<__uint128_t>(X) * Bound;
+      if (static_cast<uint64_t>(M) >= Threshold)
+        return static_cast<uint64_t>(M >> 64);
+    }
+  }
+
+  /// Returns a uniform value in the closed range [Lo, Hi].
+  int64_t nextInRange(int64_t Lo, int64_t Hi) {
+    assert(Lo <= Hi && "nextInRange() with inverted range");
+    uint64_t Span = static_cast<uint64_t>(Hi) - static_cast<uint64_t>(Lo) + 1;
+    return static_cast<int64_t>(static_cast<uint64_t>(Lo) +
+                                (Span == 0 ? next() : nextBelow(Span)));
+  }
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P) {
+    if (P <= 0.0)
+      return false;
+    if (P >= 1.0)
+      return true;
+    return nextDouble() < P;
+  }
+
+  /// Returns a uniform double in [0, 1).
+  double nextDouble() { return (next() >> 11) * 0x1.0p-53; }
+
+  /// Fisher-Yates shuffle of \p Values.
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    for (size_t I = Values.size(); I > 1; --I)
+      std::swap(Values[I - 1], Values[nextBelow(I)]);
+  }
+
+private:
+  static uint64_t rotl(uint64_t X, int K) {
+    return (X << K) | (X >> (64 - K));
+  }
+
+  uint64_t State[4];
+};
+
+} // namespace spice
+
+#endif // SPICE_SUPPORT_RANDOM_H

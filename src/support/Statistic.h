@@ -1,0 +1,76 @@
+//===- support/Statistic.h - Lightweight statistics counters ----*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Named counters for runtime and compiler statistics, in the spirit of
+/// LLVM's Statistic class but without global registration at static-init
+/// time (the coding standard forbids static constructors). Statistics are
+/// grouped into explicitly created StatisticRegistry objects.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_SUPPORT_STATISTIC_H
+#define SPICE_SUPPORT_STATISTIC_H
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace spice {
+
+/// A registry of named, thread-safe counters.
+class StatisticRegistry {
+public:
+  /// Increments the counter \p Name by \p Delta.
+  void add(const std::string &Name, uint64_t Delta = 1) {
+    counter(Name).fetch_add(Delta, std::memory_order_relaxed);
+  }
+
+  /// Sets the counter \p Name to \p V.
+  void set(const std::string &Name, uint64_t V) {
+    counter(Name).store(V, std::memory_order_relaxed);
+  }
+
+  /// Returns the current value of \p Name (0 if never touched).
+  uint64_t get(const std::string &Name) const {
+    auto It = Counters.find(Name);
+    return It == Counters.end() ? 0 : It->second.load();
+  }
+
+  /// Resets every counter to zero.
+  void clear() { Counters.clear(); }
+
+  /// Renders "name = value" lines sorted by name.
+  std::string report() const {
+    std::string Out;
+    for (const auto &[Name, Value] : Counters) {
+      Out += Name;
+      Out += " = ";
+      Out += std::to_string(Value.load());
+      Out += '\n';
+    }
+    return Out;
+  }
+
+  /// Visits all counters in name order.
+  template <typename Fn> void forEach(Fn F) const {
+    for (const auto &[Name, Value] : Counters)
+      F(Name, Value.load());
+  }
+
+private:
+  std::atomic<uint64_t> &counter(const std::string &Name) {
+    // map: stable addresses and deterministic iteration order.
+    return Counters[Name];
+  }
+
+  std::map<std::string, std::atomic<uint64_t>> Counters;
+};
+
+} // namespace spice
+
+#endif // SPICE_SUPPORT_STATISTIC_H

@@ -1,0 +1,102 @@
+//===- transform/Cloning.cpp - Loop body cloning ---------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/Cloning.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace spice;
+using namespace spice::transform;
+using namespace spice::ir;
+
+Value *transform::remapValue(const ValueMap &VMap, Value *V) {
+  auto It = VMap.find(V);
+  if (It != VMap.end())
+    return It->second;
+  assert((isa<ConstantInt>(V) || isa<GlobalVariable>(V)) &&
+         "unmapped non-constant operand during cloning");
+  return V;
+}
+
+ClonedLoop transform::cloneLoopBody(const analysis::Loop &L,
+                                    Function &Target,
+                                    const std::string &Suffix,
+                                    ValueMap &VMap) {
+  ClonedLoop Clone;
+  BasicBlock *Latch = L.getSingleLatch();
+  assert(Latch && "cloning requires a single-latch loop");
+
+  // Pass 1: create empty blocks.
+  for (BasicBlock *BB : L.blocks()) {
+    BasicBlock *NewBB = Target.createBlock(BB->getName() + Suffix);
+    Clone.BlockMap[BB] = NewBB;
+  }
+  Clone.Header = Clone.BlockMap[L.getHeader()];
+  Clone.Latch = Clone.BlockMap[Latch];
+
+  // Pass 2: clone instructions. Header phis become empty phis; all other
+  // instructions are cloned with operands remapped (backward references
+  // resolve immediately; forward references -- only possible through
+  // phis of inner headers -- are patched in pass 3).
+  std::vector<std::pair<const Instruction *, Instruction *>> NeedsPatch;
+  for (BasicBlock *BB : L.blocks()) {
+    BasicBlock *NewBB = Clone.BlockMap[BB];
+    for (const auto &I : *BB) {
+      if (BB == L.getHeader() && I->getOpcode() == Opcode::Phi) {
+        // Callers may pre-map header phis (the Spice chunk emitter hoists
+        // them into its own top block); otherwise clone an empty phi.
+        if (VMap.count(I.get()))
+          continue;
+        auto NewPhi = std::make_unique<Instruction>(
+            Opcode::Phi, std::vector<Value *>{});
+        NewPhi->setName(I->getName());
+        Instruction *Raw = NewBB->append(std::move(NewPhi));
+        VMap[I.get()] = Raw;
+        Clone.HeaderPhis.push_back(Raw);
+        continue;
+      }
+      // Operands may reference not-yet-cloned instructions (loop phis of
+      // inner loops, or the header phi latch values). Defer remapping of
+      // unresolved instruction operands.
+      std::vector<Value *> Ops = I->operands();
+      std::vector<BasicBlock *> Blocks;
+      Blocks.reserve(I->getNumBlockOperands());
+      for (BasicBlock *Tgt : I->blockOperands()) {
+        auto BIt = Clone.BlockMap.find(Tgt);
+        // Exit edges keep the original target until retargetExits.
+        Blocks.push_back(BIt == Clone.BlockMap.end() ? Tgt : BIt->second);
+      }
+      auto NewI =
+          std::make_unique<Instruction>(I->getOpcode(), Ops, Blocks);
+      NewI->setName(I->getName());
+      Instruction *Raw = NewBB->append(std::move(NewI));
+      VMap[I.get()] = Raw;
+      NeedsPatch.push_back({I.get(), Raw});
+    }
+  }
+
+  // Pass 3: remap all operands now that every clone exists.
+  for (auto &[Orig, New] : NeedsPatch) {
+    (void)Orig;
+    for (unsigned K = 0, E = New->getNumOperands(); K != E; ++K)
+      New->setOperand(K, remapValue(VMap, New->getOperand(K)));
+  }
+  return Clone;
+}
+
+void transform::retargetExits(ClonedLoop &Clone,
+                              const BasicBlock *OrigExit,
+                              BasicBlock *NewExit) {
+  for (auto &[Orig, New] : Clone.BlockMap) {
+    (void)Orig;
+    Instruction *Term = New->getTerminator();
+    if (!Term)
+      continue;
+    for (unsigned K = 0, E = Term->getNumBlockOperands(); K != E; ++K)
+      if (Term->getBlockOperand(K) == OrigExit)
+        Term->setBlockOperand(K, NewExit);
+  }
+}

@@ -1,0 +1,64 @@
+//===- transform/Cloning.h - Loop body cloning -------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Clones the body of a loop into another (or the same) function, remapping
+/// operands through a value map. The Spice transformation clones each loop
+/// t-1 times into worker functions plus the main chunk and the recovery
+/// loops, so this is its workhorse.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_TRANSFORM_CLONING_H
+#define SPICE_TRANSFORM_CLONING_H
+
+#include "analysis/LoopInfo.h"
+
+#include <unordered_map>
+
+namespace spice {
+namespace transform {
+
+/// Operand remapping used during cloning. Values absent from the map are
+/// used as-is when they are constants or globals; anything else missing is
+/// a bug in the caller.
+using ValueMap = std::unordered_map<const ir::Value *, ir::Value *>;
+
+/// Result of cloning a loop body.
+struct ClonedLoop {
+  /// Clone of the loop header (contains the cloned header phis first).
+  ir::BasicBlock *Header = nullptr;
+  /// Clone of the (single) latch.
+  ir::BasicBlock *Latch = nullptr;
+  /// Map from original blocks to clones.
+  std::unordered_map<const ir::BasicBlock *, ir::BasicBlock *> BlockMap;
+  /// Clones of the header phis, in original order. Their incoming lists
+  /// are EMPTY: the caller wires start and latch incomings.
+  std::vector<ir::Instruction *> HeaderPhis;
+};
+
+/// Clones every block of \p L into \p Target, remapping operands through
+/// \p VMap (which is extended with the clones). Header phis are cloned as
+/// empty phis (no incomings); all other phis (inner-loop headers) are
+/// cloned with their incoming lists remapped. Branch targets that leave
+/// the loop are NOT wired: the caller must re-point edges that exit the
+/// loop (they are left targeting the original blocks and must be fixed via
+/// retargetExits).
+ClonedLoop cloneLoopBody(const analysis::Loop &L, ir::Function &Target,
+                         const std::string &Suffix, ValueMap &VMap);
+
+/// Rewrites, in every cloned block, branch targets equal to \p OrigExit so
+/// they branch to \p NewExit instead.
+void retargetExits(ClonedLoop &Clone, const ir::BasicBlock *OrigExit,
+                   ir::BasicBlock *NewExit);
+
+/// Remaps \p V through \p VMap; constants/globals/unmapped pass through.
+ir::Value *remapValue(const ValueMap &VMap, ir::Value *V);
+
+} // namespace transform
+} // namespace spice
+
+#endif // SPICE_TRANSFORM_CLONING_H

@@ -1,0 +1,773 @@
+//===- transform/SpiceTransform.cpp - Algorithm 1 of the paper ------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// Code layout produced for t threads (m speculated live-ins, R reductions):
+//
+//   main:   entry' (clone) -> launch_i... -> chunk (clone + memoize +
+//           detect) -> {matched,exited} -> chain_1 .. chain_{t-1}
+//           (wait/commit/merge | squash-resteer | conflict->resume clone)
+//           -> planner (unrolled) -> exit' (clone, reads merged reductions)
+//
+//   worker_i: entry (recv activation) -> init (recv live-ins) -> chunk
+//           (clone + memoize + detect) -> send status -> verdict (recv
+//           commit; spec.commit + conflict flag; send live-outs) -> halt
+//           recovery: spec.rollback; halt   <- resteer target
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/SpiceTransform.h"
+
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+#include "support/ErrorHandling.h"
+#include "transform/Cloning.h"
+
+#include <algorithm>
+#include <climits>
+
+using namespace spice;
+using namespace spice::transform;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+void SpiceParallelProgram::initPredictorState(vm::Memory &Mem,
+                                              int64_t TripCountEstimate) const {
+  unsigned T = NumThreads;
+  uint64_t SvatBase = Mem.addressOf(Svat);
+  uint64_t SvaiBase = Mem.addressOf(Svai);
+  // Thread 0 memoizes at the estimated equal-work split points on the
+  // first invocation; everyone else starts at the "infinity" sentinel.
+  for (unsigned K = 1; K != T; ++K) {
+    Mem.store(SvatBase + (K - 1),
+              (TripCountEstimate * static_cast<int64_t>(K)) /
+                  static_cast<int64_t>(T));
+    Mem.store(SvaiBase + (K - 1), static_cast<int64_t>(K - 1));
+  }
+  Mem.store(SvatBase + (T - 1), INT64_MAX);
+  for (unsigned J = 1; J != T; ++J)
+    Mem.store(SvatBase + J * T, INT64_MAX);
+  for (unsigned R = 0; R + 1 < T; ++R)
+    Mem.store(Mem.addressOf(SvaWritten) + R, 0);
+  for (unsigned J = 0; J != T; ++J)
+    Mem.store(Mem.addressOf(Work) + J, 0);
+}
+
+namespace {
+
+/// Everything emitChunk needs and produces.
+struct ChunkSpec {
+  BasicBlock *Preheader = nullptr;
+  std::vector<Value *> SpecStarts;
+  std::vector<Value *> RedStarts;  ///< Ordered like Info.HeaderPhis.
+  Value *DetectGuard = nullptr;    ///< Null disables detection.
+  std::vector<Value *> DetectTargets;
+  Value *SvatRowBase = nullptr;    ///< Null disables memoization.
+  Value *SvaiRowBase = nullptr;
+};
+
+struct ChunkResult {
+  BasicBlock *MatchedExit = nullptr;
+  BasicBlock *ExitedExit = nullptr;
+  Value *WorkAtExit = nullptr;
+  /// Final values of the original header phis (valid in both exits).
+  std::vector<Value *> PhiFinals;
+};
+
+class SpiceEmitter {
+public:
+  SpiceEmitter(Module &M, Function &F, const SpiceTransformOptions &Opts)
+      : M(M), F(F), Opts(Opts), CFG(F), DT(CFG), LI(CFG, DT) {}
+
+  SpiceParallelProgram run();
+
+private:
+  int64_t chanCtrl(unsigned I) const { return Opts.ChannelBase + 2 * I; }
+  int64_t chanDone(unsigned I) const {
+    return Opts.ChannelBase + 2 * I + 1;
+  }
+
+  /// svat/svai row base address for thread \p Tid as an SSA value.
+  Value *rowBase(IRBuilder &B, GlobalVariable *G, unsigned Tid) {
+    return B.createAdd(G, B.getInt(Tid * Opts.NumThreads));
+  }
+
+  Value *addrAt(IRBuilder &B, GlobalVariable *G, unsigned Offset) {
+    return B.createAdd(G, B.getInt(Offset));
+  }
+
+  /// Clones the loop as one chunk into \p Target. See file header.
+  ChunkResult emitChunk(Function &Target, const ChunkSpec &Spec,
+                        ValueMap VMap, const std::string &Suffix);
+
+  /// Merges chunk reduction values \p NewVals into \p CurVals (both
+  /// ordered like Info.HeaderPhis, non-reduction slots null).
+  std::vector<Value *> emitMerge(IRBuilder &B,
+                                 const std::vector<Value *> &CurVals,
+                                 const std::vector<Value *> &NewVals);
+
+  void createGlobals();
+  void emitWorkers();
+  void emitMain();
+  void emitPlanner(IRBuilder &B);
+
+  /// Index of \p Phi in Info.HeaderPhis.
+  unsigned phiIndex(const Instruction *Phi) const {
+    for (unsigned I = 0; I != Info.HeaderPhis.size(); ++I)
+      if (Info.HeaderPhis[I] == Phi)
+        return I;
+    spice_unreachable("value is not a header phi");
+  }
+
+  Module &M;
+  Function &F;
+  SpiceTransformOptions Opts;
+  CFGInfo CFG;
+  DominatorTree DT;
+  LoopInfo LI;
+  const Loop *L = nullptr;
+  LoopCarriedInfo Info;
+
+  BasicBlock *OrigEntry = nullptr;
+  BasicBlock *OrigExit = nullptr;
+
+  /// Reduction slot (index into the MergedRed global) per header phi; -1
+  /// for speculated phis. Speculated index per header phi; -1 otherwise.
+  std::vector<int> RedSlot, SpecSlot;
+
+  SpiceParallelProgram P;
+  /// Per-worker recovery blocks (resteer targets).
+  std::vector<BasicBlock *> WorkerRecovery;
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Chunk emission
+//===----------------------------------------------------------------------===//
+
+ChunkResult SpiceEmitter::emitChunk(Function &Target, const ChunkSpec &Spec,
+                                    ValueMap VMap,
+                                    const std::string &Suffix) {
+  IRBuilder B(M, nullptr);
+  ChunkResult Out;
+
+  // Top block: all loop-carried phis live here, followed by memoization
+  // and detection; the cloned header keeps only its non-phi code.
+  BasicBlock *Top = Target.createBlock("top" + Suffix);
+  B.setInsertBlock(Top);
+  std::vector<Instruction *> Phis;
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I) {
+    Instruction *Phi = B.createPhi(Info.HeaderPhis[I]->getName());
+    Phis.push_back(Phi);
+    VMap[Info.HeaderPhis[I]] = Phi;
+  }
+  Instruction *WorkPhi = B.createPhi("mywork");
+  Instruction *CurPhi = Spec.SvatRowBase ? B.createPhi("cur") : nullptr;
+
+  // Clone the loop body with the phis pre-mapped; the clone's own header
+  // phi list is therefore empty and the header holds only real code.
+  ClonedLoop Clone = cloneLoopBody(*L, Target, Suffix, VMap);
+  assert(Clone.HeaderPhis.empty() ||
+         Clone.HeaderPhis.size() == Info.HeaderPhis.size());
+  // cloneLoopBody created fresh empty phis for the header; discard them by
+  // mapping... they were only created if not pre-mapped. Pre-mapping wins:
+  // cloneLoopBody consults VMap first (see implementation note below).
+
+  // Work counter: Algorithm 2 increments at the top of every iteration.
+  Instruction *Work2 = B.createAdd(WorkPhi, B.getInt(1), "mywork2");
+
+  BasicBlock *Detect = Target.createBlock("detect" + Suffix);
+  Instruction *CurOut = nullptr;
+  if (Spec.SvatRowBase) {
+    // Memoization: when mywork2 exceeds svat[cur], record the current
+    // speculated live-ins into SVA row svai[cur].
+    BasicBlock *Record = Target.createBlock("record" + Suffix);
+    Instruction *ThrAddr = B.createAdd(Spec.SvatRowBase, CurPhi);
+    Instruction *Thr = B.createLoad(ThrAddr, "thr");
+    Instruction *DoRec = B.createICmp(Opcode::ICmpSGt, Work2, Thr, "dorec");
+    B.createCondBr(DoRec, Record, Detect);
+
+    B.setInsertBlock(Record);
+    Instruction *RowAddr = B.createAdd(Spec.SvaiRowBase, CurPhi);
+    Instruction *Row = B.createLoad(RowAddr, "row");
+    Instruction *RowBase =
+        B.createAdd(P.Sva, B.createMul(Row, B.getInt(P.NumSpeculated)));
+    for (unsigned S = 0; S != P.NumSpeculated; ++S) {
+      unsigned PhiIdx = 0;
+      for (unsigned I = 0; I != Info.HeaderPhis.size(); ++I)
+        if (SpecSlot[I] == static_cast<int>(S))
+          PhiIdx = I;
+      B.createStore(B.createAdd(RowBase, B.getInt(S)), Phis[PhiIdx]);
+    }
+    B.createStore(B.createAdd(P.SvaWritten, Row), B.getInt(1));
+    Instruction *Cur2 = B.createAdd(CurPhi, B.getInt(1), "cur2");
+    B.createBr(Detect);
+
+    B.setInsertBlock(Detect);
+    Instruction *CurMerge = B.createPhi("curnext");
+    CurMerge->addPhiIncoming(CurPhi, Top);
+    CurMerge->addPhiIncoming(Cur2, Record);
+    CurOut = CurMerge;
+  } else {
+    B.setInsertBlock(Top);
+    B.createBr(Detect);
+    B.setInsertBlock(Detect);
+  }
+
+  // Detection (paper section 4): compare this thread's speculated live-ins
+  // against the successor's predicted start values.
+  if (Spec.DetectGuard) {
+    Out.MatchedExit = Target.createBlock("matched" + Suffix);
+    Value *AllEq = Spec.DetectGuard;
+    for (unsigned S = 0; S != P.NumSpeculated; ++S) {
+      unsigned PhiIdx = 0;
+      for (unsigned I = 0; I != Info.HeaderPhis.size(); ++I)
+        if (SpecSlot[I] == static_cast<int>(S))
+          PhiIdx = I;
+      Instruction *Eq =
+          B.createICmpEq(Phis[PhiIdx], Spec.DetectTargets[S], "deq");
+      AllEq = B.createAnd(AllEq, Eq);
+    }
+    B.createCondBr(AllEq, Out.MatchedExit, Clone.Header);
+  } else {
+    B.createBr(Clone.Header);
+  }
+
+  // Wire phi incomings: start values from the preheader, latch values from
+  // the cloned latch.
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I) {
+    Value *Start = SpecSlot[I] >= 0 ? Spec.SpecStarts[SpecSlot[I]]
+                                    : Spec.RedStarts[I];
+    Phis[I]->addPhiIncoming(Start, Spec.Preheader);
+    Phis[I]->addPhiIncoming(remapValue(VMap, Info.NextValues[I]),
+                            Clone.Latch);
+  }
+  WorkPhi->addPhiIncoming(M.getConstant(0), Spec.Preheader);
+  WorkPhi->addPhiIncoming(Work2, Clone.Latch);
+  if (CurPhi) {
+    CurPhi->addPhiIncoming(M.getConstant(0), Spec.Preheader);
+    CurPhi->addPhiIncoming(CurOut, Clone.Latch);
+  }
+
+  // The cloned latch still branches to the cloned header; send the back
+  // edge through Top instead.
+  Instruction *LatchTerm = Clone.Latch->getTerminator();
+  assert(LatchTerm && "cloned latch must be terminated");
+  for (unsigned K = 0; K != LatchTerm->getNumBlockOperands(); ++K)
+    if (LatchTerm->getBlockOperand(K) == Clone.Header)
+      LatchTerm->setBlockOperand(K, Top);
+
+  // Exit edges leave toward a fresh stub instead of the original exit.
+  Out.ExitedExit = Target.createBlock("exited" + Suffix);
+  retargetExits(Clone, OrigExit, Out.ExitedExit);
+
+  // Branch from the preheader into the chunk.
+  B.setInsertBlock(Spec.Preheader);
+  B.createBr(Top);
+
+  Out.WorkAtExit = WorkPhi;
+  for (Instruction *Phi : Phis)
+    Out.PhiFinals.push_back(Phi);
+  return Out;
+}
+
+//===----------------------------------------------------------------------===//
+// Reduction merging
+//===----------------------------------------------------------------------===//
+
+std::vector<Value *>
+SpiceEmitter::emitMerge(IRBuilder &B, const std::vector<Value *> &CurVals,
+                        const std::vector<Value *> &NewVals) {
+  std::vector<Value *> Merged = CurVals;
+  for (const ReductionInfo &R : Info.Reductions) {
+    if (R.PrimaryPhi)
+      continue; // Payloads handled with their primary.
+    unsigned Idx = phiIndex(R.Phi);
+    Value *Cur = CurVals[Idx];
+    Value *New = NewVals[Idx];
+    switch (R.Kind) {
+    case ReductionKind::Sum:
+      Merged[Idx] = B.createAdd(Cur, New, "merge");
+      break;
+    case ReductionKind::Product:
+      Merged[Idx] = B.createMul(Cur, New, "merge");
+      break;
+    case ReductionKind::BitAnd:
+      Merged[Idx] = B.createAnd(Cur, New, "merge");
+      break;
+    case ReductionKind::BitOr:
+      Merged[Idx] = B.createOr(Cur, New, "merge");
+      break;
+    case ReductionKind::BitXor:
+      Merged[Idx] = B.createXor(Cur, New, "merge");
+      break;
+    case ReductionKind::Min:
+    case ReductionKind::Max: {
+      Opcode Pred =
+          R.Kind == ReductionKind::Min ? Opcode::ICmpSLt : Opcode::ICmpSGt;
+      Instruction *TakeNew = B.createICmp(Pred, New, Cur, "takenew");
+      Merged[Idx] = B.createSelect(TakeNew, New, Cur, "merge");
+      // Steer every payload of this primary with the same decision.
+      for (const ReductionInfo &Pay : Info.Reductions) {
+        if (Pay.PrimaryPhi != R.Phi)
+          continue;
+        unsigned PIdx = phiIndex(Pay.Phi);
+        Merged[PIdx] =
+            B.createSelect(TakeNew, NewVals[PIdx], CurVals[PIdx], "mergep");
+      }
+      break;
+    }
+    case ReductionKind::MinPayload:
+    case ReductionKind::MaxPayload:
+      spice_unreachable("payload without a primary");
+    }
+  }
+  return Merged;
+}
+
+//===----------------------------------------------------------------------===//
+// Globals and workers
+//===----------------------------------------------------------------------===//
+
+void SpiceEmitter::createGlobals() {
+  unsigned T = Opts.NumThreads;
+  std::string Prefix = F.getName() + ".";
+  P.Sva = M.createGlobal(Prefix + "sva", (T - 1) * P.NumSpeculated);
+  P.SvaWritten = M.createGlobal(Prefix + "svaWritten", T - 1);
+  P.Svat = M.createGlobal(Prefix + "svat", T * T);
+  P.Svai = M.createGlobal(Prefix + "svai", T * T);
+  P.Work = M.createGlobal(Prefix + "work", T);
+  P.MergedRed = M.createGlobal(Prefix + "mergedRed",
+                               std::max<uint64_t>(1, Info.HeaderPhis.size()));
+  P.PrevMatched = M.createGlobal(Prefix + "prevMatched", 1);
+}
+
+void SpiceEmitter::emitWorkers() {
+  unsigned T = Opts.NumThreads;
+  WorkerRecovery.resize(T, nullptr);
+  for (unsigned W = 1; W != T; ++W) {
+    Function *Fn =
+        M.createFunction(F.getName() + ".spice.worker" + std::to_string(W));
+    P.Workers.push_back(Fn);
+    IRBuilder B(M, nullptr);
+    ConstantInt *Ctrl = M.getConstant(chanCtrl(W));
+    ConstantInt *Done = M.getConstant(chanDone(W));
+
+    BasicBlock *Entry = Fn->createBlock("entry");
+    BasicBlock *Inactive = Fn->createBlock("inactive");
+    BasicBlock *Init = Fn->createBlock("init");
+    B.setInsertBlock(Entry);
+    Instruction *Tok = B.createRecv(Ctrl, "tok");
+    B.createCondBr(Tok, Init, Inactive);
+    B.setInsertBlock(Inactive);
+    B.createHalt();
+
+    // Activation: receive speculated starts, the has-successor flag, the
+    // successor's predicted values, and the invariant live-ins.
+    B.setInsertBlock(Init);
+    ChunkSpec Spec;
+    for (unsigned S = 0; S != P.NumSpeculated; ++S)
+      Spec.SpecStarts.push_back(B.createRecv(Ctrl, "start"));
+    Instruction *HasSucc = B.createRecv(Ctrl, "hassucc");
+    for (unsigned S = 0; S != P.NumSpeculated; ++S)
+      Spec.DetectTargets.push_back(B.createRecv(Ctrl, "target"));
+    ValueMap VMap;
+    for (Value *Inv : Info.InvariantLiveIns)
+      VMap[Inv] = B.createRecv(Ctrl, "inv");
+    if (P.HasStores)
+      B.createSpecBegin();
+
+    Spec.Preheader = Init;
+    Spec.DetectGuard = HasSucc;
+    Spec.SvatRowBase = rowBase(B, P.Svat, W);
+    Spec.SvaiRowBase = rowBase(B, P.Svai, W);
+    Spec.RedStarts.resize(Info.HeaderPhis.size(), nullptr);
+    for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+      if (RedSlot[I] >= 0) {
+        const ReductionInfo *R =
+            Info.getReductionFor(Info.HeaderPhis[I]);
+        Spec.RedStarts[I] =
+            M.getConstant(getReductionIdentity(R->Kind));
+      }
+
+    ChunkResult Chunk = emitChunk(*Fn, Spec, VMap, ".w");
+
+    BasicBlock *Verdict = Fn->createBlock("verdict");
+    B.setInsertBlock(Chunk.MatchedExit);
+    B.createStore(addrAt(B, P.Work, W), Chunk.WorkAtExit);
+    B.createSend(Done, B.getInt(1));
+    B.createBr(Verdict);
+    B.setInsertBlock(Chunk.ExitedExit);
+    B.createStore(addrAt(B, P.Work, W), Chunk.WorkAtExit);
+    B.createSend(Done, B.getInt(0));
+    B.createBr(Verdict);
+
+    BasicBlock *LiveOuts = Fn->createBlock("liveouts");
+    BasicBlock *Fin = Fn->createBlock("fin");
+    B.setInsertBlock(Verdict);
+    B.createRecv(Ctrl); // COMMIT token.
+    if (P.HasStores) {
+      Instruction *Conflict = B.createSpecCommit();
+      B.createSend(Done, Conflict);
+      B.createCondBr(Conflict, Fin, LiveOuts);
+    } else {
+      B.createBr(LiveOuts);
+    }
+
+    B.setInsertBlock(LiveOuts);
+    for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+      if (RedSlot[I] >= 0)
+        B.createSend(Done, Chunk.PhiFinals[I]);
+    B.createBr(Fin);
+    B.setInsertBlock(Fin);
+    B.createHalt();
+
+    // Resteer target: discard speculative state and park.
+    BasicBlock *Recovery = Fn->createBlock("recovery");
+    B.setInsertBlock(Recovery);
+    if (P.HasStores)
+      B.createSpecRollback();
+    B.createHalt();
+    WorkerRecovery[W] = Recovery;
+    Fn->renumber();
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Main function
+//===----------------------------------------------------------------------===//
+
+void SpiceEmitter::emitMain() {
+  unsigned T = Opts.NumThreads;
+  Function *Fn = M.createFunction(F.getName() + ".spice.main");
+  P.Main = Fn;
+  IRBuilder B(M, nullptr);
+
+  ValueMap VMap;
+  for (unsigned I = 0; I != F.getNumArguments(); ++I)
+    VMap[F.getArgument(I)] = Fn->addArgument(F.getArgument(I)->getName());
+
+  // Clone the original entry (invariant computations).
+  BasicBlock *Entry = Fn->createBlock("entry");
+  B.setInsertBlock(Entry);
+  for (const auto &I : *OrigEntry) {
+    if (I->isTerminator())
+      break;
+    std::vector<Value *> Ops;
+    for (Value *Op : I->operands())
+      Ops.push_back(remapValue(VMap, Op));
+    auto NewI = std::make_unique<Instruction>(I->getOpcode(), Ops,
+                                              I->blockOperands());
+    NewI->setName(I->getName());
+    VMap[I.get()] = Entry->append(std::move(NewI));
+  }
+
+  // Activation prefix: thread i+1 is launchable when rows 0..i are valid.
+  std::vector<Value *> Act(T, nullptr); // Act[i], i = 1..T-1.
+  Value *Prefix = nullptr;
+  for (unsigned W = 1; W != T; ++W) {
+    Instruction *Ok = B.createLoad(addrAt(B, P.SvaWritten, W - 1), "rowok");
+    Prefix = Prefix ? static_cast<Value *>(B.createAnd(Prefix, Ok, "act"))
+                    : static_cast<Value *>(Ok);
+    Act[W] = Prefix;
+  }
+
+  // Snapshot the SVA (memoization overwrites it during the run).
+  std::vector<std::vector<Value *>> Rows(T - 1);
+  for (unsigned R = 0; R + 1 < T; ++R)
+    for (unsigned S = 0; S != P.NumSpeculated; ++S)
+      Rows[R].push_back(
+          B.createLoad(addrAt(B, P.Sva, R * P.NumSpeculated + S), "snap"));
+
+  // Launch workers.
+  BasicBlock *Cont = Entry;
+  for (unsigned W = 1; W != T; ++W) {
+    BasicBlock *SendA = Fn->createBlock("send_active" + std::to_string(W));
+    BasicBlock *SendI = Fn->createBlock("send_idle" + std::to_string(W));
+    BasicBlock *Next = Fn->createBlock("launched" + std::to_string(W));
+    B.setInsertBlock(Cont);
+    B.createCondBr(Act[W], SendA, SendI);
+    ConstantInt *Ctrl = M.getConstant(chanCtrl(W));
+    B.setInsertBlock(SendA);
+    B.createSend(Ctrl, B.getInt(1));
+    for (Value *V : Rows[W - 1])
+      B.createSend(Ctrl, V);
+    B.createSend(Ctrl, W + 1 < T ? Act[W + 1] : B.getInt(0));
+    for (unsigned S = 0; S != P.NumSpeculated; ++S)
+      B.createSend(Ctrl, W < T - 1 ? Rows[W][S] : B.getInt(0));
+    for (Value *Inv : Info.InvariantLiveIns)
+      B.createSend(Ctrl, remapValue(VMap, Inv));
+    B.createBr(Next);
+    B.setInsertBlock(SendI);
+    B.createSend(Ctrl, B.getInt(0));
+    B.createBr(Next);
+    Cont = Next;
+  }
+
+  // Main chunk: the non-speculative first segment starts from the real
+  // live-in values of the original loop.
+  ChunkSpec Spec;
+  Spec.Preheader = Cont;
+  Spec.SpecStarts.resize(P.NumSpeculated, nullptr);
+  Spec.RedStarts.resize(Info.HeaderPhis.size(), nullptr);
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I) {
+    Value *Start = remapValue(VMap, Info.StartValues[I]);
+    if (SpecSlot[I] >= 0)
+      Spec.SpecStarts[SpecSlot[I]] = Start;
+    else
+      Spec.RedStarts[I] = Start;
+  }
+  B.setInsertBlock(Cont);
+  Spec.DetectGuard = T > 1 ? Act[1] : M.getConstant(0);
+  Spec.DetectTargets = Rows.empty() ? std::vector<Value *>() : Rows[0];
+  if (Spec.DetectTargets.empty())
+    Spec.DetectTargets.resize(P.NumSpeculated, M.getConstant(0));
+  Spec.SvatRowBase = rowBase(B, P.Svat, 0);
+  Spec.SvaiRowBase = rowBase(B, P.Svai, 0);
+  ChunkResult MainChunk = emitChunk(*Fn, Spec, VMap, ".m");
+
+  // Both chunk exits record work[0], the merge seeds and the match flag.
+  std::vector<BasicBlock *> ChainBlocks;
+  for (unsigned W = 1; W <= T; ++W)
+    ChainBlocks.push_back(Fn->createBlock("chain" + std::to_string(W)));
+
+  auto SeedMerge = [&](BasicBlock *BB, int64_t Matched) {
+    B.setInsertBlock(BB);
+    B.createStore(addrAt(B, P.Work, 0), MainChunk.WorkAtExit);
+    for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+      if (RedSlot[I] >= 0)
+        B.createStore(addrAt(B, P.MergedRed, static_cast<unsigned>(I)),
+                      MainChunk.PhiFinals[I]);
+    B.createStore(P.PrevMatched, B.getInt(Matched));
+    B.createBr(ChainBlocks[0]);
+  };
+  SeedMerge(MainChunk.MatchedExit, 1);
+  SeedMerge(MainChunk.ExitedExit, 0);
+
+  // Ordered chain resolution.
+  for (unsigned W = 1; W != T; ++W) {
+    ConstantInt *Ctrl = M.getConstant(chanCtrl(W));
+    ConstantInt *Done = M.getConstant(chanDone(W));
+    BasicBlock *Chain = ChainBlocks[W - 1];
+    BasicBlock *NextChain = ChainBlocks[W];
+    BasicBlock *Wait = Fn->createBlock("wait" + std::to_string(W));
+    BasicBlock *Squash = Fn->createBlock("squash" + std::to_string(W));
+    BasicBlock *DoSquash = Fn->createBlock("dosquash" + std::to_string(W));
+    BasicBlock *Collect = Fn->createBlock("collect" + std::to_string(W));
+
+    B.setInsertBlock(Chain);
+    Instruction *Pm = B.createLoad(P.PrevMatched, "pm");
+    Instruction *Go = B.createAnd(Pm, Act[W], "go");
+    B.createCondBr(Go, Wait, Squash);
+
+    B.setInsertBlock(Wait);
+    Instruction *Status = B.createRecv(Done, "status");
+    B.createSend(Ctrl, B.getInt(2)); // COMMIT.
+    if (P.HasStores) {
+      BasicBlock *Conflict = Fn->createBlock("conflict" + std::to_string(W));
+      Instruction *Cf = B.createRecv(Done, "cf");
+      B.createCondBr(Cf, Conflict, Collect);
+
+      // Conflict: re-execute from this worker's start to the natural
+      // exit, accumulating into the merged reductions.
+      B.setInsertBlock(Conflict);
+      ChunkSpec Resume;
+      Resume.Preheader = Conflict;
+      Resume.SpecStarts = Rows[W - 1];
+      Resume.RedStarts.resize(Info.HeaderPhis.size(), nullptr);
+      for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+        if (RedSlot[I] >= 0) {
+          const ReductionInfo *R = Info.getReductionFor(Info.HeaderPhis[I]);
+          Resume.RedStarts[I] = M.getConstant(getReductionIdentity(R->Kind));
+        }
+      ChunkResult ResumeChunk =
+          emitChunk(*Fn, Resume, VMap, ".r" + std::to_string(W));
+      B.setInsertBlock(ResumeChunk.ExitedExit);
+      std::vector<Value *> Cur(Info.HeaderPhis.size(), nullptr);
+      for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+        if (RedSlot[I] >= 0)
+          Cur[I] = B.createLoad(
+              addrAt(B, P.MergedRed, static_cast<unsigned>(I)), "cur");
+      std::vector<Value *> Merged = emitMerge(B, Cur, ResumeChunk.PhiFinals);
+      for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+        if (RedSlot[I] >= 0)
+          B.createStore(addrAt(B, P.MergedRed, static_cast<unsigned>(I)),
+                        Merged[I]);
+      B.createStore(addrAt(B, P.Work, W), ResumeChunk.WorkAtExit);
+      B.createStore(P.PrevMatched, B.getInt(0));
+      B.createBr(NextChain);
+    } else {
+      B.createBr(Collect);
+    }
+
+    // Healthy worker: pull its live-outs and merge.
+    B.setInsertBlock(Collect);
+    std::vector<Value *> NewVals(Info.HeaderPhis.size(), nullptr);
+    std::vector<Value *> Cur(Info.HeaderPhis.size(), nullptr);
+    for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+      if (RedSlot[I] >= 0) {
+        NewVals[I] = B.createRecv(Done, "lo");
+        Cur[I] = B.createLoad(
+            addrAt(B, P.MergedRed, static_cast<unsigned>(I)), "cur");
+      }
+    std::vector<Value *> Merged = emitMerge(B, Cur, NewVals);
+    for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+      if (RedSlot[I] >= 0)
+        B.createStore(addrAt(B, P.MergedRed, static_cast<unsigned>(I)),
+                      Merged[I]);
+    B.createStore(P.PrevMatched, Status);
+    B.createBr(NextChain);
+
+    // Mis-speculated worker: remote resteer into its recovery code, zero
+    // its work entry (it contributed nothing to the valid path).
+    B.setInsertBlock(Squash);
+    B.createCondBr(Act[W], DoSquash, NextChain);
+    B.setInsertBlock(DoSquash);
+    B.createResteer(B.getInt(W), WorkerRecovery[W]);
+    B.createStore(addrAt(B, P.Work, W), B.getInt(0));
+    B.createBr(NextChain);
+  }
+
+  // Central planner, then the cloned original exit.
+  B.setInsertBlock(ChainBlocks[T - 1]);
+  emitPlanner(B);
+
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I)
+    if (RedSlot[I] >= 0)
+      VMap[Info.HeaderPhis[I]] = B.createLoad(
+          addrAt(B, P.MergedRed, static_cast<unsigned>(I)), "final");
+  for (const auto &I : *OrigExit) {
+    std::vector<Value *> Ops;
+    for (Value *Op : I->operands())
+      Ops.push_back(remapValue(VMap, Op));
+    auto NewI = std::make_unique<Instruction>(I->getOpcode(), Ops,
+                                              I->blockOperands());
+    NewI->setName(I->getName());
+    VMap[I.get()] = B.getInsertBlock()->append(std::move(NewI));
+  }
+  Fn->renumber();
+}
+
+//===----------------------------------------------------------------------===//
+// Central planner (paper section 4, unrolled for fixed t)
+//===----------------------------------------------------------------------===//
+
+void SpiceEmitter::emitPlanner(IRBuilder &B) {
+  unsigned T = Opts.NumThreads;
+  Function *Fn = P.Main;
+
+  std::vector<Value *> Wk(T);
+  for (unsigned J = 0; J != T; ++J)
+    Wk[J] = B.createLoad(addrAt(B, P.Work, J), "w");
+  Value *Total = Wk[0];
+  for (unsigned J = 1; J != T; ++J)
+    Total = B.createAdd(Total, Wk[J], "W");
+
+  BasicBlock *Plan = Fn->createBlock("plan");
+  BasicBlock *AfterPlan = Fn->createBlock("afterplan");
+  Instruction *NonZero = B.createICmp(Opcode::ICmpSGt, Total, B.getInt(0));
+  B.createCondBr(NonZero, Plan, AfterPlan);
+
+  B.setInsertBlock(Plan);
+  // Prefix sums.
+  std::vector<Value *> Prefix(T + 1);
+  Prefix[0] = B.getInt(0);
+  for (unsigned J = 0; J != T; ++J)
+    Prefix[J + 1] = B.createAdd(Prefix[J], Wk[J], "p");
+
+  std::vector<Value *> Len(T, B.getInt(0));
+  for (unsigned K = 1; K != T; ++K) {
+    Value *Target = B.createSDiv(B.createMul(Total, B.getInt(K)),
+                                 B.getInt(T), "target");
+    // Last j with prefix[j] <= target (ascending scan, last hit wins).
+    Value *JIdx = B.getInt(0);
+    Value *Local = Target;
+    for (unsigned J = 1; J != T; ++J) {
+      Instruction *Le = B.createICmp(Opcode::ICmpSLe, Prefix[J], Target);
+      JIdx = B.createSelect(Le, B.getInt(J), JIdx, "jidx");
+      Local = B.createSelect(Le, B.createSub(Target, Prefix[J]), Local,
+                             "local");
+    }
+    // Entry slot: base + jIdx*T + len[jIdx].
+    Value *LenSel = Len[0];
+    for (unsigned J = 1; J != T; ++J) {
+      Instruction *IsJ = B.createICmpEq(JIdx, B.getInt(J));
+      LenSel = B.createSelect(IsJ, Len[J], LenSel, "lensel");
+    }
+    Value *Slot =
+        B.createAdd(B.createMul(JIdx, B.getInt(T)), LenSel, "slot");
+    B.createStore(B.createAdd(P.Svat, Slot), Local);
+    B.createStore(B.createAdd(P.Svai, Slot), B.getInt(K - 1));
+    for (unsigned J = 0; J != T; ++J) {
+      Instruction *IsJ = B.createICmpEq(JIdx, B.getInt(J));
+      Len[J] = B.createAdd(Len[J], IsJ, "len");
+    }
+  }
+  // Terminate every thread's list with the infinity sentinel.
+  for (unsigned J = 0; J != T; ++J) {
+    Value *Slot = B.createAdd(B.getInt(J * T), Len[J], "send");
+    B.createStore(B.createAdd(P.Svat, Slot), B.getInt(INT64_MAX));
+  }
+  B.createBr(AfterPlan);
+  B.setInsertBlock(AfterPlan);
+}
+
+//===----------------------------------------------------------------------===//
+// Driver
+//===----------------------------------------------------------------------===//
+
+SpiceParallelProgram SpiceEmitter::run() {
+  assert(Opts.NumThreads >= 2 && Opts.NumThreads <= 8 &&
+         "thread count out of range");
+  std::vector<Loop *> Tops = LI.topLevelLoops();
+  assert(Tops.size() == 1 && "expected exactly one top-level loop");
+  L = Tops.front();
+  Info = analyzeLoopCarried(CFG, *L);
+
+  OrigEntry = F.getEntryBlock();
+  assert(L->getPreheader(CFG) == OrigEntry &&
+         "entry block must be the loop preheader");
+  std::vector<BasicBlock *> Exits = L->getExitBlocks(CFG);
+  std::vector<BasicBlock *> Exiting = L->getExitingBlocks();
+  assert(Exits.size() == 1 && Exiting.size() == 1 &&
+         Exiting.front() == L->getHeader() &&
+         "loop must exit only from its header");
+  OrigExit = Exits.front();
+  assert(OrigExit->getTerminator() &&
+         OrigExit->getTerminator()->getOpcode() == Opcode::Ret &&
+         "exit block must return");
+  assert(!Info.SpeculatedLiveIns.empty() &&
+         "nothing to speculate: loop is not a Spice candidate");
+  for (Instruction *Out : Info.LiveOuts)
+    assert(Info.getReductionFor(Out) != nullptr &&
+           "live-outs must be reduction phis");
+
+  P.NumThreads = Opts.NumThreads;
+  P.NumSpeculated = static_cast<unsigned>(Info.SpeculatedLiveIns.size());
+  P.NumReductions = static_cast<unsigned>(Info.Reductions.size());
+  P.HasStores = Info.HasStores;
+
+  RedSlot.assign(Info.HeaderPhis.size(), -1);
+  SpecSlot.assign(Info.HeaderPhis.size(), -1);
+  int NextSpec = 0;
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I) {
+    if (Info.getReductionFor(Info.HeaderPhis[I]))
+      RedSlot[I] = static_cast<int>(I);
+    else
+      SpecSlot[I] = NextSpec++;
+  }
+
+  createGlobals();
+  emitWorkers();
+  emitMain();
+  return P;
+}
+
+SpiceParallelProgram
+transform::applySpiceTransform(Module &M, Function &F,
+                               const SpiceTransformOptions &Opts) {
+  return SpiceEmitter(M, F, Opts).run();
+}

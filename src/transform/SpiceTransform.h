@@ -1,0 +1,84 @@
+//===- transform/SpiceTransform.h - Algorithm 1 of the paper ----*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The automatic Spice transformation (paper section 4, Algorithm 1). From
+/// a canonical single-loop function it produces:
+///
+///   * a main function: original entry + launch protocol (snapshot the
+///     speculated-values array, send live-ins to active workers), the
+///     non-speculative chunk with per-iteration mis-speculation detection
+///     and Algorithm-2 memoization, the ordered validation/commit chain,
+///     per-thread recovery loops for conflict squashes, the unrolled
+///     central re-memoization planner, and the original exit code reading
+///     the merged reductions;
+///   * t-1 worker functions: token-driven activation, speculative chunk
+///     execution (buffered stores when the loop writes memory), detection
+///     against the successor's predicted live-ins, commit/live-out
+///     protocol, and a resteer-recovery block;
+///   * the predictor state as module globals (sva, svaWritten, svat, svai,
+///     work) plus scratch for the merge.
+///
+/// Canonical input shape (asserted): entry block (the preheader, may
+/// compute invariants) -> single natural loop whose only exiting block is
+/// the header -> single exit block ending in Ret. Loop live-outs must be
+/// reduction phis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_TRANSFORM_SPICETRANSFORM_H
+#define SPICE_TRANSFORM_SPICETRANSFORM_H
+
+#include "analysis/LoopCarried.h"
+#include "vm/Memory.h"
+
+namespace spice {
+namespace transform {
+
+/// Knobs of the transformation.
+struct SpiceTransformOptions {
+  /// Total threads (main + t-1 speculative workers). 2..8.
+  unsigned NumThreads = 4;
+  /// First-invocation trip-count estimate used to seed the memoization
+  /// thresholds (the paper derives it from profile information).
+  int64_t TripCountEstimate = 1000;
+  /// Base id for the control/done channel pairs.
+  int64_t ChannelBase = 100;
+};
+
+/// The transformed program plus its predictor state.
+struct SpiceParallelProgram {
+  ir::Function *Main = nullptr;
+  std::vector<ir::Function *> Workers;
+
+  ir::GlobalVariable *Sva = nullptr;        ///< (t-1) x m live-in rows.
+  ir::GlobalVariable *SvaWritten = nullptr; ///< (t-1) row-valid flags.
+  ir::GlobalVariable *Svat = nullptr;       ///< t x t thresholds.
+  ir::GlobalVariable *Svai = nullptr;       ///< t x t row indices.
+  ir::GlobalVariable *Work = nullptr;       ///< t work counters.
+  ir::GlobalVariable *MergedRed = nullptr;  ///< merge scratch.
+  ir::GlobalVariable *PrevMatched = nullptr;
+
+  unsigned NumThreads = 0;
+  unsigned NumSpeculated = 0; ///< m = |S|.
+  unsigned NumReductions = 0;
+  bool HasStores = false;
+
+  /// Seeds the predictor globals: thread 0 memoizes at the estimated
+  /// equal-work split points on the first invocation; all other rows hold
+  /// the "infinity" sentinel. Call after Memory::layoutGlobals.
+  void initPredictorState(vm::Memory &Mem, int64_t TripCountEstimate) const;
+};
+
+/// Applies Spice to the unique top-level loop of \p F with \p Opts.
+/// Asserts the canonical shape documented above.
+SpiceParallelProgram applySpiceTransform(ir::Module &M, ir::Function &F,
+                                         const SpiceTransformOptions &Opts);
+
+} // namespace transform
+} // namespace spice
+
+#endif // SPICE_TRANSFORM_SPICETRANSFORM_H

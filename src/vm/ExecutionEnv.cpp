@@ -1,0 +1,36 @@
+//===- vm/ExecutionEnv.cpp - Environment behind a thread ------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ExecutionEnv.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace spice;
+using namespace spice::vm;
+
+bool PlainEnv::send(int64_t, int64_t) {
+  spice_unreachable("send executed outside the multicore simulator");
+}
+
+std::optional<int64_t> PlainEnv::recv(int64_t) {
+  spice_unreachable("recv executed outside the multicore simulator");
+}
+
+void PlainEnv::specBegin() {
+  spice_unreachable("spec.begin executed outside the multicore simulator");
+}
+
+bool PlainEnv::specCommit() {
+  spice_unreachable("spec.commit executed outside the multicore simulator");
+}
+
+void PlainEnv::specRollback() {
+  spice_unreachable("spec.rollback executed outside the multicore simulator");
+}
+
+void PlainEnv::resteer(int64_t, const ir::BasicBlock *) {
+  spice_unreachable("resteer executed outside the multicore simulator");
+}

@@ -1,0 +1,99 @@
+//===- vm/ExecutionEnv.h - Environment behind a thread ----------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ExecutionEnv mediates everything a ThreadContext does to the outside
+/// world: memory accesses, channel sends/receives, speculation control,
+/// resteer, and value-profiler hooks. The plain interpreter binds it
+/// directly to a Memory; the multicore simulator interposes caches,
+/// speculative write buffers and timed channels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_VM_EXECUTIONENV_H
+#define SPICE_VM_EXECUTIONENV_H
+
+#include "vm/Memory.h"
+
+#include <optional>
+
+namespace spice {
+namespace vm {
+
+/// Receiver of value-profiler events (see profiler/Analyzer.h for the real
+/// implementation).
+class ProfileSink {
+public:
+  virtual ~ProfileSink() = default;
+  /// A profiled loop begins a new invocation.
+  virtual void onNewInvocation(int64_t LoopId) = 0;
+  /// One live-in slot recorded for the current iteration.
+  virtual void onRecord(int64_t LoopId, int64_t SlotIdx, int64_t Val) = 0;
+  /// The live-in set of the current iteration is complete.
+  virtual void onIterEnd(int64_t LoopId) = 0;
+};
+
+/// The world as seen by one interpreted thread.
+class ExecutionEnv {
+public:
+  virtual ~ExecutionEnv() = default;
+
+  virtual int64_t load(uint64_t Addr) = 0;
+  virtual void store(uint64_t Addr, int64_t V) = 0;
+
+  /// Returns false when the channel cannot accept the value yet (the thread
+  /// re-executes the send).
+  virtual bool send(int64_t Chan, int64_t V) = 0;
+
+  /// Returns nullopt when no value is available yet (the thread blocks and
+  /// re-executes the recv).
+  virtual std::optional<int64_t> recv(int64_t Chan) = 0;
+
+  virtual void specBegin() = 0;
+
+  /// Publishes buffered stores. Returns true when a read/write conflict
+  /// with stores committed since specBegin() was detected (the stores are
+  /// still published; callers squash by consulting the flag — the
+  /// transformation emits the branch to recovery).
+  virtual bool specCommit() = 0;
+  virtual void specRollback() = 0;
+
+  /// Redirect core \p CoreId to \p Target (its recovery code).
+  virtual void resteer(int64_t CoreId, const ir::BasicBlock *Target) = 0;
+
+  /// Profiler sink; may be null when the program is not instrumented.
+  virtual ProfileSink *profileSink() { return nullptr; }
+};
+
+/// Environment for plain single-threaded interpretation: memory direct,
+/// parallel intrinsics are fatal errors, profiler events forwarded to an
+/// optional sink.
+class PlainEnv : public ExecutionEnv {
+public:
+  explicit PlainEnv(Memory &Mem, ProfileSink *Sink = nullptr)
+      : Mem(Mem), Sink(Sink) {}
+
+  int64_t load(uint64_t Addr) override { return Mem.load(Addr); }
+  void store(uint64_t Addr, int64_t V) override { Mem.store(Addr, V); }
+
+  bool send(int64_t, int64_t) override;
+  std::optional<int64_t> recv(int64_t) override;
+  void specBegin() override;
+  bool specCommit() override;
+  void specRollback() override;
+  void resteer(int64_t, const ir::BasicBlock *) override;
+
+  ProfileSink *profileSink() override { return Sink; }
+
+private:
+  Memory &Mem;
+  ProfileSink *Sink;
+};
+
+} // namespace vm
+} // namespace spice
+
+#endif // SPICE_VM_EXECUTIONENV_H

@@ -1,0 +1,23 @@
+//===- vm/Interpreter.cpp - Whole-function interpretation -----------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/Interpreter.h"
+
+using namespace spice;
+using namespace spice::vm;
+
+ExecutionResult vm::runFunction(const ir::Function &F, Memory &Mem,
+                                std::vector<int64_t> Args, ProfileSink *Sink,
+                                uint64_t MaxSteps) {
+  PlainEnv Env(Mem, Sink);
+  ThreadContext TC(F, Mem, Env, std::move(Args));
+  TC.run(MaxSteps);
+  ExecutionResult R;
+  R.ReturnValue = TC.getReturnValue();
+  R.DynamicInstructions = TC.getStepsExecuted();
+  R.BlockCounts = TC.blockCounts();
+  return R;
+}

@@ -1,0 +1,41 @@
+//===- vm/Interpreter.h - Whole-function interpretation ---------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience wrapper: run one function to completion on a Memory and
+/// collect the return value, dynamic instruction count, and per-block
+/// execution counts (used by the Table 2 hotness experiment and by the
+/// profiler's candidate filter).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_VM_INTERPRETER_H
+#define SPICE_VM_INTERPRETER_H
+
+#include "vm/ThreadContext.h"
+
+namespace spice {
+namespace vm {
+
+/// Result of a completed single-threaded execution.
+struct ExecutionResult {
+  int64_t ReturnValue = 0;
+  uint64_t DynamicInstructions = 0;
+  std::unordered_map<const ir::BasicBlock *, uint64_t> BlockCounts;
+};
+
+/// Runs \p F on \p Mem with \p Args until it returns. The function must be
+/// renumbered; parallel intrinsics are fatal. \p Sink receives profiling
+/// events when the program is instrumented.
+ExecutionResult runFunction(const ir::Function &F, Memory &Mem,
+                            std::vector<int64_t> Args,
+                            ProfileSink *Sink = nullptr,
+                            uint64_t MaxSteps = ~0ull);
+
+} // namespace vm
+} // namespace spice
+
+#endif // SPICE_VM_INTERPRETER_H

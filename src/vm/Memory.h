@@ -1,0 +1,90 @@
+//===- vm/Memory.h - Flat word-addressed VM memory --------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The VM's memory is a flat array of 64-bit words; addresses are word
+/// indices. A bump allocator hands out heap space to workload builders, and
+/// layoutGlobals() places a module's globals. All simulated threads share
+/// one Memory (the multicore simulator layers caches and speculative write
+/// buffers on top).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_VM_MEMORY_H
+#define SPICE_VM_MEMORY_H
+
+#include "ir/Module.h"
+
+#include <unordered_map>
+
+namespace spice {
+namespace vm {
+
+/// Flat shared memory. Address 0 is reserved (acts as "null"); the bump
+/// allocator starts at word 8.
+class Memory {
+public:
+  explicit Memory(uint64_t SizeInWords = 1u << 22)
+      : Words(SizeInWords, 0), Brk(8) {}
+
+  uint64_t size() const { return Words.size(); }
+
+  int64_t load(uint64_t Addr) const {
+    assert(Addr < Words.size() && "load out of bounds");
+    return Words[Addr];
+  }
+
+  void store(uint64_t Addr, int64_t V) {
+    assert(Addr < Words.size() && "store out of bounds");
+    assert(Addr != 0 && "store to null");
+    Words[Addr] = V;
+  }
+
+  /// Bump-allocates \p NumWords words and returns the base address.
+  uint64_t allocate(uint64_t NumWords) {
+    assert(Brk + NumWords <= Words.size() && "VM heap exhausted");
+    uint64_t Base = Brk;
+    Brk += NumWords;
+    return Base;
+  }
+
+  /// Current top of the bump allocator (useful for footprint reports).
+  uint64_t heapTop() const { return Brk; }
+
+  /// Assigns addresses to all globals of \p M and copies initializers.
+  void layoutGlobals(const ir::Module &M) {
+    for (const auto &G : M.globals()) {
+      if (GlobalAddrs.count(G.get()))
+        continue;
+      uint64_t Base = allocate(G->getSize());
+      GlobalAddrs[G.get()] = Base;
+      const std::vector<int64_t> &Init = G->getInitializer();
+      for (size_t I = 0; I != Init.size(); ++I)
+        store(Base + I, Init[I]);
+    }
+  }
+
+  /// Base address of \p G; the global must have been laid out.
+  uint64_t addressOf(const ir::GlobalVariable *G) const {
+    auto It = GlobalAddrs.find(G);
+    assert(It != GlobalAddrs.end() && "global not laid out");
+    return It->second;
+  }
+
+  bool isLaidOut(const ir::GlobalVariable *G) const {
+    return GlobalAddrs.count(G) != 0;
+  }
+
+private:
+  std::vector<int64_t> Words;
+  uint64_t Brk;
+  std::unordered_map<const ir::GlobalVariable *, uint64_t> GlobalAddrs;
+};
+
+} // namespace vm
+} // namespace spice
+
+#endif // SPICE_VM_MEMORY_H

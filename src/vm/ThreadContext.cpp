@@ -1,0 +1,233 @@
+//===- vm/ThreadContext.cpp - Steppable IR thread state -------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "vm/ThreadContext.h"
+
+#include "support/ErrorHandling.h"
+
+using namespace spice;
+using namespace spice::vm;
+using namespace spice::ir;
+
+ThreadContext::ThreadContext(const Function &F, Memory &Mem,
+                             ExecutionEnv &Env, std::vector<int64_t> Args)
+    : F(F), Mem(Mem), Env(Env), Args(std::move(Args)),
+      Registers(F.getNumSlots(), 0), CurBB(F.getEntryBlock()) {
+  assert(F.getNumSlots() > 0 && "function was not renumbered");
+  assert(this->Args.size() == F.getNumArguments() &&
+         "argument count mismatch");
+}
+
+int64_t ThreadContext::evaluate(const Value *V) const {
+  if (const auto *C = dyn_cast<ConstantInt>(V))
+    return C->getValue();
+  if (const auto *A = dyn_cast<Argument>(V))
+    return Args[A->getIndex()];
+  if (const auto *G = dyn_cast<GlobalVariable>(V))
+    return static_cast<int64_t>(Mem.addressOf(G));
+  const auto *I = cast<Instruction>(V);
+  assert(I->getNumber() < Registers.size() && "stale instruction number");
+  return Registers[I->getNumber()];
+}
+
+void ThreadContext::setRegister(const Instruction *I, int64_t V) {
+  assert(I->getNumber() < Registers.size() && "stale instruction number");
+  Registers[I->getNumber()] = V;
+}
+
+int64_t ThreadContext::applyBinary(Opcode Op, int64_t L, int64_t R) const {
+  auto UL = static_cast<uint64_t>(L);
+  auto UR = static_cast<uint64_t>(R);
+  switch (Op) {
+  case Opcode::Add:
+    return static_cast<int64_t>(UL + UR);
+  case Opcode::Sub:
+    return static_cast<int64_t>(UL - UR);
+  case Opcode::Mul:
+    return static_cast<int64_t>(UL * UR);
+  case Opcode::SDiv:
+    assert(R != 0 && "division by zero");
+    return L / R;
+  case Opcode::SRem:
+    assert(R != 0 && "remainder by zero");
+    return L % R;
+  case Opcode::And:
+    return L & R;
+  case Opcode::Or:
+    return L | R;
+  case Opcode::Xor:
+    return L ^ R;
+  case Opcode::Shl:
+    return static_cast<int64_t>(UL << (UR & 63));
+  case Opcode::LShr:
+    return static_cast<int64_t>(UL >> (UR & 63));
+  case Opcode::AShr:
+    return L >> (UR & 63);
+  case Opcode::SMin:
+    return L < R ? L : R;
+  case Opcode::SMax:
+    return L > R ? L : R;
+  case Opcode::ICmpEq:
+    return L == R;
+  case Opcode::ICmpNe:
+    return L != R;
+  case Opcode::ICmpSLt:
+    return L < R;
+  case Opcode::ICmpSLe:
+    return L <= R;
+  case Opcode::ICmpSGt:
+    return L > R;
+  case Opcode::ICmpSGe:
+    return L >= R;
+  case Opcode::ICmpULt:
+    return UL < UR;
+  default:
+    spice_unreachable("applyBinary on a non-binary opcode");
+  }
+}
+
+void ThreadContext::executeBranchTo(const BasicBlock *Dest) {
+  // Evaluate all phis in Dest against the edge CurBB->Dest simultaneously:
+  // gather first, then commit, so phis may reference each other's old
+  // values (a swap permutation is legal SSA).
+  std::vector<std::pair<const Instruction *, int64_t>> Updates;
+  Dest->forEachPhi([&](Instruction *Phi) {
+    Value *In = Phi->getPhiIncomingFor(CurBB);
+    assert(In && "phi has no incoming for executed edge");
+    Updates.push_back({Phi, evaluate(In)});
+  });
+  for (const auto &[Phi, V] : Updates)
+    setRegister(Phi, V);
+  PrevBB = CurBB;
+  CurBB = Dest;
+  // Skip the phi prefix; their values are already committed.
+  InstIdx = 0;
+  while (InstIdx < Dest->size() &&
+         Dest->get(InstIdx)->getOpcode() == Opcode::Phi)
+    ++InstIdx;
+}
+
+void ThreadContext::jumpTo(const BasicBlock *Target) {
+  assert(!Finished && "jumpTo on a finished thread");
+  assert((Target->empty() || Target->front()->getOpcode() != Opcode::Phi) &&
+         "cannot resteer into a block with phis");
+  PrevBB = nullptr;
+  CurBB = Target;
+  InstIdx = 0;
+}
+
+StepResult ThreadContext::step() {
+  assert(!Finished && "step on a finished thread");
+  assert(InstIdx < CurBB->size() && "fell off the end of a block");
+  const Instruction *I = CurBB->get(InstIdx);
+
+  switch (I->getOpcode()) {
+  case Opcode::Phi:
+    spice_unreachable("phi reached by sequential execution");
+  case Opcode::Load: {
+    uint64_t Addr = static_cast<uint64_t>(evaluate(I->getOperand(0)));
+    setRegister(I, Env.load(Addr));
+    break;
+  }
+  case Opcode::Store: {
+    uint64_t Addr = static_cast<uint64_t>(evaluate(I->getOperand(0)));
+    Env.store(Addr, evaluate(I->getOperand(1)));
+    break;
+  }
+  case Opcode::Select: {
+    int64_t Cond = evaluate(I->getOperand(0));
+    setRegister(I, Cond ? evaluate(I->getOperand(1))
+                        : evaluate(I->getOperand(2)));
+    break;
+  }
+  case Opcode::Br:
+    ++Steps;
+    ++BlockCounts[CurBB];
+    executeBranchTo(I->getBlockOperand(0));
+    return {StepStatus::Ran, I};
+  case Opcode::CondBr: {
+    ++Steps;
+    ++BlockCounts[CurBB];
+    int64_t Cond = evaluate(I->getOperand(0));
+    executeBranchTo(I->getBlockOperand(Cond ? 0 : 1));
+    return {StepStatus::Ran, I};
+  }
+  case Opcode::Ret:
+    ++Steps;
+    ++BlockCounts[CurBB];
+    ReturnValue = evaluate(I->getOperand(0));
+    Finished = true;
+    return {StepStatus::Returned, I};
+  case Opcode::Halt:
+    ++Steps;
+    ++BlockCounts[CurBB];
+    Finished = true;
+    return {StepStatus::Halted, I};
+  case Opcode::Send: {
+    int64_t Chan = evaluate(I->getOperand(0));
+    int64_t V = evaluate(I->getOperand(1));
+    if (!Env.send(Chan, V))
+      return {StepStatus::Blocked, I};
+    break;
+  }
+  case Opcode::Recv: {
+    int64_t Chan = evaluate(I->getOperand(0));
+    std::optional<int64_t> V = Env.recv(Chan);
+    if (!V)
+      return {StepStatus::Blocked, I};
+    setRegister(I, *V);
+    break;
+  }
+  case Opcode::SpecBegin:
+    Env.specBegin();
+    break;
+  case Opcode::SpecCommit:
+    // Produces 1 when a conflict was detected during the speculative
+    // region; the transformation branches on it to reach recovery.
+    setRegister(I, Env.specCommit() ? 1 : 0);
+    break;
+  case Opcode::SpecRollback:
+    Env.specRollback();
+    break;
+  case Opcode::Resteer:
+    Env.resteer(evaluate(I->getOperand(0)), I->getBlockOperand(0));
+    break;
+  case Opcode::ProfNewInvoc:
+    if (ProfileSink *Sink = Env.profileSink())
+      Sink->onNewInvocation(evaluate(I->getOperand(0)));
+    break;
+  case Opcode::ProfRecord:
+    if (ProfileSink *Sink = Env.profileSink())
+      Sink->onRecord(evaluate(I->getOperand(0)), evaluate(I->getOperand(1)),
+                     evaluate(I->getOperand(2)));
+    break;
+  case Opcode::ProfIterEnd:
+    if (ProfileSink *Sink = Env.profileSink())
+      Sink->onIterEnd(evaluate(I->getOperand(0)));
+    break;
+  default:
+    assert((I->isBinaryOp() || I->isComparison()) && "unhandled opcode");
+    setRegister(I, applyBinary(I->getOpcode(), evaluate(I->getOperand(0)),
+                               evaluate(I->getOperand(1))));
+    break;
+  }
+
+  ++Steps;
+  ++BlockCounts[CurBB];
+  ++InstIdx;
+  return {StepStatus::Ran, I};
+}
+
+StepStatus ThreadContext::run(uint64_t MaxSteps) {
+  for (uint64_t N = 0; N < MaxSteps; ++N) {
+    StepResult R = step();
+    if (R.Status == StepStatus::Returned || R.Status == StepStatus::Halted)
+      return R.Status;
+    if (R.Status == StepStatus::Blocked)
+      spice_unreachable("single thread blocked on a channel");
+  }
+  spice_unreachable("run() exceeded MaxSteps (runaway loop?)");
+}

@@ -1,0 +1,98 @@
+//===- vm/ThreadContext.h - Steppable IR thread state -----------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ThreadContext interprets one function one instruction per step(), which
+/// is exactly what the discrete-event multicore simulator needs to charge
+/// per-instruction costs and interleave cores deterministically. A blocked
+/// Recv (or a Send into a full channel) leaves the program counter in place
+/// so the instruction retries on the next step.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_VM_THREADCONTEXT_H
+#define SPICE_VM_THREADCONTEXT_H
+
+#include "vm/ExecutionEnv.h"
+
+namespace spice {
+namespace vm {
+
+/// Outcome of a single interpreter step.
+enum class StepStatus : uint8_t {
+  Ran,      ///< Executed one instruction.
+  Blocked,  ///< A Send/Recv could not complete; PC unchanged.
+  Returned, ///< Executed Ret; thread is finished.
+  Halted,   ///< Executed Halt; thread is finished.
+};
+
+/// Result of step(): status plus the instruction attempted (for costing).
+struct StepResult {
+  StepStatus Status;
+  const ir::Instruction *Inst;
+};
+
+/// Interpreter state for one thread of execution.
+class ThreadContext {
+public:
+  /// The function must have been renumber()ed after its last mutation.
+  ThreadContext(const ir::Function &F, Memory &Mem, ExecutionEnv &Env,
+                std::vector<int64_t> Args);
+
+  /// Executes (or retries) the current instruction.
+  StepResult step();
+
+  /// Runs until Returned/Halted; asserts if the thread blocks forever.
+  /// \p MaxSteps bounds runaway executions. Returns the final status.
+  StepStatus run(uint64_t MaxSteps = ~0ull);
+
+  bool isFinished() const { return Finished; }
+  int64_t getReturnValue() const {
+    assert(Finished && "thread still running");
+    return ReturnValue;
+  }
+
+  /// Redirects control to the start of \p Target (used by resteer). Phis in
+  /// the target block would have no incoming edge and are rejected.
+  void jumpTo(const ir::BasicBlock *Target);
+
+  /// Evaluates an SSA value in the current register state.
+  int64_t evaluate(const ir::Value *V) const;
+
+  uint64_t getStepsExecuted() const { return Steps; }
+
+  /// Per-block executed-instruction counts (for loop hotness).
+  const std::unordered_map<const ir::BasicBlock *, uint64_t> &
+  blockCounts() const {
+    return BlockCounts;
+  }
+
+  const ir::Function &getFunction() const { return F; }
+  const ir::BasicBlock *currentBlock() const { return CurBB; }
+
+private:
+  void executeBranchTo(const ir::BasicBlock *Dest);
+  void setRegister(const ir::Instruction *I, int64_t V);
+  int64_t applyBinary(ir::Opcode Op, int64_t L, int64_t R) const;
+
+  const ir::Function &F;
+  Memory &Mem;
+  ExecutionEnv &Env;
+  std::vector<int64_t> Args;
+  std::vector<int64_t> Registers;
+  const ir::BasicBlock *CurBB;
+  const ir::BasicBlock *PrevBB = nullptr; // For phi resolution.
+  size_t InstIdx = 0;
+  bool Finished = false;
+  int64_t ReturnValue = 0;
+  uint64_t Steps = 0;
+  std::unordered_map<const ir::BasicBlock *, uint64_t> BlockCounts;
+};
+
+} // namespace vm
+} // namespace spice
+
+#endif // SPICE_VM_THREADCONTEXT_H

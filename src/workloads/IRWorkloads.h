@@ -1,0 +1,168 @@
+//===- workloads/IRWorkloads.h - The four paper loops in IR -----*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// IR builders + host-side data managers for the four evaluation loops of
+/// the paper (Table 2), used by the compiler+simulator pipeline that
+/// regenerates Figure 7:
+///
+///   * OtterIR:  find_lightest_cl   (list min, min+payload reductions)
+///   * KsIR:     FindMaxGp inner    (list scan with nested weight lookup)
+///   * McfIR:    refresh_potential  (tree walk with speculative stores)
+///   * SjengIR:  std_eval           (8 live-ins, branchy, ray loops)
+///
+/// Each builder emits a canonical single-loop function (entry -> loop
+/// exiting from its header -> exit ending in Ret) that stores its results
+/// to a @<name>.result global, plus host helpers that allocate and churn
+/// the data structures directly in VM memory.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_WORKLOADS_IRWORKLOADS_H
+#define SPICE_WORKLOADS_IRWORKLOADS_H
+
+#include "ir/Module.h"
+#include "support/Random.h"
+#include "vm/Memory.h"
+
+#include <vector>
+
+namespace spice {
+namespace workloads {
+
+/// Common interface of the IR workload managers.
+class IRWorkload {
+public:
+  virtual ~IRWorkload() = default;
+
+  /// Emits the sequential function and result global into \p M.
+  virtual ir::Function *build(ir::Module &M) = 0;
+
+  /// Allocates and initializes the data structure in \p Mem (after
+  /// layoutGlobals). Deterministic for a given seed.
+  virtual void initData(vm::Memory &Mem) = 0;
+
+  /// Arguments for one invocation of the (transformed or original)
+  /// function in the current data state.
+  virtual std::vector<int64_t> invocationArgs(const vm::Memory &Mem) = 0;
+
+  /// Applies between-invocation churn. Must be called with the memory the
+  /// invocation ran against so twin runs stay in lockstep.
+  virtual void mutate(vm::Memory &Mem) = 0;
+
+  /// Digest of the observable result (result global + any memory state the
+  /// loop writes) for twin-run comparison.
+  virtual int64_t resultDigest(const vm::Memory &Mem) const = 0;
+
+  virtual const char *name() const = 0;
+};
+
+/// otter find_lightest_cl. Node layout: [weight, next].
+class OtterIR : public IRWorkload {
+public:
+  OtterIR(size_t N, uint64_t Seed) : N(N), Rng(Seed) {}
+
+  ir::Function *build(ir::Module &M) override;
+  void initData(vm::Memory &Mem) override;
+  std::vector<int64_t> invocationArgs(const vm::Memory &Mem) override;
+  void mutate(vm::Memory &Mem) override;
+  int64_t resultDigest(const vm::Memory &Mem) const override;
+  const char *name() const override { return "otter"; }
+
+  /// Churn knob: clauses inserted per invocation (1 removed).
+  unsigned InsertsPerInvocation = 2;
+  /// Additional random unlinks per invocation (breaks memoized pointers).
+  unsigned RandomRemovalsPerInvocation = 0;
+
+private:
+  size_t N;
+  RandomEngine Rng;
+  ir::GlobalVariable *Result = nullptr;
+  int64_t Head = 0;
+  size_t LiveCount = 0;
+};
+
+/// ks FindMaxGp inner loop. Candidate node: [vid, next]; adjacency of the
+/// fixed vertex a: [deg, (to, w) x deg].
+class KsIR : public IRWorkload {
+public:
+  KsIR(size_t NumVerts, unsigned Degree, uint64_t Seed)
+      : NumVerts(NumVerts), Degree(Degree), Rng(Seed) {}
+
+  ir::Function *build(ir::Module &M) override;
+  void initData(vm::Memory &Mem) override;
+  std::vector<int64_t> invocationArgs(const vm::Memory &Mem) override;
+  void mutate(vm::Memory &Mem) override;
+  int64_t resultDigest(const vm::Memory &Mem) const override;
+  const char *name() const override { return "ks"; }
+
+private:
+  size_t NumVerts;
+  unsigned Degree;
+  RandomEngine Rng;
+  ir::GlobalVariable *Result = nullptr;
+  ir::GlobalVariable *DTable = nullptr;
+  int64_t BHead = 0;
+  int64_t AdjBase = 0; ///< Current a's adjacency block.
+  std::vector<int64_t> NodeAddrs;
+  size_t LiveCount = 0;
+};
+
+/// mcf refresh_potential. Node: [pred, child, sibling, orient, cost,
+/// potential].
+class McfIR : public IRWorkload {
+public:
+  McfIR(size_t N, uint64_t Seed) : N(N), Rng(Seed) {}
+
+  ir::Function *build(ir::Module &M) override;
+  void initData(vm::Memory &Mem) override;
+  std::vector<int64_t> invocationArgs(const vm::Memory &Mem) override;
+  void mutate(vm::Memory &Mem) override;
+  int64_t resultDigest(const vm::Memory &Mem) const override;
+  const char *name() const override { return "mcf"; }
+
+  /// Arc-cost changes per invocation (with immediate repropagation, so
+  /// most refresh stores stay silent).
+  unsigned ArcChanges = 2;
+
+private:
+  int64_t advanceHost(const vm::Memory &Mem, int64_t Node) const;
+  void refreshHost(vm::Memory &Mem);
+
+  size_t N;
+  RandomEngine Rng;
+  ir::GlobalVariable *Result = nullptr;
+  int64_t Root = 0;
+  std::vector<int64_t> Nodes;
+};
+
+/// sjeng std_eval. Piece node: [kind, square, color, flags, next]; 8
+/// loop-carried live-ins (cursor + 7 scalars), 2 sum reductions.
+class SjengIR : public IRWorkload {
+public:
+  SjengIR(size_t N, uint64_t Seed) : N(N), Rng(Seed) {}
+
+  ir::Function *build(ir::Module &M) override;
+  void initData(vm::Memory &Mem) override;
+  std::vector<int64_t> invocationArgs(const vm::Memory &Mem) override;
+  void mutate(vm::Memory &Mem) override;
+  int64_t resultDigest(const vm::Memory &Mem) const override;
+  const char *name() const override { return "sjeng"; }
+
+  double MutateProb = 0.3;
+
+private:
+  size_t N;
+  RandomEngine Rng;
+  ir::GlobalVariable *Result = nullptr;
+  int64_t Head = 0;
+  std::vector<int64_t> Pieces;
+};
+
+} // namespace workloads
+} // namespace spice
+
+#endif // SPICE_WORKLOADS_IRWORKLOADS_H

@@ -1,0 +1,155 @@
+//===- workloads/Ks.cpp - Kernighan-Lin graph partitioning ----------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Ks.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace spice;
+using namespace spice::workloads;
+
+KsGraph::KsGraph(size_t N, unsigned Degree, uint64_t Seed) : NumVertices(N) {
+  assert(N >= 4 && N % 2 == 0 && "need an even vertex count");
+  RandomEngine Rng(Seed);
+  Adj.resize(N);
+  Side.resize(N);
+  Swapped.assign(N, 0);
+  D.assign(N, 0);
+  AVertices.resize(N);
+
+  // Random partition: first half A, second half B (ids are arbitrary).
+  for (size_t V = 0; V != N; ++V)
+    Side[V] = V < N / 2 ? 0 : 1;
+
+  // Random multigraph-free edge set.
+  for (size_t V = 0; V != N; ++V) {
+    for (unsigned E = 0; E != Degree; ++E) {
+      auto To = static_cast<int64_t>(Rng.nextBelow(N));
+      if (To == static_cast<int64_t>(V))
+        continue;
+      int64_t W = Rng.nextInRange(1, 16);
+      Adj[V].push_back({To, W});
+      Adj[static_cast<size_t>(To)].push_back({static_cast<int64_t>(V), W});
+    }
+  }
+  for (auto &List : Adj) {
+    std::sort(List.begin(), List.end(),
+              [](const Edge &A, const Edge &B) { return A.To < B.To; });
+    // Merge duplicate edges deterministically.
+    std::vector<Edge> Merged;
+    for (const Edge &E : List) {
+      if (!Merged.empty() && Merged.back().To == E.To)
+        Merged.back().Weight += E.Weight;
+      else
+        Merged.push_back(E);
+    }
+    List = std::move(Merged);
+  }
+  recomputeD();
+  resetCandidates();
+}
+
+int64_t KsGraph::edgeWeight(int64_t A, int64_t B) const {
+  const std::vector<Edge> &List = Adj[static_cast<size_t>(A)];
+  auto It = std::lower_bound(
+      List.begin(), List.end(), B,
+      [](const Edge &E, int64_t To) { return E.To < To; });
+  if (It != List.end() && It->To == B)
+    return It->Weight;
+  return 0;
+}
+
+void KsGraph::recomputeD() {
+  for (size_t V = 0; V != NumVertices; ++V) {
+    int64_t External = 0, Internal = 0;
+    for (const Edge &E : Adj[V]) {
+      if (Side[static_cast<size_t>(E.To)] == Side[V])
+        Internal += E.Weight;
+      else
+        External += E.Weight;
+    }
+    D[V] = External - Internal;
+  }
+}
+
+void KsGraph::resetCandidates() {
+  Swapped.assign(NumVertices, 0);
+  AHead = BHead = nullptr;
+  // Build lists in descending id order so heads hold the smallest ids.
+  for (size_t I = NumVertices; I-- > 0;) {
+    KsVertex &V = AVertices[I];
+    V.Id = static_cast<int64_t>(I);
+    V.OnList = true;
+    if (Side[I] == 0) {
+      V.Next = AHead;
+      AHead = &V;
+    } else {
+      V.Next = BHead;
+      BHead = &V;
+    }
+  }
+}
+
+void KsGraph::removeFromList(KsVertex *&Head, KsVertex *V) {
+  assert(V->OnList && "vertex already removed");
+  if (Head == V) {
+    Head = V->Next;
+  } else {
+    KsVertex *Prev = Head;
+    while (Prev && Prev->Next != V)
+      Prev = Prev->Next;
+    assert(Prev && "vertex not on its candidate list");
+    Prev->Next = V->Next;
+  }
+  V->OnList = false; // Stale Next kept: the Spice hazard under test.
+}
+
+void KsGraph::applySwap(int64_t A, int64_t B) {
+  auto AIdx = static_cast<size_t>(A);
+  auto BIdx = static_cast<size_t>(B);
+  assert(Side[AIdx] == 0 && Side[BIdx] == 1 && "swap pair on wrong sides");
+  removeFromList(AHead, &AVertices[AIdx]);
+  removeFromList(BHead, &AVertices[BIdx]);
+  Swapped[AIdx] = Swapped[BIdx] = 1;
+  // KL incremental D update for remaining candidates, as if A and B
+  // exchanged sides.
+  for (const Edge &E : Adj[AIdx]) {
+    auto T = static_cast<size_t>(E.To);
+    if (Swapped[T])
+      continue;
+    D[T] += (Side[T] == Side[AIdx]) ? 2 * E.Weight : -2 * E.Weight;
+  }
+  for (const Edge &E : Adj[BIdx]) {
+    auto T = static_cast<size_t>(E.To);
+    if (Swapped[T])
+      continue;
+    D[T] += (Side[T] == Side[BIdx]) ? 2 * E.Weight : -2 * E.Weight;
+  }
+}
+
+void KsGraph::commitSwaps(const std::vector<int64_t> &AVerts,
+                          const std::vector<int64_t> &BVerts,
+                          size_t Prefix) {
+  assert(Prefix <= AVerts.size() && Prefix <= BVerts.size() &&
+         "prefix exceeds recorded swaps");
+  for (size_t I = 0; I != Prefix; ++I) {
+    Side[static_cast<size_t>(AVerts[I])] = 1;
+    Side[static_cast<size_t>(BVerts[I])] = 0;
+  }
+  recomputeD();
+  resetCandidates();
+}
+
+int64_t KsGraph::cutWeight() const {
+  int64_t Cut = 0;
+  for (size_t V = 0; V != NumVertices; ++V)
+    for (const Edge &E : Adj[V])
+      if (static_cast<size_t>(E.To) > V &&
+          Side[V] != Side[static_cast<size_t>(E.To)])
+        Cut += E.Weight;
+  return Cut;
+}

@@ -1,0 +1,142 @@
+//===- workloads/Ks.h - Kernighan-Lin graph partitioning --------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models ks (Kernighan-Lin graph bisection) and its FindMaxGpAndSwap
+/// inner loop, the paper's hottest Spice target (98% of execution). Each
+/// swap step scans the linked list of unswapped B-side vertices to find
+/// the partner maximizing the gain D[a] + D[b] - 2*w(a,b) for a fixed a:
+/// a pointer-chasing loop with a MAX reduction, an argmax payload, and a
+/// branchy per-iteration weight lookup. After every swap the chosen
+/// vertices leave the candidate lists (the between-invocation churn), and
+/// the list shrinks by one each step, which is precisely what exercises
+/// the re-memoization load balancer.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_WORKLOADS_KS_H
+#define SPICE_WORKLOADS_KS_H
+
+#include "core/SpecWriteBuffer.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spice {
+namespace workloads {
+
+/// A vertex on a candidate list.
+struct KsVertex {
+  int64_t Id = 0;
+  KsVertex *Next = nullptr;
+  bool OnList = false;
+};
+
+/// An undirected weighted graph with a two-way partition and KL gain
+/// bookkeeping.
+class KsGraph {
+public:
+  /// Random graph: \p N vertices (must be even), ~\p Degree edges per
+  /// vertex, weights in [1, 16].
+  KsGraph(size_t N, unsigned Degree, uint64_t Seed);
+
+  size_t size() const { return NumVertices; }
+
+  /// Edge weight between \p A and \p B (0 when absent). Binary search in
+  /// the adjacency list: the branchy per-iteration work of the loop.
+  int64_t edgeWeight(int64_t A, int64_t B) const;
+
+  /// D value (external - internal cost) of \p V under the current
+  /// partition and swap state.
+  int64_t dValue(int64_t V) const { return D[static_cast<size_t>(V)]; }
+
+  /// True when \p V currently lies in partition A.
+  bool inA(int64_t V) const { return Side[static_cast<size_t>(V)] == 0; }
+
+  /// Rebuilds both candidate lists from the unswapped vertices (start of
+  /// a KL pass).
+  void resetCandidates();
+
+  KsVertex *aListHead() const { return AHead; }
+  KsVertex *bListHead() const { return BHead; }
+
+  /// Marks \p A and \p B as swapped for this pass: removes them from the
+  /// candidate lists and updates all D values as if they switched sides.
+  void applySwap(int64_t A, int64_t B);
+
+  /// Swaps the partition sides of the vertices in \p AIdx / \p BIdx
+  /// (end-of-pass commit) and recomputes D.
+  void commitSwaps(const std::vector<int64_t> &AVerts,
+                   const std::vector<int64_t> &BVerts, size_t Prefix);
+
+  /// Total weight of edges crossing the partition.
+  int64_t cutWeight() const;
+
+  /// Recomputes all D values from scratch.
+  void recomputeD();
+
+private:
+  void removeFromList(KsVertex *&Head, KsVertex *V);
+
+  struct Edge {
+    int64_t To;
+    int64_t Weight;
+  };
+
+  size_t NumVertices;
+  std::vector<std::vector<Edge>> Adj; ///< Sorted by To.
+  std::vector<uint8_t> Side;          ///< 0 = A, 1 = B.
+  std::vector<uint8_t> Swapped;       ///< Locked for the current pass.
+  std::vector<int64_t> D;
+  std::vector<KsVertex> AVertices;
+  KsVertex *AHead = nullptr;
+  KsVertex *BHead = nullptr;
+};
+
+/// SpiceLoop traits for the FindMaxGp inner loop: scan B-candidates for
+/// the best partner of FixedA. The graph and FixedA are invariant live-ins
+/// (fields of the traits object, reset per invocation by the driver).
+struct KsTraits {
+  using LiveIn = KsVertex *;
+  struct State {
+    int64_t BestGain;
+    KsVertex *BestB;
+  };
+
+  const KsGraph *Graph = nullptr;
+  int64_t FixedA = -1;
+  int64_t FixedADValue = 0;
+
+  State initialState() { return {INT64_MIN, nullptr}; }
+
+  bool step(LiveIn &LI, State &S, core::SpecSpace &Mem) {
+    (void)Mem; // Read-only loop.
+    if (!LI)
+      return false;
+    int64_t B = LI->Id;
+    int64_t Gain =
+        FixedADValue + Graph->dValue(B) - 2 * Graph->edgeWeight(FixedA, B);
+    if (Gain > S.BestGain) {
+      S.BestGain = Gain;
+      S.BestB = LI;
+    }
+    LI = LI->Next;
+    return true;
+  }
+
+  void combine(State &Into, State &&Chunk) {
+    if (Chunk.BestGain > Into.BestGain) {
+      Into.BestGain = Chunk.BestGain;
+      Into.BestB = Chunk.BestB;
+    }
+  }
+};
+
+} // namespace workloads
+} // namespace spice
+
+#endif // SPICE_WORKLOADS_KS_H

@@ -1,0 +1,107 @@
+//===- workloads/Mcf.cpp - Network-simplex potential refresh --------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Mcf.h"
+
+#include <cassert>
+
+using namespace spice;
+using namespace spice::workloads;
+
+BasisTree::BasisTree(size_t N, uint64_t Seed, unsigned MaxChildren)
+    : Rng(Seed) {
+  assert(N >= 2 && "tree needs a root and at least one node");
+  Nodes.resize(N);
+  Root = &Nodes[0];
+  Root->Potential = 1'000'000; // mcf seeds the root potential to a constant.
+  std::vector<unsigned> ChildCount(N, 0);
+  for (size_t I = 1; I != N; ++I) {
+    // Attach to a random earlier node with spare child capacity; preferring
+    // recent nodes yields mcf-like deep, narrow trees.
+    size_t Parent;
+    do {
+      uint64_t Window = std::min<uint64_t>(I, 1 + Rng.nextBelow(16));
+      Parent = I - 1 - Rng.nextBelow(Window);
+    } while (ChildCount[Parent] >= MaxChildren);
+    ++ChildCount[Parent];
+    TreeNode &Node = Nodes[I];
+    TreeNode &Par = Nodes[Parent];
+    Node.Pred = &Par;
+    Node.Sibling = Par.Child;
+    Par.Child = &Node;
+    Node.ArcCost = Rng.nextInRange(1, 1000);
+    Node.Orientation = static_cast<int64_t>(Rng.nextBelow(2));
+  }
+}
+
+TreeNode *BasisTree::advance(TreeNode *Node) {
+  // mcf's cursor: descend to the first child, otherwise climb until a
+  // sibling exists. The walk ends back at the root (Pred == null).
+  if (Node->Child)
+    return Node->Child;
+  while (Node->Pred && !Node->Sibling)
+    Node = Node->Pred;
+  return Node->Sibling; // Null once we climb past the last subtree.
+}
+
+static bool isAncestorOf(const TreeNode *MaybeAncestor,
+                         const TreeNode *Node) {
+  for (const TreeNode *N = Node; N; N = N->Pred)
+    if (N == MaybeAncestor)
+      return true;
+  return false;
+}
+
+void BasisTree::relocateRandomSubtree() {
+  // Pick a non-root subtree X and a new parent Y outside X's subtree.
+  TreeNode *X = &Nodes[1 + Rng.nextBelow(Nodes.size() - 1)];
+  TreeNode *Y;
+  do {
+    Y = &Nodes[Rng.nextBelow(Nodes.size())];
+  } while (isAncestorOf(X, Y));
+  // Unlink X from its parent's child list. The stale Sibling pointer is
+  // deliberately kept intact until relinking: a speculative thread holding
+  // a pointer into the old order reads consistent (if outdated) memory.
+  TreeNode *Par = X->Pred;
+  if (Par->Child == X) {
+    Par->Child = X->Sibling;
+  } else {
+    TreeNode *Prev = Par->Child;
+    while (Prev->Sibling != X)
+      Prev = Prev->Sibling;
+    Prev->Sibling = X->Sibling;
+  }
+  X->Pred = Y;
+  X->Sibling = Y->Child;
+  Y->Child = X;
+}
+
+void BasisTree::mutate(unsigned Arcs, unsigned Relocations,
+                       bool PropagateNow) {
+  for (unsigned I = 0; I != Arcs; ++I) {
+    size_t Idx = 1 + Rng.nextBelow(Nodes.size() - 1);
+    Nodes[Idx].ArcCost = Rng.nextInRange(1, 1000);
+  }
+  for (unsigned I = 0; I != Relocations; ++I)
+    relocateRandomSubtree();
+  // Real mcf keeps potentials incrementally up to date between refreshes,
+  // which is what makes most refresh stores silent re-writes.
+  if (PropagateNow)
+    refreshPotentialReference();
+}
+
+int64_t BasisTree::refreshPotentialReference() {
+  int64_t Checksum = 0;
+  for (TreeNode *Node = traversalStart(); Node; Node = advance(Node)) {
+    if (Node->Orientation == 0)
+      Node->Potential = Node->ArcCost + Node->Pred->Potential;
+    else {
+      Node->Potential = Node->Pred->Potential - Node->ArcCost;
+      ++Checksum;
+    }
+  }
+  return Checksum;
+}

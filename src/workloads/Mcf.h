@@ -1,0 +1,115 @@
+//===- workloads/Mcf.h - Network-simplex potential refresh ------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models 181.mcf's refresh_potential: a preorder walk over the spanning
+/// tree of a min-cost-flow basis that recomputes every node's potential
+/// from its parent's (potential[n] = potential[pred] +/- arc cost). The
+/// walk is the paper's tree-traversal example: the loop-carried live-in is
+/// the node cursor of the child/sibling/pred walk, the checksum is a sum
+/// reduction, and the potential writes are the speculative stores that
+/// need buffering + commit-time value validation (most re-writes are
+/// silent because a simplex pivot only perturbs one subtree).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_WORKLOADS_MCF_H
+#define SPICE_WORKLOADS_MCF_H
+
+#include "core/SpecWriteBuffer.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace spice {
+namespace workloads {
+
+/// A spanning-tree node of the simplex basis.
+struct TreeNode {
+  TreeNode *Pred = nullptr;    ///< Parent in the tree.
+  TreeNode *Child = nullptr;   ///< First child.
+  TreeNode *Sibling = nullptr; ///< Next sibling.
+  int64_t ArcCost = 0;         ///< Cost of the basic arc to the parent.
+  int64_t Orientation = 0;     ///< 0 = UP (add), 1 = DOWN (subtract).
+  int64_t Potential = 0;
+};
+
+/// The basis tree plus a pivot-style churn model.
+class BasisTree {
+public:
+  /// Builds a random tree of \p N nodes with maximum branching
+  /// \p MaxChildren.
+  BasisTree(size_t N, uint64_t Seed, unsigned MaxChildren = 4);
+
+  TreeNode *root() const { return Root; }
+  size_t size() const { return Nodes.size(); }
+
+  /// Simplex-pivot churn between refresh invocations:
+  ///  * \p Arcs random basic-arc cost changes,
+  ///  * \p Relocations subtree relocations (these reshuffle the traversal
+  ///    order and are the source of live-in mis-speculations),
+  /// followed (when \p PropagateNow, the realistic mcf behaviour) by an
+  /// incremental potential update, so that the next refresh's stores are
+  /// mostly silent. Passing PropagateNow=false leaves potentials stale and
+  /// forces read-validation conflicts (used by ablation benches).
+  void mutate(unsigned Arcs, unsigned Relocations = 0,
+              bool PropagateNow = true);
+
+  /// Moves a random subtree under a new parent (a simplex basis exchange).
+  void relocateRandomSubtree();
+
+  /// Sequential oracle: recomputes all potentials, returns the checksum
+  /// (count of DOWN-oriented nodes visited, as in mcf).
+  int64_t refreshPotentialReference();
+
+  /// The first node of the traversal (root's first child).
+  TreeNode *traversalStart() const { return Root->Child; }
+
+  /// Advances the mcf child/sibling/pred cursor; null when the walk is
+  /// done. Exposed so the IR builder and the traits share one definition.
+  static TreeNode *advance(TreeNode *Node);
+
+private:
+  std::vector<TreeNode> Nodes; ///< Stable storage; never reallocated.
+  TreeNode *Root = nullptr;
+  RandomEngine Rng;
+};
+
+/// SpiceLoop traits for refresh_potential. Requires conflict detection:
+/// a chunk's first nodes read parent potentials that an earlier chunk may
+/// still rewrite; commit-time value validation catches the (rare) cases
+/// where the parent's potential actually changed.
+struct McfTraits {
+  using LiveIn = TreeNode *;
+  struct State {
+    int64_t Checksum;
+  };
+
+  State initialState() { return {0}; }
+
+  bool step(LiveIn &LI, State &S, core::SpecSpace &Mem) {
+    TreeNode *Node = LI;
+    if (!Node)
+      return false;
+    int64_t ParentPot = Mem.read(&Node->Pred->Potential);
+    if (Node->Orientation == 0) {
+      Mem.write(&Node->Potential, Node->ArcCost + ParentPot);
+    } else {
+      Mem.write(&Node->Potential, ParentPot - Node->ArcCost);
+      ++S.Checksum;
+    }
+    LI = BasisTree::advance(Node);
+    return true;
+  }
+
+  void combine(State &Into, State &&Chunk) { Into.Checksum += Chunk.Checksum; }
+};
+
+} // namespace workloads
+} // namespace spice
+
+#endif // SPICE_WORKLOADS_MCF_H

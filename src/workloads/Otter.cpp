@@ -1,0 +1,87 @@
+//===- workloads/Otter.cpp - Theorem-prover clause selection --------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Otter.h"
+
+#include <cassert>
+
+using namespace spice;
+using namespace spice::workloads;
+
+ClauseList::ClauseList(size_t N, uint64_t Seed, int64_t WeightRange)
+    : Rng(Seed), WeightRange(WeightRange) {
+  Clause *Prev = nullptr;
+  for (size_t I = 0; I != N; ++I) {
+    Clause *C = allocate(Rng.nextInRange(0, WeightRange - 1));
+    if (Prev)
+      Prev->Next = C;
+    else
+      Head = C;
+    Prev = C;
+  }
+  Size = N;
+}
+
+Clause *ClauseList::allocate(int64_t Weight) {
+  Arena.push_back({});
+  Clause &C = Arena.back();
+  C.PickWeight = Weight;
+  C.OnList = true;
+  return &C;
+}
+
+void ClauseList::remove(Clause *C) {
+  assert(C && C->OnList && "removing a clause that is not on the list");
+  if (Head == C) {
+    Head = C->Next;
+  } else {
+    Clause *Prev = Head;
+    while (Prev && Prev->Next != C)
+      Prev = Prev->Next;
+    assert(Prev && "clause not found on list");
+    Prev->Next = C->Next;
+  }
+  // The node stays allocated and keeps its stale Next pointer: that is the
+  // hazard the Spice mis-speculation detection must catch (Figure 6).
+  C->OnList = false;
+  --Size;
+}
+
+void ClauseList::insertRandom() {
+  Clause *C = allocate(Rng.nextInRange(0, WeightRange - 1));
+  if (!Head || Rng.nextBelow(Size + 1) == 0) {
+    C->Next = Head;
+    Head = C;
+  } else {
+    // Walk to a uniformly random predecessor.
+    uint64_t Steps = Rng.nextBelow(Size);
+    Clause *Prev = Head;
+    for (uint64_t I = 0; I != Steps && Prev->Next; ++I)
+      Prev = Prev->Next;
+    C->Next = Prev->Next;
+    Prev->Next = C;
+  }
+  ++Size;
+}
+
+void ClauseList::mutate(Clause *Min, unsigned Inserts) {
+  if (Min && Min->OnList)
+    remove(Min);
+  for (unsigned I = 0; I != Inserts; ++I)
+    insertRandom();
+}
+
+Clause *ClauseList::findLightestReference() const {
+  Clause *Best = nullptr;
+  int64_t BestW = INT64_MAX;
+  for (Clause *C = Head; C; C = C->Next) {
+    if (C->PickWeight < BestW) {
+      BestW = C->PickWeight;
+      Best = C;
+    }
+  }
+  return Best;
+}

@@ -1,0 +1,108 @@
+//===- workloads/Otter.h - Theorem-prover clause selection ------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Models otter's find_lightest_cl loop (paper Figure 1): a singly linked
+/// clause list is scanned for the clause with minimum pick_weight; between
+/// invocations the minimum clause is removed and a few new clauses are
+/// inserted at random positions (paper Figure 1(b)). Nodes live in an arena
+/// and are never reclaimed during a run, so a stale pointer held by a
+/// speculative thread always reads mapped memory (the software analogue of
+/// hardware speculative-state containment).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_WORKLOADS_OTTER_H
+#define SPICE_WORKLOADS_OTTER_H
+
+#include "core/SpecWriteBuffer.h"
+#include "support/Random.h"
+
+#include <cstdint>
+#include <deque>
+
+namespace spice {
+namespace workloads {
+
+/// One clause in the set-of-support list.
+struct Clause {
+  int64_t PickWeight = 0;
+  Clause *Next = nullptr;
+  bool OnList = false; ///< For test oracles; not read by the hot loop.
+};
+
+/// The clause list plus its between-invocation churn model.
+class ClauseList {
+public:
+  /// Builds a list of \p N clauses with weights in [0, WeightRange).
+  ClauseList(size_t N, uint64_t Seed, int64_t WeightRange = 1'000'000);
+
+  Clause *head() const { return Head; }
+  size_t size() const { return Size; }
+
+  /// Applies the paper's churn: unlink \p Min (the result of the previous
+  /// invocation), then insert \p Inserts fresh clauses at random positions.
+  void mutate(Clause *Min, unsigned Inserts);
+
+  /// Unlinks one specific clause (it stays readable in the arena).
+  void remove(Clause *C);
+
+  /// Inserts a fresh clause after a uniformly random predecessor.
+  void insertRandom();
+
+  /// Sequential oracle: the lightest clause (first on ties).
+  Clause *findLightestReference() const;
+
+private:
+  Clause *allocate(int64_t Weight);
+
+  std::deque<Clause> Arena; ///< Stable addresses; nothing is ever freed.
+  Clause *Head = nullptr;
+  size_t Size = 0;
+  RandomEngine Rng;
+  int64_t WeightRange;
+};
+
+/// SpiceLoop traits for the find_lightest_cl loop. The weight minimum is a
+/// MIN reduction and the clause pointer its payload (argmin), exactly the
+/// reduction pair the paper's transformation privatizes; the list pointer
+/// `c` is the single speculated live-in.
+struct OtterTraits {
+  using LiveIn = Clause *;
+  struct State {
+    int64_t MinWeight;
+    Clause *MinClause;
+  };
+
+  State initialState() {
+    return {/*MinWeight=*/INT64_MAX, /*MinClause=*/nullptr};
+  }
+
+  bool step(LiveIn &LI, State &S, core::SpecSpace &Mem) {
+    (void)Mem; // The loop only reads; the list is frozen mid-invocation.
+    if (!LI)
+      return false;
+    int64_t W = LI->PickWeight;
+    if (W < S.MinWeight) {
+      S.MinWeight = W;
+      S.MinClause = LI;
+    }
+    LI = LI->Next;
+    return true;
+  }
+
+  void combine(State &Into, State &&Chunk) {
+    if (Chunk.MinWeight < Into.MinWeight) {
+      Into.MinWeight = Chunk.MinWeight;
+      Into.MinClause = Chunk.MinClause;
+    }
+  }
+};
+
+} // namespace workloads
+} // namespace spice
+
+#endif // SPICE_WORKLOADS_OTTER_H

@@ -1,0 +1,80 @@
+//===- workloads/SimHarness.cpp - Twin-run experiment driver ---------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SimHarness.h"
+
+#include "ir/Verifier.h"
+#include "support/ErrorHandling.h"
+
+using namespace spice;
+using namespace spice::workloads;
+using namespace spice::sim;
+
+HarnessResult workloads::runTwinExperiment(
+    const std::function<std::unique_ptr<IRWorkload>()> &Make,
+    unsigned Threads, unsigned Invocations,
+    const MachineConfig &BaseConfig, int64_t TripCountEstimate,
+    uint64_t MemoryWords) {
+  HarnessResult Out;
+
+  // Sequential twin.
+  ir::Module MSeq("seq");
+  std::unique_ptr<IRWorkload> WSeq = Make();
+  ir::Function *FSeq = WSeq->build(MSeq);
+  assert(ir::verifyModule(MSeq, nullptr) && "ill-formed workload module");
+  vm::Memory MemSeq(MemoryWords);
+  MemSeq.layoutGlobals(MSeq);
+  WSeq->initData(MemSeq);
+
+  // Parallel twin.
+  ir::Module MPar("par");
+  std::unique_ptr<IRWorkload> WPar = Make();
+  ir::Function *FPar = WPar->build(MPar);
+  transform::SpiceTransformOptions Opts;
+  Opts.NumThreads = Threads;
+  Opts.TripCountEstimate = TripCountEstimate;
+  transform::SpiceParallelProgram Prog =
+      transform::applySpiceTransform(MPar, *FPar, Opts);
+  assert(ir::verifyModule(MPar, nullptr) && "transform broke the module");
+  vm::Memory MemPar(MemoryWords);
+  MemPar.layoutGlobals(MPar);
+  WPar->initData(MemPar);
+  Prog.initPredictorState(MemPar, TripCountEstimate);
+
+  sim::MachineConfig SeqConfig = BaseConfig;
+  SeqConfig.NumCores = 1;
+  sim::MachineConfig ParConfig = BaseConfig;
+  ParConfig.NumCores = Threads;
+
+  for (unsigned I = 0; I != Invocations; ++I) {
+    {
+      Machine M(SeqConfig, MemSeq);
+      M.addThread(*FSeq, WSeq->invocationArgs(MemSeq));
+      SimResult R = M.run();
+      Out.SeqCycles += R.Cycles;
+    }
+    {
+      Machine M(ParConfig, MemPar);
+      M.addThread(*Prog.Main, WPar->invocationArgs(MemPar));
+      for (ir::Function *Worker : Prog.Workers)
+        M.addThread(*Worker, {});
+      SimResult R = M.run();
+      Out.ParCycles += R.Cycles;
+      Out.Resteers += R.Resteers;
+      Out.Conflicts += R.Conflicts;
+      if (R.Resteers || R.Conflicts)
+        ++Out.MisspeculatedInvocations;
+    }
+    if (WSeq->resultDigest(MemSeq) != WPar->resultDigest(MemPar)) {
+      Out.AllCorrect = false;
+      ++Out.Mismatches;
+    }
+    ++Out.Invocations;
+    WSeq->mutate(MemSeq);
+    WPar->mutate(MemPar);
+  }
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- workloads/SimHarness.h - Twin-run experiment driver ------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Drives the compiler+simulator pipeline the paper's evaluation uses:
+/// the same workload (same seed, same churn sequence) runs twice --
+/// sequentially on a 1-core machine, and Spice-transformed on a t-core
+/// machine -- and results are compared invocation by invocation. Loop
+/// speedup is total sequential cycles over total parallel cycles, the
+/// quantity Figure 7 reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_WORKLOADS_SIMHARNESS_H
+#define SPICE_WORKLOADS_SIMHARNESS_H
+
+#include "sim/Machine.h"
+#include "transform/SpiceTransform.h"
+#include "workloads/IRWorkloads.h"
+
+#include <functional>
+#include <memory>
+
+namespace spice {
+namespace workloads {
+
+/// Outcome of a twin experiment.
+struct HarnessResult {
+  bool AllCorrect = true;
+  unsigned Invocations = 0;
+  unsigned Mismatches = 0;
+  uint64_t SeqCycles = 0;
+  uint64_t ParCycles = 0;
+  uint64_t Resteers = 0;
+  uint64_t Conflicts = 0;
+  /// Invocations with at least one squash (resteer) or conflict.
+  unsigned MisspeculatedInvocations = 0;
+
+  double speedup() const {
+    return ParCycles ? static_cast<double>(SeqCycles) /
+                           static_cast<double>(ParCycles)
+                     : 0.0;
+  }
+};
+
+/// Runs \p Invocations of the workload produced by \p Make on both the
+/// sequential baseline and the Spice-transformed program.
+HarnessResult
+runTwinExperiment(const std::function<std::unique_ptr<IRWorkload>()> &Make,
+                  unsigned Threads, unsigned Invocations,
+                  const sim::MachineConfig &BaseConfig,
+                  int64_t TripCountEstimate,
+                  uint64_t MemoryWords = 1u << 22);
+
+} // namespace workloads
+} // namespace spice
+
+#endif // SPICE_WORKLOADS_SIMHARNESS_H

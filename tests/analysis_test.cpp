@@ -1,0 +1,416 @@
+//===- tests/analysis_test.cpp - CFG/dominator/loop/live-in tests -----------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopCarried.h"
+#include "ir/IRBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace spice;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+namespace {
+
+/// The paper's Figure 1 loop in IR: list-min with the weight minimum (wm),
+/// its argmin payload (cm) and the chased pointer (c).
+struct ListMinIR {
+  Module M;
+  Function *F;
+  BasicBlock *Entry, *Header, *Body, *Exit;
+  Instruction *CPhi, *WmPhi, *CmPhi;
+
+  ListMinIR() {
+    F = M.createFunction("find_lightest");
+    Argument *Head = F->addArgument("head");
+    Entry = F->createBlock("entry");
+    Header = F->createBlock("header");
+    Body = F->createBlock("body");
+    Exit = F->createBlock("exit");
+
+    IRBuilder B(M, Entry);
+    B.createBr(Header);
+
+    B.setInsertBlock(Header);
+    CPhi = B.createPhi("c");
+    WmPhi = B.createPhi("wm");
+    CmPhi = B.createPhi("cm");
+    Instruction *NotNull = B.createICmpNe(CPhi, B.getInt(0));
+    B.createCondBr(NotNull, Body, Exit);
+
+    B.setInsertBlock(Body);
+    Instruction *W = B.createLoad(CPhi, "w"); // node[0] = weight
+    Instruction *Less = B.createICmpSLt(W, WmPhi, "less");
+    Instruction *Wm2 = B.createSelect(Less, W, WmPhi, "wm2");
+    Instruction *Cm2 = B.createSelect(Less, CPhi, CmPhi, "cm2");
+    Instruction *NextAddr = B.createAdd(CPhi, B.getInt(1));
+    Instruction *CNext = B.createLoad(NextAddr, "cnext");
+    B.createBr(Header);
+
+    CPhi->addPhiIncoming(Head, Entry);
+    CPhi->addPhiIncoming(CNext, Body);
+    WmPhi->addPhiIncoming(B.getInt(INT64_MAX), Entry);
+    WmPhi->addPhiIncoming(Wm2, Body);
+    CmPhi->addPhiIncoming(B.getInt(0), Entry);
+    CmPhi->addPhiIncoming(Cm2, Body);
+
+    B.setInsertBlock(Exit);
+    Instruction *Packed = B.createAdd(WmPhi, CmPhi);
+    B.createRet(Packed);
+    F->renumber();
+  }
+};
+
+} // namespace
+
+TEST(CFG, PredecessorsAndRPO) {
+  ListMinIR L;
+  CFGInfo CFG(*L.F);
+  EXPECT_EQ(CFG.predecessors(L.Header).size(), 2u);
+  EXPECT_EQ(CFG.predecessors(L.Entry).size(), 0u);
+  EXPECT_EQ(CFG.predecessors(L.Exit).size(), 1u);
+  const auto &RPO = CFG.reversePostOrder();
+  ASSERT_EQ(RPO.size(), 4u);
+  EXPECT_EQ(RPO.front(), L.Entry);
+  EXPECT_LT(CFG.getRPOIndex(L.Header), CFG.getRPOIndex(L.Body));
+  EXPECT_LT(CFG.getRPOIndex(L.Header), CFG.getRPOIndex(L.Exit));
+  EXPECT_TRUE(CFG.isReachable(L.Exit));
+}
+
+TEST(CFG, UnreachableBlocksDetected) {
+  Module M;
+  Function *F = M.createFunction("f");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Dead = F->createBlock("dead");
+  IRBuilder B(M, Entry);
+  B.createRet(B.getInt(0));
+  B.setInsertBlock(Dead);
+  B.createRet(B.getInt(1));
+  F->renumber();
+  CFGInfo CFG(*F);
+  EXPECT_TRUE(CFG.isReachable(Entry));
+  EXPECT_FALSE(CFG.isReachable(Dead));
+}
+
+TEST(Dominators, LoopShape) {
+  ListMinIR L;
+  CFGInfo CFG(*L.F);
+  DominatorTree DT(CFG);
+  EXPECT_EQ(DT.getIDom(L.Entry), nullptr);
+  EXPECT_EQ(DT.getIDom(L.Header), L.Entry);
+  EXPECT_EQ(DT.getIDom(L.Body), L.Header);
+  EXPECT_EQ(DT.getIDom(L.Exit), L.Header);
+  EXPECT_TRUE(DT.dominates(L.Entry, L.Exit));
+  EXPECT_TRUE(DT.dominates(L.Header, L.Body));
+  EXPECT_FALSE(DT.dominates(L.Body, L.Exit));
+  EXPECT_TRUE(DT.dominates(L.Body, L.Body));
+}
+
+TEST(Dominators, DiamondJoin) {
+  Module M;
+  Function *F = M.createFunction("diamond");
+  Argument *C = F->addArgument("c");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Left = F->createBlock("left");
+  BasicBlock *Right = F->createBlock("right");
+  BasicBlock *Join = F->createBlock("join");
+  IRBuilder B(M, Entry);
+  B.createCondBr(C, Left, Right);
+  B.setInsertBlock(Left);
+  B.createBr(Join);
+  B.setInsertBlock(Right);
+  B.createBr(Join);
+  B.setInsertBlock(Join);
+  Instruction *Phi = B.createPhi();
+  Phi->addPhiIncoming(B.getInt(1), Left);
+  Phi->addPhiIncoming(B.getInt(2), Right);
+  B.createRet(Phi);
+  F->renumber();
+
+  CFGInfo CFG(*F);
+  DominatorTree DT(CFG);
+  EXPECT_EQ(DT.getIDom(Join), Entry) << "join dominated by fork, not arms";
+  EXPECT_FALSE(DT.dominates(Left, Join));
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifySSADominance(*F, DT, &Errors));
+}
+
+TEST(Dominators, SSAViolationDetected) {
+  // Use a value defined in the left arm from the right arm.
+  Module M;
+  Function *F = M.createFunction("bad");
+  Argument *C = F->addArgument("c");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Left = F->createBlock("left");
+  BasicBlock *Right = F->createBlock("right");
+  IRBuilder B(M, Entry);
+  B.createCondBr(C, Left, Right);
+  B.setInsertBlock(Left);
+  Instruction *X = B.createAdd(B.getInt(1), B.getInt(2));
+  B.createRet(X);
+  B.setInsertBlock(Right);
+  Instruction *Y = B.createAdd(X, B.getInt(1)); // Illegal use.
+  B.createRet(Y);
+  F->renumber();
+
+  CFGInfo CFG(*F);
+  DominatorTree DT(CFG);
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifySSADominance(*F, DT, &Errors));
+  EXPECT_FALSE(Errors.empty());
+}
+
+TEST(LoopInfo, FindsNaturalLoop) {
+  ListMinIR L;
+  CFGInfo CFG(*L.F);
+  DominatorTree DT(CFG);
+  LoopInfo LI(CFG, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  Loop *Loop0 = LI.getLoopByHeader(L.Header);
+  ASSERT_NE(Loop0, nullptr);
+  EXPECT_EQ(Loop0->getSingleLatch(), L.Body);
+  EXPECT_TRUE(Loop0->contains(L.Body));
+  EXPECT_FALSE(Loop0->contains(L.Exit));
+  EXPECT_EQ(Loop0->getPreheader(CFG), L.Entry);
+  EXPECT_EQ(Loop0->getExitBlocks(CFG),
+            std::vector<BasicBlock *>{L.Exit});
+  EXPECT_EQ(Loop0->getExitingBlocks(),
+            std::vector<BasicBlock *>{L.Header});
+  EXPECT_EQ(Loop0->getDepth(), 1u);
+  EXPECT_EQ(LI.getLoopFor(L.Body), Loop0);
+  EXPECT_EQ(LI.getLoopFor(L.Exit), nullptr);
+}
+
+TEST(LoopInfo, NestedLoops) {
+  // for(i..) { for(j..) {} }
+  Module M;
+  Function *F = M.createFunction("nest");
+  Argument *N = F->addArgument("n");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *OuterH = F->createBlock("outer_h");
+  BasicBlock *InnerPre = F->createBlock("inner_pre");
+  BasicBlock *InnerH = F->createBlock("inner_h");
+  BasicBlock *InnerBody = F->createBlock("inner_body");
+  BasicBlock *OuterLatch = F->createBlock("outer_latch");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M, Entry);
+  B.createBr(OuterH);
+  B.setInsertBlock(OuterH);
+  Instruction *I = B.createPhi("i");
+  Instruction *CondI = B.createICmpSLt(I, N);
+  B.createCondBr(CondI, InnerPre, Exit);
+  B.setInsertBlock(InnerPre);
+  B.createBr(InnerH);
+  B.setInsertBlock(InnerH);
+  Instruction *J = B.createPhi("j");
+  Instruction *CondJ = B.createICmpSLt(J, N);
+  B.createCondBr(CondJ, InnerBody, OuterLatch);
+  B.setInsertBlock(InnerBody);
+  Instruction *J2 = B.createAdd(J, B.getInt(1));
+  B.createBr(InnerH);
+  B.setInsertBlock(OuterLatch);
+  Instruction *I2 = B.createAdd(I, B.getInt(1));
+  B.createBr(OuterH);
+  I->addPhiIncoming(B.getInt(0), Entry);
+  I->addPhiIncoming(I2, OuterLatch);
+  J->addPhiIncoming(B.getInt(0), InnerPre);
+  J->addPhiIncoming(J2, InnerBody);
+  B.setInsertBlock(Exit);
+  B.createRet(I);
+  F->renumber();
+
+  CFGInfo CFG(*F);
+  DominatorTree DT(CFG);
+  LoopInfo LI(CFG, DT);
+  ASSERT_EQ(LI.loops().size(), 2u);
+  Loop *Outer = LI.getLoopByHeader(OuterH);
+  Loop *Inner = LI.getLoopByHeader(InnerH);
+  ASSERT_TRUE(Outer && Inner);
+  EXPECT_EQ(Inner->getParent(), Outer);
+  EXPECT_EQ(Outer->getParent(), nullptr);
+  EXPECT_EQ(Inner->getDepth(), 2u);
+  EXPECT_TRUE(Outer->contains(Inner));
+  EXPECT_EQ(LI.getLoopFor(InnerBody), Inner);
+  EXPECT_EQ(LI.getLoopFor(OuterLatch), Outer);
+  EXPECT_EQ(LI.topLevelLoops(), std::vector<Loop *>{Outer});
+}
+
+TEST(LoopCarried, ClassifiesFigureOneLoop) {
+  ListMinIR L;
+  CFGInfo CFG(*L.F);
+  DominatorTree DT(CFG);
+  LoopInfo LI(CFG, DT);
+  Loop *Loop0 = LI.getLoopByHeader(L.Header);
+  LoopCarriedInfo Info = analyzeLoopCarried(CFG, *Loop0);
+
+  ASSERT_EQ(Info.HeaderPhis.size(), 3u);
+  // wm: min reduction via compare+select; cm: its payload; c: speculated.
+  ASSERT_EQ(Info.Reductions.size(), 2u);
+  const ReductionInfo *Wm = Info.getReductionFor(L.WmPhi);
+  ASSERT_NE(Wm, nullptr);
+  EXPECT_EQ(Wm->Kind, ReductionKind::Min);
+  const ReductionInfo *Cm = Info.getReductionFor(L.CmPhi);
+  ASSERT_NE(Cm, nullptr);
+  EXPECT_EQ(Cm->Kind, ReductionKind::MinPayload);
+  EXPECT_EQ(Cm->PrimaryPhi, L.WmPhi);
+
+  ASSERT_EQ(Info.SpeculatedLiveIns.size(), 1u);
+  EXPECT_EQ(Info.SpeculatedLiveIns[0], L.CPhi);
+
+  // head is consumed by the phi (charged to the entry edge), so the loop
+  // body itself has no invariant register live-ins.
+  EXPECT_TRUE(Info.InvariantLiveIns.empty());
+  EXPECT_TRUE(Info.HasLoads);
+  EXPECT_FALSE(Info.HasStores);
+  EXPECT_FALSE(Info.IsDoall) << "c is neither induction nor reduction";
+
+  // wm and cm are used by the exit block.
+  EXPECT_EQ(Info.LiveOuts.size(), 2u);
+}
+
+TEST(LoopCarried, SumLoopIsDoall) {
+  Module M;
+  Function *F = M.createFunction("sum");
+  Argument *N = F->addArgument("n");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M, Entry);
+  B.createBr(Header);
+  B.setInsertBlock(Header);
+  Instruction *I = B.createPhi("i");
+  Instruction *Sum = B.createPhi("sum");
+  Instruction *Cond = B.createICmpSLt(I, N);
+  B.createCondBr(Cond, Body, Exit);
+  B.setInsertBlock(Body);
+  Instruction *L = B.createLoad(I);
+  Instruction *Sum2 = B.createAdd(Sum, L);
+  Instruction *I2 = B.createAdd(I, B.getInt(1));
+  B.createBr(Header);
+  I->addPhiIncoming(B.getInt(0), Entry);
+  I->addPhiIncoming(I2, Body);
+  Sum->addPhiIncoming(B.getInt(0), Entry);
+  Sum->addPhiIncoming(Sum2, Body);
+  B.setInsertBlock(Exit);
+  B.createRet(Sum);
+  F->renumber();
+
+  CFGInfo CFG(*F);
+  DominatorTree DT(CFG);
+  LoopInfo LI(CFG, DT);
+  LoopCarriedInfo Info =
+      analyzeLoopCarried(CFG, *LI.getLoopByHeader(Header));
+  EXPECT_TRUE(Info.IsDoall);
+  ASSERT_EQ(Info.Reductions.size(), 1u);
+  EXPECT_EQ(Info.Reductions[0].Kind, ReductionKind::Sum);
+  // The paper's S = live-ins minus reductions keeps the induction (a
+  // Spice transformation would memoize it like any other live-in), but
+  // the DOALL classification already removes this loop from consideration.
+  ASSERT_EQ(Info.SpeculatedLiveIns.size(), 1u);
+  EXPECT_EQ(Info.SpeculatedLiveIns[0], I);
+}
+
+TEST(LoopCarried, StoreDefeatsDoall) {
+  Module M;
+  Function *F = M.createFunction("memset");
+  Argument *N = F->addArgument("n");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M, Entry);
+  B.createBr(Header);
+  B.setInsertBlock(Header);
+  Instruction *I = B.createPhi("i");
+  Instruction *Cond = B.createICmpSLt(I, N);
+  B.createCondBr(Cond, Body, Exit);
+  B.setInsertBlock(Body);
+  B.createStore(I, B.getInt(0));
+  Instruction *I2 = B.createAdd(I, B.getInt(1));
+  B.createBr(Header);
+  I->addPhiIncoming(B.getInt(8), Entry);
+  I->addPhiIncoming(I2, Body);
+  B.setInsertBlock(Exit);
+  B.createRet(B.getInt(0));
+  F->renumber();
+
+  CFGInfo CFG(*F);
+  DominatorTree DT(CFG);
+  LoopInfo LI(CFG, DT);
+  LoopCarriedInfo Info =
+      analyzeLoopCarried(CFG, *LI.getLoopByHeader(Header));
+  EXPECT_TRUE(Info.HasStores);
+  EXPECT_FALSE(Info.IsDoall);
+}
+
+TEST(LoopCarried, InvariantLiveInsCollected) {
+  Module M;
+  Function *F = M.createFunction("scale");
+  Argument *N = F->addArgument("n");
+  Argument *Scale = F->addArgument("scale");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M, Entry);
+  Instruction *Bias = B.createAdd(Scale, B.getInt(5), "bias");
+  B.createBr(Header);
+  B.setInsertBlock(Header);
+  Instruction *I = B.createPhi("i");
+  Instruction *Acc = B.createPhi("acc");
+  Instruction *Cond = B.createICmpSLt(I, N);
+  B.createCondBr(Cond, Body, Exit);
+  B.setInsertBlock(Body);
+  Instruction *Term = B.createMul(I, Bias);
+  Instruction *Acc2 = B.createAdd(Acc, Term);
+  Instruction *I2 = B.createAdd(I, B.getInt(1));
+  B.createBr(Header);
+  I->addPhiIncoming(B.getInt(0), Entry);
+  I->addPhiIncoming(I2, Body);
+  Acc->addPhiIncoming(B.getInt(0), Entry);
+  Acc->addPhiIncoming(Acc2, Body);
+  B.setInsertBlock(Exit);
+  B.createRet(Acc);
+  F->renumber();
+
+  CFGInfo CFG(*F);
+  DominatorTree DT(CFG);
+  LoopInfo LI(CFG, DT);
+  LoopCarriedInfo Info =
+      analyzeLoopCarried(CFG, *LI.getLoopByHeader(Header));
+  // N (argument, used by the compare) and Bias (instruction defined in the
+  // entry block, used by the multiply) are invariant live-ins.
+  ASSERT_EQ(Info.InvariantLiveIns.size(), 2u);
+  EXPECT_EQ(Info.InvariantLiveIns[0], N);
+  EXPECT_EQ(Info.InvariantLiveIns[1], Bias);
+}
+
+TEST(LoopCarried, ReductionIdentities) {
+  EXPECT_EQ(getReductionIdentity(ReductionKind::Sum), 0);
+  EXPECT_EQ(getReductionIdentity(ReductionKind::Product), 1);
+  EXPECT_EQ(getReductionIdentity(ReductionKind::Min), INT64_MAX);
+  EXPECT_EQ(getReductionIdentity(ReductionKind::Max), INT64_MIN);
+  EXPECT_EQ(getReductionIdentity(ReductionKind::BitAnd), -1);
+  EXPECT_STREQ(getReductionKindName(ReductionKind::MinPayload),
+               "min-payload");
+}
+
+TEST(Liveness, LoopLiveInsAreLiveAtHeader) {
+  ListMinIR L;
+  CFGInfo CFG(*L.F);
+  Liveness LV(CFG);
+  // The header phis are defined in the header; their *latch inputs* must
+  // be live out of the body.
+  EXPECT_TRUE(LV.liveOut(L.Body).size() >= 3u);
+  // Function argument flows into the phi along the entry edge only.
+  const Function &F = *L.F;
+  EXPECT_TRUE(LV.isLiveIn(F.getArgument(0), L.Entry));
+  EXPECT_FALSE(LV.isLiveIn(F.getArgument(0), L.Body));
+}

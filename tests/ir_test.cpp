@@ -1,0 +1,220 @@
+//===- tests/ir_test.cpp - IR construction and verification tests ----------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace spice;
+using namespace spice::ir;
+
+namespace {
+
+/// entry -> header{phi} -> body -> header, header -> exit. A minimal
+/// counted loop summing 0..n-1.
+struct CountedLoop {
+  Module M;
+  Function *F;
+  BasicBlock *Entry, *Header, *Body, *Exit;
+  Instruction *IPhi, *SumPhi, *Ret;
+
+  CountedLoop() {
+    F = M.createFunction("sum_to_n");
+    Argument *N = F->addArgument("n");
+    Entry = F->createBlock("entry");
+    Header = F->createBlock("header");
+    Body = F->createBlock("body");
+    Exit = F->createBlock("exit");
+
+    IRBuilder B(M, Entry);
+    B.createBr(Header);
+
+    B.setInsertBlock(Header);
+    IPhi = B.createPhi("i");
+    SumPhi = B.createPhi("sum");
+    Instruction *Cond = B.createICmpSLt(IPhi, N, "cond");
+    B.createCondBr(Cond, Body, Exit);
+
+    B.setInsertBlock(Body);
+    Instruction *Sum2 = B.createAdd(SumPhi, IPhi, "sum2");
+    Instruction *I2 = B.createAdd(IPhi, B.getInt(1), "i2");
+    B.createBr(Header);
+
+    IPhi->addPhiIncoming(B.getInt(0), Entry);
+    IPhi->addPhiIncoming(I2, Body);
+    SumPhi->addPhiIncoming(B.getInt(0), Entry);
+    SumPhi->addPhiIncoming(Sum2, Body);
+
+    B.setInsertBlock(Exit);
+    Ret = B.createRet(SumPhi);
+    F->renumber();
+  }
+};
+
+} // namespace
+
+TEST(IR, BuilderProducesWellFormedLoop) {
+  CountedLoop L;
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(verifyFunction(*L.F, &Errors))
+      << (Errors.empty() ? std::string() : Errors.front());
+  EXPECT_TRUE(Errors.empty());
+}
+
+TEST(IR, ConstantsAreUniqued) {
+  Module M;
+  EXPECT_EQ(M.getConstant(7), M.getConstant(7));
+  EXPECT_NE(M.getConstant(7), M.getConstant(8));
+  EXPECT_EQ(M.getConstant(7)->getValue(), 7);
+}
+
+TEST(IR, PhiIncomingLookup) {
+  CountedLoop L;
+  EXPECT_NE(L.IPhi->getPhiIncomingFor(L.Entry), nullptr);
+  EXPECT_NE(L.IPhi->getPhiIncomingFor(L.Body), nullptr);
+  EXPECT_EQ(L.IPhi->getPhiIncomingFor(L.Exit), nullptr);
+}
+
+TEST(IR, SuccessorsFollowTerminators) {
+  CountedLoop L;
+  EXPECT_EQ(L.Entry->successors(), std::vector<BasicBlock *>{L.Header});
+  std::vector<BasicBlock *> HeaderSuccs{L.Body, L.Exit};
+  EXPECT_EQ(L.Header->successors(), HeaderSuccs);
+  EXPECT_TRUE(L.Exit->successors().empty());
+}
+
+TEST(IR, RenumberAssignsDenseNumbers) {
+  CountedLoop L;
+  unsigned Slots = L.F->renumber();
+  EXPECT_EQ(Slots, L.F->getNumSlots());
+  std::vector<bool> Seen(Slots, false);
+  for (const auto &BB : *L.F)
+    for (const auto &I : *BB) {
+      ASSERT_LT(I->getNumber(), Slots);
+      EXPECT_FALSE(Seen[I->getNumber()]);
+      Seen[I->getNumber()] = true;
+    }
+}
+
+TEST(IR, PrinterMentionsEveryOpcodeOnce) {
+  CountedLoop L;
+  std::string Text = printFunction(*L.F);
+  EXPECT_NE(Text.find("func @sum_to_n"), std::string::npos);
+  EXPECT_NE(Text.find("phi"), std::string::npos);
+  EXPECT_NE(Text.find("icmp.slt"), std::string::npos);
+  EXPECT_NE(Text.find("condbr"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(IR, PrinterShowsGlobals) {
+  Module M;
+  M.createGlobal("sva", 12);
+  std::string Text = printModule(M);
+  EXPECT_NE(Text.find("@sva = global [12 x i64]"), std::string::npos);
+}
+
+TEST(Verifier, CatchesMissingTerminator) {
+  Module M;
+  Function *F = M.createFunction("bad");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M, BB);
+  B.createAdd(B.getInt(1), B.getInt(2));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("terminator"), std::string::npos);
+}
+
+TEST(Verifier, CatchesTerminatorMidBlock) {
+  Module M;
+  Function *F = M.createFunction("bad");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M, BB);
+  B.createRet(B.getInt(0));
+  B.createRet(B.getInt(1));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+}
+
+TEST(Verifier, CatchesPhiAfterNonPhi) {
+  Module M;
+  Function *F = M.createFunction("bad");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  IRBuilder B(M, Entry);
+  B.createBr(Next);
+  B.setInsertBlock(Next);
+  B.createAdd(B.getInt(1), B.getInt(1));
+  Instruction *Phi = B.createPhi();
+  Phi->addPhiIncoming(B.getInt(0), Entry);
+  B.createRet(B.getInt(0));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+}
+
+TEST(Verifier, CatchesPhiPredecessorMismatch) {
+  Module M;
+  Function *F = M.createFunction("bad");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Next = F->createBlock("next");
+  IRBuilder B(M, Entry);
+  B.createBr(Next);
+  B.setInsertBlock(Next);
+  Instruction *Phi = B.createPhi(); // Zero incomings, one predecessor.
+  (void)Phi;
+  B.createRet(B.getInt(0));
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+}
+
+TEST(Verifier, CatchesEmptyBlockAndBadArity) {
+  Module M;
+  Function *F = M.createFunction("bad");
+  F->createBlock("entry");
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+
+  Module M2;
+  Function *F2 = M2.createFunction("bad2");
+  BasicBlock *BB = F2->createBlock("entry");
+  auto I = std::make_unique<Instruction>(
+      Opcode::Add, std::vector<Value *>{M2.getConstant(1)});
+  BB->append(std::move(I));
+  IRBuilder B2(M2, BB);
+  B2.createRet(B2.getInt(0));
+  Errors.clear();
+  EXPECT_FALSE(verifyFunction(*F2, &Errors));
+}
+
+TEST(Verifier, AcceptsWholeModule) {
+  CountedLoop L;
+  EXPECT_TRUE(verifyModule(L.M, nullptr));
+}
+
+TEST(IR, InsertBeforeTerminator) {
+  Module M;
+  Function *F = M.createFunction("f");
+  BasicBlock *BB = F->createBlock("entry");
+  IRBuilder B(M, BB);
+  B.createRet(B.getInt(0));
+  auto I = std::make_unique<Instruction>(
+      Opcode::Add,
+      std::vector<Value *>{M.getConstant(1), M.getConstant(2)});
+  Instruction *Added = BB->insertBeforeTerminator(std::move(I));
+  EXPECT_EQ(BB->size(), 2u);
+  EXPECT_EQ(BB->get(0), Added);
+  EXPECT_EQ(BB->back()->getOpcode(), Opcode::Ret);
+}
+
+TEST(IR, OpcodeNamesAreStable) {
+  EXPECT_STREQ(getOpcodeName(Opcode::Add), "add");
+  EXPECT_STREQ(getOpcodeName(Opcode::Phi), "phi");
+  EXPECT_STREQ(getOpcodeName(Opcode::SpecCommit), "spec.commit");
+  EXPECT_STREQ(getOpcodeName(Opcode::Resteer), "resteer");
+  EXPECT_STREQ(getOpcodeName(Opcode::ProfRecord), "prof.record");
+}

@@ -1,0 +1,79 @@
+//===- tests/model_test.cpp - Analytic model tests --------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "model/AnalyticModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace spice::model;
+
+TEST(AnalyticModel, TlsReachesTwoXWhenComputeDominates) {
+  LoopModelParams M;
+  M.T1 = 1, M.T2 = 10, M.T3 = 1, M.Iterations = 10000;
+  // t2 > t1 + 2*t3: computation is the critical path.
+  EXPECT_NEAR(tlsSpeedup(M), 2.0, 0.01);
+}
+
+TEST(AnalyticModel, TlsCommunicationBoundSpeedup) {
+  LoopModelParams M;
+  M.T1 = 4, M.T2 = 2, M.T3 = 3, M.Iterations = 10000;
+  // Paper: speedup = (t1+t2)/(t1+t3) < 2 when t2 <= t1 + 2 t3.
+  EXPECT_NEAR(tlsSpeedup(M), (4.0 + 2.0) / (4.0 + 3.0), 1e-9);
+  EXPECT_LT(tlsSpeedup(M), 2.0);
+}
+
+TEST(AnalyticModel, TlsCanSlowDownWithExpensiveForwarding) {
+  LoopModelParams M;
+  M.T1 = 1, M.T2 = 1, M.T3 = 10, M.Iterations = 1000;
+  EXPECT_LT(tlsSpeedup(M), 1.0)
+      << "forwarding dearer than the loop body must lose to sequential";
+}
+
+TEST(AnalyticModel, ValuePredictionFormulaMatchesPaper) {
+  LoopModelParams M;
+  M.T1 = 1, M.T2 = 3, M.T3 = 2, M.Iterations = 10000;
+  for (double P : {1.0, 0.9, 0.5, 0.1}) {
+    M.P = P;
+    // Paper section 2.2: expected speedup 2/(2-p).
+    EXPECT_NEAR(tlsValuePredSpeedup(M), 2.0 / (2.0 - P), 1e-9);
+  }
+}
+
+TEST(AnalyticModel, SpiceMatchesTwoOverTwoMinusPAtTwoThreads) {
+  LoopModelParams M;
+  M.T1 = 1, M.T2 = 3, M.T3 = 2, M.Iterations = 100000;
+  for (double P : {1.0, 0.9, 0.5}) {
+    M.P = P;
+    EXPECT_NEAR(spiceSpeedup(M, 2), 2.0 / (2.0 - P), 0.01);
+  }
+}
+
+TEST(AnalyticModel, SpiceScalesWithThreadsAtPerfectPrediction) {
+  LoopModelParams M;
+  M.T1 = 1, M.T2 = 3, M.T3 = 2, M.P = 1.0, M.Iterations = 1000000;
+  EXPECT_NEAR(spiceSpeedup(M, 2), 2.0, 0.01);
+  EXPECT_NEAR(spiceSpeedup(M, 4), 4.0, 0.01);
+  EXPECT_NEAR(spiceSpeedup(M, 8), 8.0, 0.05);
+}
+
+TEST(AnalyticModel, SpiceBeatsTlsOnCommunicationBoundLoops) {
+  // The paper's motivating comparison: pointer-chasing loop with cheap
+  // bodies and real forwarding latency.
+  LoopModelParams M;
+  M.T1 = 2, M.T2 = 2, M.T3 = 4, M.P = 0.95, M.Iterations = 10000;
+  EXPECT_GT(spiceSpeedup(M, 2), tlsSpeedup(M));
+  EXPECT_GT(spiceSpeedup(M, 2), 1.5);
+}
+
+TEST(AnalyticModel, SchedulesRenderNonEmpty) {
+  std::string Tls = renderTlsSchedule(8);
+  std::string Vp = renderTlsValuePredSchedule(8, 4);
+  std::string Spice = renderSpiceSchedule(8);
+  EXPECT_NE(Tls.find("P1:"), std::string::npos);
+  EXPECT_NE(Tls.find("P2:"), std::string::npos);
+  EXPECT_NE(Vp.find('!'), std::string::npos) << "mis-speculation marked";
+  EXPECT_NE(Spice.find("I5"), std::string::npos);
+}

@@ -1,0 +1,162 @@
+//===- tests/planner_test.cpp - Value-predictor planner tests -------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BootstrapSampler.h"
+#include "core/Planner.h"
+
+#include <gtest/gtest.h>
+
+using namespace spice::core;
+
+TEST(Planner, PaperWorkedExample) {
+  // Paper section 4: three threads with work {10, 1, 1} must yield
+  // svat = [4, 8] and svai = [0, 1] for thread 0, nothing for the others.
+  MemoizationPlan Plan = planMemoization({10, 1, 1}, 3);
+  EXPECT_EQ(Plan.TotalWork, 12u);
+  ASSERT_EQ(Plan.PerThread.size(), 3u);
+  ASSERT_EQ(Plan.PerThread[0].size(), 2u);
+  EXPECT_EQ(Plan.PerThread[0][0], (MemoEntry{4, 0}));
+  EXPECT_EQ(Plan.PerThread[0][1], (MemoEntry{8, 1}));
+  EXPECT_TRUE(Plan.PerThread[1].empty());
+  EXPECT_TRUE(Plan.PerThread[2].empty());
+}
+
+TEST(Planner, BalancedWorkIsAFixedPoint) {
+  // Equal chunks: each spec thread re-records its own start (threshold 0),
+  // so a balanced split reproduces itself exactly.
+  MemoizationPlan Plan = planMemoization({100, 100, 100, 100}, 4);
+  ASSERT_EQ(Plan.PerThread.size(), 4u);
+  EXPECT_TRUE(Plan.PerThread[0].empty());
+  ASSERT_EQ(Plan.PerThread[1].size(), 1u);
+  EXPECT_EQ(Plan.PerThread[1][0], (MemoEntry{0, 0}));
+  ASSERT_EQ(Plan.PerThread[2].size(), 1u);
+  EXPECT_EQ(Plan.PerThread[2][0], (MemoEntry{0, 1}));
+  ASSERT_EQ(Plan.PerThread[3].size(), 1u);
+  EXPECT_EQ(Plan.PerThread[3][0], (MemoEntry{0, 2}));
+}
+
+TEST(Planner, AllWorkInMainThread) {
+  // Sequential invocation: every target lands in thread 0.
+  MemoizationPlan Plan = planMemoization({400, 0, 0, 0}, 4);
+  ASSERT_EQ(Plan.PerThread[0].size(), 3u);
+  EXPECT_EQ(Plan.PerThread[0][0], (MemoEntry{100, 0}));
+  EXPECT_EQ(Plan.PerThread[0][1], (MemoEntry{200, 1}));
+  EXPECT_EQ(Plan.PerThread[0][2], (MemoEntry{300, 2}));
+}
+
+TEST(Planner, ZeroWorkYieldsEmptyPlan) {
+  MemoizationPlan Plan = planMemoization({0, 0, 0}, 3);
+  EXPECT_TRUE(Plan.empty());
+  EXPECT_EQ(Plan.TotalWork, 0u);
+}
+
+TEST(Planner, SkipsEmptyLeadingChunks) {
+  MemoizationPlan Plan = planMemoization({0, 0, 90}, 3);
+  ASSERT_EQ(Plan.PerThread[2].size(), 2u);
+  EXPECT_EQ(Plan.PerThread[2][0], (MemoEntry{30, 0}));
+  EXPECT_EQ(Plan.PerThread[2][1], (MemoEntry{60, 1}));
+}
+
+TEST(Planner, TwoThreadsSplitInHalf) {
+  MemoizationPlan Plan = planMemoization({101, 0}, 2);
+  ASSERT_EQ(Plan.PerThread[0].size(), 1u);
+  EXPECT_EQ(Plan.PerThread[0][0], (MemoEntry{50, 0}));
+}
+
+TEST(Planner, ThresholdsAscendWithinAThread) {
+  for (unsigned T : {2u, 3u, 4u, 8u}) {
+    MemoizationPlan Plan = planMemoization({1000}, T);
+    for (const auto &List : Plan.PerThread)
+      for (size_t I = 1; I < List.size(); ++I)
+        EXPECT_LT(List[I - 1].Threshold, List[I].Threshold);
+  }
+}
+
+TEST(Planner, EveryRowAssignedExactlyOnce) {
+  const std::vector<uint64_t> AllWork = {7, 13, 2, 40, 9, 1};
+  for (unsigned T : {2u, 3u, 4u, 6u}) {
+    std::vector<uint64_t> Work(AllWork.begin(), AllWork.begin() + T);
+    MemoizationPlan Plan = planMemoization(Work, T);
+    std::vector<int> RowCount(T - 1, 0);
+    for (const auto &List : Plan.PerThread)
+      for (const MemoEntry &E : List)
+        ++RowCount[E.Row];
+    for (unsigned R = 0; R != T - 1; ++R)
+      EXPECT_EQ(RowCount[R], 1) << "row " << R << " with " << T << " threads";
+  }
+}
+
+TEST(MemoCursor, FiresOncePerEntryInOrder) {
+  std::vector<MemoEntry> Entries = {{4, 0}, {8, 1}};
+  MemoCursor Cursor(&Entries);
+  EXPECT_EQ(Cursor.shouldRecord(1), ~0u);
+  EXPECT_EQ(Cursor.shouldRecord(4), ~0u); // Not strictly greater yet.
+  EXPECT_EQ(Cursor.shouldRecord(5), 0u);
+  EXPECT_EQ(Cursor.shouldRecord(6), ~0u);
+  EXPECT_EQ(Cursor.shouldRecord(9), 1u);
+  EXPECT_EQ(Cursor.shouldRecord(100), ~0u); // Exhausted.
+}
+
+TEST(MemoCursor, DefaultIsInert) {
+  MemoCursor Cursor;
+  EXPECT_EQ(Cursor.shouldRecord(12345), ~0u);
+}
+
+TEST(BootstrapSampler, ExactSplitOnSmallStream) {
+  BootstrapSampler<int> Sampler(64);
+  for (int I = 1; I <= 40; ++I)
+    Sampler.offer(static_cast<uint64_t>(I), I);
+  auto Rows = Sampler.extract(4);
+  ASSERT_TRUE(Rows.has_value());
+  ASSERT_EQ(Rows->size(), 3u);
+  // Targets 10, 20, 30; stride 1 keeps every sample, so hits are exact.
+  EXPECT_EQ((*Rows)[0], 10);
+  EXPECT_EQ((*Rows)[1], 20);
+  EXPECT_EQ((*Rows)[2], 30);
+}
+
+TEST(BootstrapSampler, BoundedMemoryOnLongStream) {
+  BootstrapSampler<int> Sampler(16);
+  for (int I = 1; I <= 100000; ++I)
+    Sampler.offer(static_cast<uint64_t>(I), I);
+  EXPECT_LE(Sampler.size(), 16u);
+  auto Rows = Sampler.extract(4);
+  ASSERT_TRUE(Rows.has_value());
+  // Compaction keeps samples evenly spaced: each row lands within one
+  // stride (100000/8 after doublings) of its target.
+  int Targets[3] = {25000, 50000, 75000};
+  for (int K = 0; K != 3; ++K)
+    EXPECT_NEAR((*Rows)[K], Targets[K], 100000 / 8.0)
+        << "row " << K << " too far from its split point";
+  EXPECT_LT((*Rows)[0], (*Rows)[1]);
+  EXPECT_LT((*Rows)[1], (*Rows)[2]);
+}
+
+TEST(BootstrapSampler, TooFewIterationsRefusesExtraction) {
+  BootstrapSampler<int> Sampler(16);
+  Sampler.offer(1, 1);
+  Sampler.offer(2, 2);
+  EXPECT_FALSE(Sampler.extract(4).has_value());
+}
+
+TEST(BootstrapSampler, ResetForgetsEverything) {
+  BootstrapSampler<int> Sampler(16);
+  for (int I = 1; I <= 100; ++I)
+    Sampler.offer(static_cast<uint64_t>(I), I);
+  Sampler.reset();
+  EXPECT_EQ(Sampler.size(), 0u);
+  EXPECT_FALSE(Sampler.extract(2).has_value());
+}
+
+TEST(BootstrapSampler, RowsStrictlyIncreaseEvenWhenSparse) {
+  BootstrapSampler<int> Sampler(8);
+  for (int I = 1; I <= 9; ++I)
+    Sampler.offer(static_cast<uint64_t>(I), I);
+  auto Rows = Sampler.extract(4);
+  ASSERT_TRUE(Rows.has_value());
+  EXPECT_LT((*Rows)[0], (*Rows)[1]);
+  EXPECT_LT((*Rows)[1], (*Rows)[2]);
+}

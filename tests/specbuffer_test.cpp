@@ -1,0 +1,132 @@
+//===- tests/specbuffer_test.cpp - SpecWriteBuffer tests -------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/SpecWriteBuffer.h"
+
+#include <gtest/gtest.h>
+
+using namespace spice::core;
+
+TEST(SpecWriteBuffer, ReadOwnWrites) {
+  int64_t Cell = 7;
+  SpecWriteBuffer Buf;
+  EXPECT_EQ(Buf.read(&Cell), 7);
+  Buf.write(&Cell, int64_t{42});
+  EXPECT_EQ(Buf.read(&Cell), 42);
+  EXPECT_EQ(Cell, 7) << "write must stay buffered";
+}
+
+TEST(SpecWriteBuffer, CommitPublishesInProgramOrder) {
+  int64_t A = 0, B = 0;
+  SpecWriteBuffer Buf;
+  Buf.write(&A, int64_t{1});
+  Buf.write(&B, int64_t{2});
+  Buf.write(&A, int64_t{3}); // Overwrites the slot, keeps one entry.
+  EXPECT_EQ(Buf.numWrites(), 2u);
+  Buf.commit();
+  EXPECT_EQ(A, 3);
+  EXPECT_EQ(B, 2);
+  EXPECT_TRUE(Buf.empty());
+}
+
+TEST(SpecWriteBuffer, ClearDiscardsWrites) {
+  int64_t Cell = 5;
+  SpecWriteBuffer Buf;
+  Buf.write(&Cell, int64_t{9});
+  Buf.clear();
+  EXPECT_EQ(Cell, 5);
+  EXPECT_TRUE(Buf.empty());
+}
+
+TEST(SpecWriteBuffer, ValidationPassesWhenMemoryUnchanged) {
+  int64_t Cell = 11;
+  SpecWriteBuffer Buf;
+  EXPECT_EQ(Buf.read(&Cell), 11);
+  EXPECT_TRUE(Buf.validateReads());
+}
+
+TEST(SpecWriteBuffer, ValidationFailsOnChangedValue) {
+  int64_t Cell = 11;
+  SpecWriteBuffer Buf;
+  EXPECT_EQ(Buf.read(&Cell), 11);
+  Cell = 12; // Another chunk committed a different value.
+  EXPECT_FALSE(Buf.validateReads());
+}
+
+TEST(SpecWriteBuffer, SilentRewriteValidates) {
+  int64_t Cell = 11;
+  SpecWriteBuffer Buf;
+  EXPECT_EQ(Buf.read(&Cell), 11);
+  Cell = 13;
+  Cell = 11; // Value restored: serializable, must validate.
+  EXPECT_TRUE(Buf.validateReads());
+}
+
+TEST(SpecWriteBuffer, OwnWritesAreNotValidated) {
+  int64_t Cell = 1;
+  SpecWriteBuffer Buf;
+  Buf.write(&Cell, int64_t{2});
+  EXPECT_EQ(Buf.read(&Cell), 2); // Own write: no read logged.
+  Cell = 99;
+  EXPECT_TRUE(Buf.validateReads())
+      << "reads satisfied from the write buffer must not be validated";
+}
+
+TEST(SpecWriteBuffer, FirstReadValueWinsForValidation) {
+  int64_t Cell = 4;
+  SpecWriteBuffer Buf;
+  EXPECT_EQ(Buf.read(&Cell), 4);
+  Cell = 5;
+  EXPECT_EQ(Buf.read(&Cell), 5); // Second read sees the new value...
+  EXPECT_FALSE(Buf.validateReads()) << "...but validation uses the first";
+}
+
+TEST(SpecWriteBuffer, MixedWidthValues) {
+  int32_t Small = 3;
+  uint16_t Tiny = 7;
+  int64_t Big = -1;
+  SpecWriteBuffer Buf;
+  Buf.write(&Small, int32_t{-5});
+  Buf.write(&Tiny, uint16_t{65535});
+  Buf.write(&Big, int64_t{1} << 60);
+  EXPECT_EQ(Buf.read(&Small), -5);
+  EXPECT_EQ(Buf.read(&Tiny), 65535);
+  EXPECT_EQ(Buf.read(&Big), int64_t{1} << 60);
+  Buf.commit();
+  EXPECT_EQ(Small, -5);
+  EXPECT_EQ(Tiny, 65535);
+  EXPECT_EQ(Big, int64_t{1} << 60);
+}
+
+TEST(SpecWriteBuffer, PointerValues) {
+  int X = 0, Y = 0;
+  int *Ptr = &X;
+  SpecWriteBuffer Buf;
+  Buf.write(&Ptr, &Y);
+  EXPECT_EQ(Buf.read(&Ptr), &Y);
+  EXPECT_EQ(Ptr, &X);
+  Buf.commit();
+  EXPECT_EQ(Ptr, &Y);
+}
+
+TEST(SpecSpace, DirectModePassesThrough) {
+  int64_t Cell = 21;
+  SpecSpace Direct;
+  EXPECT_FALSE(Direct.isSpeculative());
+  EXPECT_EQ(Direct.read(&Cell), 21);
+  Direct.write(&Cell, int64_t{22});
+  EXPECT_EQ(Cell, 22);
+}
+
+TEST(SpecSpace, BufferedModeIsolates) {
+  int64_t Cell = 21;
+  SpecWriteBuffer Buf;
+  SpecSpace Spec(&Buf);
+  EXPECT_TRUE(Spec.isSpeculative());
+  Spec.write(&Cell, int64_t{22});
+  EXPECT_EQ(Cell, 21);
+  EXPECT_EQ(Spec.read(&Cell), 22);
+}

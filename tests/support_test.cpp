@@ -1,0 +1,149 @@
+//===- tests/support_test.cpp - Support library tests ----------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Module.h"
+#include "support/Casting.h"
+#include "support/Debug.h"
+#include "support/MathUtil.h"
+#include "support/Random.h"
+#include "support/Statistic.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+using namespace spice;
+using namespace spice::ir;
+
+TEST(Casting, IsaAndDynCastOnValueHierarchy) {
+  Module M;
+  ConstantInt *C = M.getConstant(42);
+  GlobalVariable *G = M.createGlobal("g", 4);
+  Function *F = M.createFunction("f");
+  Argument *A = F->addArgument("x");
+
+  Value *VC = C, *VG = G, *VA = A;
+  EXPECT_TRUE(isa<ConstantInt>(VC));
+  EXPECT_FALSE(isa<ConstantInt>(VG));
+  EXPECT_TRUE(isa<GlobalVariable>(VG));
+  EXPECT_TRUE(isa<Argument>(VA));
+  EXPECT_FALSE(isa<Instruction>(VA));
+
+  EXPECT_EQ(dyn_cast<ConstantInt>(VC), C);
+  EXPECT_EQ(dyn_cast<ConstantInt>(VG), nullptr);
+  EXPECT_EQ(cast<GlobalVariable>(VG), G);
+  EXPECT_EQ(dyn_cast_or_null<ConstantInt>(static_cast<Value *>(nullptr)),
+            nullptr);
+  EXPECT_FALSE(isa_and_nonnull<ConstantInt>(static_cast<Value *>(nullptr)));
+
+  // Reference forms.
+  const Value &RefC = *VC;
+  EXPECT_TRUE(isa<ConstantInt>(RefC));
+  EXPECT_EQ(cast<ConstantInt>(RefC).getValue(), 42);
+}
+
+TEST(Random, DeterministicStreams) {
+  RandomEngine A(123), B(123), C(124);
+  bool Diverged = false;
+  for (int I = 0; I != 100; ++I) {
+    uint64_t VA = A.next();
+    EXPECT_EQ(VA, B.next());
+    Diverged |= (VA != C.next());
+  }
+  EXPECT_TRUE(Diverged) << "different seeds must differ";
+}
+
+TEST(Random, NextBelowStaysInRange) {
+  RandomEngine Rng(7);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int I = 0; I != 200; ++I)
+      EXPECT_LT(Rng.nextBelow(Bound), Bound);
+  }
+}
+
+TEST(Random, NextBelowCoversAllResidues) {
+  RandomEngine Rng(8);
+  std::map<uint64_t, int> Counts;
+  for (int I = 0; I != 6000; ++I)
+    ++Counts[Rng.nextBelow(6)];
+  for (uint64_t V = 0; V != 6; ++V)
+    EXPECT_GT(Counts[V], 700) << "residue " << V << " badly underrepresented";
+}
+
+TEST(Random, NextInRangeInclusive) {
+  RandomEngine Rng(9);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = Rng.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Random, BernoulliExtremes) {
+  RandomEngine Rng(10);
+  for (int I = 0; I != 50; ++I) {
+    EXPECT_FALSE(Rng.nextBool(0.0));
+    EXPECT_TRUE(Rng.nextBool(1.0));
+  }
+}
+
+TEST(Random, ShufflePreservesElements) {
+  RandomEngine Rng(11);
+  std::vector<int> V{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> Orig = V;
+  Rng.shuffle(V);
+  std::sort(V.begin(), V.end());
+  EXPECT_EQ(V, Orig);
+}
+
+TEST(Statistic, AddSetGetReport) {
+  StatisticRegistry Stats;
+  Stats.add("loop.iterations", 5);
+  Stats.add("loop.iterations", 7);
+  Stats.set("loop.squashes", 2);
+  EXPECT_EQ(Stats.get("loop.iterations"), 12u);
+  EXPECT_EQ(Stats.get("loop.squashes"), 2u);
+  EXPECT_EQ(Stats.get("missing"), 0u);
+  std::string Report = Stats.report();
+  EXPECT_NE(Report.find("loop.iterations = 12"), std::string::npos);
+  EXPECT_NE(Report.find("loop.squashes = 2"), std::string::npos);
+}
+
+TEST(MathUtil, GeometricMean) {
+  EXPECT_DOUBLE_EQ(geometricMean({4.0, 4.0}), 4.0);
+  EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+  EXPECT_NEAR(geometricMean({2.0, 8.0, 4.0}), 4.0, 1e-12);
+  EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+}
+
+TEST(MathUtil, CeilDiv) {
+  EXPECT_EQ(ceilDiv(10, 5), 2u);
+  EXPECT_EQ(ceilDiv(11, 5), 3u);
+  EXPECT_EQ(ceilDiv(0, 5), 0u);
+}
+
+TEST(MathUtil, ApproxEqual) {
+  EXPECT_TRUE(approxEqual(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approxEqual(1.0, 1.1));
+  EXPECT_TRUE(approxEqual(1e12, 1e12 + 1.0, 1e-9));
+}
+
+TEST(Debug, TypeToggles) {
+  clearDebugTypes();
+  EXPECT_FALSE(isDebugTypeEnabled("spice"));
+  enableDebugType("spice");
+  EXPECT_TRUE(isDebugTypeEnabled("spice"));
+  EXPECT_FALSE(isDebugTypeEnabled("other"));
+  enableDebugType("all");
+  EXPECT_TRUE(isDebugTypeEnabled("other"));
+  clearDebugTypes();
+  EXPECT_FALSE(isDebugTypeEnabled("spice"));
+}

@@ -1,0 +1,162 @@
+//===- tests/transform_test.cpp - Spice transformation tests ---------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+//
+// End-to-end checks of the compiler pipeline: every IR workload, Spice-
+// transformed at several thread counts, must produce exactly the
+// sequential results on every invocation under churn, on the multicore
+// timing simulator.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/SimHarness.h"
+
+#include "ir/IRPrinter.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+using namespace spice;
+using namespace spice::workloads;
+using namespace spice::transform;
+
+namespace {
+
+sim::MachineConfig testConfig() {
+  sim::MachineConfig C;
+  return C;
+}
+
+} // namespace
+
+TEST(SpiceTransformStructure, ProducesVerifiableModule) {
+  ir::Module M;
+  OtterIR W(64, 1);
+  ir::Function *F = W.build(M);
+  SpiceTransformOptions Opts;
+  Opts.NumThreads = 4;
+  SpiceParallelProgram P = applySpiceTransform(M, *F, Opts);
+  std::vector<std::string> Errors;
+  EXPECT_TRUE(ir::verifyModule(M, &Errors))
+      << (Errors.empty() ? std::string() : Errors.front());
+  EXPECT_EQ(P.Workers.size(), 3u);
+  EXPECT_EQ(P.NumSpeculated, 1u) << "only the list pointer is speculated";
+  EXPECT_EQ(P.NumReductions, 2u) << "min + argmin payload";
+  EXPECT_FALSE(P.HasStores);
+  EXPECT_NE(M.getGlobal("find_lightest.sva"), nullptr);
+  EXPECT_NE(M.getGlobal("find_lightest.svat"), nullptr);
+  EXPECT_NE(M.getGlobal("find_lightest.work"), nullptr);
+}
+
+TEST(SpiceTransformStructure, EightLiveInsForSjeng) {
+  ir::Module M;
+  SjengIR W(64, 1);
+  ir::Function *F = W.build(M);
+  SpiceTransformOptions Opts;
+  Opts.NumThreads = 4;
+  SpiceParallelProgram P = applySpiceTransform(M, *F, Opts);
+  EXPECT_EQ(P.NumSpeculated, 8u)
+      << "cursor + 7 scalars, the paper's 458.sjeng live-in count";
+  EXPECT_EQ(P.NumReductions, 2u);
+  EXPECT_TRUE(ir::verifyModule(M, nullptr));
+}
+
+TEST(SpiceTransformStructure, McfUsesSpeculativeStores) {
+  ir::Module M;
+  McfIR W(64, 1);
+  ir::Function *F = W.build(M);
+  SpiceTransformOptions Opts;
+  Opts.NumThreads = 2;
+  SpiceParallelProgram P = applySpiceTransform(M, *F, Opts);
+  EXPECT_TRUE(P.HasStores);
+  // Workers must contain spec.begin/commit/rollback.
+  std::string Text = ir::printFunction(*P.Workers[0]);
+  EXPECT_NE(Text.find("spec.begin"), std::string::npos);
+  EXPECT_NE(Text.find("spec.commit"), std::string::npos);
+  EXPECT_NE(Text.find("spec.rollback"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// End-to-end twin runs
+//===----------------------------------------------------------------------===//
+
+struct TwinParam {
+  const char *Name;
+  unsigned Threads;
+  unsigned Invocations;
+};
+
+class OtterTwinTest : public ::testing::TestWithParam<TwinParam> {};
+
+TEST_P(OtterTwinTest, MatchesSequential) {
+  const TwinParam P = GetParam();
+  HarnessResult R = runTwinExperiment(
+      [] { return std::make_unique<OtterIR>(300, 77); }, P.Threads,
+      P.Invocations, testConfig(), /*TripCountEstimate=*/300);
+  EXPECT_TRUE(R.AllCorrect) << R.Mismatches << " mismatched invocations";
+  EXPECT_EQ(R.Invocations, P.Invocations);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, OtterTwinTest,
+                         ::testing::Values(TwinParam{"t2", 2, 12},
+                                           TwinParam{"t3", 3, 12},
+                                           TwinParam{"t4", 4, 12}),
+                         [](const auto &Info) {
+                           return std::string(Info.param.Name);
+                         });
+
+TEST(KsTwin, MatchesSequential) {
+  HarnessResult R = runTwinExperiment(
+      [] { return std::make_unique<KsIR>(256, 8, 99); }, 4,
+      /*Invocations=*/12, testConfig(), /*TripCountEstimate=*/128);
+  EXPECT_TRUE(R.AllCorrect) << R.Mismatches << " mismatched invocations";
+}
+
+TEST(McfTwin, MatchesSequentialWithStores) {
+  HarnessResult R = runTwinExperiment(
+      [] { return std::make_unique<McfIR>(400, 13); }, 4,
+      /*Invocations=*/12, testConfig(), /*TripCountEstimate=*/399);
+  EXPECT_TRUE(R.AllCorrect) << R.Mismatches << " mismatched invocations";
+}
+
+TEST(McfTwin, TwoThreads) {
+  HarnessResult R = runTwinExperiment(
+      [] { return std::make_unique<McfIR>(200, 14); }, 2,
+      /*Invocations=*/10, testConfig(), /*TripCountEstimate=*/199);
+  EXPECT_TRUE(R.AllCorrect);
+}
+
+TEST(SjengTwin, MatchesSequential) {
+  HarnessResult R = runTwinExperiment(
+      [] { return std::make_unique<SjengIR>(200, 15); }, 4,
+      /*Invocations=*/15, testConfig(), /*TripCountEstimate=*/200);
+  EXPECT_TRUE(R.AllCorrect) << R.Mismatches << " mismatched invocations";
+}
+
+TEST(TwinSpeedup, StableOtterGetsParallelSpeedup) {
+  // With no prediction-breaking churn the steady state should beat the
+  // sequential baseline clearly at 4 threads.
+  auto Make = [] {
+    auto W = std::make_unique<OtterIR>(2000, 5);
+    W->InsertsPerInvocation = 1;
+    return W;
+  };
+  HarnessResult R = runTwinExperiment(Make, 4, 10, testConfig(), 2000);
+  EXPECT_TRUE(R.AllCorrect);
+  EXPECT_GT(R.speedup(), 1.5) << "seq=" << R.SeqCycles
+                              << " par=" << R.ParCycles;
+}
+
+TEST(TwinSpeedup, BadTripEstimateStillCorrect) {
+  // A wildly wrong first-invocation estimate must only cost performance.
+  HarnessResult R = runTwinExperiment(
+      [] { return std::make_unique<OtterIR>(300, 21); }, 4, 10,
+      testConfig(), /*TripCountEstimate=*/100000);
+  EXPECT_TRUE(R.AllCorrect);
+  HarnessResult R2 = runTwinExperiment(
+      [] { return std::make_unique<OtterIR>(300, 21); }, 4, 10,
+      testConfig(), /*TripCountEstimate=*/4);
+  EXPECT_TRUE(R2.AllCorrect);
+}

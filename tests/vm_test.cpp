@@ -1,0 +1,259 @@
+//===- tests/vm_test.cpp - Interpreter tests --------------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/IRBuilder.h"
+#include "vm/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace spice;
+using namespace spice::ir;
+using namespace spice::vm;
+
+namespace {
+
+/// Builds `ret (a OP b)` and runs it.
+int64_t evalBinary(Opcode Op, int64_t A, int64_t B) {
+  Module M;
+  Function *F = M.createFunction("f");
+  Argument *AA = F->addArgument("a");
+  Argument *AB = F->addArgument("b");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder Bld(M, Entry);
+  Instruction *R = Bld.createBinary(Op, AA, AB);
+  Bld.createRet(R);
+  F->renumber();
+  Memory Mem(1 << 12);
+  return runFunction(*F, Mem, {A, B}).ReturnValue;
+}
+
+struct BinCase {
+  Opcode Op;
+  int64_t A, B, Want;
+};
+
+} // namespace
+
+class BinaryOpTest : public ::testing::TestWithParam<BinCase> {};
+
+TEST_P(BinaryOpTest, Evaluates) {
+  const BinCase C = GetParam();
+  EXPECT_EQ(evalBinary(C.Op, C.A, C.B), C.Want)
+      << getOpcodeName(C.Op) << " " << C.A << ", " << C.B;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllOpcodes, BinaryOpTest,
+    ::testing::Values(
+        BinCase{Opcode::Add, 2, 3, 5}, BinCase{Opcode::Add, -1, 1, 0},
+        BinCase{Opcode::Sub, 2, 3, -1}, BinCase{Opcode::Mul, -4, 3, -12},
+        BinCase{Opcode::SDiv, 7, 2, 3}, BinCase{Opcode::SDiv, -7, 2, -3},
+        BinCase{Opcode::SRem, 7, 3, 1}, BinCase{Opcode::SRem, -7, 3, -1},
+        BinCase{Opcode::And, 0b1100, 0b1010, 0b1000},
+        BinCase{Opcode::Or, 0b1100, 0b1010, 0b1110},
+        BinCase{Opcode::Xor, 0b1100, 0b1010, 0b0110},
+        BinCase{Opcode::Shl, 1, 4, 16}, BinCase{Opcode::LShr, -1, 60, 15},
+        BinCase{Opcode::AShr, -16, 2, -4},
+        BinCase{Opcode::SMin, 3, -5, -5}, BinCase{Opcode::SMax, 3, -5, 3},
+        BinCase{Opcode::ICmpEq, 4, 4, 1}, BinCase{Opcode::ICmpEq, 4, 5, 0},
+        BinCase{Opcode::ICmpNe, 4, 5, 1},
+        BinCase{Opcode::ICmpSLt, -2, 1, 1},
+        BinCase{Opcode::ICmpSLe, 1, 1, 1},
+        BinCase{Opcode::ICmpSGt, 2, 1, 1},
+        BinCase{Opcode::ICmpSGe, 1, 2, 0},
+        BinCase{Opcode::ICmpULt, -1, 1, 0} // -1 is huge unsigned.
+        ));
+
+TEST(VM, SelectPicksBranches) {
+  Module M;
+  Function *F = M.createFunction("f");
+  Argument *C = F->addArgument("c");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M, Entry);
+  Instruction *S = B.createSelect(C, B.getInt(10), B.getInt(20));
+  B.createRet(S);
+  F->renumber();
+  Memory Mem(1 << 12);
+  EXPECT_EQ(runFunction(*F, Mem, {1}).ReturnValue, 10);
+  EXPECT_EQ(runFunction(*F, Mem, {0}).ReturnValue, 20);
+}
+
+TEST(VM, LoadStoreRoundTrip) {
+  Module M;
+  Function *F = M.createFunction("f");
+  Argument *Addr = F->addArgument("addr");
+  Argument *Val = F->addArgument("val");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M, Entry);
+  B.createStore(Addr, Val);
+  Instruction *L = B.createLoad(Addr);
+  B.createRet(L);
+  F->renumber();
+  Memory Mem(1 << 12);
+  uint64_t Slot = Mem.allocate(1);
+  EXPECT_EQ(
+      runFunction(*F, Mem, {static_cast<int64_t>(Slot), 77}).ReturnValue,
+      77);
+  EXPECT_EQ(Mem.load(Slot), 77);
+}
+
+TEST(VM, GlobalsResolveToAddresses) {
+  Module M;
+  GlobalVariable *G = M.createGlobal("table", 4);
+  G->setInitializer({10, 11, 12, 13});
+  Function *F = M.createFunction("f");
+  Argument *Idx = F->addArgument("i");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M, Entry);
+  Instruction *Addr = B.createAdd(G, Idx);
+  Instruction *L = B.createLoad(Addr);
+  B.createRet(L);
+  F->renumber();
+  Memory Mem(1 << 12);
+  Mem.layoutGlobals(M);
+  EXPECT_EQ(runFunction(*F, Mem, {0}).ReturnValue, 10);
+  EXPECT_EQ(runFunction(*F, Mem, {3}).ReturnValue, 13);
+}
+
+TEST(VM, CountedLoopSums) {
+  Module M;
+  Function *F = M.createFunction("sum_to_n");
+  Argument *N = F->addArgument("n");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M, Entry);
+  B.createBr(Header);
+  B.setInsertBlock(Header);
+  Instruction *I = B.createPhi("i");
+  Instruction *Sum = B.createPhi("sum");
+  Instruction *Cond = B.createICmpSLt(I, N);
+  B.createCondBr(Cond, Body, Exit);
+  B.setInsertBlock(Body);
+  Instruction *Sum2 = B.createAdd(Sum, I);
+  Instruction *I2 = B.createAdd(I, B.getInt(1));
+  B.createBr(Header);
+  I->addPhiIncoming(B.getInt(0), Entry);
+  I->addPhiIncoming(I2, Body);
+  Sum->addPhiIncoming(B.getInt(0), Entry);
+  Sum->addPhiIncoming(Sum2, Body);
+  B.setInsertBlock(Exit);
+  B.createRet(Sum);
+  F->renumber();
+
+  Memory Mem(1 << 12);
+  EXPECT_EQ(runFunction(*F, Mem, {10}).ReturnValue, 45);
+  EXPECT_EQ(runFunction(*F, Mem, {0}).ReturnValue, 0);
+  EXPECT_EQ(runFunction(*F, Mem, {1000}).ReturnValue, 499500);
+}
+
+TEST(VM, PhiSwapIsSimultaneous) {
+  // One loop iteration swaps (a, b) via mutually referencing phis.
+  Module M;
+  Function *F = M.createFunction("swap");
+  Argument *N = F->addArgument("n");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M, Entry);
+  B.createBr(Header);
+  B.setInsertBlock(Header);
+  Instruction *A = B.createPhi("a");
+  Instruction *Bv = B.createPhi("b");
+  Instruction *I = B.createPhi("i");
+  Instruction *Cond = B.createICmpSLt(I, N);
+  B.createCondBr(Cond, Body, Exit);
+  B.setInsertBlock(Body);
+  Instruction *I2 = B.createAdd(I, B.getInt(1));
+  B.createBr(Header);
+  A->addPhiIncoming(B.getInt(1), Entry);
+  A->addPhiIncoming(Bv, Body); // a' = b
+  Bv->addPhiIncoming(B.getInt(2), Entry);
+  Bv->addPhiIncoming(A, Body); // b' = a
+  I->addPhiIncoming(B.getInt(0), Entry);
+  I->addPhiIncoming(I2, Body);
+  B.setInsertBlock(Exit);
+  Instruction *Packed = B.createAdd(B.createMul(A, B.getInt(10)), Bv);
+  B.createRet(Packed);
+  F->renumber();
+
+  Memory Mem(1 << 12);
+  EXPECT_EQ(runFunction(*F, Mem, {0}).ReturnValue, 12); // (1,2)
+  EXPECT_EQ(runFunction(*F, Mem, {1}).ReturnValue, 21); // (2,1)
+  EXPECT_EQ(runFunction(*F, Mem, {2}).ReturnValue, 12); // Back.
+}
+
+TEST(VM, BlockCountsTrackHotness) {
+  Module M;
+  Function *F = M.createFunction("f");
+  Argument *N = F->addArgument("n");
+  BasicBlock *Entry = F->createBlock("entry");
+  BasicBlock *Header = F->createBlock("header");
+  BasicBlock *Body = F->createBlock("body");
+  BasicBlock *Exit = F->createBlock("exit");
+  IRBuilder B(M, Entry);
+  B.createBr(Header);
+  B.setInsertBlock(Header);
+  Instruction *I = B.createPhi("i");
+  Instruction *Cond = B.createICmpSLt(I, N);
+  B.createCondBr(Cond, Body, Exit);
+  B.setInsertBlock(Body);
+  Instruction *I2 = B.createAdd(I, B.getInt(1));
+  B.createBr(Header);
+  I->addPhiIncoming(B.getInt(0), Entry);
+  I->addPhiIncoming(I2, Body);
+  B.setInsertBlock(Exit);
+  B.createRet(I);
+  F->renumber();
+
+  Memory Mem(1 << 12);
+  ExecutionResult R = runFunction(*F, Mem, {5});
+  EXPECT_EQ(R.BlockCounts.at(Entry), 1u);
+  EXPECT_EQ(R.BlockCounts.at(Body), 10u); // 5 iterations x 2 instructions.
+  EXPECT_EQ(R.BlockCounts.at(Header), 12u); // 6 visits x 2 (cmp + br).
+  EXPECT_EQ(R.ReturnValue, 5);
+}
+
+TEST(VM, ProfileHooksReachSink) {
+  struct RecordingSink : ProfileSink {
+    std::vector<std::tuple<int64_t, int64_t, int64_t>> Records;
+    int NewInvocations = 0, IterEnds = 0;
+    void onNewInvocation(int64_t) override { ++NewInvocations; }
+    void onRecord(int64_t L, int64_t S, int64_t V) override {
+      Records.push_back({L, S, V});
+    }
+    void onIterEnd(int64_t) override { ++IterEnds; }
+  };
+
+  Module M;
+  Function *F = M.createFunction("f");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M, Entry);
+  B.createProfNewInvoc(B.getInt(3));
+  B.createProfRecord(B.getInt(3), B.getInt(0), B.getInt(99));
+  B.createProfIterEnd(B.getInt(3));
+  B.createRet(B.getInt(0));
+  F->renumber();
+
+  Memory Mem(1 << 12);
+  RecordingSink Sink;
+  runFunction(*F, Mem, {}, &Sink);
+  EXPECT_EQ(Sink.NewInvocations, 1);
+  EXPECT_EQ(Sink.IterEnds, 1);
+  ASSERT_EQ(Sink.Records.size(), 1u);
+  EXPECT_EQ(Sink.Records[0], std::make_tuple(int64_t{3}, int64_t{0},
+                                             int64_t{99}));
+}
+
+TEST(VM, MemoryBumpAllocatorReservesNull) {
+  Memory Mem(1 << 12);
+  uint64_t A = Mem.allocate(4);
+  uint64_t B = Mem.allocate(4);
+  EXPECT_GE(A, 8u) << "address 0..7 reserved as null page";
+  EXPECT_EQ(B, A + 4);
+}

@@ -1,0 +1,266 @@
+//===- tests/workloads_test.cpp - Workload model tests ---------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Ks.h"
+#include "workloads/Mcf.h"
+#include "workloads/Otter.h"
+#include "workloads/Sjeng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace spice::workloads;
+
+//===----------------------------------------------------------------------===//
+// ClauseList
+//===----------------------------------------------------------------------===//
+
+static size_t countList(const ClauseList &L) {
+  size_t N = 0;
+  for (Clause *C = L.head(); C; C = C->Next)
+    ++N;
+  return N;
+}
+
+TEST(ClauseList, BuildsRequestedSize) {
+  ClauseList L(100, 1);
+  EXPECT_EQ(L.size(), 100u);
+  EXPECT_EQ(countList(L), 100u);
+}
+
+TEST(ClauseList, DeterministicForSameSeed) {
+  ClauseList A(50, 42), B(50, 42);
+  Clause *CA = A.head(), *CB = B.head();
+  while (CA && CB) {
+    EXPECT_EQ(CA->PickWeight, CB->PickWeight);
+    CA = CA->Next;
+    CB = CB->Next;
+  }
+  EXPECT_EQ(CA, nullptr);
+  EXPECT_EQ(CB, nullptr);
+}
+
+TEST(ClauseList, RemoveKeepsNodeReadable) {
+  ClauseList L(10, 2);
+  Clause *Second = L.head()->Next;
+  Clause *Third = Second->Next;
+  L.remove(Second);
+  EXPECT_EQ(L.size(), 9u);
+  EXPECT_FALSE(Second->OnList);
+  // The stale node still points into the list: the Figure 6 hazard.
+  EXPECT_EQ(Second->Next, Third);
+  EXPECT_EQ(L.head()->Next, Third);
+}
+
+TEST(ClauseList, RemoveHead) {
+  ClauseList L(5, 3);
+  Clause *H = L.head();
+  Clause *Second = H->Next;
+  L.remove(H);
+  EXPECT_EQ(L.head(), Second);
+  EXPECT_EQ(L.size(), 4u);
+}
+
+TEST(ClauseList, MutateRemovesMinAndInserts) {
+  ClauseList L(64, 4);
+  Clause *Min = L.findLightestReference();
+  L.mutate(Min, 3);
+  EXPECT_EQ(L.size(), 64u - 1 + 3);
+  EXPECT_FALSE(Min->OnList);
+  EXPECT_EQ(countList(L), L.size());
+}
+
+TEST(ClauseList, FindLightestPrefersFirstOnTies) {
+  ClauseList L(40, 5, /*WeightRange=*/2); // Many duplicate weights.
+  Clause *Ref = L.findLightestReference();
+  for (Clause *C = L.head(); C != Ref; C = C->Next)
+    EXPECT_GT(C->PickWeight, Ref->PickWeight)
+        << "an earlier clause with equal weight should have won";
+}
+
+//===----------------------------------------------------------------------===//
+// BasisTree
+//===----------------------------------------------------------------------===//
+
+static size_t countTraversal(const BasisTree &T) {
+  size_t N = 0;
+  for (TreeNode *Node = T.traversalStart(); Node;
+       Node = BasisTree::advance(Node))
+    ++N;
+  return N;
+}
+
+TEST(BasisTree, TraversalVisitsEveryNonRootNodeOnce) {
+  BasisTree T(500, 6);
+  EXPECT_EQ(countTraversal(T), 499u);
+}
+
+TEST(BasisTree, TraversalStillCompleteAfterRelocations) {
+  BasisTree T(200, 7);
+  for (int I = 0; I != 50; ++I)
+    T.relocateRandomSubtree();
+  EXPECT_EQ(countTraversal(T), 199u);
+}
+
+TEST(BasisTree, RefreshComputesParentDerivedPotentials) {
+  BasisTree T(300, 8);
+  T.refreshPotentialReference();
+  for (TreeNode *N = T.traversalStart(); N; N = BasisTree::advance(N)) {
+    int64_t Want = N->Orientation == 0
+                       ? N->ArcCost + N->Pred->Potential
+                       : N->Pred->Potential - N->ArcCost;
+    EXPECT_EQ(N->Potential, Want);
+  }
+}
+
+TEST(BasisTree, MutateWithPropagationMakesRefreshSilent) {
+  BasisTree T(300, 9);
+  T.refreshPotentialReference();
+  T.mutate(/*Arcs=*/3, /*Relocations=*/1, /*PropagateNow=*/true);
+  // Potentials are already up to date: a second refresh changes nothing.
+  std::vector<int64_t> Before;
+  for (TreeNode *N = T.traversalStart(); N; N = BasisTree::advance(N))
+    Before.push_back(N->Potential);
+  T.refreshPotentialReference();
+  size_t I = 0;
+  for (TreeNode *N = T.traversalStart(); N; N = BasisTree::advance(N))
+    EXPECT_EQ(N->Potential, Before[I++]) << "refresh should be silent";
+}
+
+TEST(BasisTree, ChecksumCountsDownOrientedNodes) {
+  BasisTree T(100, 10);
+  int64_t Want = 0;
+  for (TreeNode *N = T.traversalStart(); N; N = BasisTree::advance(N))
+    Want += N->Orientation == 1;
+  EXPECT_EQ(T.refreshPotentialReference(), Want);
+}
+
+//===----------------------------------------------------------------------===//
+// KsGraph
+//===----------------------------------------------------------------------===//
+
+TEST(KsGraph, EdgeWeightSymmetric) {
+  KsGraph G(64, 4, 11);
+  for (int64_t A = 0; A != 64; ++A)
+    for (int64_t B = 0; B != 64; ++B)
+      EXPECT_EQ(G.edgeWeight(A, B), G.edgeWeight(B, A));
+}
+
+TEST(KsGraph, DValuesMatchDefinition) {
+  KsGraph G(32, 3, 12);
+  for (int64_t V = 0; V != 32; ++V) {
+    int64_t External = 0, Internal = 0;
+    for (int64_t U = 0; U != 32; ++U) {
+      if (U == V)
+        continue;
+      int64_t W = G.edgeWeight(V, U);
+      if (W == 0)
+        continue;
+      if (G.inA(U) == G.inA(V))
+        Internal += W;
+      else
+        External += W;
+    }
+    EXPECT_EQ(G.dValue(V), External - Internal) << "vertex " << V;
+  }
+}
+
+TEST(KsGraph, CandidateListsPartitionVertices) {
+  KsGraph G(64, 4, 13);
+  std::set<int64_t> Seen;
+  for (KsVertex *V = G.aListHead(); V; V = V->Next) {
+    EXPECT_TRUE(G.inA(V->Id));
+    Seen.insert(V->Id);
+  }
+  for (KsVertex *V = G.bListHead(); V; V = V->Next) {
+    EXPECT_FALSE(G.inA(V->Id));
+    Seen.insert(V->Id);
+  }
+  EXPECT_EQ(Seen.size(), 64u);
+}
+
+TEST(KsGraph, ApplySwapUpdatesDIncrementally) {
+  KsGraph G(48, 4, 14);
+  KsVertex *A = G.aListHead();
+  KsVertex *B = G.bListHead();
+  G.applySwap(A->Id, B->Id);
+  // Check a few unswapped vertices against the KL update rule applied to
+  // a fresh twin graph.
+  KsGraph Twin(48, 4, 14);
+  for (KsVertex *V = G.aListHead(); V; V = V->Next) {
+    int64_t Expected = Twin.dValue(V->Id) +
+                       (Twin.inA(V->Id) == Twin.inA(A->Id)
+                            ? 2 * Twin.edgeWeight(V->Id, A->Id)
+                            : -2 * Twin.edgeWeight(V->Id, A->Id)) +
+                       (Twin.inA(V->Id) == Twin.inA(B->Id)
+                            ? 2 * Twin.edgeWeight(V->Id, B->Id)
+                            : -2 * Twin.edgeWeight(V->Id, B->Id));
+    EXPECT_EQ(G.dValue(V->Id), Expected) << "vertex " << V->Id;
+  }
+}
+
+TEST(KsGraph, CommitSwapsChangesCut) {
+  KsGraph G(64, 4, 15);
+  int64_t Before = G.cutWeight();
+  // Swap the best first pair greedily; the cut must change by -gain.
+  KsVertex *A = G.aListHead();
+  int64_t BestGain = INT64_MIN;
+  int64_t BestB = -1;
+  for (KsVertex *B = G.bListHead(); B; B = B->Next) {
+    int64_t Gain = G.dValue(A->Id) + G.dValue(B->Id) -
+                   2 * G.edgeWeight(A->Id, B->Id);
+    if (Gain > BestGain) {
+      BestGain = Gain;
+      BestB = B->Id;
+    }
+  }
+  G.applySwap(A->Id, BestB);
+  G.commitSwaps({A->Id}, {BestB}, 1);
+  EXPECT_EQ(G.cutWeight(), Before - BestGain);
+}
+
+//===----------------------------------------------------------------------===//
+// SjengBoard
+//===----------------------------------------------------------------------===//
+
+TEST(SjengBoard, EvalDeterministic) {
+  SjengBoard A(200, 21), B(200, 21);
+  EXPECT_EQ(A.evalReference(), B.evalReference());
+}
+
+TEST(SjengBoard, MutationChangesEvalUsually) {
+  SjengBoard Board(200, 22);
+  SjengScore Before = Board.evalReference();
+  int Changed = 0;
+  for (int I = 0; I != 10; ++I) {
+    Board.mutate(1.0, 2);
+    SjengScore After = Board.evalReference();
+    Changed += !(After == Before);
+    Before = After;
+  }
+  EXPECT_GE(Changed, 5) << "attribute churn should usually move the score";
+}
+
+TEST(SjengBoard, LiveInTupleEvolvesDataDependently) {
+  SjengBoard Board(100, 23);
+  SjengLiveIn LI = Board.start();
+  SjengScore S;
+  std::set<int64_t> Keys;
+  while (LI.Cursor) {
+    Keys.insert(LI.RunningKey);
+    sjengEvalStep(LI, S);
+  }
+  // The running key must act like a rolling hash: almost all distinct.
+  EXPECT_GT(Keys.size(), 90u);
+}
+
+TEST(SjengBoard, CostTableOrdersPieceKinds) {
+  EXPECT_LT(SjengBoard::costOf(PieceKind::Pawn),
+            SjengBoard::costOf(PieceKind::Knight));
+  EXPECT_LT(SjengBoard::costOf(PieceKind::Knight),
+            SjengBoard::costOf(PieceKind::Queen));
+}
