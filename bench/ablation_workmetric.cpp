@@ -16,6 +16,7 @@
 #include "core/SpiceLoop.h"
 #include "workloads/Sjeng.h"
 
+#include <cstdint>
 #include <cstdio>
 
 using namespace spice;

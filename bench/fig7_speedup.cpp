@@ -15,8 +15,11 @@
 #include "support/MathUtil.h"
 #include "workloads/SimHarness.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <functional>
+#include <memory>
+#include <vector>
 
 using namespace spice;
 using namespace spice::workloads;

@@ -20,6 +20,7 @@
 #include "vm/Interpreter.h"
 #include "workloads/IRWorkloads.h"
 
+#include <cstdint>
 #include <cstdio>
 #include <vector>
 

@@ -16,7 +16,11 @@
 #include "core/WorkerPool.h"
 #include "workloads/Sjeng.h"
 
+#include <atomic>
 #include <benchmark/benchmark.h>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 using namespace spice;
 using namespace spice::core;

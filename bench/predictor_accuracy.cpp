@@ -22,7 +22,9 @@
 #include "workloads/Otter.h"
 
 #include <cmath>
+#include <cstdint>
 #include <cstdio>
+#include <vector>
 
 using namespace spice;
 using namespace spice::baselines;

@@ -16,6 +16,7 @@
 #include "workloads/SimHarness.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace spice;
 using namespace spice::analysis;

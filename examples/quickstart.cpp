@@ -14,6 +14,7 @@
 
 #include "core/SpiceLoop.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <deque>
 

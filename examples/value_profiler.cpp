@@ -18,6 +18,7 @@
 #include "workloads/IRWorkloads.h"
 
 #include <cstdio>
+#include <vector>
 
 using namespace spice;
 using namespace spice::profiler;

@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Verifies every header under src/ compiles standalone (self-contained
+# includes). Run from the repo root; used by the header-hygiene CI job.
+set -u
+cd "$(dirname "$0")/.."
+
+CXX=${CXX:-g++}
+tmpbase=$(mktemp "${TMPDIR:-/tmp}/hdrcheck.XXXXXX")
+tmp="$tmpbase.cpp"
+err="$tmpbase.err"
+trap 'rm -f "$tmpbase" "$tmp" "$err"' EXIT
+
+fail=0
+while IFS= read -r hdr; do
+  printf '#include "%s"\n' "${hdr#src/}" > "$tmp"
+  if ! "$CXX" -std=c++20 -Isrc -fsyntax-only "$tmp" 2>"$err"; then
+    echo "not self-contained: $hdr"
+    sed 's/^/    /' "$err" | head -10
+    fail=1
+  fi
+done < <(find src -name '*.h' | sort)
+
+if [ "$fail" -ne 0 ]; then
+  echo "header self-containment check FAILED"
+  exit 1
+fi
+echo "all headers self-contained"

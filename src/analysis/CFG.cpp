@@ -7,6 +7,9 @@
 #include "analysis/CFG.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
 
 using namespace spice;
 using namespace spice::analysis;

@@ -15,7 +15,9 @@
 
 #include "ir/Function.h"
 
+#include <cassert>
 #include <unordered_map>
+#include <vector>
 
 namespace spice {
 namespace analysis {

@@ -12,7 +12,10 @@
 
 #include "analysis/Dominators.h"
 
+#include <cstddef>
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 using namespace spice;
 using namespace spice::analysis;

@@ -16,6 +16,9 @@
 
 #include "analysis/CFG.h"
 
+#include <string>
+#include <vector>
+
 namespace spice {
 namespace analysis {
 

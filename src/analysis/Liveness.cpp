@@ -12,6 +12,10 @@
 
 #include "analysis/Liveness.h"
 
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
 using namespace spice;
 using namespace spice::analysis;
 using namespace spice::ir;

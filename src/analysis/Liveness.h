@@ -18,6 +18,7 @@
 #include "analysis/CFG.h"
 
 #include <unordered_set>
+#include <vector>
 
 namespace spice {
 namespace analysis {

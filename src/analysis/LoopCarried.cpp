@@ -9,9 +9,13 @@
 #include "support/ErrorHandling.h"
 
 #include <algorithm>
+#include <cassert>
 #include <climits>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 using namespace spice;
 using namespace spice::analysis;

@@ -25,6 +25,9 @@
 
 #include "analysis/LoopInfo.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace spice {
 namespace analysis {
 

@@ -7,6 +7,10 @@
 #include "analysis/LoopInfo.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <unordered_map>
+#include <vector>
 
 using namespace spice;
 using namespace spice::analysis;

@@ -17,7 +17,9 @@
 #include "analysis/Dominators.h"
 
 #include <memory>
+#include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 namespace spice {
 namespace analysis {

@@ -6,6 +6,9 @@
 
 #include "baselines/Predictors.h"
 
+#include <cstdint>
+#include <vector>
+
 using namespace spice;
 using namespace spice::baselines;
 

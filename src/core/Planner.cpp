@@ -7,6 +7,9 @@
 #include "core/Planner.h"
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 using namespace spice;
 using namespace spice::core;

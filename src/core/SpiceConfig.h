@@ -13,6 +13,7 @@
 #ifndef SPICE_CORE_SPICECONFIG_H
 #define SPICE_CORE_SPICECONFIG_H
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

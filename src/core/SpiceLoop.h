@@ -54,10 +54,16 @@
 #include "core/SpiceConfig.h"
 #include "core/WorkerPool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace spice {
 namespace core {

@@ -6,6 +6,13 @@
 
 #include "core/WorkerPool.h"
 
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+
 using namespace spice;
 using namespace spice::core;
 

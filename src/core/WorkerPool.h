@@ -18,6 +18,7 @@
 
 #include <cassert>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <mutex>
 #include <thread>

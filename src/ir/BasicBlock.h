@@ -15,7 +15,12 @@
 
 #include "ir/Instruction.h"
 
+#include <cassert>
+#include <cstddef>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace spice {
 namespace ir {

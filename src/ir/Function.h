@@ -16,7 +16,12 @@
 
 #include "ir/BasicBlock.h"
 
+#include <cassert>
+#include <cstddef>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace spice {
 namespace ir {

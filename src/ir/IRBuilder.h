@@ -16,6 +16,13 @@
 
 #include "ir/Module.h"
 
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 namespace spice {
 namespace ir {
 

@@ -9,6 +9,8 @@
 #include "ir/Module.h"
 #include "support/ErrorHandling.h"
 
+#include <cassert>
+#include <string>
 #include <unordered_map>
 
 using namespace spice;

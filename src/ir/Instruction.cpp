@@ -9,6 +9,8 @@
 #include "ir/BasicBlock.h"
 #include "support/ErrorHandling.h"
 
+#include <cassert>
+
 using namespace spice;
 using namespace spice::ir;
 

@@ -19,6 +19,9 @@
 #include "ir/Value.h"
 
 #include <cassert>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 namespace spice {
 namespace ir {

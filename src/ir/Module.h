@@ -14,8 +14,13 @@
 
 #include "ir/Function.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 namespace spice {
 namespace ir {

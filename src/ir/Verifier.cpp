@@ -8,8 +8,11 @@
 
 #include "ir/Module.h"
 
+#include <cstddef>
+#include <string>
 #include <unordered_map>
 #include <unordered_set>
+#include <vector>
 
 using namespace spice;
 using namespace spice::ir;

@@ -7,6 +7,7 @@
 #include "model/AnalyticModel.h"
 
 #include <cassert>
+#include <string>
 
 using namespace spice;
 using namespace spice::model;

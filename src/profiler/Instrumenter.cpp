@@ -9,6 +9,14 @@
 #include "analysis/LoopInfo.h"
 #include "ir/IRBuilder.h"
 
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
 using namespace spice;
 using namespace spice::profiler;
 using namespace spice::analysis;

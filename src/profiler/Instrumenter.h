@@ -22,7 +22,9 @@
 #include "analysis/LoopCarried.h"
 #include "ir/Module.h"
 
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 namespace spice {
 namespace profiler {

@@ -8,6 +8,9 @@
 
 #include "support/ErrorHandling.h"
 
+#include <cstdint>
+#include <utility>
+
 using namespace spice;
 using namespace spice::profiler;
 

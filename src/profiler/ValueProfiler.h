@@ -21,6 +21,7 @@
 #include "support/Random.h"
 #include "vm/ExecutionEnv.h"
 
+#include <cstdint>
 #include <map>
 #include <unordered_set>
 

@@ -6,6 +6,8 @@
 
 #include "sim/Cache.h"
 
+#include <cstdint>
+
 using namespace spice;
 using namespace spice::sim;
 

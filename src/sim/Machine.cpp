@@ -8,6 +8,15 @@
 
 #include "support/ErrorHandling.h"
 
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
 using namespace spice;
 using namespace spice::sim;
 using namespace spice::ir;

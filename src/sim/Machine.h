@@ -27,10 +27,14 @@
 #include "sim/Cache.h"
 #include "vm/ThreadContext.h"
 
+#include <cstdint>
 #include <deque>
 #include <memory>
 #include <optional>
+#include <unordered_map>
 #include <unordered_set>
+#include <utility>
+#include <vector>
 
 namespace spice {
 namespace sim {

@@ -15,6 +15,7 @@
 #ifndef SPICE_SUPPORT_RANDOM_H
 #define SPICE_SUPPORT_RANDOM_H
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>

@@ -8,6 +8,12 @@
 
 #include "support/ErrorHandling.h"
 
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
 using namespace spice;
 using namespace spice::transform;
 using namespace spice::ir;

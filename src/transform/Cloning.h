@@ -17,7 +17,9 @@
 
 #include "analysis/LoopInfo.h"
 
+#include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace spice {
 namespace transform {

@@ -26,7 +26,13 @@
 #include "transform/Cloning.h"
 
 #include <algorithm>
+#include <cassert>
 #include <climits>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
 
 using namespace spice;
 using namespace spice::transform;
@@ -741,7 +747,7 @@ SpiceParallelProgram SpiceEmitter::run() {
          "exit block must return");
   assert(!Info.SpeculatedLiveIns.empty() &&
          "nothing to speculate: loop is not a Spice candidate");
-  for (Instruction *Out : Info.LiveOuts)
+  for ([[maybe_unused]] Instruction *Out : Info.LiveOuts)
     assert(Info.getReductionFor(Out) != nullptr &&
            "live-outs must be reduction phis");
 

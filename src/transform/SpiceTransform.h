@@ -35,6 +35,9 @@
 #include "analysis/LoopCarried.h"
 #include "vm/Memory.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace spice {
 namespace transform {
 

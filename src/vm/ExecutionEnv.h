@@ -18,6 +18,7 @@
 
 #include "vm/Memory.h"
 
+#include <cstdint>
 #include <optional>
 
 namespace spice {

@@ -6,6 +6,10 @@
 
 #include "vm/Interpreter.h"
 
+#include <cstdint>
+#include <utility>
+#include <vector>
+
 using namespace spice;
 using namespace spice::vm;
 

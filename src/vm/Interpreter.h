@@ -17,6 +17,10 @@
 
 #include "vm/ThreadContext.h"
 
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
 namespace spice {
 namespace vm {
 

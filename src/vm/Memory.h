@@ -18,7 +18,11 @@
 
 #include "ir/Module.h"
 
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
 #include <unordered_map>
+#include <vector>
 
 namespace spice {
 namespace vm {

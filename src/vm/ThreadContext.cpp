@@ -8,6 +8,12 @@
 
 #include "support/ErrorHandling.h"
 
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
 using namespace spice;
 using namespace spice::vm;
 using namespace spice::ir;

@@ -18,6 +18,12 @@
 
 #include "vm/ExecutionEnv.h"
 
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
 namespace spice {
 namespace vm {
 

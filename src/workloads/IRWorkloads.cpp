@@ -8,8 +8,12 @@
 
 #include "ir/IRBuilder.h"
 
+#include <algorithm>
 #include <cassert>
 #include <climits>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 using namespace spice;
 using namespace spice::workloads;

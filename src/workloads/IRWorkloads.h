@@ -28,6 +28,7 @@
 #include "support/Random.h"
 #include "vm/Memory.h"
 
+#include <cstdint>
 #include <vector>
 
 namespace spice {

@@ -8,6 +8,9 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 using namespace spice;
 using namespace spice::workloads;

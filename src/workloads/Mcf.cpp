@@ -6,7 +6,11 @@
 
 #include "workloads/Mcf.h"
 
+#include <algorithm>
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 using namespace spice;
 using namespace spice::workloads;

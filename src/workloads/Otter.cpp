@@ -7,6 +7,8 @@
 #include "workloads/Otter.h"
 
 #include <cassert>
+#include <cstddef>
+#include <cstdint>
 
 using namespace spice;
 using namespace spice::workloads;

@@ -9,6 +9,11 @@
 #include "ir/Verifier.h"
 #include "support/ErrorHandling.h"
 
+#include <cassert>
+#include <cstdint>
+#include <functional>
+#include <memory>
+
 using namespace spice;
 using namespace spice::workloads;
 using namespace spice::sim;

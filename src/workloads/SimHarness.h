@@ -21,6 +21,7 @@
 #include "transform/SpiceTransform.h"
 #include "workloads/IRWorkloads.h"
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 

@@ -11,6 +11,8 @@
 #include "ir/Verifier.h"
 
 #include <gtest/gtest.h>
+#include <string>
+#include <vector>
 
 using namespace spice;
 using namespace spice::analysis;

@@ -10,6 +10,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
 
 using namespace spice::baselines;
 using namespace spice::workloads;

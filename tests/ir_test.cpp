@@ -9,6 +9,10 @@
 #include "ir/Verifier.h"
 
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 using namespace spice;
 using namespace spice::ir;

@@ -7,6 +7,7 @@
 #include "model/AnalyticModel.h"
 
 #include <gtest/gtest.h>
+#include <string>
 
 using namespace spice::model;
 

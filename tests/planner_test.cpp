@@ -7,7 +7,10 @@
 #include "core/BootstrapSampler.h"
 #include "core/Planner.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <vector>
 
 using namespace spice::core;
 

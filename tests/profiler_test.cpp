@@ -13,7 +13,11 @@
 #include "vm/Interpreter.h"
 #include "workloads/IRWorkloads.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <string>
+#include <unordered_map>
+#include <vector>
 
 using namespace spice;
 using namespace spice::profiler;

@@ -7,6 +7,7 @@
 #include "ir/IRBuilder.h"
 #include "sim/Machine.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 using namespace spice;

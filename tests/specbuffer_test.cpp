@@ -6,6 +6,7 @@
 
 #include "core/SpecWriteBuffer.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
 
 using namespace spice::core;

@@ -16,6 +16,8 @@
 #include "workloads/Otter.h"
 #include "workloads/Sjeng.h"
 
+#include <cstddef>
+#include <cstdint>
 #include <gtest/gtest.h>
 
 using namespace spice;

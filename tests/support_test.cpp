@@ -13,7 +13,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdint>
 #include <map>
+#include <string>
+#include <vector>
 
 using namespace spice;
 using namespace spice::ir;

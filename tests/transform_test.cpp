@@ -17,6 +17,9 @@
 #include "ir/Verifier.h"
 
 #include <gtest/gtest.h>
+#include <memory>
+#include <string>
+#include <vector>
 
 using namespace spice;
 using namespace spice::workloads;

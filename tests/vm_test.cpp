@@ -7,7 +7,10 @@
 #include "ir/IRBuilder.h"
 #include "vm/Interpreter.h"
 
+#include <cstdint>
 #include <gtest/gtest.h>
+#include <tuple>
+#include <vector>
 
 using namespace spice;
 using namespace spice::ir;

@@ -11,7 +11,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
 #include <set>
+#include <vector>
 
 using namespace spice::workloads;
 
