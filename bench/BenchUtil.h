@@ -1,0 +1,99 @@
+//===- bench/BenchUtil.h - Shared bench-harness helpers ---------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the benchmark mains (not part of the spice library):
+///
+///  * tinyBudget() -- CI runs every bench on every PR with
+///    SPICE_BENCH_BUDGET=tiny; benches shrink their workloads so the run
+///    finishes in seconds while still exercising every code path.
+///
+///  * BenchJson -- writes a flat BENCH_<name>.json summary next to the
+///    binary (or into SPICE_BENCH_JSON_DIR). CI uploads these as workflow
+///    artifacts so the perf trajectory of the repo is tracked per PR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_BENCH_BENCHUTIL_H
+#define SPICE_BENCH_BENCHUTIL_H
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+namespace spice {
+namespace benchutil {
+
+/// True when CI asked for a seconds-scale smoke run.
+inline bool tinyBudget() {
+  const char *Env = std::getenv("SPICE_BENCH_BUDGET");
+  return Env && std::string(Env) == "tiny";
+}
+
+/// Accumulates key/value metrics and writes them as one flat JSON object.
+/// Keys are written verbatim (callers use plain identifiers only).
+class BenchJson {
+public:
+  explicit BenchJson(std::string BenchName) : Name(std::move(BenchName)) {}
+
+  void scalar(const std::string &Key, double V) {
+    char Buf[64];
+    std::snprintf(Buf, sizeof(Buf), "%.6g", V);
+    Fields.push_back("\"" + Key + "\": " + Buf);
+  }
+
+  void scalar(const std::string &Key, uint64_t V) {
+    Fields.push_back("\"" + Key + "\": " + std::to_string(V));
+  }
+
+  void scalar(const std::string &Key, const std::string &V) {
+    Fields.push_back("\"" + Key + "\": \"" + V + "\"");
+  }
+
+  void series(const std::string &Key, const std::vector<double> &Vs) {
+    std::string Row = "\"" + Key + "\": [";
+    for (size_t I = 0; I != Vs.size(); ++I) {
+      char Buf[64];
+      std::snprintf(Buf, sizeof(Buf), "%.6g", Vs[I]);
+      Row += (I ? ", " : "") + std::string(Buf);
+    }
+    Row += "]";
+    Fields.push_back(Row);
+  }
+
+  /// Writes BENCH_<name>.json; returns false (and warns) on I/O failure.
+  /// Benches treat a failed write as non-fatal: the human-readable report
+  /// on stdout is the primary output.
+  bool write() const {
+    std::string Dir = ".";
+    if (const char *Env = std::getenv("SPICE_BENCH_JSON_DIR"))
+      Dir = Env;
+    std::string Path = Dir + "/BENCH_" + Name + ".json";
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F) {
+      std::fprintf(stderr, "warning: cannot write %s\n", Path.c_str());
+      return false;
+    }
+    std::fprintf(F, "{\n  \"bench\": \"%s\"", Name.c_str());
+    for (const std::string &Field : Fields)
+      std::fprintf(F, ",\n  %s", Field.c_str());
+    std::fprintf(F, "\n}\n");
+    std::fclose(F);
+    std::printf("[bench-json] wrote %s\n", Path.c_str());
+    return true;
+  }
+
+private:
+  std::string Name;
+  std::vector<std::string> Fields;
+};
+
+} // namespace benchutil
+} // namespace spice
+
+#endif // SPICE_BENCH_BENCHUTIL_H

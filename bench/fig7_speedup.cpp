@@ -4,24 +4,42 @@
 //
 //===----------------------------------------------------------------------===//
 //
-// Figure 7: loop speedup of Spice over single-threaded execution for ks,
-// otter, 181.mcf and 458.sjeng at 2 and 4 threads, plus the geometric
-// mean. Methodology mirrors the paper: both versions execute on the
-// multicore timing simulator (Table 1 configuration); speedup is total
+// Part 1 -- Figure 7: loop speedup of Spice over single-threaded execution
+// for ks, otter, 181.mcf and 458.sjeng at 2 and 4 threads, plus the
+// geometric mean. Methodology mirrors the paper: both versions execute on
+// the multicore timing simulator (Table 1 configuration); speedup is total
 // sequential cycles over total parallel cycles across all invocations.
+//
+// Part 2 -- beyond the paper: the native runtime executes the same four
+// kernels with chunk count decoupled from thread count, sweeping
+// ChunksPerThread in {1, 2, 4, 8} at 4 threads. ChunksPerThread=1 is the
+// paper configuration; larger values oversubscribe the worker deques and
+// route mispredictions through stealable recovery chunks. Wall-clock
+// speedup against the in-process sequential reference is reported per
+// point, with runtime counters (steals, recovery chunks, load imbalance).
 //
 //===----------------------------------------------------------------------===//
 
-#include "support/MathUtil.h"
-#include "workloads/SimHarness.h"
+#include "BenchUtil.h"
 
+#include "core/SpiceLoop.h"
+#include "support/MathUtil.h"
+#include "workloads/Ks.h"
+#include "workloads/Mcf.h"
+#include "workloads/Otter.h"
+#include "workloads/SimHarness.h"
+#include "workloads/Sjeng.h"
+
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 using namespace spice;
+using namespace spice::core;
 using namespace spice::workloads;
 
 namespace {
@@ -35,9 +53,145 @@ struct BenchRow {
   double Paper4T;
 };
 
+using Clock = std::chrono::steady_clock;
+
+double secondsSince(Clock::time_point T0) {
+  return std::chrono::duration<double>(Clock::now() - T0).count();
+}
+
+/// One native sweep cell: wall-clock speedup plus runtime counters.
+struct NativeCell {
+  double Speedup = 0.0;
+  double Imbalance = 0.0;
+  uint64_t Stolen = 0;
+  uint64_t RecoveryChunks = 0;
+  double MisspecRate = 0.0;
+  bool Correct = true;
+};
+
+SpiceConfig nativeConfig(unsigned ChunksPerThread) {
+  SpiceConfig C;
+  C.NumThreads = 4;
+  C.ChunksPerThread = ChunksPerThread;
+  return C;
+}
+
+NativeCell finishCell(const SpiceStats &S, double SeqSeconds,
+                      double SpiceSeconds) {
+  NativeCell Cell;
+  Cell.Speedup = SpiceSeconds > 0 ? SeqSeconds / SpiceSeconds : 0.0;
+  Cell.Imbalance = S.loadImbalance();
+  Cell.Stolen = S.StolenChunks;
+  Cell.RecoveryChunks = S.RecoveryChunks;
+  Cell.MisspecRate = S.misspeculationRate();
+  return Cell;
+}
+
+NativeCell runOtterNative(unsigned K, int Invocations, size_t ListSize) {
+  ClauseList List(ListSize, 7001);
+  OtterTraits Traits;
+  SpiceLoop<OtterTraits> Loop(Traits, nativeConfig(K));
+  NativeCell Cell;
+  double SpiceSec = 0, SeqSec = 0;
+  for (int I = 0; I != Invocations && List.head(); ++I) {
+    Clock::time_point T0 = Clock::now();
+    Clause *Expected = List.findLightestReference();
+    SeqSec += secondsSince(T0);
+    T0 = Clock::now();
+    OtterTraits::State Got = Loop.invoke(List.head());
+    SpiceSec += secondsSince(T0);
+    Cell.Correct &= Got.MinClause == Expected;
+    List.mutate(Got.MinClause, 2);
+  }
+  NativeCell Counted = finishCell(Loop.stats(), SeqSec, SpiceSec);
+  Counted.Correct = Cell.Correct;
+  return Counted;
+}
+
+NativeCell runMcfNative(unsigned K, int Invocations, size_t TreeSize) {
+  BasisTree TreeSpice(TreeSize, 7002);
+  BasisTree TreeRef(TreeSize, 7002);
+  McfTraits Traits;
+  SpiceConfig C = nativeConfig(K);
+  C.EnableConflictDetection = true;
+  SpiceLoop<McfTraits> Loop(Traits, C);
+  NativeCell Cell;
+  double SpiceSec = 0, SeqSec = 0;
+  for (int I = 0; I != Invocations; ++I) {
+    Clock::time_point T0 = Clock::now();
+    int64_t Want = TreeRef.refreshPotentialReference();
+    SeqSec += secondsSince(T0);
+    T0 = Clock::now();
+    McfTraits::State Got = Loop.invoke(TreeSpice.traversalStart());
+    SpiceSec += secondsSince(T0);
+    Cell.Correct &= Got.Checksum == Want;
+    TreeSpice.mutate(4, 1);
+    TreeRef.mutate(4, 1);
+  }
+  NativeCell Counted = finishCell(Loop.stats(), SeqSec, SpiceSec);
+  Counted.Correct = Cell.Correct;
+  return Counted;
+}
+
+NativeCell runKsNative(unsigned K, int MaxSteps, size_t Vertices) {
+  KsGraph G(Vertices, 8, 7003);
+  KsTraits Traits;
+  Traits.Graph = &G;
+  SpiceLoop<KsTraits> Loop(Traits, nativeConfig(K));
+  NativeCell Cell;
+  double SpiceSec = 0, SeqSec = 0;
+  int Steps = 0;
+  while (G.aListHead() && G.bListHead() && Steps < MaxSteps) {
+    KsVertex *A = G.aListHead();
+    Traits.FixedA = A->Id;
+    Traits.FixedADValue = G.dValue(A->Id);
+    Clock::time_point T0 = Clock::now();
+    KsTraits::State Want = Loop.runSequentialReference(G.bListHead());
+    SeqSec += secondsSince(T0);
+    T0 = Clock::now();
+    KsTraits::State Got = Loop.invoke(G.bListHead());
+    SpiceSec += secondsSince(T0);
+    Cell.Correct &= Got.BestB == Want.BestB && Got.BestGain == Want.BestGain;
+    G.applySwap(A->Id, Got.BestB->Id);
+    ++Steps;
+  }
+  NativeCell Counted = finishCell(Loop.stats(), SeqSec, SpiceSec);
+  Counted.Correct = Cell.Correct;
+  return Counted;
+}
+
+NativeCell runSjengNative(unsigned K, int Invocations, size_t Pieces) {
+  SjengBoard Board(Pieces, 7004);
+  SjengTraits Traits;
+  SpiceConfig C = nativeConfig(K);
+  C.UseWeightedWork = true;
+  SpiceLoop<SjengTraits> Loop(Traits, C);
+  NativeCell Cell;
+  double SpiceSec = 0, SeqSec = 0;
+  for (int I = 0; I != Invocations; ++I) {
+    Clock::time_point T0 = Clock::now();
+    SjengScore Want = Board.evalReference();
+    SeqSec += secondsSince(T0);
+    T0 = Clock::now();
+    SjengScore Got = Loop.invoke(Board.start());
+    SpiceSec += secondsSince(T0);
+    Cell.Correct &= Got == Want;
+    Board.mutate(0.3, 1);
+  }
+  NativeCell Counted = finishCell(Loop.stats(), SeqSec, SpiceSec);
+  Counted.Correct = Cell.Correct;
+  return Counted;
+}
+
 } // namespace
 
 int main() {
+  const bool Tiny = benchutil::tinyBudget();
+  benchutil::BenchJson Json("fig7_speedup");
+
+  //===------------------------------------------------------------------===//
+  // Part 1: simulated Figure 7.
+  //===------------------------------------------------------------------===//
   sim::MachineConfig Config; // Table 1 defaults.
   std::printf("=== Figure 7: Spice loop speedup (simulated, Table 1 "
               "machine) ===\n");
@@ -47,31 +201,32 @@ int main() {
               Config.MemLatency, Config.ChannelLatency,
               Config.ResteerLatency);
 
+  const unsigned SimScale = Tiny ? 4 : 1;
   std::vector<BenchRow> Rows = {
       {"ks",
-       [] { return std::make_unique<KsIR>(2048, 12, 101); },
-       /*Invocations=*/24, /*TripEstimate=*/1024, 1.85, 2.57},
+       [&] { return std::make_unique<KsIR>(2048 / SimScale, 12, 101); },
+       /*Invocations=*/24 / SimScale, /*TripEstimate=*/1024, 1.85, 2.57},
       {"otter",
-       [] {
-         auto W = std::make_unique<OtterIR>(3000, 102);
+       [&] {
+         auto W = std::make_unique<OtterIR>(3000 / SimScale, 102);
          W->InsertsPerInvocation = 2;
          return W;
        },
-       /*Invocations=*/24, /*TripEstimate=*/3000, 1.75, 2.30},
+       /*Invocations=*/24 / SimScale, /*TripEstimate=*/3000, 1.75, 2.30},
       {"181.mcf",
-       [] {
-         auto W = std::make_unique<McfIR>(3000, 103);
+       [&] {
+         auto W = std::make_unique<McfIR>(3000 / SimScale, 103);
          W->ArcChanges = 2;
          return W;
        },
-       /*Invocations=*/20, /*TripEstimate=*/2999, 1.55, 1.90},
+       /*Invocations=*/20 / SimScale, /*TripEstimate=*/2999, 1.55, 1.90},
       {"458.sjeng",
-       [] {
-         auto W = std::make_unique<SjengIR>(1500, 104);
+       [&] {
+         auto W = std::make_unique<SjengIR>(1500 / SimScale, 104);
          W->MutateProb = 0.55;
          return W;
        },
-       /*Invocations=*/24, /*TripEstimate=*/1500, 1.24, 1.40},
+       /*Invocations=*/24 / SimScale, /*TripEstimate=*/1500, 1.24, 1.40},
   };
 
   std::printf("%-10s | %8s %8s | %8s %8s | %9s %9s\n", "loop",
@@ -92,6 +247,8 @@ int main() {
     if (!R2.AllCorrect || !R4.AllCorrect) {
       std::printf("%-10s | RESULT MISMATCH (%u + %u invocations)\n",
                   Row.Name, R2.Mismatches, R4.Mismatches);
+      Json.scalar("sim_mismatch_loop", std::string(Row.Name));
+      Json.write(); // Keep the partial artifact for the failing commit.
       return 1;
     }
     double Misspec = 100.0 * R4.MisspeculatedInvocations / R4.Invocations;
@@ -103,6 +260,8 @@ int main() {
     Meas4.push_back(R4.speedup());
     Paper2.push_back(Row.Paper2T);
     Paper4.push_back(Row.Paper4T);
+    Json.scalar(std::string("sim_speedup_2t_") + Row.Name, R2.speedup());
+    Json.scalar(std::string("sim_speedup_4t_") + Row.Name, R4.speedup());
   }
   std::printf("%.*s\n", 78,
               "-----------------------------------------------------------"
@@ -110,9 +269,75 @@ int main() {
   std::printf("%-10s | %8.2f %8.2f | %8.2f %8.2f |\n", "GeoMean",
               geometricMean(Meas2), geometricMean(Paper2),
               geometricMean(Meas4), geometricMean(Paper4));
+  Json.scalar("sim_geomean_2t", geometricMean(Meas2));
+  Json.scalar("sim_geomean_4t", geometricMean(Meas4));
   std::printf("\nPaper columns are bar heights read off Figure 7 "
               "(4-thread geomean 2.01 = 101%% speedup).\n");
   std::printf("All runs verified against the sequential twin, invocation "
-              "by invocation.\n");
+              "by invocation.\n\n");
+
+  //===------------------------------------------------------------------===//
+  // Part 2: native runtime, ChunksPerThread sweep at 4 threads.
+  //===------------------------------------------------------------------===//
+  std::printf("=== Native runtime: ChunksPerThread sweep, 4 threads "
+              "(wall-clock) ===\n\n");
+  std::printf("%-10s |", "loop");
+  const unsigned Ks[] = {1, 2, 4, 8};
+  for (unsigned K : Ks)
+    std::printf("   k=%u", K);
+  std::printf("   | steals(k=8) recov(k=8)\n");
+  std::printf("%.*s\n", 66,
+              "-----------------------------------------------------------"
+              "-------");
+
+  struct NativeRow {
+    const char *Name;
+    std::function<NativeCell(unsigned)> Run;
+  };
+  const int Inv = Tiny ? 12 : 60;
+  const size_t Sz = Tiny ? 600 : 3000;
+  std::vector<NativeRow> NativeRows = {
+      {"otter", [&](unsigned K) { return runOtterNative(K, Inv, Sz); }},
+      {"181.mcf",
+       [&](unsigned K) { return runMcfNative(K, Inv, Sz / 2); }},
+      {"ks", [&](unsigned K) { return runKsNative(K, Inv, Sz / 4); }},
+      {"458.sjeng",
+       [&](unsigned K) { return runSjengNative(K, Inv, Sz / 2); }},
+  };
+
+  bool AllCorrect = true;
+  for (const NativeRow &Row : NativeRows) {
+    std::printf("%-10s |", Row.Name);
+    NativeCell Last;
+    std::vector<double> Speedups;
+    for (unsigned K : Ks) {
+      NativeCell Cell = Row.Run(K);
+      AllCorrect &= Cell.Correct;
+      std::printf("  %5.2f", Cell.Speedup);
+      Speedups.push_back(Cell.Speedup);
+      Last = Cell;
+    }
+    std::printf("   | %11lu %10lu\n",
+                static_cast<unsigned long>(Last.Stolen),
+                static_cast<unsigned long>(Last.RecoveryChunks));
+    Json.series(std::string("native_speedup_") + Row.Name, Speedups);
+    Json.scalar(std::string("native_stolen_k8_") + Row.Name, Last.Stolen);
+    Json.scalar(std::string("native_recovery_k8_") + Row.Name,
+                Last.RecoveryChunks);
+  }
+  std::printf("\nChunksPerThread=1 is the paper's configuration (one "
+              "chunk per thread, serial\nrecovery); larger k oversubscribes "
+              "the worker deques and recovers through\nstealable chunks. "
+              "Wall-clock numbers depend on the host's core count.\n");
+  Json.scalar("budget", std::string(Tiny ? "tiny" : "full"));
+  Json.scalar("native_all_correct",
+              static_cast<uint64_t>(AllCorrect ? 1 : 0));
+  Json.write(); // Before the gate: the artifact matters most on failure.
+  if (!AllCorrect) {
+    std::printf("NATIVE RESULT MISMATCH\n");
+    return 1;
+  }
+  std::printf("All native runs verified against the sequential reference, "
+              "invocation by invocation.\n");
   return 0;
 }

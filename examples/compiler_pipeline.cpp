@@ -1,4 +1,4 @@
-//===- examples/compiler_pipeline.cpp - The full compiler path -------------===//
+//===- examples/compiler_pipeline.cpp - The full compiler path ------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

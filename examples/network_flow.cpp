@@ -1,4 +1,4 @@
-//===- examples/network_flow.cpp - mcf-style speculative stores ------------===//
+//===- examples/network_flow.cpp - mcf-style speculative stores -----------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

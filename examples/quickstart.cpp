@@ -1,4 +1,4 @@
-//===- examples/quickstart.cpp - SpiceLoop in 60 lines ---------------------===//
+//===- examples/quickstart.cpp - SpiceLoop in 60 lines --------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- examples/theorem_prover.cpp - The paper's otter scenario ------------===//
+//===- examples/theorem_prover.cpp - The paper's otter scenario -----------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

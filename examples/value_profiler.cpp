@@ -1,4 +1,4 @@
-//===- examples/value_profiler.cpp - Section 6 profiler walkthrough --------===//
+//===- examples/value_profiler.cpp - Section 6 profiler walkthrough -------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

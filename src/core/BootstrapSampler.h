@@ -1,4 +1,4 @@
-//===- core/BootstrapSampler.h - First-invocation live-in sampling -*- C++ -*-===//
+//===- core/BootstrapSampler.h - First-invocation sampling ------*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
@@ -11,8 +11,9 @@
 /// evenly spaced set of (work, live-in) samples using period doubling
 /// (record every Stride-th iteration; when the reservoir fills, drop every
 /// other sample and double the stride). At the end of the sequential first
-/// invocation, the t-1 samples closest to the equal-work split points
-/// seed the speculated values array.
+/// invocation, the NumChunks-1 samples closest to the equal-work split
+/// points seed the speculated values array (NumChunks is the thread count
+/// in the paper's one-chunk-per-thread configuration).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,7 +32,7 @@ namespace core {
 /// iteration stream.
 template <typename LiveIn> class BootstrapSampler {
 public:
-  /// \p Capacity bounds memory; must be at least 2*(NumThreads-1) for the
+  /// \p Capacity bounds memory; must be at least 2*(NumChunks-1) for the
   /// extraction step to have adequate resolution.
   explicit BootstrapSampler(size_t Capacity) : Capacity(Capacity) {
     assert(Capacity >= 2 && "sampler capacity too small");
@@ -56,13 +57,13 @@ public:
     NextSampleAt = Samples.back().Work + Stride;
   }
 
-  /// Extracts predicted live-ins for threads 1..NumThreads-1: the samples
-  /// nearest the split points k*W/NumThreads. Returns nullopt when there
+  /// Extracts predicted live-ins for chunks 1..NumChunks-1: the samples
+  /// nearest the split points k*W/NumChunks. Returns nullopt when there
   /// are not enough distinct samples (tiny invocation): the caller then
   /// stays sequential, exactly like the paper's early otter invocations.
   std::optional<std::vector<LiveIn>>
-  extract(unsigned NumThreads) const {
-    unsigned Needed = NumThreads - 1;
+  extract(unsigned NumChunks) const {
+    unsigned Needed = NumChunks - 1;
     if (Samples.size() < Needed || TotalWork == 0)
       return std::nullopt;
     std::vector<LiveIn> Rows;
@@ -70,7 +71,7 @@ public:
     size_t Cursor = 0;
     for (unsigned K = 1; K <= Needed; ++K) {
       uint64_t Target =
-          (static_cast<uint64_t>(K) * TotalWork) / NumThreads;
+          (static_cast<uint64_t>(K) * TotalWork) / NumChunks;
       // Advance to the closest sample at or after the target, but keep
       // samples strictly increasing across rows so no row is duplicated.
       while (Cursor + 1 < Samples.size() &&

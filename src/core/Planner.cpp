@@ -6,6 +6,7 @@
 
 #include "core/Planner.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstddef>
 #include <cstdint>
@@ -15,12 +16,12 @@ using namespace spice;
 using namespace spice::core;
 
 MemoizationPlan core::planMemoization(const std::vector<uint64_t> &Work,
-                                      unsigned NumThreads) {
-  assert(NumThreads >= 2 && "planning needs at least two threads");
-  assert(Work.size() <= NumThreads && "more work entries than threads");
+                                      unsigned NumChunks) {
+  assert(NumChunks >= 2 && "planning needs at least two chunks");
+  assert(Work.size() <= NumChunks && "more work entries than chunks");
 
   MemoizationPlan Plan;
-  Plan.PerThread.resize(NumThreads);
+  Plan.PerThread.resize(NumChunks);
 
   uint64_t W = 0;
   for (uint64_t V : Work)
@@ -29,15 +30,15 @@ MemoizationPlan core::planMemoization(const std::vector<uint64_t> &Work,
   if (W == 0)
     return Plan;
 
-  // Prefix[j] = work preceding thread j's chunk.
+  // Prefix[j] = work preceding chunk j.
   std::vector<uint64_t> Prefix(Work.size() + 1, 0);
   for (size_t J = 0; J != Work.size(); ++J)
     Prefix[J + 1] = Prefix[J] + Work[J];
 
-  for (unsigned K = 1; K != NumThreads; ++K) {
-    uint64_t Target = (static_cast<uint64_t>(K) * W) / NumThreads;
-    // Find the thread whose interval [Prefix[j], Prefix[j+1]) holds Target.
-    // Skip zero-work threads: their empty interval can't contain anything.
+  for (unsigned K = 1; K != NumChunks; ++K) {
+    uint64_t Target = (static_cast<uint64_t>(K) * W) / NumChunks;
+    // Find the chunk whose interval [Prefix[j], Prefix[j+1]) holds Target.
+    // Skip zero-work chunks: their empty interval can't contain anything.
     size_t J = 0;
     while (J + 1 < Work.size() && Prefix[J + 1] <= Target)
       ++J;
@@ -46,4 +47,21 @@ MemoizationPlan core::planMemoization(const std::vector<uint64_t> &Work,
         {Target - Prefix[J], /*Row=*/K - 1});
   }
   return Plan;
+}
+
+uint64_t core::listScheduleMakespan(const std::vector<uint64_t> &ChunkWork,
+                                    unsigned Workers) {
+  assert(Workers >= 1 && "need at least one execution context");
+  if (ChunkWork.empty())
+    return 0;
+  if (Workers >= ChunkWork.size())
+    return *std::max_element(ChunkWork.begin(), ChunkWork.end());
+  // Greedy in chunk order: each chunk goes to the context that frees up
+  // first. O(chunks * workers); both are small.
+  std::vector<uint64_t> Load(Workers, 0);
+  for (uint64_t W : ChunkWork) {
+    auto Min = std::min_element(Load.begin(), Load.end());
+    *Min += W;
+  }
+  return *std::max_element(Load.begin(), Load.end());
 }

@@ -6,16 +6,21 @@
 ///
 /// \file
 /// The central component of the paper's value predictor (section 4). At the
-/// end of each invocation it takes the per-thread work counters and decides
-/// which threads must memoize live-ins at which local work thresholds during
+/// end of each invocation it takes the per-chunk work counters and decides
+/// which chunks must memoize live-ins at which local work thresholds during
 /// the *next* invocation, so that the recorded values split the following
 /// invocation into equal-work chunks (dynamic load balancing).
 ///
+/// The planner is expressed purely in chunks: the paper runs exactly one
+/// chunk per thread, while the oversubscribed runtime plans
+/// ChunksPerThread * NumThreads chunks and lets the work-stealing scheduler
+/// map them onto threads. With one chunk per thread the two are identical.
+///
 /// Paper assumptions encoded here:
 ///  1. the total work of the next invocation matches this one;
-///  2. the per-thread work distribution of the next invocation matches this
+///  2. the per-chunk work distribution of the next invocation matches this
 ///     one (the reading consistent with the paper's worked example: work
-///     {10,1,1} with 3 threads yields svat=[4,8], svai=[0,1] for thread 0
+///     {10,1,1} with 3 chunks yields svat=[4,8], svai=[0,1] for chunk 0
 ///     and empty lists for the others).
 ///
 //===----------------------------------------------------------------------===//
@@ -30,7 +35,7 @@
 namespace spice {
 namespace core {
 
-/// One memoization instruction for a thread: "when your local work counter
+/// One memoization instruction for a chunk: "when your local work counter
 /// exceeds Threshold, record the current live-ins into SVA row Row".
 struct MemoEntry {
   uint64_t Threshold; ///< svat entry (local work units).
@@ -41,10 +46,12 @@ struct MemoEntry {
   }
 };
 
-/// Per-thread memoization schedules for the next invocation.
+/// Per-chunk memoization schedules for the next invocation.
 struct MemoizationPlan {
-  /// PerThread[i] is thread i's (svat, svai) list, thresholds ascending.
-  /// An empty list is the paper's "head of svat set to infinity".
+  /// PerThread[i] is chunk i's (svat, svai) list, thresholds ascending.
+  /// An empty list is the paper's "head of svat set to infinity". (The
+  /// field keeps its historical name: with ChunksPerThread == 1, chunk i
+  /// is exactly thread i of the paper.)
   std::vector<std::vector<MemoEntry>> PerThread;
 
   /// Total work the plan was computed from.
@@ -58,17 +65,29 @@ struct MemoizationPlan {
   }
 };
 
-/// Computes the plan from the finished invocation's per-thread work.
+/// Computes the plan from the finished invocation's per-chunk work.
 ///
-/// \p Work has one entry per thread in chunk order; threads that executed
+/// \p Work has one entry per chunk in chunk order; chunks that executed
 /// nothing (inactive or squashed) must carry 0. Targets are the cumulative
-/// positions k*W/NumThreads (k = 1..NumThreads-1); target k lands in the
-/// thread whose cumulative work interval contains it and becomes SVA row
+/// positions k*W/NumChunks (k = 1..NumChunks-1); target k lands in the
+/// chunk whose cumulative work interval contains it and becomes SVA row
 /// k-1. Returns an all-empty plan when W == 0.
 MemoizationPlan planMemoization(const std::vector<uint64_t> &Work,
-                                unsigned NumThreads);
+                                unsigned NumChunks);
 
-/// Streaming cursor over one thread's plan: Algorithm 2 of the paper.
+/// Deterministic greedy list-scheduling makespan: assigns the chunks of
+/// \p ChunkWork, in chunk order, each to the currently least-loaded of
+/// \p Workers execution contexts, and returns the resulting maximum
+/// per-context load. This models the runtime's work-stealing scheduler
+/// (an idle worker always takes the next pending chunk) without the
+/// timing noise of real thread interleavings, so load-imbalance metrics
+/// derived from it are reproducible. With Workers >= ChunkWork.size() it
+/// degenerates to the largest chunk -- the paper's one-chunk-per-thread
+/// imbalance.
+uint64_t listScheduleMakespan(const std::vector<uint64_t> &ChunkWork,
+                              unsigned Workers);
+
+/// Streaming cursor over one chunk's plan: Algorithm 2 of the paper.
 class MemoCursor {
 public:
   MemoCursor() = default;

@@ -6,12 +6,16 @@
 ///
 /// \file
 /// Software stand-in for the paper's hardware speculative-state buffering
-/// (section 3): speculative threads redirect stores into a private buffer
-/// with read-own-writes semantics; on validation the buffer is committed in
-/// chunk order, on squash it is discarded. Reads of shared memory are
-/// logged with the value observed so the runtime can perform commit-time
-/// value validation (the software analogue of conflict detection; silent
-/// same-value re-writes validate cleanly).
+/// (section 3): each speculative *chunk* owns one buffer and redirects its
+/// stores into it with read-own-writes semantics. Buffers are per-chunk,
+/// not per-thread -- with oversubscription a worker executes many chunks
+/// per invocation (and a stolen recovery chunk may execute on any thread),
+/// so speculative state must travel with the chunk. The resolving main
+/// thread commits buffers strictly in chunk order after validating each
+/// chunk's start; on squash the buffer is discarded. Reads of shared
+/// memory are logged with the value observed so the runtime can perform
+/// commit-time value validation (the software analogue of conflict
+/// detection; silent same-value re-writes validate cleanly).
 ///
 /// Concurrent access discipline: locations that may be written by one
 /// thread while read speculatively by another are accessed through

@@ -1,4 +1,4 @@
-//===- core/SpiceConfig.h - Runtime configuration and statistics -*- C++ -*-===//
+//===- core/SpiceConfig.h - Runtime config and statistics -------*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
@@ -25,6 +25,14 @@ struct SpiceConfig {
   /// Total threads including the non-speculative main thread.
   unsigned NumThreads = 4;
 
+  /// Speculative chunks per thread. 1 reproduces the paper exactly: t
+  /// chunks on t threads, serial recovery. Larger values oversubscribe
+  /// the invocation with ChunksPerThread * NumThreads chunks scheduled
+  /// onto per-worker deques with work stealing, and mis-speculation
+  /// recovery re-enqueues the squashed work as stealable chunks instead
+  /// of replaying it on the single faulting thread.
+  unsigned ChunksPerThread = 1;
+
   /// Paper's adaptive scheme: memoize fresh live-ins on *every* invocation.
   /// When false, the first invocation's memoized values are reused forever
   /// (the paper's "trivial strategy", used as an ablation baseline).
@@ -44,38 +52,85 @@ struct SpiceConfig {
   /// iterations (a mis-predicted pointer can enter a stale cycle).
   uint64_t MaxSpecIterations = 1ull << 32;
 
+  /// How often a failed-but-validated chunk is re-enqueued as a stealable
+  /// recovery chunk before the runtime falls back to the paper's serial
+  /// re-execution. Only meaningful with ChunksPerThread > 1.
+  unsigned MaxRecoveryRequeues = 2;
+
   /// Capacity of the bootstrap sampler used on the first invocation.
   size_t BootstrapCapacity = 64;
+
+  /// Chunks of one invocation. A single-threaded configuration never
+  /// speculates, so oversubscription is meaningless there.
+  unsigned numChunks() const {
+    return NumThreads <= 1 ? 1
+                           : NumThreads * (ChunksPerThread ? ChunksPerThread
+                                                           : 1);
+  }
 };
 
 /// Counters accumulated across invocations of one SpiceLoop.
+///
+/// Historical field names (SquashedThreads, LaunchedSpecThreads) predate
+/// the chunk/thread decoupling; they now count *chunks*. With
+/// ChunksPerThread == 1 a chunk is a thread and the values are identical
+/// to the paper protocol's.
 struct SpiceStats {
   uint64_t Invocations = 0;
   /// Invocations executed entirely sequentially (no predictions yet, or
-  /// fewer valid SVA rows than threads).
+  /// fewer valid SVA rows than chunks).
   uint64_t SequentialInvocations = 0;
-  /// Invocations in which at least one speculative thread was squashed.
+  /// Invocations in which at least one speculative chunk was squashed.
   uint64_t MisspeculatedInvocations = 0;
-  /// Invocations where every launched thread validated.
+  /// Invocations where every launched chunk validated.
   uint64_t FullySpeculativeInvocations = 0;
   uint64_t TotalIterations = 0;
   uint64_t SquashedThreads = 0;
   uint64_t LaunchedSpecThreads = 0;
   /// Squashes caused by read-validation (conflict) failures.
   uint64_t ConflictSquashes = 0;
-  /// Iterations re-executed sequentially after a validated thread failed.
+  /// Iterations re-executed after a validated chunk failed (serially on
+  /// the main thread, or concurrently as recovery chunks).
   uint64_t RecoveryIterations = 0;
-  /// Wasted iterations executed by squashed threads.
+  /// Wasted iterations executed by squashed chunks.
   uint64_t WastedIterations = 0;
-  /// Per-invocation imbalance numerator: sum over invocations of
-  /// (max chunk work * threads) relative to total; see loadImbalance().
+  /// Chunk executions that happened off the chunk's home lane -- stolen
+  /// by an idle worker or drained by the resolving main thread
+  /// (MainHelpedChunks is that subset). Only possible with
+  /// ChunksPerThread > 1.
+  uint64_t StolenChunks = 0;
+  /// Pending chunks the resolving main thread executed itself while
+  /// waiting for the speculation chain (oversubscribed mode only).
+  uint64_t MainHelpedChunks = 0;
+  /// Failed-but-validated chunks re-enqueued as stealable recovery work.
+  uint64_t RecoveryChunks = 0;
+  /// Recovery chunks whose re-execution ran off the home lane (stolen by
+  /// an idle worker or drained by the resolving main thread).
+  uint64_t StolenRecoveryChunks = 0;
+  /// Per-invocation imbalance numerator at execution-context granularity:
+  /// the observed per-chunk work is list-scheduled onto the invocation's
+  /// execution contexts (deterministically modelling the work-stealing
+  /// scheduler) and the makespan is taken relative to the ideal equal
+  /// split; see loadImbalance(). With ChunksPerThread == 1 this is
+  /// exactly the paper's max-chunk / ideal-chunk ratio.
   double ImbalanceSum = 0.0;
   uint64_t ImbalanceSamples = 0;
+  /// Same numerator at raw chunk granularity (largest chunk relative to
+  /// the ideal chunk), before any scheduling smooths it; the gap between
+  /// the two is the balance recovered by oversubscription + stealing.
+  double ChunkImbalanceSum = 0.0;
+  uint64_t ChunkImbalanceSamples = 0;
 
-  /// Mean ratio max-chunk / ideal-chunk across parallel invocations
-  /// (1.0 = perfectly balanced).
+  /// Mean ratio makespan / ideal-per-context-work across parallel
+  /// invocations (1.0 = perfectly balanced).
   double loadImbalance() const {
     return ImbalanceSamples ? ImbalanceSum / ImbalanceSamples : 0.0;
+  }
+
+  /// Mean ratio max-chunk / ideal-chunk across parallel invocations.
+  double chunkImbalance() const {
+    return ChunkImbalanceSamples ? ChunkImbalanceSum / ChunkImbalanceSamples
+                                 : 0.0;
   }
 
   /// Fraction of invocations with at least one squash.

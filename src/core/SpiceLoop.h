@@ -7,7 +7,11 @@
 /// \file
 /// SpiceLoop is the native-runtime embodiment of the paper's technique:
 /// given a loop expressed as a live-in transition function plus a private
-/// reduction state, it executes each invocation as t speculative chunks.
+/// reduction state, it executes each invocation as a chain of speculative
+/// chunks. The paper runs exactly t chunks on t threads; this runtime
+/// decouples the two (SpiceConfig::ChunksPerThread): an invocation is split
+/// into k*t chunks scheduled onto per-worker deques with work stealing, so
+/// a mis-balanced or mis-predicted chunk no longer idles every other core.
 ///
 /// A loop is adapted through a Traits object:
 ///
@@ -26,22 +30,30 @@
 ///   };
 /// \endcode
 ///
-/// Protocol per invocation (paper sections 3-4):
-///  * thread 0 (main, non-speculative) starts from the real live-in; thread
-///    i >= 1 starts from SVA row i-1 (the value memoized last invocation);
-///  * every thread with a successor compares its live-in against the
+/// Protocol per invocation (paper sections 3-4, generalized to chunks):
+///  * chunk 0 (main thread, non-speculative) starts from the real live-in;
+///    chunk i >= 1 starts from SVA row i-1 (the value memoized last
+///    invocation) and is queued on worker lane (i-1) mod lanes;
+///  * every chunk with a successor compares its live-in against the
 ///    successor's predicted start at the top of each iteration; a match
 ///    validates the successor and ends the chunk;
-///  * a natural loop exit in thread i means threads i+1.. mis-speculated:
+///  * a natural loop exit in chunk i means chunks i+1.. mis-speculated:
 ///    they are squashed via cooperative resteer (abort flags polled per
 ///    iteration) and their buffered stores are discarded;
-///  * every thread runs Algorithm 2 re-memoization driven by the plan the
+///  * every chunk runs Algorithm 2 re-memoization driven by the plan the
 ///    central component computed from the previous invocation's work
 ///    counters (dynamic load balancing);
-///  * speculative chunks buffer stores in a SpecWriteBuffer; with conflict
-///    detection enabled their reads are value-validated at commit, and a
-///    failed validation triggers sequential re-execution of the remainder
-///    (the only case that loses validated work).
+///  * speculative chunks buffer stores in a per-chunk SpecWriteBuffer;
+///    with conflict detection enabled their reads are value-validated at
+///    commit (commits are ordered, performed by the resolving main
+///    thread), and a failed validation squashes the chunk;
+///  * recovery: with ChunksPerThread == 1 a failed validated chunk
+///    triggers the paper's sequential re-execution of the remainder. With
+///    oversubscription the failed chunk is instead re-enqueued as a
+///    stealable recovery chunk -- any idle worker (or the resolving main
+///    thread) picks it up while the not-yet-invalidated successor chunks
+///    keep running, so recovery proceeds concurrently and validated
+///    downstream work is only discarded if its reads really conflict.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -82,13 +94,15 @@ public:
   using State = typename Traits::State;
 
   SpiceLoop(Traits &T, const SpiceConfig &Config)
-      : T(T), Config(Config), Pool(Config.NumThreads - 1),
-        Sampler(Config.BootstrapCapacity),
-        SVA(Config.NumThreads > 1 ? Config.NumThreads - 1 : 0),
-        RowValid(SVA.size(), 0), Buffers(Config.NumThreads),
-        AbortFlags(std::make_unique<std::atomic<bool>[]>(Config.NumThreads)),
-        DoneFlags(std::make_unique<std::atomic<bool>[]>(Config.NumThreads)),
-        Results(Config.NumThreads) {
+      : T(T), Config(Config), NumChunks(Config.numChunks()),
+        Pool(Config.NumThreads - 1),
+        Sampler(std::max(Config.BootstrapCapacity,
+                         static_cast<size_t>(2 * NumChunks))),
+        SVA(NumChunks > 1 ? NumChunks - 1 : 0), RowValid(SVA.size(), 0),
+        Buffers(NumChunks),
+        AbortFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
+        DoneFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
+        Results(NumChunks) {
     assert(Config.NumThreads >= 1 && "need at least one thread");
   }
 
@@ -96,10 +110,10 @@ public:
   /// state (reductions and live-outs).
   State invoke(const LiveIn &Start) {
     ++Stats.Invocations;
-    unsigned ActiveSpec = countLaunchableSpecThreads();
-    if (ActiveSpec == 0)
+    unsigned ActiveChunks = countLaunchableSpecChunks();
+    if (ActiveChunks == 0)
       return invokeSequential(Start);
-    return invokeParallel(Start, ActiveSpec);
+    return invokeParallel(Start, ActiveChunks);
   }
 
   /// Plain sequential execution with no Spice machinery (baseline oracle
@@ -126,6 +140,15 @@ public:
     return N;
   }
 
+  /// Valid prediction prefix (the next invocation's chunk start values,
+  /// i.e. its chunk boundaries). Exposed for benches and tests that
+  /// analyze chunk geometry -- e.g. re-deriving load imbalance under a
+  /// cost model the runtime's work metric cannot see.
+  std::vector<LiveIn> predictions() const {
+    return std::vector<LiveIn>(SVA.begin(),
+                               SVA.begin() + countLaunchableSpecChunks());
+  }
+
 private:
   enum class ChunkStatus : uint8_t {
     Matched, ///< Found the successor's predicted live-in: chunk complete.
@@ -138,6 +161,7 @@ private:
     ChunkStatus Status = ChunkStatus::Exited;
     uint64_t Work = 0;
     uint64_t Iterations = 0;
+    bool Stolen = false; ///< Executed off its home lane (steal or help).
     std::optional<State> S;
     std::vector<unsigned> WrittenRows;
   };
@@ -150,8 +174,8 @@ private:
     return 1;
   }
 
-  /// Longest launchable prefix: thread i+1 needs a valid SVA row i.
-  unsigned countLaunchableSpecThreads() const {
+  /// Longest launchable prefix: chunk i+1 needs a valid SVA row i.
+  unsigned countLaunchableSpecChunks() const {
     unsigned N = 0;
     while (N < SVA.size() && RowValid[N])
       ++N;
@@ -159,17 +183,20 @@ private:
   }
 
   /// Runs one chunk. \p Target is the successor's predicted start (null
-  /// for the last active thread); \p ThreadIdx is 0 for main.
-  ChunkResult runChunk(LiveIn LI, const LiveIn *Target, unsigned ThreadIdx,
-                       MemoCursor Cursor) {
+  /// for the last active chunk); \p ChunkIdx is 0 for the non-speculative
+  /// main chunk. \p IterBudget caps speculative iterations (normally
+  /// Config.MaxSpecIterations; tighter for main-helped chunks, see
+  /// helpIterBudget()).
+  ChunkResult runChunk(LiveIn LI, const LiveIn *Target, unsigned ChunkIdx,
+                       MemoCursor Cursor, uint64_t IterBudget) {
     ChunkResult R;
     R.S = T.initialState();
-    bool Speculative = ThreadIdx != 0;
+    bool Speculative = ChunkIdx != 0;
     SpecSpace Mem =
-        Speculative ? SpecSpace(&Buffers[ThreadIdx]) : SpecSpace();
+        Speculative ? SpecSpace(&Buffers[ChunkIdx]) : SpecSpace();
     for (;;) {
       if (Speculative &&
-          AbortFlags[ThreadIdx].load(std::memory_order_relaxed)) {
+          AbortFlags[ChunkIdx].load(std::memory_order_relaxed)) {
         R.Status = ChunkStatus::Squashed;
         break;
       }
@@ -191,7 +218,7 @@ private:
         break;
       }
       ++R.Iterations;
-      if (Speculative && R.Iterations >= Config.MaxSpecIterations) {
+      if (Speculative && R.Iterations >= IterBudget) {
         R.Status = ChunkStatus::Runaway;
         break;
       }
@@ -242,8 +269,7 @@ private:
   }
 
   void seedFromSampler() {
-    std::optional<std::vector<LiveIn>> Rows =
-        Sampler.extract(Config.NumThreads);
+    std::optional<std::vector<LiveIn>> Rows = Sampler.extract(NumChunks);
     if (!Rows)
       return; // Too few iterations: stay sequential next time too.
     for (size_t I = 0; I != Rows->size(); ++I) {
@@ -252,114 +278,220 @@ private:
     }
   }
 
-  void waitForThread(unsigned ThreadIdx) {
-    while (!DoneFlags[ThreadIdx].load(std::memory_order_acquire))
-      std::this_thread::yield();
+  /// Executes chunk \p C against the prediction snapshot and publishes its
+  /// result. Runs on workers, and -- in oversubscribed mode -- on the
+  /// resolving main thread as well.
+  void executeChunk(unsigned C, const std::vector<LiveIn> &Pred,
+                    unsigned ActiveChunks, bool Stolen,
+                    uint64_t IterBudget) {
+    const LiveIn *Target = C < ActiveChunks ? &Pred[C] : nullptr;
+    ChunkResult R = runChunk(Pred[C - 1], Target, C, cursorFor(C),
+                             IterBudget);
+    R.Stolen = Stolen;
+    Results[C] = std::move(R);
+    DoneFlags[C].store(true, std::memory_order_release);
   }
 
-  /// Parallel invocation with \p ActiveSpec speculative threads (threads
-  /// 1..ActiveSpec; main is thread 0).
-  State invokeParallel(const LiveIn &Start, unsigned ActiveSpec) {
-    Stats.LaunchedSpecThreads += ActiveSpec;
+  /// Iteration cap for speculative chunks the resolving main thread
+  /// executes inline. Main is the only writer of the abort flags, so
+  /// while it runs a chunk nobody can squash that chunk; an unbounded
+  /// mis-predicted chunk (stale-pointer cycle) would stall resolution
+  /// for Config.MaxSpecIterations. A healthy chunk is about
+  /// TotalWork/NumChunks work units (>= its iterations, weights are
+  /// >= 1), so 4x that plus slack never cuts real work short; a false
+  /// Runaway simply routes the chunk through the normal recovery
+  /// requeue -- executed with the full budget once off the main thread.
+  uint64_t helpIterBudget() const {
+    if (Plan.TotalWork == 0)
+      return Config.MaxSpecIterations;
+    uint64_t Budget = 4 * (Plan.TotalWork / NumChunks) + 1024;
+    return std::min(Budget, Config.MaxSpecIterations);
+  }
+
+  /// Parallel invocation with \p ActiveChunks speculative chunks (chunks
+  /// 1..ActiveChunks; the non-speculative chunk 0 runs on main).
+  State invokeParallel(const LiveIn &Start, unsigned ActiveChunks) {
+    Stats.LaunchedSpecThreads += ActiveChunks;
+    // Oversubscription only changes behavior when there can be more
+    // chunks than workers; ChunksPerThread == 1 must reproduce the
+    // paper's fixed chunk-per-thread schedule exactly.
+    const bool Oversubscribed = Config.ChunksPerThread > 1;
     // Snapshot predictions: memoization overwrites SVA during the run.
-    std::vector<LiveIn> Pred(SVA.begin(), SVA.begin() + ActiveSpec);
-    for (unsigned I = 0; I <= ActiveSpec; ++I) {
+    std::vector<LiveIn> Pred(SVA.begin(), SVA.begin() + ActiveChunks);
+    for (unsigned I = 0; I <= ActiveChunks; ++I) {
       AbortFlags[I].store(false, std::memory_order_relaxed);
       DoneFlags[I].store(false, std::memory_order_relaxed);
       Buffers[I].clear();
       Results[I].reset();
     }
 
-    Pool.launch(ActiveSpec, [&](unsigned WorkerIdx) {
-      unsigned ThreadIdx = WorkerIdx + 1;
-      const LiveIn *Target =
-          ThreadIdx < ActiveSpec ? &Pred[ThreadIdx] : nullptr;
-      Results[ThreadIdx] = runChunk(Pred[ThreadIdx - 1], Target, ThreadIdx,
-                                    cursorFor(ThreadIdx));
-      DoneFlags[ThreadIdx].store(true, std::memory_order_release);
+    const unsigned Lanes = std::min(Pool.size(), ActiveChunks);
+    Pool.resetQueues(Lanes, /*AllowStealing=*/Oversubscribed);
+    for (unsigned C = 1; C <= ActiveChunks; ++C)
+      Pool.pushChunk(homeLane(C, Lanes), C);
+
+    Pool.launch(Lanes, [&](unsigned Lane) {
+      uint32_t C;
+      bool Stolen;
+      while (Pool.acquireChunk(Lane, C, Stolen))
+        executeChunk(C, Pred, ActiveChunks, Stolen,
+                     Config.MaxSpecIterations);
     });
-    Results[0] = runChunk(Start, &Pred[0], /*ThreadIdx=*/0, cursorFor(0));
+    Results[0] = runChunk(Start, &Pred[0], /*ChunkIdx=*/0, cursorFor(0),
+                          Config.MaxSpecIterations);
+
+    // Waits for chunk C to finish; in oversubscribed mode the main thread
+    // makes itself useful by draining pending chunks while it waits. A
+    // helped chunk whose start is already validated (P == C) gets the
+    // full budget; a still-speculative one is clamped so main can never
+    // be wedged inside a chunk only it could abort.
+    auto WaitForChunk = [&](unsigned C) {
+      while (!DoneFlags[C].load(std::memory_order_acquire)) {
+        uint32_t P;
+        if (Oversubscribed && Pool.helpPopFront(P)) {
+          ++Stats.MainHelpedChunks;
+          executeChunk(P, Pred, ActiveChunks, /*Stolen=*/true,
+                       P == C ? Config.MaxSpecIterations
+                              : helpIterBudget());
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    };
 
     // --- Ordered chain resolution (main thread) ---
     State Merged = std::move(*Results[0]->S);
-    std::vector<uint64_t> Work(Config.NumThreads, 0);
+    std::vector<uint64_t> Work(NumChunks, 0);
     Work[0] = Results[0]->Work;
     Stats.TotalIterations += Results[0]->Iterations;
 
     bool PrevMatched = Results[0]->Status == ChunkStatus::Matched;
-    unsigned Committed = 0;    // Highest committed speculative thread.
-    unsigned RecoverFrom = ~0u; // Thread whose chunk must be re-executed.
-    for (unsigned J = 1; J <= ActiveSpec; ++J) {
+    unsigned Committed = 0;     // Highest committed speculative chunk.
+    unsigned RecoverFrom = ~0u; // Chunk to re-execute serially (legacy).
+    bool AnyFailure = false;    // A validated chunk failed and was redone.
+    std::vector<unsigned> Requeues(ActiveChunks + 1, 0);
+    for (unsigned J = 1; J <= ActiveChunks;) {
       if (!PrevMatched) {
-        // Thread J's start was never seen: mis-speculation. Squash.
+        // Chunk J's start was never seen: mis-speculation. Squash.
         AbortFlags[J].store(true, std::memory_order_relaxed);
+        ++J;
         continue;
       }
-      // Thread J's start was validated, so its chunk terminates by itself.
-      waitForThread(J);
+      // Chunk J's start was validated, so it terminates by itself.
+      WaitForChunk(J);
       ChunkResult &R = *Results[J];
       bool Healthy =
           R.Status == ChunkStatus::Matched || R.Status == ChunkStatus::Exited;
       bool ReadsOk = !Config.EnableConflictDetection ||
                      Buffers[J].validateReads();
       if (!Healthy || !ReadsOk) {
-        // Validated start but unusable chunk (conflict or runaway):
-        // everything from J on must be redone sequentially.
         if (!ReadsOk)
           ++Stats.ConflictSquashes;
+        AnyFailure = true;
+        if (Oversubscribed && Requeues[J] < Config.MaxRecoveryRequeues) {
+          // Steal-aware recovery: discard the failed execution and
+          // re-enqueue the chunk from its validated start. Successors
+          // keep running -- their own commit-time validation decides
+          // whether their work survives the redone chunk.
+          ++Requeues[J];
+          ++Stats.RecoveryChunks;
+          ++Stats.SquashedThreads;
+          Stats.WastedIterations += R.Iterations;
+          if (R.Stolen)
+            ++Stats.StolenChunks;
+          for (unsigned Row : R.WrittenRows)
+            RowValid[Row] = 0;
+          Buffers[J].clear();
+          Results[J].reset();
+          DoneFlags[J].store(false, std::memory_order_relaxed);
+          AbortFlags[J].store(false, std::memory_order_relaxed);
+          // Front of the lane: J blocks the whole commit chain, so it
+          // must run before any more-speculative pending chunk.
+          Pool.pushChunkFront(homeLane(J, Lanes), J);
+          continue; // Same J: wait for the recovery execution.
+        }
+        // Paper protocol (and oversubscribed last resort): everything
+        // from J on is redone sequentially by the main thread.
         RecoverFrom = J;
         PrevMatched = false;
         AbortFlags[J].store(true, std::memory_order_relaxed);
+        ++J;
         continue;
       }
       Buffers[J].commit();
       T.combine(Merged, std::move(*R.S));
       Work[J] = R.Work;
       Stats.TotalIterations += R.Iterations;
+      if (Requeues[J] > 0) {
+        // This was a recovery execution: its iterations are re-executed
+        // work, exactly like the paper's serial recovery accounts them.
+        Stats.RecoveryIterations += R.Iterations;
+        if (R.Stolen)
+          ++Stats.StolenRecoveryChunks;
+      }
       Committed = J;
       PrevMatched = R.Status == ChunkStatus::Matched;
+      ++J;
     }
-    // Exhaustiveness: the chain either commits through a thread that
+    // Exhaustiveness: the chain either commits through a chunk that
     // Exited (loop complete), stops at a squash whose predecessor Exited
     // (also complete: the predecessor covered the remainder), or stops at
-    // an unhealthy validated thread (RecoverFrom set). The last active
-    // thread has no detection target, so it can never end Matched.
+    // an unhealthy validated chunk (RecoverFrom set). The last active
+    // chunk has no detection target, so it can never end Matched.
     bool NeedRecovery = RecoverFrom != ~0u;
     if (NeedRecovery)
       Merged = runRecovery(std::move(Merged), Pred[RecoverFrom - 1], Work,
                            RecoverFrom);
 
+    Pool.closeQueues();
     Pool.wait();
 
-    // Post-join bookkeeping: wasted work and stale rows of dead threads.
-    bool AnySquash = false;
-    for (unsigned J = Committed + 1; J <= ActiveSpec; ++J) {
+    // Post-join bookkeeping: wasted work and stale rows of dead chunks.
+    bool AnySquash = AnyFailure;
+    for (unsigned J = Committed + 1; J <= ActiveChunks; ++J) {
       ChunkResult &R = *Results[J];
       AnySquash = true;
       ++Stats.SquashedThreads;
       Stats.WastedIterations += R.Iterations;
       Buffers[J].clear();
       for (unsigned Row : R.WrittenRows)
-        RowValid[Row] = 0; // Memoized by a dead thread: untrustworthy.
+        RowValid[Row] = 0; // Memoized by a dead chunk: untrustworthy.
     }
+    for (unsigned J = 1; J <= ActiveChunks; ++J)
+      if (Results[J] && Results[J]->Stolen)
+        ++Stats.StolenChunks;
 
     if (AnySquash)
       ++Stats.MisspeculatedInvocations;
     else
       ++Stats.FullySpeculativeInvocations;
 
-    // Load balance: only meaningful for fully validated invocations.
+    // Load balance: only meaningful for fully validated invocations. The
+    // metric is re-derived from chunk granularity: the observed per-chunk
+    // work is list-scheduled onto the invocation's execution contexts
+    // (deterministic model of the work-stealing scheduler); with one
+    // chunk per thread this reduces to the paper's max-chunk ratio.
     if (!AnySquash) {
       uint64_t Total = 0, MaxChunk = 0;
-      for (uint64_t W : Work) {
-        Total += W;
-        MaxChunk = std::max(MaxChunk, W);
+      for (unsigned J = 0; J <= ActiveChunks; ++J) {
+        Total += Work[J];
+        MaxChunk = std::max(MaxChunk, Work[J]);
       }
       if (Total > 0) {
-        double Ideal = static_cast<double>(Total) /
-                       static_cast<double>(ActiveSpec + 1);
-        Stats.ImbalanceSum += static_cast<double>(MaxChunk) / Ideal;
+        unsigned ExecUnits =
+            std::min(Config.NumThreads, ActiveChunks + 1);
+        std::vector<uint64_t> ChunkWork(Work.begin(),
+                                        Work.begin() + ActiveChunks + 1);
+        uint64_t Makespan = listScheduleMakespan(ChunkWork, ExecUnits);
+        double Ideal =
+            static_cast<double>(Total) / static_cast<double>(ExecUnits);
+        Stats.ImbalanceSum += static_cast<double>(Makespan) / Ideal;
         ++Stats.ImbalanceSamples;
+        double IdealChunk = static_cast<double>(Total) /
+                            static_cast<double>(ActiveChunks + 1);
+        Stats.ChunkImbalanceSum +=
+            static_cast<double>(MaxChunk) / IdealChunk;
+        ++Stats.ChunkImbalanceSamples;
       }
     }
 
@@ -368,28 +500,34 @@ private:
   }
 
   /// Sequential re-execution from \p From to the natural exit after a
-  /// validated thread produced an unusable chunk. Runs concurrently with
-  /// doomed speculative threads (which only touch private buffers).
+  /// validated chunk produced an unusable result. Runs concurrently with
+  /// doomed speculative chunks (which only touch private buffers).
   State runRecovery(State Merged, LiveIn LI, std::vector<uint64_t> &Work,
-                    unsigned FailedThread) {
+                    unsigned FailedChunk) {
     State S = T.initialState();
     SpecSpace Direct;
     uint64_t Iters = 0;
     while (T.step(LI, S, Direct))
       ++Iters;
     T.combine(Merged, std::move(S));
-    // Positionally, the redone iterations replace the failed thread's
+    // Positionally, the redone iterations replace the failed chunk's
     // segment (and everything after it).
-    Work[FailedThread] = Iters;
+    Work[FailedChunk] = Iters;
     Stats.RecoveryIterations += Iters;
     Stats.TotalIterations += Iters;
     return Merged;
   }
 
-  MemoCursor cursorFor(unsigned ThreadIdx) {
-    if (Plan.PerThread.size() <= ThreadIdx)
+  /// Home lane of speculative chunk \p C: round-robin over the launched
+  /// lanes, so early chunks sit at the front of distinct deques.
+  static unsigned homeLane(unsigned C, unsigned Lanes) {
+    return (C - 1) % Lanes;
+  }
+
+  MemoCursor cursorFor(unsigned ChunkIdx) {
+    if (Plan.PerThread.size() <= ChunkIdx)
       return MemoCursor();
-    return MemoCursor(&Plan.PerThread[ThreadIdx]);
+    return MemoCursor(&Plan.PerThread[ChunkIdx]);
   }
 
   /// Central predictor component: plan the next invocation's memoization.
@@ -399,12 +537,13 @@ private:
     if (!Config.RememoizeEveryInvocation && !Plan.empty())
       return; // Memoize-once ablation: keep the first plan forever.
     std::vector<uint64_t> Padded(Work);
-    Padded.resize(Config.NumThreads, 0);
-    Plan = planMemoization(Padded, Config.NumThreads);
+    Padded.resize(NumChunks, 0);
+    Plan = planMemoization(Padded, NumChunks);
   }
 
   Traits &T;
   SpiceConfig Config;
+  unsigned NumChunks;
   WorkerPool Pool;
   BootstrapSampler<LiveIn> Sampler;
   MemoizationPlan Plan;

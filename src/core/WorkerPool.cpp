@@ -1,4 +1,4 @@
-//===- core/WorkerPool.cpp - Pre-allocated worker threads -----------------===//
+//===- core/WorkerPool.cpp - Worker threads + work-stealing deques --------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
@@ -6,9 +6,12 @@
 
 #include "core/WorkerPool.h"
 
+#include "support/ErrorHandling.h"
+
 #include <cassert>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <utility>
@@ -36,10 +39,14 @@ void WorkerPool::launch(unsigned Count, std::function<void(unsigned)> NewJob) {
   assert(Count <= Threads.size() && "launch exceeds pool size");
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    assert(Remaining == 0 && "previous launch not waited for");
+    assert(!InFlight && "re-entrant WorkerPool::launch without wait()");
+    if (InFlight)
+      reportFatalError("WorkerPool::launch called while a previous launch "
+                       "is still in flight; call wait() first");
     Job = std::move(NewJob);
     ActiveCount = Count;
     Remaining = Count;
+    InFlight = true;
     ++Generation;
   }
   if (Count > 0)
@@ -49,6 +56,7 @@ void WorkerPool::launch(unsigned Count, std::function<void(unsigned)> NewJob) {
 void WorkerPool::wait() {
   std::unique_lock<std::mutex> Lock(Mutex);
   DoneCV.wait(Lock, [this] { return Remaining == 0; });
+  InFlight = false;
 }
 
 void WorkerPool::workerMain(unsigned Index) {
@@ -76,4 +84,153 @@ void WorkerPool::workerMain(unsigned Index) {
     }
     DoneCV.notify_all();
   }
+}
+
+//===----------------------------------------------------------------------===//
+// Chunk deques
+//===----------------------------------------------------------------------===//
+
+void WorkerPool::resetQueues(unsigned NumLanes, bool AllowStealing) {
+  assert(!InFlight && "resetQueues during an in-flight launch");
+  if (Lanes.size() != NumLanes) {
+    Lanes.clear();
+    Lanes.reserve(NumLanes);
+    for (unsigned I = 0; I != NumLanes; ++I)
+      Lanes.push_back(std::make_unique<Lane>());
+  } else {
+    for (auto &L : Lanes)
+      L->Q.clear();
+  }
+  Stealing = AllowStealing;
+  QueuesClosed.store(false, std::memory_order_release);
+}
+
+void WorkerPool::pushChunk(unsigned LaneIdx, uint32_t Chunk) {
+  assert(LaneIdx < Lanes.size() && "push into nonexistent lane");
+  assert(!QueuesClosed.load(std::memory_order_relaxed) &&
+         "push after closeQueues");
+  {
+    Lane &L = *Lanes[LaneIdx];
+    std::lock_guard<std::mutex> Lock(L.M);
+    L.Q.push_back(Chunk);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    QueueEpoch.fetch_add(1, std::memory_order_release);
+  }
+  QueueCV.notify_all();
+}
+
+void WorkerPool::pushChunkFront(unsigned LaneIdx, uint32_t Chunk) {
+  assert(LaneIdx < Lanes.size() && "push into nonexistent lane");
+  assert(!QueuesClosed.load(std::memory_order_relaxed) &&
+         "push after closeQueues");
+  {
+    Lane &L = *Lanes[LaneIdx];
+    std::lock_guard<std::mutex> Lock(L.M);
+    L.Q.push_front(Chunk);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    QueueEpoch.fetch_add(1, std::memory_order_release);
+  }
+  QueueCV.notify_all();
+}
+
+void WorkerPool::closeQueues() {
+  QueuesClosed.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> Lock(QueueMutex);
+    QueueEpoch.fetch_add(1, std::memory_order_release);
+  }
+  QueueCV.notify_all();
+}
+
+bool WorkerPool::tryAcquireChunk(unsigned LaneIdx, uint32_t &Chunk,
+                                 bool &Stolen) {
+  assert(LaneIdx < Lanes.size() && "acquire from nonexistent lane");
+  {
+    Lane &Own = *Lanes[LaneIdx];
+    std::lock_guard<std::mutex> Lock(Own.M);
+    if (!Own.Q.empty()) {
+      Chunk = Own.Q.front();
+      Own.Q.pop_front();
+      Stolen = false;
+      return true;
+    }
+  }
+  if (!Stealing)
+    return false;
+  // Steal from the back (most speculative chunk) of the other lanes,
+  // scanning from our right-hand neighbour.
+  for (size_t Off = 1; Off != Lanes.size(); ++Off) {
+    Lane &Victim = *Lanes[(LaneIdx + Off) % Lanes.size()];
+    std::lock_guard<std::mutex> Lock(Victim.M);
+    if (!Victim.Q.empty()) {
+      Chunk = Victim.Q.back();
+      Victim.Q.pop_back();
+      Stolen = true;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool WorkerPool::acquireChunk(unsigned LaneIdx, uint32_t &Chunk,
+                              bool &Stolen) {
+  for (;;) {
+    // Sample the epoch, then read Closed, then scan: a push or close that
+    // lands after the scan bumps the epoch past Seen, so the wait below
+    // can never sleep through it. Parking (rather than yield-spinning)
+    // matters during long resolutions -- e.g. ChunksPerThread == 1
+    // workers are done after one chunk while main may still run a full
+    // serial recovery.
+    uint64_t Seen = QueueEpoch.load(std::memory_order_acquire);
+    bool Closed = QueuesClosed.load(std::memory_order_acquire);
+    if (tryAcquireChunk(LaneIdx, Chunk, Stolen))
+      return true;
+    if (Closed)
+      return false;
+    std::unique_lock<std::mutex> Lock(QueueMutex);
+    QueueCV.wait(Lock, [&] {
+      return QueueEpoch.load(std::memory_order_relaxed) != Seen;
+    });
+  }
+}
+
+bool WorkerPool::helpPopFront(uint32_t &Chunk) {
+  // The producer resolves chunks in order, so prefer the globally oldest
+  // pending chunk: scan every lane front, then pop the minimum. The scan
+  // takes one lane lock at a time; if the chosen front was acquired by a
+  // worker in between, rescan.
+  for (;;) {
+    size_t BestLane = Lanes.size();
+    uint32_t BestChunk = 0;
+    for (size_t I = 0; I != Lanes.size(); ++I) {
+      std::lock_guard<std::mutex> Lock(Lanes[I]->M);
+      if (!Lanes[I]->Q.empty() &&
+          (BestLane == Lanes.size() || Lanes[I]->Q.front() < BestChunk)) {
+        BestLane = I;
+        BestChunk = Lanes[I]->Q.front();
+      }
+    }
+    if (BestLane == Lanes.size())
+      return false;
+    std::lock_guard<std::mutex> Lock(Lanes[BestLane]->M);
+    std::deque<uint32_t> &Q = Lanes[BestLane]->Q;
+    if (!Q.empty() && Q.front() == BestChunk) {
+      Chunk = BestChunk;
+      Q.pop_front();
+      return true;
+    }
+  }
+}
+
+size_t WorkerPool::pendingChunks() const {
+  size_t N = 0;
+  for (const auto &LanePtr : Lanes) {
+    std::lock_guard<std::mutex> Lock(LanePtr->M);
+    N += LanePtr->Q.size();
+  }
+  return N;
 }

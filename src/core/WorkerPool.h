@@ -1,4 +1,4 @@
-//===- core/WorkerPool.h - Pre-allocated worker threads ---------*- C++ -*-===//
+//===- core/WorkerPool.h - Workers + stealable chunk deques -----*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
@@ -11,15 +11,31 @@
 /// condition variable; launch() publishes a job generation, wait() joins
 /// the invocation.
 ///
+/// On top of the persistent threads the pool exposes per-worker chunk
+/// deques so an invocation can be oversubscribed (more chunks than
+/// workers). Each launched worker owns one lane: it pops its own lane from
+/// the front (oldest, least speculative chunk first) and, when its lane is
+/// empty, steals from the back of other lanes (the most speculative chunk,
+/// leaving earlier chunks to their owner). The producer (the thread that
+/// called launch()) may keep pushing chunks -- e.g. recovery chunks after a
+/// mis-speculation -- until it calls closeQueues(), and may itself drain
+/// pending chunks front-first via helpPopFront(). The deques are
+/// mutex-guarded: chunks are coarse units of loop work, so queue transfer
+/// cost is irrelevant next to chunk execution and the simple locking keeps
+/// the protocol easy to reason about (and TSan-clean).
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPICE_CORE_WORKERPOOL_H
 #define SPICE_CORE_WORKERPOOL_H
 
+#include <atomic>
 #include <cassert>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -27,7 +43,8 @@
 namespace spice {
 namespace core {
 
-/// Persistent pool of worker threads driven by job generations.
+/// Persistent pool of worker threads driven by job generations, with
+/// optional per-worker work-stealing chunk deques.
 class WorkerPool {
 public:
   /// Spawns \p NumWorkers threads; they park immediately.
@@ -43,14 +60,63 @@ public:
 
   /// Wakes workers 0..Count-1 to run Job(WorkerIndex). The calling thread
   /// does not participate and may do its own chunk concurrently. A launch
-  /// must be paired with wait() before the next launch.
+  /// must be paired with wait() before the next launch; a re-entrant
+  /// launch is a protocol violation and aborts with a diagnostic (it would
+  /// otherwise clobber the in-flight job under the workers' feet).
   void launch(unsigned Count, std::function<void(unsigned)> Job);
 
   /// Blocks until every worker of the current launch has finished.
   void wait();
 
+  //===--------------------------------------------------------------------===//
+  // Chunk deques (one lane per launched worker).
+  //===--------------------------------------------------------------------===//
+
+  /// Prepares \p NumLanes open deques, discarding any previous queue
+  /// state. With \p AllowStealing false each lane is a private FIFO (the
+  /// paper's fixed chunk-per-thread schedule); with it true idle workers
+  /// steal from other lanes. Must not be called between launch() and
+  /// wait().
+  void resetQueues(unsigned NumLanes, bool AllowStealing = true);
+
+  /// Appends \p Chunk to \p Lane's deque. Only the producer thread may
+  /// push; pushes after closeQueues() are forbidden.
+  void pushChunk(unsigned Lane, uint32_t Chunk);
+
+  /// Like pushChunk, but to the front of the lane: the chunk becomes the
+  /// lane owner's next pop and is visible to helpPopFront immediately.
+  /// Used for recovery chunks, which block the commit chain and must not
+  /// queue behind more-speculative work.
+  void pushChunkFront(unsigned Lane, uint32_t Chunk);
+
+  /// Declares that no further chunks will be pushed; blocked acquirers
+  /// drain the remaining chunks and then return false.
+  void closeQueues();
+
+  /// Worker-side acquire: blocks (parked on a condition variable) until a
+  /// chunk is available or the queues are closed and fully drained. Pops
+  /// the front of \p Lane's own deque first; otherwise steals from the
+  /// back of another lane and sets \p Stolen. Returns false only on
+  /// closed-and-empty.
+  bool acquireChunk(unsigned Lane, uint32_t &Chunk, bool &Stolen);
+
+  /// Producer-side non-blocking help: pops the oldest pending chunk across
+  /// all lanes (front-first scan). Returns false when nothing is pending.
+  bool helpPopFront(uint32_t &Chunk);
+
+  /// Pending (not yet acquired) chunks across all lanes.
+  size_t pendingChunks() const;
+
 private:
   void workerMain(unsigned Index);
+  bool tryAcquireChunk(unsigned Lane, uint32_t &Chunk, bool &Stolen);
+
+  /// One per-worker deque. Mutex-guarded; padded indirectly by the
+  /// surrounding unique_ptr allocation granularity.
+  struct Lane {
+    mutable std::mutex M;
+    std::deque<uint32_t> Q;
+  };
 
   std::vector<std::thread> Threads;
   std::mutex Mutex;
@@ -60,7 +126,17 @@ private:
   uint64_t Generation = 0;
   unsigned ActiveCount = 0;
   unsigned Remaining = 0;
+  bool InFlight = false;
   bool ShuttingDown = false;
+
+  std::vector<std::unique_ptr<Lane>> Lanes;
+  bool Stealing = true;
+  std::atomic<bool> QueuesClosed{true};
+  /// Wakes parked acquirers. Epoch bumps on every push/close; an acquirer
+  /// samples it before scanning so a concurrent push can never be missed.
+  std::mutex QueueMutex;
+  std::condition_variable QueueCV;
+  std::atomic<uint64_t> QueueEpoch{0};
 };
 
 } // namespace core

@@ -1,4 +1,4 @@
-//===- model/AnalyticModel.h - Section 2 execution-schedule math -*- C++ -*-===//
+//===- model/AnalyticModel.h - Section 2 schedule math ----------*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- profiler/Instrumenter.h - Live-in profiling instrumentation -*- C++ -*-===//
+//===- profiler/Instrumenter.h - Live-in instrumentation --------*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

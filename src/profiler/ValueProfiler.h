@@ -1,4 +1,4 @@
-//===- profiler/ValueProfiler.h - Live-in predictability analyzer -*- C++ -*-===//
+//===- profiler/ValueProfiler.h - Predictability analyzer -------*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- sim/Cache.h - Private L1/L2 + shared L3 with invalidation -*- C++ -*-===//
+//===- sim/Cache.h - L1/L2 + shared L3 with invalidation --------*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

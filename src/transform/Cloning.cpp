@@ -1,4 +1,4 @@
-//===- transform/Cloning.cpp - Loop body cloning ---------------------------===//
+//===- transform/Cloning.cpp - Loop body cloning --------------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

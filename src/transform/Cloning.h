@@ -1,4 +1,4 @@
-//===- transform/Cloning.h - Loop body cloning -------------------*- C++ -*-===//
+//===- transform/Cloning.h - Loop body cloning ------------------*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

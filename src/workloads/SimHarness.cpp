@@ -1,4 +1,4 @@
-//===- workloads/SimHarness.cpp - Twin-run experiment driver ---------------===//
+//===- workloads/SimHarness.cpp - Twin-run experiment driver --------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- tests/analysis_test.cpp - CFG/dominator/loop/live-in tests -----------===//
+//===- tests/analysis_test.cpp - CFG/dominator/loop/live-in tests ---------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- tests/baselines_test.cpp - Conventional predictor tests --------------===//
+//===- tests/baselines_test.cpp - Conventional predictor tests ------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

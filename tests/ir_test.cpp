@@ -1,4 +1,4 @@
-//===- tests/ir_test.cpp - IR construction and verification tests ----------===//
+//===- tests/ir_test.cpp - IR construction and verification tests ---------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

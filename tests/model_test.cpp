@@ -1,4 +1,4 @@
-//===- tests/model_test.cpp - Analytic model tests --------------------------===//
+//===- tests/model_test.cpp - Analytic model tests ------------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- tests/profiler_test.cpp - Value profiler tests ----------------------===//
+//===- tests/profiler_test.cpp - Value profiler tests ---------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- tests/sim_test.cpp - Multicore timing simulator tests ---------------===//
+//===- tests/sim_test.cpp - Multicore timing simulator tests --------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

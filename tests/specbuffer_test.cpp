@@ -1,4 +1,4 @@
-//===- tests/specbuffer_test.cpp - SpecWriteBuffer tests -------------------===//
+//===- tests/specbuffer_test.cpp - SpecWriteBuffer tests ------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- tests/spice_loop_test.cpp - End-to-end runtime tests ----------------===//
+//===- tests/spice_loop_test.cpp - End-to-end runtime tests ---------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
@@ -342,6 +342,187 @@ INSTANTIATE_TEST_SUITE_P(
                       SjengParam{4, 1000, 0.5, 3, false, 64},
                       SjengParam{4, 64, 1.0, 4, true, 65},
                       SjengParam{8, 500, 0.2, 2, true, 66}));
+
+//===----------------------------------------------------------------------===//
+// Oversubscription (ChunksPerThread > 1) and the work-stealing recovery
+// path. These run under TSan in CI: forced mispredictions with more chunks
+// than threads exercise concurrent recovery chunks, stealing, and the
+// ordered commit of their buffers.
+//===----------------------------------------------------------------------===//
+
+struct OversubParam {
+  unsigned Threads;
+  unsigned ChunksPerThread;
+  size_t ListSize;
+  unsigned Inserts;
+  uint64_t Seed;
+};
+
+class OversubscribedOtterTest
+    : public ::testing::TestWithParam<OversubParam> {};
+
+TEST_P(OversubscribedOtterTest, MatchesSequentialAcrossInvocations) {
+  const OversubParam P = GetParam();
+  ClauseList List(P.ListSize, P.Seed);
+  OtterTraits Traits;
+  SpiceConfig C = makeConfig(P.Threads);
+  C.ChunksPerThread = P.ChunksPerThread;
+  SpiceLoop<OtterTraits> Loop(Traits, C);
+  ASSERT_EQ(C.numChunks(), P.Threads * P.ChunksPerThread);
+
+  for (int Invocation = 0; Invocation != 30 && List.head(); ++Invocation) {
+    Clause *Expected = List.findLightestReference();
+    OtterTraits::State Got = Loop.invoke(List.head());
+    ASSERT_EQ(Got.MinClause, Expected) << "invocation " << Invocation;
+    ASSERT_EQ(Got.MinWeight, Expected->PickWeight);
+    List.mutate(Got.MinClause, P.Inserts);
+  }
+  EXPECT_GE(Loop.stats().Invocations, 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, OversubscribedOtterTest,
+    ::testing::Values(OversubParam{2, 2, 400, 2, 211},
+                      OversubParam{4, 2, 400, 2, 212},
+                      OversubParam{4, 4, 1000, 5, 213},
+                      OversubParam{4, 8, 2000, 3, 214},
+                      OversubParam{3, 4, 300, 10, 215},
+                      OversubParam{4, 4, 24, 1, 216},
+                      OversubParam{2, 8, 50, 1, 217}));
+
+TEST(OversubscribedSpice, PlansOneScheduleListPerChunk) {
+  ClauseList List(600, 220);
+  OtterTraits Traits;
+  SpiceConfig C = makeConfig(4);
+  C.ChunksPerThread = 2;
+  SpiceLoop<OtterTraits> Loop(Traits, C);
+  (void)Loop.invoke(List.head()); // Bootstrap plans the next invocation.
+  EXPECT_EQ(Loop.currentPlan().PerThread.size(), 8u)
+      << "chunk planning must cover ChunksPerThread * NumThreads chunks";
+  (void)Loop.invoke(List.head());
+  EXPECT_EQ(Loop.stats().LaunchedSpecThreads, 7u)
+      << "a fully predicted invocation launches numChunks() - 1 chunks";
+}
+
+TEST(OversubscribedSpice, StableListStaysFullySpeculative) {
+  // No churn: after the bootstrap invocation every chunk validates, even
+  // with twice as many chunks as threads.
+  ClauseList List(600, 221);
+  OtterTraits Traits;
+  SpiceConfig C = makeConfig(4);
+  C.ChunksPerThread = 2;
+  SpiceLoop<OtterTraits> Loop(Traits, C);
+  for (int I = 0; I != 10; ++I) {
+    OtterTraits::State Got = Loop.invoke(List.head());
+    ASSERT_EQ(Got.MinClause, List.findLightestReference());
+  }
+  const SpiceStats &S = Loop.stats();
+  EXPECT_EQ(S.SequentialInvocations, 1u);
+  EXPECT_EQ(S.MisspeculatedInvocations, 0u);
+  EXPECT_EQ(S.FullySpeculativeInvocations, 9u);
+  EXPECT_EQ(S.RecoveryChunks, 0u);
+}
+
+TEST(OversubscribedSpice, ForcedMispredictionsStillCorrect) {
+  // Deterministically delete nodes near memoized samples so predictions
+  // break often while oversubscribed; squashed suffixes must re-resolve
+  // through stealable chunks without corrupting the reduction.
+  ClauseList List(400, 222);
+  OtterTraits Traits;
+  SpiceConfig C = makeConfig(4);
+  C.ChunksPerThread = 4;
+  SpiceLoop<OtterTraits> Loop(Traits, C);
+  uint64_t MissesBefore = Loop.stats().MisspeculatedInvocations;
+  for (int I = 0; I != 40 && List.size() > 32; ++I) {
+    // Remove a mid-list node (close to some memoized row) plus the min.
+    Clause *Mid = List.head();
+    for (size_t S = 0; S != List.size() / 2; ++S)
+      Mid = Mid->Next;
+    List.remove(Mid);
+    Clause *Expected = List.findLightestReference();
+    OtterTraits::State Got = Loop.invoke(List.head());
+    ASSERT_EQ(Got.MinClause, Expected) << "invocation " << I;
+    List.mutate(Got.MinClause, 1);
+  }
+  EXPECT_GT(Loop.stats().MisspeculatedInvocations, MissesBefore)
+      << "removing memoized nodes must eventually trigger squashes";
+}
+
+TEST(OversubscribedMcf, StalePotentialsRecoverThroughStealableChunks) {
+  // The mcf walk writes shared memory; with stale potentials the
+  // chunk-boundary reads fail commit-time validation. Oversubscribed, the
+  // failed chunk is re-enqueued as a stealable recovery chunk (instead of
+  // the paper's serial replay) and the ordered commit must still produce
+  // exactly the sequential potentials.
+  BasisTree TreeSpice(800, 241);
+  BasisTree TreeRef(800, 241);
+  McfTraits Traits;
+  SpiceConfig C = makeConfig(4);
+  C.ChunksPerThread = 4;
+  C.EnableConflictDetection = true;
+  SpiceLoop<McfTraits> Loop(Traits, C);
+  for (int I = 0; I != 15; ++I) {
+    int64_t Want = TreeRef.refreshPotentialReference();
+    McfTraits::State Got = Loop.invoke(TreeSpice.traversalStart());
+    ASSERT_EQ(Got.Checksum, Want) << "invocation " << I;
+    TreeNode *A = TreeSpice.traversalStart();
+    TreeNode *B = TreeRef.traversalStart();
+    while (A && B) {
+      ASSERT_EQ(A->Potential, B->Potential);
+      A = BasisTree::advance(A);
+      B = BasisTree::advance(B);
+    }
+    ASSERT_EQ(A, nullptr);
+    ASSERT_EQ(B, nullptr);
+    TreeSpice.mutate(/*Arcs=*/40, /*Relocations=*/0, /*PropagateNow=*/false);
+    TreeRef.mutate(40, 0, false);
+  }
+  const SpiceStats &S = Loop.stats();
+  EXPECT_GT(S.ConflictSquashes, 0u)
+      << "stale potentials must trip value validation at least once";
+  EXPECT_GT(S.RecoveryChunks, 0u)
+      << "oversubscribed recovery must go through re-enqueued chunks";
+  EXPECT_GT(S.RecoveryIterations, 0u);
+}
+
+TEST(OversubscribedKs, ShrinkingListStaysCorrectAndParallel) {
+  KsGraph G(256, 4, 251);
+  KsTraits Traits;
+  Traits.Graph = &G;
+  SpiceConfig C = makeConfig(4);
+  C.ChunksPerThread = 2;
+  SpiceLoop<KsTraits> Loop(Traits, C);
+  int Steps = 0;
+  while (G.aListHead() && G.bListHead() && Steps < 100) {
+    KsVertex *A = G.aListHead();
+    Traits.FixedA = A->Id;
+    Traits.FixedADValue = G.dValue(A->Id);
+    KsTraits::State Got = Loop.invoke(G.bListHead());
+    ASSERT_NE(Got.BestB, nullptr);
+    KsTraits::State Want = Loop.runSequentialReference(G.bListHead());
+    ASSERT_EQ(Got.BestB, Want.BestB);
+    ASSERT_EQ(Got.BestGain, Want.BestGain);
+    G.applySwap(A->Id, Got.BestB->Id);
+    ++Steps;
+  }
+  const SpiceStats &S = Loop.stats();
+  EXPECT_LT(S.SequentialInvocations, S.Invocations / 2);
+}
+
+TEST(OversubscribedSjeng, WeightedWorkSweepMatchesSequential) {
+  SjengBoard Board(500, 261);
+  SjengTraits Traits;
+  SpiceConfig C = makeConfig(4);
+  C.ChunksPerThread = 4;
+  C.UseWeightedWork = true;
+  SpiceLoop<SjengTraits> Loop(Traits, C);
+  for (int Invocation = 0; Invocation != 40; ++Invocation) {
+    SjengScore Want = Board.evalReference();
+    SjengScore Got = Loop.invoke(Board.start());
+    ASSERT_EQ(Got, Want) << "invocation " << Invocation;
+    Board.mutate(0.3, 1);
+  }
+}
 
 TEST(SjengSpice, AttributeChurnCausesModerateMisspeculation) {
   SjengBoard Board(400, 71);

@@ -1,4 +1,4 @@
-//===- tests/support_test.cpp - Support library tests ----------------------===//
+//===- tests/support_test.cpp - Support library tests ---------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- tests/transform_test.cpp - Spice transformation tests ---------------===//
+//===- tests/transform_test.cpp - Spice transformation tests --------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

@@ -1,4 +1,4 @@
-//===- tests/vm_test.cpp - Interpreter tests --------------------------------===//
+//===- tests/vm_test.cpp - Interpreter tests ------------------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //

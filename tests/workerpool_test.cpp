@@ -1,4 +1,4 @@
-//===- tests/workerpool_test.cpp - WorkerPool tests ------------------------===//
+//===- tests/workerpool_test.cpp - WorkerPool tests -----------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
@@ -75,4 +75,135 @@ TEST(WorkerPool, DestructionJoinsCleanly) {
     Pool.wait();
     EXPECT_EQ(N.load(), 2);
   }
+}
+
+TEST(WorkerPoolDeathTest, ReentrantLaunchAborts) {
+  // A second launch before wait() is a protocol violation: it must die
+  // with a diagnostic instead of clobbering the in-flight job (UB).
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        WorkerPool Pool(2);
+        Pool.launch(2, [](unsigned) {});
+        Pool.launch(2, [](unsigned) {}); // No wait(): must abort.
+      },
+      "launch");
+}
+
+//===----------------------------------------------------------------------===//
+// Chunk deques and work stealing
+//===----------------------------------------------------------------------===//
+
+TEST(WorkerPoolQueues, OwnLanePopsInFifoOrder) {
+  WorkerPool Pool(0); // Queues work without any worker threads.
+  Pool.resetQueues(1);
+  Pool.pushChunk(0, 1);
+  Pool.pushChunk(0, 2);
+  Pool.pushChunk(0, 3);
+  Pool.closeQueues();
+  uint32_t C = 0;
+  bool Stolen = true;
+  ASSERT_TRUE(Pool.acquireChunk(0, C, Stolen));
+  EXPECT_EQ(C, 1u);
+  EXPECT_FALSE(Stolen);
+  ASSERT_TRUE(Pool.acquireChunk(0, C, Stolen));
+  EXPECT_EQ(C, 2u);
+  ASSERT_TRUE(Pool.acquireChunk(0, C, Stolen));
+  EXPECT_EQ(C, 3u);
+  EXPECT_FALSE(Pool.acquireChunk(0, C, Stolen)) << "closed and drained";
+}
+
+TEST(WorkerPoolQueues, StealsMostSpeculativeChunkFromTheBack) {
+  WorkerPool Pool(0);
+  Pool.resetQueues(2);
+  Pool.pushChunk(0, 1); // Lane 0 holds {1, 3}; lane 1 is empty.
+  Pool.pushChunk(0, 3);
+  Pool.closeQueues();
+  uint32_t C = 0;
+  bool Stolen = false;
+  ASSERT_TRUE(Pool.acquireChunk(1, C, Stolen));
+  EXPECT_EQ(C, 3u) << "thief takes the back, leaving 1 to its owner";
+  EXPECT_TRUE(Stolen);
+  ASSERT_TRUE(Pool.acquireChunk(0, C, Stolen));
+  EXPECT_EQ(C, 1u);
+  EXPECT_FALSE(Stolen);
+}
+
+TEST(WorkerPoolQueues, StealingCanBeDisabled) {
+  // ChunksPerThread == 1 runs the paper's fixed schedule: a worker with
+  // an empty lane must not poach from its neighbours.
+  WorkerPool Pool(0);
+  Pool.resetQueues(2, /*AllowStealing=*/false);
+  Pool.pushChunk(0, 1);
+  Pool.closeQueues();
+  uint32_t C = 0;
+  bool Stolen = false;
+  EXPECT_FALSE(Pool.acquireChunk(1, C, Stolen));
+  ASSERT_TRUE(Pool.acquireChunk(0, C, Stolen));
+  EXPECT_EQ(C, 1u);
+}
+
+TEST(WorkerPoolQueues, HelpPopFrontPrefersOldestChunkAcrossLanes) {
+  WorkerPool Pool(0);
+  Pool.resetQueues(3);
+  Pool.pushChunk(2, 2); // Fronts are 2, 5, 4; oldest pending is 2.
+  Pool.pushChunk(0, 5);
+  Pool.pushChunk(1, 4);
+  Pool.pushChunk(2, 7);
+  uint32_t C = 0;
+  ASSERT_TRUE(Pool.helpPopFront(C));
+  EXPECT_EQ(C, 2u);
+  ASSERT_TRUE(Pool.helpPopFront(C));
+  EXPECT_EQ(C, 4u);
+  ASSERT_TRUE(Pool.helpPopFront(C));
+  EXPECT_EQ(C, 5u);
+  ASSERT_TRUE(Pool.helpPopFront(C));
+  EXPECT_EQ(C, 7u);
+  EXPECT_FALSE(Pool.helpPopFront(C));
+  EXPECT_EQ(Pool.pendingChunks(), 0u);
+}
+
+TEST(WorkerPoolQueues, AcquireBlocksUntilLateWorkOrClose) {
+  // A worker parked in acquireChunk must pick up work pushed after it
+  // started waiting (the recovery re-enqueue path), then exit on close.
+  WorkerPool Pool(1);
+  Pool.resetQueues(1);
+  std::vector<uint32_t> Got;
+  Pool.launch(1, [&](unsigned Lane) {
+    uint32_t C;
+    bool Stolen;
+    while (Pool.acquireChunk(Lane, C, Stolen))
+      Got.push_back(C);
+  });
+  Pool.pushChunk(0, 11);
+  Pool.pushChunk(0, 12);
+  Pool.closeQueues();
+  Pool.wait();
+  ASSERT_EQ(Got.size(), 2u);
+  EXPECT_EQ(Got[0], 11u);
+  EXPECT_EQ(Got[1], 12u);
+}
+
+TEST(WorkerPoolQueues, OversubscribedDrainExecutesEveryChunkOnce) {
+  // 64 chunks on 3 workers with stealing: every chunk runs exactly once.
+  WorkerPool Pool(3);
+  Pool.resetQueues(3);
+  std::vector<std::atomic<int>> Hits(64);
+  for (uint32_t C = 0; C != 64; ++C)
+    Pool.pushChunk(C % 3, C);
+  Pool.closeQueues();
+  std::atomic<int> StolenCount{0};
+  Pool.launch(3, [&](unsigned Lane) {
+    uint32_t C;
+    bool Stolen;
+    while (Pool.acquireChunk(Lane, C, Stolen)) {
+      Hits[C].fetch_add(1);
+      if (Stolen)
+        StolenCount.fetch_add(1);
+    }
+  });
+  Pool.wait();
+  for (auto &H : Hits)
+    EXPECT_EQ(H.load(), 1);
+  EXPECT_EQ(Pool.pendingChunks(), 0u);
 }

@@ -1,4 +1,4 @@
-//===- tests/workloads_test.cpp - Workload model tests ---------------------===//
+//===- tests/workloads_test.cpp - Workload model tests --------------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
