@@ -7,18 +7,24 @@
 /// \file
 /// Helpers shared by the benchmark mains (not part of the spice library):
 ///
-///  * tinyBudget() -- CI runs every bench on every PR with
-///    SPICE_BENCH_BUDGET=tiny; benches shrink their workloads so the run
-///    finishes in seconds while still exercising every code path.
+///  * BenchConfig -- the environment-driven run configuration every
+///    driver needs (previously duplicated per main): the
+///    SPICE_BENCH_BUDGET=tiny smoke budget CI applies on every PR, the
+///    full-vs-tiny workload scaling, and the SPICE_BENCH_THREADS runtime
+///    sizing, pre-packaged as a core::RuntimeConfig.
 ///
 ///  * BenchJson -- writes a flat BENCH_<name>.json summary next to the
 ///    binary (or into SPICE_BENCH_JSON_DIR). CI uploads these as workflow
-///    artifacts so the perf trajectory of the repo is tracked per PR.
+///    artifacts so the perf trajectory of the repo is tracked per PR,
+///    and scripts/compare_bench.py gates regressions against the
+///    baseline artifact from main.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPICE_BENCH_BENCHUTIL_H
 #define SPICE_BENCH_BENCHUTIL_H
+
+#include "core/SpiceConfig.h"
 
 #include <cstdint>
 #include <cstdio>
@@ -34,6 +40,55 @@ inline bool tinyBudget() {
   const char *Env = std::getenv("SPICE_BENCH_BUDGET");
   return Env && std::string(Env) == "tiny";
 }
+
+/// Unsigned environment knob with a default (unparsable, negative, zero
+/// or out-of-range values fall back to \p Default; strtoul would
+/// otherwise happily wrap "-1" to ULONG_MAX).
+inline unsigned envUnsigned(const char *Name, unsigned Default) {
+  const char *Env = std::getenv(Name);
+  if (!Env || !*Env || *Env == '-')
+    return Default;
+  char *End = nullptr;
+  unsigned long V = std::strtoul(Env, &End, 10);
+  if (End == Env || *End != '\0' || V == 0 || V > 1024)
+    return Default;
+  return static_cast<unsigned>(V);
+}
+
+/// The run configuration shared by every bench driver: budget scaling
+/// and runtime sizing, parsed once from the environment.
+class BenchConfig {
+public:
+  BenchConfig()
+      : Tiny(tinyBudget()),
+        Threads(envUnsigned("SPICE_BENCH_THREADS", 4)) {}
+
+  /// CI smoke budget (SPICE_BENCH_BUDGET=tiny)?
+  bool tiny() const { return Tiny; }
+
+  /// "tiny" / "full", for JSON artifacts.
+  const char *budgetName() const { return Tiny ? "tiny" : "full"; }
+
+  /// Workload parameter scaling: the full-budget value, or the tiny one
+  /// under the CI smoke budget.
+  template <typename T> T pick(T Full, T TinyValue) const {
+    return Tiny ? TinyValue : Full;
+  }
+
+  /// Threads of the bench runtime (SPICE_BENCH_THREADS, default 4).
+  unsigned threads() const { return Threads; }
+
+  /// Runtime sizing for the shared-pool bench runtime.
+  core::RuntimeConfig runtimeConfig() const {
+    core::RuntimeConfig R;
+    R.NumThreads = Threads;
+    return R;
+  }
+
+private:
+  bool Tiny;
+  unsigned Threads;
+};
 
 /// Accumulates key/value metrics and writes them as one flat JSON object.
 /// Keys are written verbatim (callers use plain identifiers only).

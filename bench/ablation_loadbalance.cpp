@@ -23,6 +23,7 @@
 #include "BenchUtil.h"
 
 #include "core/SpiceLoop.h"
+#include "core/SpiceRuntime.h"
 #include "workloads/Ks.h"
 #include "workloads/Otter.h"
 
@@ -41,14 +42,13 @@ struct Outcome {
   bool Correct = true;
 };
 
-Outcome runKsPass(bool Rememoize) {
+Outcome runKsPass(SpiceRuntime &RT, bool Rememoize) {
   KsGraph G(512, 6, 7);
   KsTraits Traits;
   Traits.Graph = &G;
-  SpiceConfig C;
-  C.NumThreads = 4;
-  C.RememoizeEveryInvocation = Rememoize;
-  SpiceLoop<KsTraits> Loop(Traits, C);
+  LoopOptions O;
+  O.RememoizeEveryInvocation = Rememoize;
+  auto Loop = RT.makeLoop(Traits, O);
   Outcome Out;
   int Steps = 0;
   while (G.aListHead() && G.bListHead() && Steps < 200) {
@@ -65,13 +65,12 @@ Outcome runKsPass(bool Rememoize) {
   return Out;
 }
 
-Outcome runOtterChurn(bool Rememoize) {
+Outcome runOtterChurn(SpiceRuntime &RT, bool Rememoize) {
   ClauseList List(1200, 8);
   OtterTraits Traits;
-  SpiceConfig C;
-  C.NumThreads = 4;
-  C.RememoizeEveryInvocation = Rememoize;
-  SpiceLoop<OtterTraits> Loop(Traits, C);
+  LoopOptions O;
+  O.RememoizeEveryInvocation = Rememoize;
+  auto Loop = RT.makeLoop(Traits, O);
   Outcome Out;
   for (int I = 0; I != 150 && List.head(); ++I) {
     OtterTraits::State Got = Loop.invoke(List.head());
@@ -144,19 +143,18 @@ struct SweepPoint {
   bool Correct;
 };
 
-SweepPoint runHotspotSweep(unsigned ChunksPerThread, int Invocations,
-                           int64_t Trip) {
+SweepPoint runHotspotSweep(SpiceRuntime &RT, unsigned ChunksPerThread,
+                           int Invocations, int64_t Trip) {
   HotspotTraits Traits;
   Traits.Trip = Trip;
   Traits.HotLen = Trip / 4;
   Traits.HotStart = Trip / 3; // Deliberately boundary-unaligned.
-  SpiceConfig C;
-  C.NumThreads = 4;
-  C.ChunksPerThread = ChunksPerThread;
+  LoopOptions O;
+  O.ChunksPerThread = ChunksPerThread;
   // Paper default: unit work metric. The planner balances iteration
   // counts and is blind to the hotspot.
-  C.UseWeightedWork = false;
-  SpiceLoop<HotspotTraits> Loop(Traits, C);
+  O.UseWeightedWork = false;
+  auto Loop = RT.makeLoop(Traits, O);
 
   SweepPoint P{ChunksPerThread, 0.0, 0.0, 0, 0, true};
   double ImbalanceSum = 0, ChunkSum = 0;
@@ -184,8 +182,8 @@ SweepPoint runHotspotSweep(unsigned ChunksPerThread, int Invocations,
     }
     if (Total == 0)
       continue;
-    uint64_t Makespan = listScheduleMakespan(TrueCost, C.NumThreads);
-    ImbalanceSum += static_cast<double>(Makespan) * C.NumThreads / Total;
+    uint64_t Makespan = listScheduleMakespan(TrueCost, RT.numThreads());
+    ImbalanceSum += static_cast<double>(Makespan) * RT.numThreads() / Total;
     ChunkSum += static_cast<double>(MaxChunk) * TrueCost.size() / Total;
     ++Samples;
   }
@@ -224,11 +222,14 @@ void report(const char *Title, const Outcome &Adaptive,
 } // namespace
 
 int main() {
-  const bool Tiny = spice::benchutil::tinyBudget();
+  const spice::benchutil::BenchConfig Bench;
+  // One shared runtime serves every loop of both ablations.
+  SpiceRuntime RT(Bench.runtimeConfig());
   std::printf("=== Ablation: adaptive re-memoization vs memoize-once "
               "===\n\n");
-  Outcome KsAdaptive = runKsPass(true), KsOnce = runKsPass(false);
-  Outcome OtAdaptive = runOtterChurn(true), OtOnce = runOtterChurn(false);
+  Outcome KsAdaptive = runKsPass(RT, true), KsOnce = runKsPass(RT, false);
+  Outcome OtAdaptive = runOtterChurn(RT, true),
+          OtOnce = runOtterChurn(RT, false);
   report("ks FindMaxGp (list shrinks every invocation)", KsAdaptive,
          KsOnce);
   report("otter find_lightest_cl (remove-min + inserts)", OtAdaptive,
@@ -238,9 +239,10 @@ int main() {
               "paper's justification for Algorithm 2.\n\n");
 
   std::printf("=== Ablation: ChunksPerThread sweep, static cost hotspot "
-              "under the unit work\n    metric (4 threads) ===\n\n");
-  const int Invocations = Tiny ? 16 : 60;
-  const int64_t Trip = Tiny ? 2048 : 4096;
+              "under the unit work\n    metric (%u threads) ===\n\n",
+              RT.numThreads());
+  const int Invocations = Bench.pick(60, 16);
+  const int64_t Trip = Bench.pick<int64_t>(4096, 2048);
   std::printf("%-14s | %12s | %12s | %8s | %8s | %8s\n", "chunks/thread",
               "imbalance", "chunk-imbal", "stolen", "squashed", "correct");
   std::printf("%.*s\n", 76,
@@ -251,7 +253,7 @@ int main() {
   bool AllCorrect = KsAdaptive.Correct && KsOnce.Correct &&
                     OtAdaptive.Correct && OtOnce.Correct;
   for (unsigned K : {1u, 2u, 4u, 8u}) {
-    SweepPoint P = runHotspotSweep(K, Invocations, Trip);
+    SweepPoint P = runHotspotSweep(RT, K, Invocations, Trip);
     std::printf("%-14u | %12.4f | %12.4f | %8lu | %8lu | %8s\n", K,
                 P.Imbalance, P.ChunkImbalance,
                 static_cast<unsigned long>(P.Stolen),
@@ -275,7 +277,7 @@ int main() {
               "for\ndecoupling chunk count from thread count.\n");
 
   spice::benchutil::BenchJson Json("ablation_loadbalance");
-  Json.scalar("threads", static_cast<uint64_t>(4));
+  Json.scalar("threads", static_cast<uint64_t>(RT.numThreads()));
   Json.scalar("invocations", static_cast<uint64_t>(Invocations));
   Json.series("chunks_per_thread", {1, 2, 4, 8});
   Json.series("load_imbalance", Imbalances);

@@ -13,7 +13,10 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "core/SpiceLoop.h"
+#include "core/SpiceRuntime.h"
 #include "workloads/Sjeng.h"
 
 #include <cstdint>
@@ -25,14 +28,14 @@ using namespace spice::workloads;
 
 namespace {
 
-SpiceStats runSjeng(bool Weighted, uint64_t Seed) {
-  SjengBoard Board(1200, Seed);
+SpiceStats runSjeng(SpiceRuntime &RT, bool Weighted, int Invocations,
+                    size_t Pieces, uint64_t Seed) {
+  SjengBoard Board(Pieces, Seed);
   SjengTraits Traits;
-  SpiceConfig C;
-  C.NumThreads = 4;
-  C.UseWeightedWork = Weighted;
-  SpiceLoop<SjengTraits> Loop(Traits, C);
-  for (int I = 0; I != 120; ++I) {
+  LoopOptions O;
+  O.UseWeightedWork = Weighted;
+  auto Loop = RT.makeLoop(Traits, O);
+  for (int I = 0; I != Invocations; ++I) {
     SjengScore Got = Loop.invoke(Board.start());
     SjengScore Want = Board.evalReference();
     if (!(Got == Want)) {
@@ -49,8 +52,12 @@ SpiceStats runSjeng(bool Weighted, uint64_t Seed) {
 int main() {
   std::printf("=== Ablation: iteration-count vs cost-weighted work metric "
               "(sjeng) ===\n\n");
-  SpiceStats ByIter = runSjeng(false, 31);
-  SpiceStats ByCost = runSjeng(true, 31);
+  const spice::benchutil::BenchConfig Bench;
+  SpiceRuntime RT(Bench.runtimeConfig());
+  const int Invocations = Bench.pick(120, 24);
+  const size_t Pieces = Bench.pick<size_t>(1200, 400);
+  SpiceStats ByIter = runSjeng(RT, false, Invocations, Pieces, 31);
+  SpiceStats ByCost = runSjeng(RT, true, Invocations, Pieces, 31);
   std::printf("%-30s | %12s | %12s\n", "", "iter-count", "cost-weighted");
   std::printf("%-30s | %12.3f | %12.3f\n",
               "load imbalance (max/ideal)", ByIter.loadImbalance(),

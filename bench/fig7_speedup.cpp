@@ -23,6 +23,7 @@
 #include "BenchUtil.h"
 
 #include "core/SpiceLoop.h"
+#include "core/SpiceRuntime.h"
 #include "support/MathUtil.h"
 #include "workloads/Ks.h"
 #include "workloads/Mcf.h"
@@ -69,11 +70,10 @@ struct NativeCell {
   bool Correct = true;
 };
 
-SpiceConfig nativeConfig(unsigned ChunksPerThread) {
-  SpiceConfig C;
-  C.NumThreads = 4;
-  C.ChunksPerThread = ChunksPerThread;
-  return C;
+LoopOptions nativeOptions(unsigned ChunksPerThread) {
+  LoopOptions O;
+  O.ChunksPerThread = ChunksPerThread;
+  return O;
 }
 
 NativeCell finishCell(const SpiceStats &S, double SeqSeconds,
@@ -87,10 +87,11 @@ NativeCell finishCell(const SpiceStats &S, double SeqSeconds,
   return Cell;
 }
 
-NativeCell runOtterNative(unsigned K, int Invocations, size_t ListSize) {
+NativeCell runOtterNative(SpiceRuntime &RT, unsigned K, int Invocations,
+                          size_t ListSize) {
   ClauseList List(ListSize, 7001);
   OtterTraits Traits;
-  SpiceLoop<OtterTraits> Loop(Traits, nativeConfig(K));
+  auto Loop = RT.makeLoop(Traits, nativeOptions(K));
   NativeCell Cell;
   double SpiceSec = 0, SeqSec = 0;
   for (int I = 0; I != Invocations && List.head(); ++I) {
@@ -108,13 +109,14 @@ NativeCell runOtterNative(unsigned K, int Invocations, size_t ListSize) {
   return Counted;
 }
 
-NativeCell runMcfNative(unsigned K, int Invocations, size_t TreeSize) {
+NativeCell runMcfNative(SpiceRuntime &RT, unsigned K, int Invocations,
+                        size_t TreeSize) {
   BasisTree TreeSpice(TreeSize, 7002);
   BasisTree TreeRef(TreeSize, 7002);
   McfTraits Traits;
-  SpiceConfig C = nativeConfig(K);
-  C.EnableConflictDetection = true;
-  SpiceLoop<McfTraits> Loop(Traits, C);
+  LoopOptions O = nativeOptions(K);
+  O.EnableConflictDetection = true;
+  auto Loop = RT.makeLoop(Traits, O);
   NativeCell Cell;
   double SpiceSec = 0, SeqSec = 0;
   for (int I = 0; I != Invocations; ++I) {
@@ -133,11 +135,12 @@ NativeCell runMcfNative(unsigned K, int Invocations, size_t TreeSize) {
   return Counted;
 }
 
-NativeCell runKsNative(unsigned K, int MaxSteps, size_t Vertices) {
+NativeCell runKsNative(SpiceRuntime &RT, unsigned K, int MaxSteps,
+                       size_t Vertices) {
   KsGraph G(Vertices, 8, 7003);
   KsTraits Traits;
   Traits.Graph = &G;
-  SpiceLoop<KsTraits> Loop(Traits, nativeConfig(K));
+  auto Loop = RT.makeLoop(Traits, nativeOptions(K));
   NativeCell Cell;
   double SpiceSec = 0, SeqSec = 0;
   int Steps = 0;
@@ -160,12 +163,13 @@ NativeCell runKsNative(unsigned K, int MaxSteps, size_t Vertices) {
   return Counted;
 }
 
-NativeCell runSjengNative(unsigned K, int Invocations, size_t Pieces) {
+NativeCell runSjengNative(SpiceRuntime &RT, unsigned K, int Invocations,
+                          size_t Pieces) {
   SjengBoard Board(Pieces, 7004);
   SjengTraits Traits;
-  SpiceConfig C = nativeConfig(K);
-  C.UseWeightedWork = true;
-  SpiceLoop<SjengTraits> Loop(Traits, C);
+  LoopOptions O = nativeOptions(K);
+  O.UseWeightedWork = true;
+  auto Loop = RT.makeLoop(Traits, O);
   NativeCell Cell;
   double SpiceSec = 0, SeqSec = 0;
   for (int I = 0; I != Invocations; ++I) {
@@ -186,7 +190,8 @@ NativeCell runSjengNative(unsigned K, int Invocations, size_t Pieces) {
 } // namespace
 
 int main() {
-  const bool Tiny = benchutil::tinyBudget();
+  const benchutil::BenchConfig Bench;
+  const bool Tiny = Bench.tiny();
   benchutil::BenchJson Json("fig7_speedup");
 
   //===------------------------------------------------------------------===//
@@ -277,10 +282,14 @@ int main() {
               "by invocation.\n\n");
 
   //===------------------------------------------------------------------===//
-  // Part 2: native runtime, ChunksPerThread sweep at 4 threads.
+  // Part 2: native runtime, ChunksPerThread sweep. All kernels register
+  // their loops on ONE shared SpiceRuntime (one worker pool for the whole
+  // sweep -- the post-PR-3 execution model).
   //===------------------------------------------------------------------===//
-  std::printf("=== Native runtime: ChunksPerThread sweep, 4 threads "
-              "(wall-clock) ===\n\n");
+  SpiceRuntime RT(Bench.runtimeConfig());
+  std::printf("=== Native runtime: ChunksPerThread sweep, %u threads, one "
+              "shared pool (wall-clock) ===\n\n",
+              RT.numThreads());
   std::printf("%-10s |", "loop");
   const unsigned Ks[] = {1, 2, 4, 8};
   for (unsigned K : Ks)
@@ -294,15 +303,16 @@ int main() {
     const char *Name;
     std::function<NativeCell(unsigned)> Run;
   };
-  const int Inv = Tiny ? 12 : 60;
-  const size_t Sz = Tiny ? 600 : 3000;
+  const int Inv = Bench.pick(60, 12);
+  const size_t Sz = Bench.pick<size_t>(3000, 600);
   std::vector<NativeRow> NativeRows = {
-      {"otter", [&](unsigned K) { return runOtterNative(K, Inv, Sz); }},
+      {"otter",
+       [&](unsigned K) { return runOtterNative(RT, K, Inv, Sz); }},
       {"181.mcf",
-       [&](unsigned K) { return runMcfNative(K, Inv, Sz / 2); }},
-      {"ks", [&](unsigned K) { return runKsNative(K, Inv, Sz / 4); }},
+       [&](unsigned K) { return runMcfNative(RT, K, Inv, Sz / 2); }},
+      {"ks", [&](unsigned K) { return runKsNative(RT, K, Inv, Sz / 4); }},
       {"458.sjeng",
-       [&](unsigned K) { return runSjengNative(K, Inv, Sz / 2); }},
+       [&](unsigned K) { return runSjengNative(RT, K, Inv, Sz / 2); }},
   };
 
   bool AllCorrect = true;
@@ -329,7 +339,7 @@ int main() {
               "chunk per thread, serial\nrecovery); larger k oversubscribes "
               "the worker deques and recovers through\nstealable chunks. "
               "Wall-clock numbers depend on the host's core count.\n");
-  Json.scalar("budget", std::string(Tiny ? "tiny" : "full"));
+  Json.scalar("budget", std::string(Bench.budgetName()));
   Json.scalar("native_all_correct",
               static_cast<uint64_t>(AllCorrect ? 1 : 0));
   Json.write(); // Before the gate: the artifact matters most on failure.

@@ -94,6 +94,20 @@ void BM_WorkerPoolRoundTrip(benchmark::State &State) {
   }
 }
 
+void BM_SessionRoundTrip(benchmark::State &State) {
+  // Per-invocation cost of the shared-pool path: lease lanes, launch,
+  // wait, release (what every SpiceLoop::invokeParallel pays).
+  WorkerPool Pool(3);
+  std::atomic<uint64_t> Sink{0};
+  for (auto _ : State) {
+    WorkerPool::SessionHandle S =
+        Pool.acquireSession(3, /*AllowStealing=*/true);
+    S->closeQueues();
+    S->launch([&](unsigned I) { Sink.fetch_add(I); });
+    S->wait();
+  }
+}
+
 void BM_SjengEvalStep(benchmark::State &State) {
   workloads::SjengBoard Board(256, 3);
   workloads::SjengLiveIn LI = Board.start();
@@ -117,6 +131,7 @@ BENCHMARK(BM_SpecBufferReadOwnWrite);
 BENCHMARK(BM_SpecBufferValidate)->Arg(16)->Arg(256);
 BENCHMARK(BM_PlannerCompute);
 BENCHMARK(BM_WorkerPoolRoundTrip);
+BENCHMARK(BM_SessionRoundTrip);
 BENCHMARK(BM_SjengEvalStep);
 
 BENCHMARK_MAIN();

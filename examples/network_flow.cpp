@@ -14,6 +14,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/SpiceLoop.h"
+#include "core/SpiceRuntime.h"
 #include "workloads/Mcf.h"
 
 #include <cstdio>
@@ -23,11 +24,11 @@ using namespace spice::workloads;
 
 int main() {
   BasisTree Basis(20000, /*Seed=*/7);
+  SpiceRuntime Runtime(/*NumThreads=*/4);
   McfTraits Traits;
-  SpiceConfig Config;
-  Config.NumThreads = 4;
-  Config.EnableConflictDetection = true; // Required: the loop stores.
-  SpiceLoop<McfTraits> Refresh(Traits, Config);
+  LoopOptions Opts;
+  Opts.EnableConflictDetection = true; // Required: the loop stores.
+  auto Refresh = Runtime.makeLoop(Traits, Opts);
 
   std::printf("simplex iterations with periodic potential refresh "
               "(%zu-node basis tree)\n\n",
@@ -54,9 +55,10 @@ int main() {
   std::printf("mis-speculation rate:  %.2f%%\n",
               100.0 * S.misspeculationRate());
 
-  // Verify final memory state against a sequential twin.
+  // Verify final memory state against a sequential twin. The check loop
+  // registers on the *same* runtime: a second loop costs no threads.
   BasisTree Twin(20000, 7);
-  SpiceLoop<McfTraits> Check(Traits, Config);
+  auto Check = Runtime.makeLoop(Traits, Opts);
   for (int Pivot = 0; Pivot != 60; ++Pivot) {
     Twin.refreshPotentialReference();
     Twin.mutate(2, 1, Pivot % 7 != 6);

@@ -1,53 +1,33 @@
-//===- examples/quickstart.cpp - SpiceLoop in 60 lines --------------------===//
+//===- examples/quickstart.cpp - A Spice loop in 40 lines -----------------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
 //===----------------------------------------------------------------------===//
 //
 // Quickstart: speculatively parallelize a linked-list minimum search with
-// the native runtime. Adapt a loop by describing its live-in transition
-// (step), its private state (reductions), and how chunk states merge.
+// the native runtime. Create one SpiceRuntime (the process-wide worker
+// pool), then assemble the loop from lambdas with spice::LoopBuilder --
+// the live-in transition (step), how chunk states merge (combine), and
+// the initial state (init). No Traits struct needed.
 //
-// Build & run:  ./build/examples/quickstart
+// Build & run:  ./build/example_quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "core/SpiceLoop.h"
+#include "core/LoopBuilder.h"
 
 #include <algorithm>
 #include <cstdio>
 #include <deque>
+#include <limits>
 
-using namespace spice::core;
+using namespace spice;
 
 namespace {
 
 struct Node {
   long Value;
   Node *Next;
-};
-
-/// The loop "while (n) { min = std::min(min, n->Value); n = n->Next; }"
-/// described for SpiceLoop.
-struct MinSearch {
-  using LiveIn = Node *;       // The speculated loop-carried value.
-  struct State {               // Private per-chunk state (a reduction).
-    long Min;
-  };
-
-  State initialState() { return {__LONG_MAX__}; }
-
-  bool step(LiveIn &N, State &S, SpecSpace &) {
-    if (!N)
-      return false; // Natural loop exit.
-    S.Min = std::min(S.Min, N->Value);
-    N = N->Next;
-    return true;
-  }
-
-  void combine(State &Into, State &&Chunk) {
-    Into.Min = std::min(Into.Min, Chunk.Min);
-  }
 };
 
 } // namespace
@@ -61,25 +41,41 @@ int main() {
     Head = &Arena.back();
   }
 
-  MinSearch Traits;
-  SpiceConfig Config;
-  Config.NumThreads = 4;
-  SpiceLoop<MinSearch> Loop(Traits, Config);
+  // One runtime per process: it owns the shared worker pool; every loop
+  // in the program registers on it.
+  core::SpiceRuntime Runtime(/*NumThreads=*/4);
+
+  // The loop "while (n) { min = std::min(min, n->Value); n = n->Next; }"
+  // assembled from lambdas. The live-in (Node *) is what Spice
+  // speculates; the state (long) is the private per-chunk reduction.
+  auto MinSearch =
+      LoopBuilder<Node *, long>()
+          .init([] { return std::numeric_limits<long>::max(); })
+          .step([](Node *&N, long &Min, core::SpecSpace &) {
+            if (!N)
+              return false; // Natural loop exit.
+            Min = std::min(Min, N->Value);
+            N = N->Next;
+            return true;
+          })
+          .combine([](long &Into, long &&Chunk) {
+            Into = std::min(Into, Chunk);
+          })
+          .build(Runtime);
 
   // Invoke repeatedly: the first invocation bootstraps the value
   // predictor; later ones run as 4 speculative chunks.
-  for (int Invocation = 0; Invocation != 5; ++Invocation) {
-    MinSearch::State Result = Loop.invoke(Head);
-    std::printf("invocation %d: min = %ld\n", Invocation, Result.Min);
-  }
+  for (int Invocation = 0; Invocation != 5; ++Invocation)
+    std::printf("invocation %d: min = %ld\n", Invocation,
+                MinSearch.invoke(Head));
 
-  const SpiceStats &S = Loop.stats();
+  const core::SpiceStats &S = MinSearch.stats();
   std::printf("\ninvocations: %lu (sequential: %lu, fully speculative: "
               "%lu)\n",
               (unsigned long)S.Invocations,
               (unsigned long)S.SequentialInvocations,
               (unsigned long)S.FullySpeculativeInvocations);
-  std::printf("speculative threads launched: %lu, squashed: %lu\n",
+  std::printf("speculative chunks launched: %lu, squashed: %lu\n",
               (unsigned long)S.LaunchedSpecThreads,
               (unsigned long)S.SquashedThreads);
   return 0;

@@ -8,11 +8,14 @@
 // selects the lightest clause from its set-of-support, removes it, and
 // inserts newly derived clauses. The selection loop is Spice-parallelized;
 // the churn between invocations is exactly what the re-memoizing value
-// predictor absorbs.
+// predictor absorbs. The loop registers on a SpiceRuntime -- the
+// process-wide worker pool a real prover would share across all its
+// parallelized loops.
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/SpiceLoop.h"
+#include "core/SpiceRuntime.h"
 #include "workloads/Otter.h"
 
 #include <cstdio>
@@ -22,10 +25,9 @@ using namespace spice::workloads;
 
 int main() {
   ClauseList SetOfSupport(5000, /*Seed=*/2026);
+  SpiceRuntime Runtime(/*NumThreads=*/4);
   OtterTraits Traits;
-  SpiceConfig Config;
-  Config.NumThreads = 4;
-  SpiceLoop<OtterTraits> Selection(Traits, Config);
+  auto Selection = Runtime.makeLoop(Traits);
 
   std::printf("proving... (each round: select lightest of %zu clauses, "
               "derive 3 new ones)\n\n",

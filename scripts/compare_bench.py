@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json perf artifacts against a baseline from main.
+
+The bench CI job emits one flat BENCH_<name>.json per benchmark (see
+bench/BenchUtil.h). On main, the job caches those files as the baseline;
+on pull requests this script diffs the PR's artifacts against that
+baseline and FAILS (exit 1) when a gated metric regresses by more than
+--threshold (default 10%). The gated metrics are the simulated Figure 7
+speedup geomeans (higher is better); everything else is reported
+informationally so perf drift stays visible in the job log.
+
+Usage:
+  scripts/compare_bench.py --current build --baseline bench-baseline
+  scripts/compare_bench.py --current build --baseline bench-baseline \
+      --gate fig7_speedup:sim_geomean_4t --threshold 0.10
+
+A missing baseline directory or file is not an error (first run, expired
+cache): the script prints a notice and exits 0.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Metrics that gate the job: (file stem, key, higher_is_better). The
+# simulated Figure 7 geomeans are the repo's headline number (ROADMAP:
+# regression gate on the simulated Figure 7 geomean).
+DEFAULT_GATES = [
+    ("fig7_speedup", "sim_geomean_2t", True),
+    ("fig7_speedup", "sim_geomean_4t", True),
+]
+
+
+def load_bench_files(directory):
+    """Returns {stem: parsed json} for every BENCH_*.json in directory."""
+    out = {}
+    if not os.path.isdir(directory):
+        return out
+    for name in sorted(os.listdir(directory)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        stem = name[len("BENCH_"):-len(".json")]
+        path = os.path.join(directory, name)
+        try:
+            with open(path) as f:
+                out[stem] = json.load(f)
+        except (OSError, ValueError) as e:
+            print(f"warning: cannot parse {path}: {e}", file=sys.stderr)
+    return out
+
+
+def numeric_keys(doc):
+    return {
+        k: float(v)
+        for k, v in doc.items()
+        if isinstance(v, (int, float)) and not isinstance(v, bool)
+    }
+
+
+def parse_gate(spec):
+    """Parses 'stem:key' or 'stem:key:lower-is-better' gate specs."""
+    parts = spec.split(":")
+    if len(parts) not in (2, 3):
+        raise argparse.ArgumentTypeError(
+            f"gate '{spec}' is not of the form stem:key[:lower-is-better]")
+    higher = True
+    if len(parts) == 3:
+        if parts[2] != "lower-is-better":
+            raise argparse.ArgumentTypeError(
+                f"gate '{spec}': third field must be 'lower-is-better'")
+        higher = False
+    return (parts[0], parts[1], higher)
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True,
+                    help="directory with this run's BENCH_*.json")
+    ap.add_argument("--baseline", required=True,
+                    help="directory with the baseline BENCH_*.json")
+    ap.add_argument("--threshold", type=float, default=0.10,
+                    help="maximum tolerated relative regression on gated "
+                         "metrics (default 0.10 = 10%%)")
+    ap.add_argument("--gate", action="append", type=parse_gate, default=[],
+                    metavar="STEM:KEY[:lower-is-better]",
+                    help="extra gated metric; repeatable. Default gates: "
+                         "the simulated Figure 7 speedup geomeans")
+    args = ap.parse_args()
+
+    current = load_bench_files(args.current)
+    baseline = load_bench_files(args.baseline)
+    if not current:
+        print(f"error: no BENCH_*.json found in {args.current}",
+              file=sys.stderr)
+        return 1
+    if not baseline:
+        print(f"notice: no baseline BENCH_*.json in {args.baseline}; "
+              "skipping comparison (first run or expired cache)")
+        return 0
+
+    # Informational diff of every shared numeric metric.
+    print(f"{'metric':50s} {'baseline':>12s} {'current':>12s} {'delta':>9s}")
+    print("-" * 86)
+    for stem in sorted(set(current) & set(baseline)):
+        cur, base = numeric_keys(current[stem]), numeric_keys(baseline[stem])
+        for key in sorted(set(cur) & set(base)):
+            b, c = base[key], cur[key]
+            delta = (c - b) / abs(b) if b else float("inf") if c else 0.0
+            print(f"{stem + ':' + key:50s} {b:12.4g} {c:12.4g} "
+                  f"{delta:+8.1%}")
+
+    gates = DEFAULT_GATES + args.gate
+    failures = []
+    print()
+    for stem, key, higher_is_better in gates:
+        # Missing on the baseline side is legitimate (first run, expired
+        # cache, metric added by this PR): skip. Missing on the CURRENT
+        # side while the baseline has it means this PR stopped emitting a
+        # gated headline metric -- that must fail, or a regressing PR
+        # could disable its own gate by renaming the key.
+        base = numeric_keys(baseline[stem]).get(key) \
+            if stem in baseline else None
+        cur = numeric_keys(current[stem]).get(key) \
+            if stem in current else None
+        if base is None or base == 0:
+            print(f"gate {stem}:{key}: no baseline value; skipped")
+            continue
+        if cur is None:
+            print(f"gate {stem}:{key}: baseline has it but the current "
+                  "run does not emit it ... FAIL")
+            failures.append((stem, key, float("inf")))
+            continue
+        regression = (base - cur) / base if higher_is_better \
+            else (cur - base) / base
+        status = "FAIL" if regression > args.threshold else "ok"
+        print(f"gate {stem}:{key}: baseline {base:.4g}, current {cur:.4g}, "
+              f"regression {regression:+.1%} (threshold "
+              f"{args.threshold:.0%}) ... {status}")
+        if regression > args.threshold:
+            failures.append((stem, key, regression))
+
+    if failures:
+        names = ", ".join(f"{s}:{k} ({r:+.1%})" for s, k, r in failures)
+        print(f"\nFAIL: perf regression beyond threshold: {names}",
+              file=sys.stderr)
+        return 1
+    print("\nAll gated metrics within threshold.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -5,8 +5,18 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Tunables of the native Spice runtime plus the statistics block every
-/// experiment reads (mis-speculation rates, squashes, load balance).
+/// Tunables of the native Spice runtime, split by scope:
+///
+///  * RuntimeConfig -- process-wide settings of a SpiceRuntime (thread
+///    count, worker placement hooks). One runtime serves many loops.
+///  * LoopOptions -- per-loop policy (oversubscription degree, conflict
+///    detection, work metric, recovery limits).
+///  * SpiceConfig -- the legacy flat aggregate of both, kept so code
+///    written against the one-loop-one-pool API keeps compiling; it
+///    splits into the two scoped structs via runtime() / loop().
+///
+/// Plus the statistics block every experiment reads (mis-speculation
+/// rates, squashes, load balance).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -15,16 +25,29 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 namespace spice {
 namespace core {
 
-/// Knobs of the native Spice runtime.
-struct SpiceConfig {
-  /// Total threads including the non-speculative main thread.
+/// Process-wide settings of a SpiceRuntime: sizing and placement of the
+/// single shared WorkerPool that executes every registered loop.
+struct RuntimeConfig {
+  /// Total threads including the non-speculative main (client) thread;
+  /// the shared pool spawns NumThreads - 1 workers.
   unsigned NumThreads = 4;
 
+  /// Placement hook, run once on each worker thread before it parks
+  /// (worker index in [0, NumThreads-1)). The intended use is NUMA / core
+  /// pinning: bind the worker to a node here and the lane leases hand the
+  /// pinned workers to invocations. Null = no placement.
+  std::function<void(unsigned)> WorkerStartHook;
+};
+
+/// Per-loop policy: everything a single SpiceLoop decides for itself,
+/// independent of the runtime that executes it.
+struct LoopOptions {
   /// Speculative chunks per thread. 1 reproduces the paper exactly: t
   /// chunks on t threads, serial recovery. Larger values oversubscribe
   /// the invocation with ChunksPerThread * NumThreads chunks scheduled
@@ -60,14 +83,46 @@ struct SpiceConfig {
   /// Capacity of the bootstrap sampler used on the first invocation.
   size_t BootstrapCapacity = 64;
 
-  /// Chunks of one invocation. A single-threaded configuration never
-  /// speculates, so oversubscription is meaningless there.
-  unsigned numChunks() const {
+  /// Chunks of one invocation on a runtime with \p NumThreads threads. A
+  /// single-threaded runtime never speculates, so oversubscription is
+  /// meaningless there.
+  unsigned numChunks(unsigned NumThreads) const {
     return NumThreads <= 1 ? 1
                            : NumThreads * (ChunksPerThread ? ChunksPerThread
                                                            : 1);
   }
 };
+
+/// Legacy flat aggregate from the era when every SpiceLoop owned a
+/// private thread pool: literally the two scoped structs glued together
+/// by inheritance, so every knob is declared (and defaulted) exactly
+/// once. Field access is unchanged (C.NumThreads, C.ChunksPerThread,
+/// ...). Still accepted by the SpiceLoop(Traits&, SpiceConfig)
+/// constructor, which builds a dedicated single-loop runtime from
+/// runtime() and applies loop().
+struct SpiceConfig : RuntimeConfig, LoopOptions {
+  /// The runtime-wide half of this config.
+  RuntimeConfig runtime() const { return *this; }
+
+  /// The per-loop half of this config.
+  LoopOptions loop() const { return *this; }
+
+  /// Chunks of one invocation. A single-threaded configuration never
+  /// speculates, so oversubscription is meaningless there.
+  unsigned numChunks() const {
+    return LoopOptions::numChunks(NumThreads);
+  }
+};
+
+/// Inverse of SpiceConfig::runtime()/loop(): the flat effective view of
+/// a loop registered with \p Opts on a runtime configured by \p R.
+inline SpiceConfig mergedConfig(const RuntimeConfig &R,
+                                const LoopOptions &Opts) {
+  SpiceConfig C;
+  static_cast<RuntimeConfig &>(C) = R;
+  static_cast<LoopOptions &>(C) = Opts;
+  return C;
+}
 
 /// Counters accumulated across invocations of one SpiceLoop.
 ///

@@ -9,11 +9,25 @@
 /// given a loop expressed as a live-in transition function plus a private
 /// reduction state, it executes each invocation as a chain of speculative
 /// chunks. The paper runs exactly t chunks on t threads; this runtime
-/// decouples the two (SpiceConfig::ChunksPerThread): an invocation is split
-/// into k*t chunks scheduled onto per-worker deques with work stealing, so
-/// a mis-balanced or mis-predicted chunk no longer idles every other core.
+/// decouples the two (LoopOptions::ChunksPerThread): an invocation is
+/// split into k*t chunks scheduled onto per-worker deques with work
+/// stealing, so a mis-balanced or mis-predicted chunk no longer idles
+/// every other core.
 ///
-/// A loop is adapted through a Traits object:
+/// A SpiceLoop is a lightweight handle on a SpiceRuntime: the runtime
+/// owns the single shared WorkerPool, and each invocation leases a
+/// partition of its worker lanes (WorkerPool::acquireSession), so many
+/// loops -- invoked from the same or different client threads -- share
+/// one set of pre-allocated threads:
+///
+/// \code
+///   SpiceRuntime RT(/*NumThreads=*/4);            // one pool, process-wide
+///   auto Loop = RT.makeLoop(Traits, LoopOptions{}); // per-loop policy
+///   auto Result = Loop.invoke(Head);
+/// \endcode
+///
+/// A loop is adapted through a Traits object (or assembled from lambdas
+/// with spice::LoopBuilder, see core/LoopBuilder.h):
 ///
 /// \code
 ///   struct ListMin {
@@ -29,6 +43,12 @@
 ///     uint64_t weight(const LiveIn &LI);
 ///   };
 /// \endcode
+///
+/// Migration note: the pre-runtime constructor
+/// `SpiceLoop<Traits>(T, SpiceConfig)` still works -- it builds a private
+/// single-loop runtime from SpiceConfig::runtime() and applies
+/// SpiceConfig::loop() -- but programs with more than one static loop
+/// should create one SpiceRuntime and register every loop on it.
 ///
 /// Protocol per invocation (paper sections 3-4, generalized to chunks):
 ///  * chunk 0 (main thread, non-speculative) starts from the real live-in;
@@ -64,7 +84,9 @@
 #include "core/Planner.h"
 #include "core/SpecWriteBuffer.h"
 #include "core/SpiceConfig.h"
+#include "core/SpiceRuntime.h"
 #include "core/WorkerPool.h"
+#include "support/ErrorHandling.h"
 
 #include <algorithm>
 #include <atomic>
@@ -87,28 +109,52 @@ concept HasWeight = requires(Traits T, const LiveIn &LI) {
 };
 
 /// Speculatively parallelized loop. One instance per static loop; reuse it
-/// across invocations so the value predictor can learn.
+/// across invocations so the value predictor can learn. A lightweight
+/// handle: execution runs on the SpiceRuntime's shared worker pool.
 template <typename Traits> class SpiceLoop {
 public:
   using LiveIn = typename Traits::LiveIn;
   using State = typename Traits::State;
 
+  /// Registers a loop with per-loop policy \p Opts on \p Runtime (the
+  /// preferred spelling is Runtime.makeLoop(T, Opts)). The runtime -- and
+  /// its shared pool -- must outlive the loop.
+  SpiceLoop(Traits &T, SpiceRuntime &Runtime, const LoopOptions &Opts = {})
+      : SpiceLoop(T, Opts, /*Owned=*/nullptr, &Runtime) {}
+
+  /// Legacy constructor: builds a dedicated single-loop runtime from
+  /// \p Config (one private pool per loop, as before the SpiceRuntime
+  /// split). Prefer registering loops on one shared runtime.
   SpiceLoop(Traits &T, const SpiceConfig &Config)
-      : T(T), Config(Config), NumChunks(Config.numChunks()),
-        Pool(Config.NumThreads - 1),
-        Sampler(std::max(Config.BootstrapCapacity,
-                         static_cast<size_t>(2 * NumChunks))),
-        SVA(NumChunks > 1 ? NumChunks - 1 : 0), RowValid(SVA.size(), 0),
-        Buffers(NumChunks),
-        AbortFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
-        DoneFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
-        Results(NumChunks) {
-    assert(Config.NumThreads >= 1 && "need at least one thread");
+      : SpiceLoop(T, Config.loop(),
+                  std::make_unique<SpiceRuntime>(Config.runtime())) {}
+
+  ~SpiceLoop() {
+    if (RT)
+      RT->unregisterLoop();
   }
 
+  SpiceLoop(const SpiceLoop &) = delete;
+  SpiceLoop &operator=(const SpiceLoop &) = delete;
+
   /// Executes one invocation starting from \p Start and returns the merged
-  /// state (reductions and live-outs).
+  /// state (reductions and live-outs). Different loops of one runtime may
+  /// invoke concurrently, but each individual loop is driven by one
+  /// client thread at a time (the predictor state is per-loop);
+  /// overlapping invoke() calls on the same handle abort with a
+  /// diagnostic.
   State invoke(const LiveIn &Start) {
+    if (InvokeInFlight.exchange(true, std::memory_order_acquire))
+      reportFatalError("SpiceLoop::invoke called concurrently on the same "
+                       "loop handle; a loop is driven by one client "
+                       "thread at a time (use one loop per client, many "
+                       "loops per runtime)");
+    // Clear the flag even when a Traits callable throws, so the handle
+    // reports the real error instead of a bogus concurrent-invoke one.
+    struct FlagClearer {
+      std::atomic<bool> &F;
+      ~FlagClearer() { F.store(false, std::memory_order_release); }
+    } Clear{InvokeInFlight};
     ++Stats.Invocations;
     unsigned ActiveChunks = countLaunchableSpecChunks();
     if (ActiveChunks == 0)
@@ -127,7 +173,16 @@ public:
   }
 
   const SpiceStats &stats() const { return Stats; }
+
+  /// Effective flat view of this loop's configuration: the runtime's
+  /// thread count merged with the per-loop options.
   const SpiceConfig &config() const { return Config; }
+
+  /// The per-loop half of the configuration.
+  const LoopOptions &options() const { return Opts; }
+
+  /// The runtime this loop is registered on.
+  SpiceRuntime &runtime() const { return *RT; }
 
   /// Current memoization plan (exposed for tests and load-balance benches).
   const MemoizationPlan &currentPlan() const { return Plan; }
@@ -325,15 +380,36 @@ private:
       Results[I].reset();
     }
 
-    const unsigned Lanes = std::min(Pool.size(), ActiveChunks);
-    Pool.resetQueues(Lanes, /*AllowStealing=*/Oversubscribed);
+    // Lease lanes from the runtime's shared pool for this invocation.
+    // With a sole client this yields min(pool size, ActiveChunks) lanes,
+    // the pre-runtime schedule; under concurrent invocations the pool is
+    // partitioned and fewer lanes simply queue more chunks per lane.
+    WorkerPool::SessionHandle Session = RT->pool().acquireSession(
+        ActiveChunks, /*AllowStealing=*/Oversubscribed);
+    const unsigned Lanes = Session->lanes();
+    // If a Traits callable throws mid-invocation, the lanes must still be
+    // joined before the handle returns them to the shared pool -- a
+    // session destroyed with its job in flight would lease busy workers
+    // to other loops. Squash the orphaned chunks and drain; idempotent
+    // on the normal path (queues already closed, wait a no-op).
+    struct SessionJoiner {
+      SpiceLoop &L;
+      WorkerSession &S;
+      unsigned ActiveChunks;
+      ~SessionJoiner() {
+        for (unsigned I = 0; I <= ActiveChunks; ++I)
+          L.AbortFlags[I].store(true, std::memory_order_relaxed);
+        S.closeQueues();
+        S.wait();
+      }
+    } Joiner{*this, *Session, ActiveChunks};
     for (unsigned C = 1; C <= ActiveChunks; ++C)
-      Pool.pushChunk(homeLane(C, Lanes), C);
+      Session->pushChunk(homeLane(C, Lanes), C);
 
-    Pool.launch(Lanes, [&](unsigned Lane) {
+    Session->launch([&, S = Session.get()](unsigned Lane) {
       uint32_t C;
       bool Stolen;
-      while (Pool.acquireChunk(Lane, C, Stolen))
+      while (S->acquireChunk(Lane, C, Stolen))
         executeChunk(C, Pred, ActiveChunks, Stolen,
                      Config.MaxSpecIterations);
     });
@@ -348,7 +424,7 @@ private:
     auto WaitForChunk = [&](unsigned C) {
       while (!DoneFlags[C].load(std::memory_order_acquire)) {
         uint32_t P;
-        if (Oversubscribed && Pool.helpPopFront(P)) {
+        if (Oversubscribed && Session->helpPopFront(P)) {
           ++Stats.MainHelpedChunks;
           executeChunk(P, Pred, ActiveChunks, /*Stolen=*/true,
                        P == C ? Config.MaxSpecIterations
@@ -407,7 +483,7 @@ private:
           AbortFlags[J].store(false, std::memory_order_relaxed);
           // Front of the lane: J blocks the whole commit chain, so it
           // must run before any more-speculative pending chunk.
-          Pool.pushChunkFront(homeLane(J, Lanes), J);
+          Session->pushChunkFront(homeLane(J, Lanes), J);
           continue; // Same J: wait for the recovery execution.
         }
         // Paper protocol (and oversubscribed last resort): everything
@@ -443,8 +519,8 @@ private:
       Merged = runRecovery(std::move(Merged), Pred[RecoverFrom - 1], Work,
                            RecoverFrom);
 
-    Pool.closeQueues();
-    Pool.wait();
+    Session->closeQueues();
+    Session->wait(); // Handle destruction returns the leased lanes.
 
     // Post-join bookkeeping: wasted work and stale rows of dead chunks.
     bool AnySquash = AnyFailure;
@@ -478,8 +554,11 @@ private:
         MaxChunk = std::max(MaxChunk, Work[J]);
       }
       if (Total > 0) {
-        unsigned ExecUnits =
-            std::min(Config.NumThreads, ActiveChunks + 1);
+        // The invocation's real execution contexts: the leased lanes
+        // plus the resolving main thread. With a sole client this equals
+        // min(NumThreads, ActiveChunks + 1), the pre-runtime value;
+        // under pool contention it reflects the partition actually held.
+        unsigned ExecUnits = Lanes + 1;
         std::vector<uint64_t> ChunkWork(Work.begin(),
                                         Work.begin() + ActiveChunks + 1);
         uint64_t Makespan = listScheduleMakespan(ChunkWork, ExecUnits);
@@ -541,10 +620,32 @@ private:
     Plan = planMemoization(Padded, NumChunks);
   }
 
+  /// Delegation target of both public constructors: \p Owned is the
+  /// private runtime of a legacy-constructed loop (null when registering
+  /// on a shared one).
+  SpiceLoop(Traits &T, const LoopOptions &Opts,
+            std::unique_ptr<SpiceRuntime> Owned,
+            SpiceRuntime *Shared = nullptr)
+      : T(T), OwnedRT(std::move(Owned)),
+        RT(Shared ? Shared : OwnedRT.get()), Opts(Opts),
+        Config(mergedConfig(RT->config(), Opts)),
+        NumChunks(Config.numChunks()),
+        Sampler(std::max(Config.BootstrapCapacity,
+                         static_cast<size_t>(2 * NumChunks))),
+        SVA(NumChunks > 1 ? NumChunks - 1 : 0), RowValid(SVA.size(), 0),
+        Buffers(NumChunks),
+        AbortFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
+        DoneFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
+        Results(NumChunks) {
+    RT->registerLoop();
+  }
+
   Traits &T;
-  SpiceConfig Config;
+  std::unique_ptr<SpiceRuntime> OwnedRT; ///< Legacy ctor only.
+  SpiceRuntime *RT;                      ///< Never null.
+  LoopOptions Opts;
+  SpiceConfig Config; ///< Effective view: runtime threads + Opts.
   unsigned NumChunks;
-  WorkerPool Pool;
   BootstrapSampler<LiveIn> Sampler;
   MemoizationPlan Plan;
   std::vector<LiveIn> SVA;
@@ -554,6 +655,8 @@ private:
   std::unique_ptr<std::atomic<bool>[]> DoneFlags;
   std::vector<std::optional<ChunkResult>> Results;
   SpiceStats Stats;
+  /// Guards against overlapping invoke() on one handle (see invoke()).
+  std::atomic<bool> InvokeInFlight{false};
 };
 
 } // namespace core

@@ -1,0 +1,115 @@
+//===- core/SpiceRuntime.h - One shared pool, many loops --------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SpiceRuntime is the process-wide home of the speculative runtime: it
+/// owns the single WorkerPool and every cross-loop policy knob
+/// (RuntimeConfig: thread count, worker placement hooks). Loops are
+/// lightweight handles registered on a runtime:
+///
+/// \code
+///   spice::core::SpiceRuntime RT(/*NumThreads=*/8);
+///   auto Select = RT.makeLoop(SelectTraits);  // default LoopOptions
+///   spice::core::LoopOptions WithConflicts;
+///   WithConflicts.EnableConflictDetection = true;
+///   auto Refresh = RT.makeLoop(RefreshTraits, WithConflicts);
+///   // Different loops -- even from different client threads -- share
+///   // the pool; each invocation leases a partition of the worker lanes.
+///   auto R = Select.invoke(Head);
+/// \endcode
+///
+/// A program with N static Spice loops therefore runs on one thread pool
+/// (the paper's pre-allocated threads), not N of them: idle lanes of one
+/// loop serve another, and concurrent invocations from different client
+/// threads split the pool through WorkerPool::acquireSession instead of
+/// serializing. Per-loop policy lives in LoopOptions; see
+/// core/SpiceLoop.h for the loop protocol and core/LoopBuilder.h for the
+/// lambda front-end that spares workloads the Traits boilerplate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_CORE_SPICERUNTIME_H
+#define SPICE_CORE_SPICERUNTIME_H
+
+#include "core/SpiceConfig.h"
+#include "core/WorkerPool.h"
+
+#include <atomic>
+#include <cassert>
+#include <utility>
+
+namespace spice {
+namespace core {
+
+template <typename Traits> class SpiceLoop;
+
+/// Owns the shared WorkerPool and all cross-loop policy. Loops hold a
+/// reference to their runtime, so the runtime must outlive every loop
+/// created on it.
+class SpiceRuntime {
+public:
+  explicit SpiceRuntime(RuntimeConfig Config = {})
+      : Config(std::move(Config)),
+        Pool(this->Config.NumThreads > 0 ? this->Config.NumThreads - 1 : 0,
+             this->Config.WorkerStartHook) {
+    assert(this->Config.NumThreads >= 1 && "need at least one thread");
+  }
+
+  /// Convenience: a runtime with \p NumThreads threads and default
+  /// cross-loop policy.
+  explicit SpiceRuntime(unsigned NumThreads)
+      : SpiceRuntime(RuntimeConfig{NumThreads, {}}) {}
+
+  ~SpiceRuntime() {
+    assert(RegisteredLoops.load(std::memory_order_relaxed) == 0 &&
+           "destroying a SpiceRuntime while loops are still registered "
+           "on it (they would dangle)");
+  }
+
+  SpiceRuntime(const SpiceRuntime &) = delete;
+  SpiceRuntime &operator=(const SpiceRuntime &) = delete;
+
+  /// Total execution contexts, including each invocation's client thread.
+  unsigned numThreads() const { return Config.NumThreads; }
+
+  const RuntimeConfig &config() const { return Config; }
+
+  /// The shared worker pool (NumThreads - 1 workers). Invocations lease
+  /// lanes from it via acquireSession.
+  WorkerPool &pool() { return Pool; }
+
+  /// Creates a loop handle registered on this runtime. \p T must outlive
+  /// the returned loop; the loop shares this runtime's worker pool with
+  /// every other registered loop.
+  template <typename Traits>
+  SpiceLoop<Traits> makeLoop(Traits &T, const LoopOptions &Opts = {}) {
+    return SpiceLoop<Traits>(T, *this, Opts);
+  }
+
+  /// Loops currently registered (constructed and not yet destroyed).
+  unsigned numLoops() const {
+    return RegisteredLoops.load(std::memory_order_relaxed);
+  }
+
+private:
+  template <typename Traits> friend class SpiceLoop;
+
+  void registerLoop() {
+    RegisteredLoops.fetch_add(1, std::memory_order_relaxed);
+  }
+  void unregisterLoop() {
+    RegisteredLoops.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  RuntimeConfig Config;
+  WorkerPool Pool;
+  std::atomic<unsigned> RegisteredLoops{0};
+};
+
+} // namespace core
+} // namespace spice
+
+#endif // SPICE_CORE_SPICERUNTIME_H

@@ -1,4 +1,4 @@
-//===- core/WorkerPool.cpp - Worker threads + work-stealing deques --------===//
+//===- core/WorkerPool.cpp - Shared workers + leased lane sessions --------===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
@@ -14,84 +14,18 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 
 using namespace spice;
 using namespace spice::core;
-
-WorkerPool::WorkerPool(unsigned NumWorkers) {
-  Threads.reserve(NumWorkers);
-  for (unsigned I = 0; I != NumWorkers; ++I)
-    Threads.emplace_back([this, I] { workerMain(I); });
-}
-
-WorkerPool::~WorkerPool() {
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    ShuttingDown = true;
-  }
-  WakeCV.notify_all();
-  for (std::thread &T : Threads)
-    T.join();
-}
-
-void WorkerPool::launch(unsigned Count, std::function<void(unsigned)> NewJob) {
-  assert(Count <= Threads.size() && "launch exceeds pool size");
-  {
-    std::lock_guard<std::mutex> Lock(Mutex);
-    assert(!InFlight && "re-entrant WorkerPool::launch without wait()");
-    if (InFlight)
-      reportFatalError("WorkerPool::launch called while a previous launch "
-                       "is still in flight; call wait() first");
-    Job = std::move(NewJob);
-    ActiveCount = Count;
-    Remaining = Count;
-    InFlight = true;
-    ++Generation;
-  }
-  if (Count > 0)
-    WakeCV.notify_all();
-}
-
-void WorkerPool::wait() {
-  std::unique_lock<std::mutex> Lock(Mutex);
-  DoneCV.wait(Lock, [this] { return Remaining == 0; });
-  InFlight = false;
-}
-
-void WorkerPool::workerMain(unsigned Index) {
-  uint64_t SeenGeneration = 0;
-  for (;;) {
-    std::function<void(unsigned)> LocalJob;
-    {
-      std::unique_lock<std::mutex> Lock(Mutex);
-      WakeCV.wait(Lock, [&] {
-        return ShuttingDown || Generation != SeenGeneration;
-      });
-      if (ShuttingDown)
-        return;
-      SeenGeneration = Generation;
-      if (Index >= ActiveCount) {
-        // Not part of this launch; keep parking.
-        continue;
-      }
-      LocalJob = Job;
-    }
-    LocalJob(Index);
-    {
-      std::lock_guard<std::mutex> Lock(Mutex);
-      --Remaining;
-    }
-    DoneCV.notify_all();
-  }
-}
+using namespace spice::core::detail;
 
 //===----------------------------------------------------------------------===//
-// Chunk deques
+// ChunkDeques
 //===----------------------------------------------------------------------===//
 
-void WorkerPool::resetQueues(unsigned NumLanes, bool AllowStealing) {
-  assert(!InFlight && "resetQueues during an in-flight launch");
+void ChunkDeques::reset(unsigned NumLanes, bool AllowStealing) {
   if (Lanes.size() != NumLanes) {
     Lanes.clear();
     Lanes.reserve(NumLanes);
@@ -102,52 +36,46 @@ void WorkerPool::resetQueues(unsigned NumLanes, bool AllowStealing) {
       L->Q.clear();
   }
   Stealing = AllowStealing;
-  QueuesClosed.store(false, std::memory_order_release);
+  Closed.store(false, std::memory_order_release);
 }
 
-void WorkerPool::pushChunk(unsigned LaneIdx, uint32_t Chunk) {
+void ChunkDeques::bumpEpoch() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    Epoch.fetch_add(1, std::memory_order_release);
+  }
+  CV.notify_all();
+}
+
+void ChunkDeques::push(unsigned LaneIdx, uint32_t Chunk) {
   assert(LaneIdx < Lanes.size() && "push into nonexistent lane");
-  assert(!QueuesClosed.load(std::memory_order_relaxed) &&
-         "push after closeQueues");
+  assert(!Closed.load(std::memory_order_relaxed) && "push after close");
   {
     Lane &L = *Lanes[LaneIdx];
     std::lock_guard<std::mutex> Lock(L.M);
     L.Q.push_back(Chunk);
   }
-  {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
-    QueueEpoch.fetch_add(1, std::memory_order_release);
-  }
-  QueueCV.notify_all();
+  bumpEpoch();
 }
 
-void WorkerPool::pushChunkFront(unsigned LaneIdx, uint32_t Chunk) {
+void ChunkDeques::pushFront(unsigned LaneIdx, uint32_t Chunk) {
   assert(LaneIdx < Lanes.size() && "push into nonexistent lane");
-  assert(!QueuesClosed.load(std::memory_order_relaxed) &&
-         "push after closeQueues");
+  assert(!Closed.load(std::memory_order_relaxed) && "push after close");
   {
     Lane &L = *Lanes[LaneIdx];
     std::lock_guard<std::mutex> Lock(L.M);
     L.Q.push_front(Chunk);
   }
-  {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
-    QueueEpoch.fetch_add(1, std::memory_order_release);
-  }
-  QueueCV.notify_all();
+  bumpEpoch();
 }
 
-void WorkerPool::closeQueues() {
-  QueuesClosed.store(true, std::memory_order_release);
-  {
-    std::lock_guard<std::mutex> Lock(QueueMutex);
-    QueueEpoch.fetch_add(1, std::memory_order_release);
-  }
-  QueueCV.notify_all();
+void ChunkDeques::close() {
+  Closed.store(true, std::memory_order_release);
+  bumpEpoch();
 }
 
-bool WorkerPool::tryAcquireChunk(unsigned LaneIdx, uint32_t &Chunk,
-                                 bool &Stolen) {
+bool ChunkDeques::tryAcquire(unsigned LaneIdx, uint32_t &Chunk,
+                             bool &Stolen) {
   assert(LaneIdx < Lanes.size() && "acquire from nonexistent lane");
   {
     Lane &Own = *Lanes[LaneIdx];
@@ -176,8 +104,7 @@ bool WorkerPool::tryAcquireChunk(unsigned LaneIdx, uint32_t &Chunk,
   return false;
 }
 
-bool WorkerPool::acquireChunk(unsigned LaneIdx, uint32_t &Chunk,
-                              bool &Stolen) {
+bool ChunkDeques::acquire(unsigned LaneIdx, uint32_t &Chunk, bool &Stolen) {
   for (;;) {
     // Sample the epoch, then read Closed, then scan: a push or close that
     // lands after the scan bumps the epoch past Seen, so the wait below
@@ -185,20 +112,20 @@ bool WorkerPool::acquireChunk(unsigned LaneIdx, uint32_t &Chunk,
     // matters during long resolutions -- e.g. ChunksPerThread == 1
     // workers are done after one chunk while main may still run a full
     // serial recovery.
-    uint64_t Seen = QueueEpoch.load(std::memory_order_acquire);
-    bool Closed = QueuesClosed.load(std::memory_order_acquire);
-    if (tryAcquireChunk(LaneIdx, Chunk, Stolen))
+    uint64_t Seen = Epoch.load(std::memory_order_acquire);
+    bool IsClosed = Closed.load(std::memory_order_acquire);
+    if (tryAcquire(LaneIdx, Chunk, Stolen))
       return true;
-    if (Closed)
+    if (IsClosed)
       return false;
-    std::unique_lock<std::mutex> Lock(QueueMutex);
-    QueueCV.wait(Lock, [&] {
-      return QueueEpoch.load(std::memory_order_relaxed) != Seen;
+    std::unique_lock<std::mutex> Lock(Mutex);
+    CV.wait(Lock, [&] {
+      return Epoch.load(std::memory_order_relaxed) != Seen;
     });
   }
 }
 
-bool WorkerPool::helpPopFront(uint32_t &Chunk) {
+bool ChunkDeques::helpPopFront(uint32_t &Chunk) {
   // The producer resolves chunks in order, so prefer the globally oldest
   // pending chunk: scan every lane front, then pop the minimum. The scan
   // takes one lane lock at a time; if the chosen front was acquired by a
@@ -226,7 +153,7 @@ bool WorkerPool::helpPopFront(uint32_t &Chunk) {
   }
 }
 
-size_t WorkerPool::pendingChunks() const {
+size_t ChunkDeques::pending() const {
   size_t N = 0;
   for (const auto &LanePtr : Lanes) {
     std::lock_guard<std::mutex> Lock(LanePtr->M);
@@ -234,3 +161,247 @@ size_t WorkerPool::pendingChunks() const {
   }
   return N;
 }
+
+//===----------------------------------------------------------------------===//
+// WorkerSession
+//===----------------------------------------------------------------------===//
+
+WorkerSession::~WorkerSession() {
+  assert(!InFlight && "destroying a session with a job still in flight");
+  Pool.releaseSession(*this);
+}
+
+void WorkerSession::launch(std::function<void(unsigned)> NewJob) {
+  {
+    std::lock_guard<std::mutex> Lock(Pool.Mutex);
+    assert(!InFlight && "re-entrant WorkerSession::launch without wait()");
+    if (InFlight)
+      reportFatalError("WorkerSession::launch called while a previous "
+                       "launch is still in flight; call wait() first");
+    InFlight = true;
+    Remaining = static_cast<unsigned>(Workers.size());
+    Job = std::move(NewJob);
+    for (unsigned L = 0; L != Workers.size(); ++L) {
+      WorkerPool::WorkerSlot &Slot = Pool.Slots[Workers[L]];
+      assert(!Slot.HasWork && "leased worker still has pending work");
+      Slot.HasWork = true;
+      Slot.Session = this;
+      Slot.Lane = L;
+    }
+  }
+  if (!Workers.empty())
+    Pool.WakeCV.notify_all();
+}
+
+void WorkerSession::wait() {
+  std::unique_lock<std::mutex> Lock(Pool.Mutex);
+  Pool.DoneCV.wait(Lock, [this] { return Remaining == 0; });
+  InFlight = false;
+}
+
+//===----------------------------------------------------------------------===//
+// WorkerPool
+//===----------------------------------------------------------------------===//
+
+WorkerPool::WorkerPool(unsigned NumWorkers,
+                       std::function<void(unsigned)> StartHook)
+    : WorkerStartHook(std::move(StartHook)), Slots(NumWorkers),
+      FreeCount(NumWorkers) {
+  Threads.reserve(NumWorkers);
+  for (unsigned I = 0; I != NumWorkers; ++I)
+    Threads.emplace_back([this, I] { workerMain(I); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(FreeCount == Threads.size() &&
+           "destroying a WorkerPool with sessions still leased");
+    ShuttingDown = true;
+  }
+  WakeCV.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void WorkerPool::workerMain(unsigned Index) {
+  if (WorkerStartHook)
+    WorkerStartHook(Index);
+  for (;;) {
+    WorkerSession *Session;
+    unsigned Lane;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      WakeCV.wait(Lock, [&] {
+        return ShuttingDown || Slots[Index].HasWork;
+      });
+      if (ShuttingDown)
+        return;
+      WorkerSlot &Slot = Slots[Index];
+      Slot.HasWork = false;
+      Session = Slot.Session;
+      Slot.Session = nullptr;
+      Lane = Slot.Lane;
+    }
+    // The job lives once in the session (or LegacyJob): written under
+    // the mutex we just held, and not rewritten until after wait(), so
+    // calling it here without a copy is ordered and race-free.
+    (Session ? Session->Job : LegacyJob)(Lane);
+    {
+      std::lock_guard<std::mutex> Lock(Mutex);
+      unsigned &Remaining = Session ? Session->Remaining : LegacyRemaining;
+      --Remaining;
+    }
+    DoneCV.notify_all();
+  }
+}
+
+WorkerPool::SessionHandle WorkerPool::acquireSession(unsigned MaxLanes,
+                                                     bool AllowStealing) {
+  assert(!Threads.empty() && "acquireSession on an empty pool");
+  assert(MaxLanes >= 1 && "a session needs at least one lane");
+  SessionHandle S(new WorkerSession(*this));
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    // Self-deadlock diagnostic: when *every* worker is leased by the
+    // calling thread itself, only this thread's own stack could ever
+    // free one, and it is about to park -- certain deadlock (a Traits
+    // callable invoking a second loop of the same runtime). If other
+    // threads hold any of the lanes, waiting is legitimate: they will
+    // release. (Mutual nested waits between two exhausting clients are
+    // still possible and undetected -- this check only refuses the
+    // provable case.)
+    auto Held = WorkersHeldByThread.find(std::this_thread::get_id());
+    if (FreeCount == 0 && Held != WorkersHeldByThread.end() &&
+        Held->second == Slots.size())
+      reportFatalError("WorkerPool::acquireSession would deadlock: this "
+                       "thread has leased every worker of the pool and "
+                       "no other thread can free one (nested loop "
+                       "invocation on one runtime from inside a loop "
+                       "body?)");
+    LeaseCV.wait(Lock, [this] { return FreeCount > 0; });
+    // Symmetric half of the no-mixing rule (launch checks Leased): a
+    // legacy launch does not lease its workers, so a session acquired
+    // now could clobber a legacy worker's mailbox. Re-checked after the
+    // wait so a launch that started while we were parked is caught too;
+    // we hold the mutex from here through the leasing, so a later
+    // launch runs into its own Leased check instead.
+    assert(!LegacyInFlight &&
+           "acquireSession during an in-flight legacy launch");
+    if (LegacyInFlight)
+      reportFatalError("WorkerPool::acquireSession called while a legacy "
+                       "launch is in flight; legacy launches may not be "
+                       "mixed with concurrent sessions");
+    unsigned Take = std::min(FreeCount, MaxLanes);
+    S->Workers.reserve(Take);
+    for (unsigned I = 0; I != Slots.size() && S->Workers.size() != Take;
+         ++I) {
+      if (Slots[I].Leased)
+        continue;
+      Slots[I].Leased = true;
+      S->Workers.push_back(I);
+    }
+    FreeCount -= Take;
+    // Owner-keyed (not thread_local) accounting, so a handle destroyed
+    // on a different thread still decrements the acquirer's tally.
+    S->Owner = std::this_thread::get_id();
+    WorkersHeldByThread[S->Owner] += Take;
+  }
+  S->Deques.reset(S->lanes(), AllowStealing);
+  return S;
+}
+
+void WorkerPool::releaseSession(WorkerSession &S) {
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    for (unsigned W : S.Workers) {
+      assert(Slots[W].Leased && "releasing a worker that was not leased");
+      Slots[W].Leased = false;
+    }
+    unsigned Released = static_cast<unsigned>(S.Workers.size());
+    FreeCount += Released;
+    S.Workers.clear();
+    auto It = WorkersHeldByThread.find(S.Owner);
+    assert((Released == 0 ||
+            (It != WorkersHeldByThread.end() && It->second >= Released)) &&
+           "held-worker accounting out of sync");
+    if (It != WorkersHeldByThread.end()) {
+      It->second -= std::min(It->second, Released);
+      if (It->second == 0)
+        WorkersHeldByThread.erase(It);
+    }
+  }
+  LeaseCV.notify_all();
+}
+
+unsigned WorkerPool::freeWorkers() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return FreeCount;
+}
+
+//===----------------------------------------------------------------------===//
+// Legacy one-shot API
+//===----------------------------------------------------------------------===//
+
+void WorkerPool::launch(unsigned Count, std::function<void(unsigned)> Job) {
+  assert(Count <= Threads.size() && "launch exceeds pool size");
+  if (Count > Threads.size())
+    reportFatalError("WorkerPool::launch count exceeds the pool size");
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    assert(!LegacyInFlight && "re-entrant WorkerPool::launch without wait()");
+    if (LegacyInFlight)
+      reportFatalError("WorkerPool::launch called while a previous launch "
+                       "is still in flight; call wait() first");
+    LegacyInFlight = true;
+    LegacyRemaining = Count;
+    LegacyJob = std::move(Job);
+    for (unsigned I = 0; I != Count; ++I) {
+      WorkerSlot &Slot = Slots[I];
+      // The legacy API may not be mixed with concurrent sessions: it
+      // would overwrite a leased worker's mailbox and wedge the session.
+      assert(!Slot.Leased && !Slot.HasWork &&
+             "WorkerPool::launch on a worker leased to a session");
+      if (Slot.Leased || Slot.HasWork)
+        reportFatalError("WorkerPool::launch called while workers are "
+                         "leased to a session; legacy launches may not "
+                         "be mixed with concurrent sessions");
+      Slot.HasWork = true;
+      Slot.Session = nullptr;
+      Slot.Lane = I; // Legacy jobs receive the worker index.
+    }
+  }
+  if (Count > 0)
+    WakeCV.notify_all();
+}
+
+void WorkerPool::wait() {
+  std::unique_lock<std::mutex> Lock(Mutex);
+  DoneCV.wait(Lock, [this] { return LegacyRemaining == 0; });
+  LegacyInFlight = false;
+}
+
+void WorkerPool::resetQueues(unsigned NumLanes, bool AllowStealing) {
+  assert(!LegacyInFlight && "resetQueues during an in-flight launch");
+  LegacyDeques.reset(NumLanes, AllowStealing);
+}
+
+void WorkerPool::pushChunk(unsigned Lane, uint32_t Chunk) {
+  LegacyDeques.push(Lane, Chunk);
+}
+
+void WorkerPool::pushChunkFront(unsigned Lane, uint32_t Chunk) {
+  LegacyDeques.pushFront(Lane, Chunk);
+}
+
+void WorkerPool::closeQueues() { LegacyDeques.close(); }
+
+bool WorkerPool::acquireChunk(unsigned Lane, uint32_t &Chunk, bool &Stolen) {
+  return LegacyDeques.acquire(Lane, Chunk, Stolen);
+}
+
+bool WorkerPool::helpPopFront(uint32_t &Chunk) {
+  return LegacyDeques.helpPopFront(Chunk);
+}
+
+size_t WorkerPool::pendingChunks() const { return LegacyDeques.pending(); }

@@ -1,4 +1,4 @@
-//===- core/WorkerPool.h - Workers + stealable chunk deques -----*- C++ -*-===//
+//===- core/WorkerPool.h - Shared workers, leased lane sessions -*- C++ -*-===//
 //
 // Part of the Spice reproduction project, under the MIT license.
 //
@@ -8,21 +8,35 @@
 /// The paper pre-allocates threads to cores at program entry and wakes them
 /// with a new_invocation token per loop invocation, avoiding per-invocation
 /// spawn cost. WorkerPool reproduces that: N persistent threads parked on a
-/// condition variable; launch() publishes a job generation, wait() joins
-/// the invocation.
+/// condition variable. One pool is shared by every loop of a SpiceRuntime,
+/// so an invocation no longer owns the threads -- it *leases* them:
 ///
-/// On top of the persistent threads the pool exposes per-worker chunk
-/// deques so an invocation can be oversubscribed (more chunks than
-/// workers). Each launched worker owns one lane: it pops its own lane from
-/// the front (oldest, least speculative chunk first) and, when its lane is
-/// empty, steals from the back of other lanes (the most speculative chunk,
-/// leaving earlier chunks to their owner). The producer (the thread that
-/// called launch()) may keep pushing chunks -- e.g. recovery chunks after a
-/// mis-speculation -- until it calls closeQueues(), and may itself drain
-/// pending chunks front-first via helpPopFront(). The deques are
-/// mutex-guarded: chunks are coarse units of loop work, so queue transfer
-/// cost is irrelevant next to chunk execution and the simple locking keeps
-/// the protocol easy to reason about (and TSan-clean).
+///   WorkerPool::SessionHandle S = Pool.acquireSession(MaxLanes, Stealing);
+///   for (...) S->pushChunk(Lane, Chunk);
+///   S->launch([&](unsigned Lane) { ... S->acquireChunk(Lane, ...) ... });
+///   ... S->helpPopFront(...) / S->pushChunkFront(...) ...
+///   S->closeQueues();
+///   S->wait();            // Handle destruction returns the lanes.
+///
+/// acquireSession() partitions the free workers: it hands out up to
+/// MaxLanes of them (blocking only while none are free), so concurrent
+/// invocations -- of different loops, from different client threads --
+/// split the pool instead of serializing on it. Each session owns its own
+/// chunk deques (one lane per leased worker): a worker pops its own lane
+/// from the front (oldest, least speculative chunk first) and, when its
+/// lane is empty, steals from the back of the session's other lanes (the
+/// most speculative chunk, leaving earlier chunks to their owner). The
+/// producer (the client thread that acquired the session) may keep pushing
+/// chunks -- e.g. recovery chunks after a mis-speculation -- until it calls
+/// closeQueues(), and may itself drain pending chunks front-first via
+/// helpPopFront(). The deques are mutex-guarded: chunks are coarse units
+/// of loop work, so queue transfer cost is irrelevant next to chunk
+/// execution and the simple locking keeps the protocol easy to reason
+/// about (and TSan-clean).
+///
+/// The pre-session one-shot API (launch/wait + pool-level queues) is kept
+/// for single-client users and tests; it drives workers 0..Count-1
+/// directly and may not be mixed with concurrent sessions.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,25 +52,162 @@
 #include <memory>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 namespace spice {
 namespace core {
 
-/// Persistent pool of worker threads driven by job generations, with
-/// optional per-worker work-stealing chunk deques.
+class WorkerPool;
+
+namespace detail {
+
+/// A set of per-lane chunk deques with optional back-stealing. One
+/// instance per session (and one pool-level instance for the legacy
+/// API); all methods are thread-safe against each other.
+class ChunkDeques {
+public:
+  /// Prepares \p NumLanes open deques, discarding any previous state.
+  void reset(unsigned NumLanes, bool AllowStealing);
+
+  void push(unsigned Lane, uint32_t Chunk);
+  void pushFront(unsigned Lane, uint32_t Chunk);
+
+  /// Declares that no further chunks will be pushed; blocked acquirers
+  /// drain the remaining chunks and then return false.
+  void close();
+
+  /// Worker-side acquire: blocks (parked on a condition variable) until a
+  /// chunk is available or the deques are closed and fully drained. Pops
+  /// the front of \p Lane's own deque first; otherwise steals from the
+  /// back of another lane and sets \p Stolen. Returns false only on
+  /// closed-and-empty.
+  bool acquire(unsigned Lane, uint32_t &Chunk, bool &Stolen);
+
+  /// Producer-side non-blocking help: pops the oldest pending chunk
+  /// across all lanes. Returns false when nothing is pending.
+  bool helpPopFront(uint32_t &Chunk);
+
+  /// Pending (not yet acquired) chunks across all lanes.
+  size_t pending() const;
+
+private:
+  bool tryAcquire(unsigned Lane, uint32_t &Chunk, bool &Stolen);
+  void bumpEpoch();
+
+  /// One per-lane deque. Mutex-guarded; padded indirectly by the
+  /// surrounding unique_ptr allocation granularity.
+  struct Lane {
+    mutable std::mutex M;
+    std::deque<uint32_t> Q;
+  };
+
+  std::vector<std::unique_ptr<Lane>> Lanes;
+  bool Stealing = true;
+  std::atomic<bool> Closed{true};
+  /// Wakes parked acquirers. Epoch bumps on every push/close; an acquirer
+  /// samples it before scanning so a concurrent push can never be missed.
+  std::mutex Mutex;
+  std::condition_variable CV;
+  std::atomic<uint64_t> Epoch{0};
+};
+
+} // namespace detail
+
+/// A lease of worker lanes for one invocation: up to MaxLanes workers,
+/// partitioned off the shared pool, plus this invocation's private chunk
+/// deques. Created by WorkerPool::acquireSession(); destroying the handle
+/// returns the workers to the pool. One client thread drives a session
+/// (push/launch/help/close/wait); the leased workers run its job.
+class WorkerSession {
+public:
+  ~WorkerSession();
+  WorkerSession(const WorkerSession &) = delete;
+  WorkerSession &operator=(const WorkerSession &) = delete;
+
+  /// Lanes leased to this session (>= 1).
+  unsigned lanes() const { return static_cast<unsigned>(Workers.size()); }
+
+  /// Wakes the leased workers to run Job(LaneIndex), LaneIndex in
+  /// [0, lanes()). The client thread does not participate and may execute
+  /// its own chunk concurrently. Must be paired with wait().
+  void launch(std::function<void(unsigned)> Job);
+
+  /// Blocks until every leased worker has finished the launched job.
+  void wait();
+
+  /// This session's chunk deques (see ChunkDeques; one lane per leased
+  /// worker, reset open by acquireSession).
+  void pushChunk(unsigned Lane, uint32_t Chunk) { Deques.push(Lane, Chunk); }
+  void pushChunkFront(unsigned Lane, uint32_t Chunk) {
+    Deques.pushFront(Lane, Chunk);
+  }
+  void closeQueues() { Deques.close(); }
+  bool acquireChunk(unsigned Lane, uint32_t &Chunk, bool &Stolen) {
+    return Deques.acquire(Lane, Chunk, Stolen);
+  }
+  bool helpPopFront(uint32_t &Chunk) { return Deques.helpPopFront(Chunk); }
+  size_t pendingChunks() const { return Deques.pending(); }
+
+private:
+  friend class WorkerPool;
+  explicit WorkerSession(WorkerPool &Pool) : Pool(Pool) {}
+
+  WorkerPool &Pool;
+  std::vector<unsigned> Workers; ///< Leased worker indices; lane i runs
+                                 ///< on worker Workers[i].
+  std::thread::id Owner;         ///< Thread that acquired the lease.
+  detail::ChunkDeques Deques;
+  /// The launched job, stored once per session (not copied per slot).
+  /// Written by launch() under the pool mutex; stable until the next
+  /// launch, which the protocol orders after wait() -- so workers call
+  /// it concurrently without copying.
+  std::function<void(unsigned)> Job;
+  bool InFlight = false;  ///< launch() issued, wait() not yet returned.
+  unsigned Remaining = 0; ///< Workers still running the job (pool mutex).
+};
+
+/// Persistent pool of worker threads shared by every loop of a runtime.
+/// Invocations lease lanes through sessions; the legacy one-shot API
+/// (launch/wait + pool-level queues) drives workers 0..Count-1 directly.
 class WorkerPool {
 public:
-  /// Spawns \p NumWorkers threads; they park immediately.
-  explicit WorkerPool(unsigned NumWorkers);
+  /// Spawns \p NumWorkers threads; they park immediately. \p
+  /// WorkerStartHook, when set, runs once on each worker thread before it
+  /// first parks (NUMA / affinity placement).
+  explicit WorkerPool(unsigned NumWorkers,
+                      std::function<void(unsigned)> WorkerStartHook = {});
 
-  /// Stops and joins all workers.
+  /// Stops and joins all workers. All sessions must have been released.
   ~WorkerPool();
 
   WorkerPool(const WorkerPool &) = delete;
   WorkerPool &operator=(const WorkerPool &) = delete;
 
   unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+  //===--------------------------------------------------------------------===//
+  // Sessions: leased worker lanes for concurrent invocations.
+  //===--------------------------------------------------------------------===//
+
+  using SessionHandle = std::unique_ptr<WorkerSession>;
+
+  /// Leases min(free workers, MaxLanes) workers as a session, blocking
+  /// while no worker is free (concurrent invocations partition the pool;
+  /// when they want more lanes than exist, later acquirers wait for the
+  /// earlier ones to release). The session's deques are reset open with
+  /// one lane per leased worker. Requires a non-empty pool and MaxLanes
+  /// >= 1. Destroying the handle returns the lanes.
+  SessionHandle acquireSession(unsigned MaxLanes, bool AllowStealing);
+
+  /// Workers currently not leased to any session (snapshot; racy by
+  /// nature, exposed for tests and diagnostics).
+  unsigned freeWorkers() const;
+
+  //===--------------------------------------------------------------------===//
+  // Legacy one-shot API: drives workers 0..Count-1 with no lease. May not
+  // be mixed with concurrent sessions.
+  //===--------------------------------------------------------------------===//
 
   /// Wakes workers 0..Count-1 to run Job(WorkerIndex). The calling thread
   /// does not participate and may do its own chunk concurrently. A launch
@@ -68,75 +219,53 @@ public:
   /// Blocks until every worker of the current launch has finished.
   void wait();
 
-  //===--------------------------------------------------------------------===//
-  // Chunk deques (one lane per launched worker).
-  //===--------------------------------------------------------------------===//
-
-  /// Prepares \p NumLanes open deques, discarding any previous queue
-  /// state. With \p AllowStealing false each lane is a private FIFO (the
-  /// paper's fixed chunk-per-thread schedule); with it true idle workers
-  /// steal from other lanes. Must not be called between launch() and
+  /// Pool-level chunk deques backing the legacy API; semantics as in
+  /// ChunkDeques. resetQueues must not be called between launch() and
   /// wait().
   void resetQueues(unsigned NumLanes, bool AllowStealing = true);
-
-  /// Appends \p Chunk to \p Lane's deque. Only the producer thread may
-  /// push; pushes after closeQueues() are forbidden.
   void pushChunk(unsigned Lane, uint32_t Chunk);
-
-  /// Like pushChunk, but to the front of the lane: the chunk becomes the
-  /// lane owner's next pop and is visible to helpPopFront immediately.
-  /// Used for recovery chunks, which block the commit chain and must not
-  /// queue behind more-speculative work.
   void pushChunkFront(unsigned Lane, uint32_t Chunk);
-
-  /// Declares that no further chunks will be pushed; blocked acquirers
-  /// drain the remaining chunks and then return false.
   void closeQueues();
-
-  /// Worker-side acquire: blocks (parked on a condition variable) until a
-  /// chunk is available or the queues are closed and fully drained. Pops
-  /// the front of \p Lane's own deque first; otherwise steals from the
-  /// back of another lane and sets \p Stolen. Returns false only on
-  /// closed-and-empty.
   bool acquireChunk(unsigned Lane, uint32_t &Chunk, bool &Stolen);
-
-  /// Producer-side non-blocking help: pops the oldest pending chunk across
-  /// all lanes (front-first scan). Returns false when nothing is pending.
   bool helpPopFront(uint32_t &Chunk);
-
-  /// Pending (not yet acquired) chunks across all lanes.
   size_t pendingChunks() const;
 
 private:
-  void workerMain(unsigned Index);
-  bool tryAcquireChunk(unsigned Lane, uint32_t &Chunk, bool &Stolen);
+  friend class WorkerSession;
 
-  /// One per-worker deque. Mutex-guarded; padded indirectly by the
-  /// surrounding unique_ptr allocation granularity.
-  struct Lane {
-    mutable std::mutex M;
-    std::deque<uint32_t> Q;
+  void workerMain(unsigned Index);
+  void releaseSession(WorkerSession &S);
+
+  /// Per-worker mailbox (guarded by Mutex). A worker runs at most one
+  /// job at a time: Session is null for legacy launches, and the job
+  /// itself lives once in the session (or in LegacyJob).
+  struct WorkerSlot {
+    bool HasWork = false;
+    WorkerSession *Session = nullptr;
+    unsigned Lane = 0;
+    bool Leased = false;
   };
 
   std::vector<std::thread> Threads;
-  std::mutex Mutex;
-  std::condition_variable WakeCV;
-  std::condition_variable DoneCV;
-  std::function<void(unsigned)> Job;
-  uint64_t Generation = 0;
-  unsigned ActiveCount = 0;
-  unsigned Remaining = 0;
-  bool InFlight = false;
+  std::function<void(unsigned)> WorkerStartHook;
+
+  mutable std::mutex Mutex;
+  std::condition_variable WakeCV;  ///< Workers park here.
+  std::condition_variable DoneCV;  ///< wait() callers park here.
+  std::condition_variable LeaseCV; ///< acquireSession() callers park here.
+  std::vector<WorkerSlot> Slots;
+  unsigned FreeCount = 0;
+  /// Leased workers per acquiring thread (self-deadlock diagnostic in
+  /// acquireSession; keyed by the session's owner, guarded by Mutex).
+  std::unordered_map<std::thread::id, unsigned> WorkersHeldByThread;
+  /// Legacy launches' job; same single-storage discipline as
+  /// WorkerSession::Job.
+  std::function<void(unsigned)> LegacyJob;
+  unsigned LegacyRemaining = 0;
+  bool LegacyInFlight = false;
   bool ShuttingDown = false;
 
-  std::vector<std::unique_ptr<Lane>> Lanes;
-  bool Stealing = true;
-  std::atomic<bool> QueuesClosed{true};
-  /// Wakes parked acquirers. Epoch bumps on every push/close; an acquirer
-  /// samples it before scanning so a concurrent push can never be missed.
-  std::mutex QueueMutex;
-  std::condition_variable QueueCV;
-  std::atomic<uint64_t> QueueEpoch{0};
+  detail::ChunkDeques LegacyDeques;
 };
 
 } // namespace core
