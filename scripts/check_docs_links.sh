@@ -1,0 +1,47 @@
+#!/usr/bin/env bash
+# Documentation hygiene, used by the CI docs job:
+#  1. every relative markdown link in docs/*.md, README.md and
+#     bench/README.md resolves to an existing file (anchors stripped);
+#  2. every workload header (src/workloads/*.h) is mentioned in
+#     docs/workloads.md, so the workload matrix cannot silently go
+#     stale when a workload is added.
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+
+# --- 1. relative links resolve ---------------------------------------------
+for doc in docs/*.md README.md bench/README.md; do
+  [ -f "$doc" ] || continue
+  docdir=$(dirname "$doc")
+  # Markdown inline links: [text](target). External and intra-page
+  # links are skipped; targets are resolved relative to the document.
+  # Fenced code blocks are stripped first (a C++ lambda is not a link).
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|\#*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -n "$path" ] || continue
+    if [ ! -e "$docdir/$path" ]; then
+      echo "broken link in $doc: $target"
+      fail=1
+    fi
+  done < <(awk '/^```/ { inblock = !inblock; next } !inblock' "$doc" |
+           grep -o '\[[^]]*\]([^)]*)' | sed 's/.*(\(.*\))/\1/')
+done
+
+# --- 2. every workload header is documented --------------------------------
+for hdr in src/workloads/*.h; do
+  base=$(basename "$hdr")
+  if ! grep -q "$base" docs/workloads.md; then
+    echo "src/workloads/$base is not mentioned in docs/workloads.md"
+    fail=1
+  fi
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs links resolve; all workload headers documented"

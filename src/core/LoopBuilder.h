@@ -44,9 +44,11 @@
 
 #include "core/SpiceLoop.h"
 #include "core/SpiceRuntime.h"
+#include "support/ErrorHandling.h"
 
 #include <cassert>
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <memory>
 #include <type_traits>
@@ -132,6 +134,11 @@ private:
 };
 
 /// Fluent builder for LambdaLoop; see the file banner for usage.
+///
+/// Misuse is diagnosed loudly in every build type (reportFatalError, not
+/// assert): a builder assembled in one place is typically built far from
+/// where the mistake was made, and a missing callable would otherwise
+/// surface as an opaque bad_function_call mid-invocation.
 template <typename LiveInT, typename StateT> class LoopBuilder {
 public:
   using Traits = detail::LambdaTraits<LiveInT, StateT>;
@@ -139,6 +146,7 @@ public:
   /// Identity / initial value of the per-chunk state. Optional when
   /// StateT is default-constructible (value-initialized then).
   LoopBuilder &init(std::function<StateT()> F) {
+    checkSet("init", !T.Init, F != nullptr);
     T.Init = std::move(F);
     return *this;
   }
@@ -148,12 +156,14 @@ public:
   /// memory must go through the SpecSpace. Mandatory.
   LoopBuilder &step(
       std::function<bool(LiveInT &, StateT &, core::SpecSpace &)> F) {
+    checkSet("step", !T.Step, F != nullptr);
     T.Step = std::move(F);
     return *this;
   }
 
   /// Ordered (left-to-right) merge of a later chunk's state. Mandatory.
   LoopBuilder &combine(std::function<void(StateT &, StateT &&)> F) {
+    checkSet("combine", !T.Combine, F != nullptr);
     T.Combine = std::move(F);
     return *this;
   }
@@ -165,6 +175,7 @@ public:
   /// the callable must tolerate the loop's exit live-in (e.g. a null
   /// list cursor).
   LoopBuilder &weight(std::function<uint64_t(const LiveInT &)> F) {
+    checkSet("weight", !T.Weight, F != nullptr);
     T.Weight = std::move(F);
     Opts.UseWeightedWork = true;
     return *this;
@@ -181,13 +192,35 @@ public:
   /// Registers the assembled loop on \p Runtime and returns the owning
   /// handle. The builder is consumed (its callables are moved out).
   LambdaLoop<LiveInT, StateT> build(core::SpiceRuntime &Runtime) {
-    assert(T.Step && "LoopBuilder: .step(...) is mandatory");
-    assert(T.Combine && "LoopBuilder: .combine(...) is mandatory");
+    if (!T.Step)
+      reportFatalError("LoopBuilder::build: .step(...) is mandatory and "
+                       "was never set");
+    if (!T.Combine)
+      reportFatalError("LoopBuilder::build: .combine(...) is mandatory "
+                       "and was never set");
     return LambdaLoop<LiveInT, StateT>(
         std::make_unique<Traits>(std::move(T)), Runtime, Opts);
   }
 
 private:
+  /// Shared setter diagnostics: each hook may be installed once, and
+  /// only with a real callable.
+  static void checkSet(const char *Hook, bool FirstTime, bool NonNull) {
+    char Buf[128];
+    if (!FirstTime) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "LoopBuilder::%s set twice (each hook may be "
+                    "installed once per builder)",
+                    Hook);
+      reportFatalError(Buf);
+    }
+    if (!NonNull) {
+      std::snprintf(Buf, sizeof(Buf),
+                    "LoopBuilder::%s passed a null callable", Hook);
+      reportFatalError(Buf);
+    }
+  }
+
   Traits T;
   core::LoopOptions Opts;
 };

@@ -207,6 +207,17 @@ public:
     SpecWriteBuffer::storeShared(Ptr, V);
   }
 
+  /// Read-modify-write convenience for shared counters (flow statistics,
+  /// visit counts): reads through the buffer (own writes first, logging
+  /// the shared value for validation otherwise), writes back Old + Delta,
+  /// and returns Old. Not atomic across chunks -- cross-chunk counter
+  /// races are exactly what commit-time read validation catches.
+  template <BufferableValue T> T fetchAdd(T *Ptr, T Delta) {
+    T Old = read(Ptr);
+    write(Ptr, static_cast<T>(Old + Delta));
+    return Old;
+  }
+
 private:
   SpecWriteBuffer *Buf = nullptr;
 };

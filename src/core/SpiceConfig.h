@@ -132,8 +132,10 @@ inline SpiceConfig mergedConfig(const RuntimeConfig &R,
 /// to the paper protocol's.
 struct SpiceStats {
   uint64_t Invocations = 0;
-  /// Invocations executed entirely sequentially (no predictions yet, or
-  /// fewer valid SVA rows than chunks).
+  /// Invocations executed entirely sequentially: no valid prediction
+  /// for the first speculative chunk (first invocation, or SVA row 0
+  /// invalidated by a squash). A *partial* valid prefix still runs
+  /// parallel, just with fewer speculative chunks.
   uint64_t SequentialInvocations = 0;
   /// Invocations in which at least one speculative chunk was squashed.
   uint64_t MisspeculatedInvocations = 0;
@@ -147,7 +149,10 @@ struct SpiceStats {
   /// Iterations re-executed after a validated chunk failed (serially on
   /// the main thread, or concurrently as recovery chunks).
   uint64_t RecoveryIterations = 0;
-  /// Wasted iterations executed by squashed chunks.
+  /// Iterations whose results were discarded: chunks squashed for
+  /// mis-speculation, plus the discarded first executions of
+  /// failed-but-validated chunks that were re-enqueued as recovery
+  /// chunks.
   uint64_t WastedIterations = 0;
   /// Chunk executions that happened off the chunk's home lane -- stolen
   /// by an idle worker or drained by the resolving main thread

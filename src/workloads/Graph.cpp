@@ -1,0 +1,242 @@
+//===- workloads/Graph.cpp - Graph-analytics frontier workload ------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Graph.h"
+
+#include "support/Random.h"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+using namespace spice;
+using namespace spice::core;
+using namespace spice::workloads;
+
+//===----------------------------------------------------------------------===//
+// CsrGraph generators
+//===----------------------------------------------------------------------===//
+
+CsrGraph CsrGraph::fromEdgeList(size_t NumVertices,
+                                std::vector<std::pair<int64_t, Edge>> List) {
+  // Counting sort by source vertex: deterministic CSR layout with the
+  // per-vertex edge order preserved from the generator.
+  CsrGraph G;
+  G.Offsets.assign(NumVertices + 1, 0);
+  for (const auto &[From, E] : List)
+    ++G.Offsets[static_cast<size_t>(From) + 1];
+  for (size_t V = 0; V != NumVertices; ++V)
+    G.Offsets[V + 1] += G.Offsets[V];
+  G.Edges.resize(List.size());
+  std::vector<int64_t> Cursor(G.Offsets.begin(), G.Offsets.end() - 1);
+  for (const auto &[From, E] : List)
+    G.Edges[static_cast<size_t>(Cursor[static_cast<size_t>(From)]++)] = E;
+  return G;
+}
+
+CsrGraph CsrGraph::rmat(size_t NumVertices, size_t EdgesPerVertex,
+                        uint64_t Seed, int64_t WeightRange) {
+  assert(NumVertices >= 2 && "graph needs at least two vertices");
+  assert(WeightRange >= 1 && "weights live in [1, WeightRange]");
+  // Round up to a power of two: R-MAT recurses on quadrants.
+  unsigned Levels = 1;
+  while ((size_t{1} << Levels) < NumVertices)
+    ++Levels;
+  size_t V = size_t{1} << Levels;
+
+  RandomEngine Rng(Seed);
+  std::vector<std::pair<int64_t, Edge>> List;
+  List.reserve(V * EdgesPerVertex);
+  // Chakrabarti et al. partition probabilities: a=0.57, b=c=0.19, d=0.05.
+  const double A = 0.57, B = 0.19, C = 0.19;
+  for (size_t I = 0; I != V * EdgesPerVertex; ++I) {
+    size_t Src = 0, Dst = 0;
+    for (unsigned L = 0; L != Levels; ++L) {
+      double R = Rng.nextDouble();
+      size_t Bit = size_t{1} << (Levels - 1 - L);
+      if (R < A) {
+        // Top-left quadrant: neither bit set.
+      } else if (R < A + B) {
+        Dst |= Bit;
+      } else if (R < A + B + C) {
+        Src |= Bit;
+      } else {
+        Src |= Bit;
+        Dst |= Bit;
+      }
+    }
+    if (Src == Dst)
+      continue; // Drop self-loops; multi-edges are harmless.
+    List.push_back({static_cast<int64_t>(Src),
+                    {static_cast<int64_t>(Dst),
+                     Rng.nextInRange(1, WeightRange)}});
+  }
+  return fromEdgeList(V, std::move(List));
+}
+
+CsrGraph CsrGraph::grid(size_t Width, size_t Height, uint64_t Seed,
+                        int64_t WeightRange) {
+  assert(Width >= 1 && Height >= 1 && "empty grid");
+  assert(WeightRange >= 1 && "weights live in [1, WeightRange]");
+  RandomEngine Rng(Seed);
+  std::vector<std::pair<int64_t, Edge>> List;
+  List.reserve(Width * Height * 4);
+  auto Id = [&](size_t X, size_t Y) {
+    return static_cast<int64_t>(Y * Width + X);
+  };
+  for (size_t Y = 0; Y != Height; ++Y) {
+    for (size_t X = 0; X != Width; ++X) {
+      // Undirected 4-neighborhood: one weight per geometric edge, an
+      // arc in both directions.
+      if (X + 1 < Width) {
+        int64_t W = Rng.nextInRange(1, WeightRange);
+        List.push_back({Id(X, Y), {Id(X + 1, Y), W}});
+        List.push_back({Id(X + 1, Y), {Id(X, Y), W}});
+      }
+      if (Y + 1 < Height) {
+        int64_t W = Rng.nextInRange(1, WeightRange);
+        List.push_back({Id(X, Y), {Id(X, Y + 1), W}});
+        List.push_back({Id(X, Y + 1), {Id(X, Y), W}});
+      }
+    }
+  }
+  return fromEdgeList(Width * Height, std::move(List));
+}
+
+//===----------------------------------------------------------------------===//
+// SsspWorkload
+//===----------------------------------------------------------------------===//
+
+SsspWorkload::SsspWorkload(CsrGraph Graph, int64_t Source)
+    : G(std::move(Graph)), Dist(G.numVertices(), unreached()),
+      Arena(G.numVertices()), LastQueued(G.numVertices(), 0) {
+  reset(Source);
+}
+
+void SsspWorkload::reset(int64_t Source) {
+  assert(static_cast<size_t>(Source) < G.numVertices() &&
+         "source out of range");
+  std::fill(Dist.begin(), Dist.end(), unreached());
+  std::fill(LastQueued.begin(), LastQueued.end(), 0u);
+  Wave = 0;
+  Dist[static_cast<size_t>(Source)] = 0;
+  Arena[0] = {Source, nullptr};
+  Head = &Arena[0];
+  FrontierLen = 1;
+}
+
+void SsspWorkload::advanceFrontier(const RelaxState &Merged) {
+  // Dedup with a per-wave stamp, first occurrence wins: the next
+  // frontier lists vertices in the serial order their distance first
+  // improved, so the wave sequence is fully deterministic.
+  ++Wave;
+  size_t N = 0;
+  for (int64_t V : Merged.Updated) {
+    if (LastQueued[static_cast<size_t>(V)] == Wave)
+      continue;
+    LastQueued[static_cast<size_t>(V)] = Wave;
+    Arena[N] = {V, nullptr};
+    if (N > 0)
+      Arena[N - 1].Next = &Arena[N];
+    ++N;
+  }
+  Head = N > 0 ? &Arena[0] : nullptr;
+  FrontierLen = N;
+}
+
+SsspWorkload::Loop SsspWorkload::makeLoop(SpiceRuntime &Runtime,
+                                          LoopOptions Opts) {
+  // The loop writes the shared distance array: commit-time value
+  // validation is what makes speculative waves serial-equivalent.
+  Opts.EnableConflictDetection = true;
+  // Stale chunks can chase Next pointers mixed from different waves,
+  // which may cycle; bound them well below the global default so a
+  // runaway resolves at frontier scale. (The bound still exceeds any
+  // real frontier, so healthy chunks are never cut short.)
+  uint64_t Cap = 64 * static_cast<uint64_t>(G.numVertices()) + 1024;
+  Opts.MaxSpecIterations = std::min(Opts.MaxSpecIterations, Cap);
+  return spice::LoopBuilder<FrontierNode *, RelaxState>()
+      .step([this](FrontierNode *&N, RelaxState &S, SpecSpace &Mem) {
+        if (!N)
+          return false;
+        int64_t U = N->Vertex;
+        // The frontier vertex's own distance may be improved by an
+        // earlier iteration of the same wave: read it through the
+        // SpecSpace so validation can catch that conflict.
+        int64_t DU = Mem.read(&Dist[static_cast<size_t>(U)]);
+        for (const CsrGraph::Edge *E = G.edgesBegin(U), *End = G.edgesEnd(U);
+             E != End; ++E) {
+          int64_t Cand = DU + E->Weight;
+          int64_t *Slot = &Dist[static_cast<size_t>(E->To)];
+          if (Cand < Mem.read(Slot)) {
+            Mem.write(Slot, Cand);
+            S.Updated.push_back(E->To);
+            ++S.Relaxations;
+          }
+        }
+        N = N->Next;
+        return true;
+      })
+      .combine([](RelaxState &Into, RelaxState &&Chunk) {
+        Into.Relaxations += Chunk.Relaxations;
+        Into.Updated.insert(Into.Updated.end(), Chunk.Updated.begin(),
+                            Chunk.Updated.end());
+      })
+      .weight([this](FrontierNode *const &N) {
+        // Frontier iterations cost one edge scan each: weight by
+        // out-degree (+1 so zero-degree vertices still count). Must
+        // tolerate the exit live-in (null cursor).
+        return N ? static_cast<uint64_t>(G.degree(N->Vertex)) + 1 : 1;
+      })
+      .options(Opts)
+      .build(Runtime);
+}
+
+RelaxState SsspWorkload::runWave(Loop &L) {
+  assert(Head && "runWave on a converged instance");
+  RelaxState Merged = L.invoke(Head);
+  advanceFrontier(Merged);
+  return Merged;
+}
+
+size_t SsspWorkload::run(Loop &L) {
+  size_t Waves = 0;
+  while (!done()) {
+    runWave(L);
+    ++Waves;
+  }
+  return Waves;
+}
+
+std::vector<int64_t> SsspWorkload::ssspReference(const CsrGraph &G,
+                                                 int64_t Source) {
+  // The exact serial semantics of the speculative loop: process the
+  // frontier in order with immediately visible writes, then advance.
+  std::vector<int64_t> Dist(G.numVertices(), unreached());
+  std::vector<uint32_t> LastQueued(G.numVertices(), 0);
+  std::vector<int64_t> Frontier{Source}, Next;
+  Dist[static_cast<size_t>(Source)] = 0;
+  uint32_t Wave = 0;
+  while (!Frontier.empty()) {
+    ++Wave;
+    Next.clear();
+    for (int64_t U : Frontier) {
+      int64_t DU = Dist[static_cast<size_t>(U)];
+      for (const CsrGraph::Edge *E = G.edgesBegin(U), *End = G.edgesEnd(U);
+           E != End; ++E) {
+        if (DU + E->Weight < Dist[static_cast<size_t>(E->To)]) {
+          Dist[static_cast<size_t>(E->To)] = DU + E->Weight;
+          if (LastQueued[static_cast<size_t>(E->To)] != Wave) {
+            LastQueued[static_cast<size_t>(E->To)] = Wave;
+            Next.push_back(E->To);
+          }
+        }
+      }
+    }
+    Frontier.swap(Next);
+  }
+  return Dist;
+}

@@ -1,0 +1,188 @@
+//===- workloads/Graph.h - Graph-analytics frontier workload ----*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Graph-analytics workload family: a delta-stepping-style SSSP/BFS
+/// frontier loop over a CSR graph, built directly on the SpiceRuntime /
+/// LoopBuilder API (no hand-written Traits struct).
+///
+/// Each wave processes the current frontier -- a linked list of
+/// FrontierNode cells over a stable arena, the pointer-chasing shape
+/// every paper kernel shares -- and relaxes the outgoing edges of each
+/// frontier vertex against a shared distance array. The distance reads
+/// and writes go through the SpecSpace, so cross-iteration conflicts
+/// (two frontier vertices relaxing a common neighbor, or a frontier
+/// vertex whose own distance an earlier iteration improves) are caught
+/// by commit-time value validation and routed through recovery.
+///
+/// Conflict density is a *dial*, not a constant: it depends on the
+/// graph shape and weight spread. R-MAT graphs concentrate conflicts on
+/// hub vertices that frontier vertices all over the graph relax at
+/// once, across a handful of wide waves; grid graphs spread them thin
+/// -- adjacent wavefront vertices share one neighbor at most -- over
+/// many narrow waves. Frontier size also changes every wave, which is
+/// what exercises live-in re-memoization: a shrinking frontier
+/// invalidates memoized node pointers and forces mispredictions, the
+/// same churn pattern as otter's remove-min.
+///
+/// See docs/workloads.md for how this family maps onto the runtime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_WORKLOADS_GRAPH_H
+#define SPICE_WORKLOADS_GRAPH_H
+
+#include "core/LoopBuilder.h"
+#include "core/SpecWriteBuffer.h"
+#include "core/SpiceRuntime.h"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace spice {
+namespace workloads {
+
+/// A weighted directed graph in compressed-sparse-row form. Immutable
+/// after construction: the hot loop reads Offsets/Edges without going
+/// through the SpecSpace.
+class CsrGraph {
+public:
+  struct Edge {
+    int64_t To;
+    int64_t Weight;
+  };
+
+  /// R-MAT generator (Chakrabarti et al. defaults a=0.57, b=c=0.19):
+  /// power-law degree distribution whose hub vertices are shared by many
+  /// frontier vertices -- the dense-conflict end of the dial.
+  /// \p NumVertices is rounded up to a power of two; weights are uniform
+  /// in [1, WeightRange] (WeightRange=1 gives unit weights, i.e. BFS).
+  static CsrGraph rmat(size_t NumVertices, size_t EdgesPerVertex,
+                       uint64_t Seed, int64_t WeightRange = 16);
+
+  /// 2D grid generator: Width*Height vertices, edges to the 4 neighbors.
+  /// Neighborhoods are disjoint, so same-wave conflicts are rare -- the
+  /// sparse-conflict end of the dial.
+  static CsrGraph grid(size_t Width, size_t Height, uint64_t Seed,
+                       int64_t WeightRange = 16);
+
+  size_t numVertices() const { return Offsets.size() - 1; }
+  size_t numEdges() const { return Edges.size(); }
+
+  /// Out-degree of \p V.
+  size_t degree(int64_t V) const {
+    return static_cast<size_t>(Offsets[static_cast<size_t>(V) + 1] -
+                               Offsets[static_cast<size_t>(V)]);
+  }
+
+  const Edge *edgesBegin(int64_t V) const {
+    return Edges.data() + Offsets[static_cast<size_t>(V)];
+  }
+  const Edge *edgesEnd(int64_t V) const {
+    return Edges.data() + Offsets[static_cast<size_t>(V) + 1];
+  }
+
+private:
+  /// Builds the CSR arrays from an unsorted (From, Edge) list.
+  static CsrGraph fromEdgeList(size_t NumVertices,
+                               std::vector<std::pair<int64_t, Edge>> List);
+
+  std::vector<int64_t> Offsets; ///< Size numVertices() + 1.
+  std::vector<Edge> Edges;
+};
+
+/// One frontier cell. Cells live in a stable arena owned by the
+/// workload (one per vertex, addresses never change), so a speculative
+/// chunk holding a stale pointer from a previous wave always reads
+/// mapped memory -- the same containment idiom as otter's clause arena.
+struct FrontierNode {
+  int64_t Vertex = 0;
+  FrontierNode *Next = nullptr;
+};
+
+/// Per-chunk reduction state of one relaxation wave: the number of
+/// successful relaxations plus the relaxed vertices in iteration order
+/// (combined left-to-right, so the merged list is the serial order).
+struct RelaxState {
+  uint64_t Relaxations = 0;
+  std::vector<int64_t> Updated;
+};
+
+/// The SSSP workload facade, mirroring Otter.h/Mcf.h: deterministic
+/// seeded input (the graph), a sequential oracle, and makeLoop() wiring
+/// the frontier loop onto a shared SpiceRuntime. The facade owns the
+/// shared distance array and the frontier arena; it must outlive every
+/// loop built from it, and a loop's invocations must be interleaved
+/// with advanceFrontier() exactly as runWave() does.
+class SsspWorkload {
+public:
+  using Loop = spice::LambdaLoop<FrontierNode *, RelaxState>;
+
+  /// Distances are initialized to unreached() (a quarter of INT64_MAX,
+  /// so relaxation sums cannot overflow).
+  static int64_t unreached() { return INT64_MAX / 4; }
+
+  SsspWorkload(CsrGraph Graph, int64_t Source);
+
+  SsspWorkload(const SsspWorkload &) = delete;
+  SsspWorkload &operator=(const SsspWorkload &) = delete;
+
+  /// Builds the frontier-relaxation loop on \p Runtime. Conflict
+  /// detection is forced on (the loop writes the shared distance array)
+  /// and the work metric is weighted by vertex out-degree through the
+  /// LoopBuilder .weight hook -- frontier iterations are as skewed as
+  /// the degree distribution. MaxSpecIterations is clamped to a small
+  /// multiple of the vertex count unless \p Opts asks for less: a stale
+  /// chunk chasing mixed-wave Next pointers can cycle.
+  Loop makeLoop(core::SpiceRuntime &Runtime, core::LoopOptions Opts = {});
+
+  /// Head of the current frontier list (null when SSSP has converged).
+  FrontierNode *frontierHead() const { return Head; }
+  size_t frontierSize() const { return FrontierLen; }
+  bool done() const { return Head == nullptr; }
+
+  /// Consumes one wave's merged state: deduplicates the relaxed
+  /// vertices (first occurrence wins, preserving serial order) into the
+  /// next frontier.
+  void advanceFrontier(const RelaxState &Merged);
+
+  /// One wave: invoke the loop on the current frontier, then advance.
+  /// Returns the merged state of the wave.
+  RelaxState runWave(Loop &L);
+
+  /// Runs waves until the frontier is empty; returns the wave count.
+  size_t run(Loop &L);
+
+  /// Restarts the instance from \p Source (distances reset, frontier =
+  /// {Source}). An existing loop keeps its predictor state, so the
+  /// first waves after a reset mis-speculate -- used by tests to force
+  /// recovery deterministically.
+  void reset(int64_t Source);
+
+  const CsrGraph &graph() const { return G; }
+  const std::vector<int64_t> &distances() const { return Dist; }
+
+  /// Sequential oracle: the same wave-by-wave relaxation executed
+  /// serially on a private distance array. SSSP distances are the
+  /// unique fixpoint, so any correct execution must match bit-for-bit.
+  static std::vector<int64_t> ssspReference(const CsrGraph &G,
+                                            int64_t Source);
+
+private:
+  CsrGraph G;
+  std::vector<int64_t> Dist;        ///< Shared; written through SpecSpace.
+  std::vector<FrontierNode> Arena;  ///< One cell per vertex; stable.
+  std::vector<uint32_t> LastQueued; ///< Dedup stamps, one per vertex.
+  uint32_t Wave = 0;
+  FrontierNode *Head = nullptr;
+  size_t FrontierLen = 0;
+};
+
+} // namespace workloads
+} // namespace spice
+
+#endif // SPICE_WORKLOADS_GRAPH_H

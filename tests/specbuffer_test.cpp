@@ -131,3 +131,33 @@ TEST(SpecSpace, BufferedModeIsolates) {
   EXPECT_EQ(Cell, 21);
   EXPECT_EQ(Spec.read(&Cell), 22);
 }
+
+TEST(SpecSpace, FetchAddDirectMode) {
+  int64_t Counter = 10;
+  SpecSpace Direct;
+  EXPECT_EQ(Direct.fetchAdd(&Counter, int64_t{5}), 10);
+  EXPECT_EQ(Counter, 15);
+}
+
+TEST(SpecSpace, FetchAddBufferedReadsOwnWrites) {
+  int64_t Counter = 10;
+  SpecWriteBuffer Buf;
+  SpecSpace Spec(&Buf);
+  EXPECT_EQ(Spec.fetchAdd(&Counter, int64_t{1}), 10);
+  EXPECT_EQ(Spec.fetchAdd(&Counter, int64_t{1}), 11)
+      << "the second add must see the first buffered increment";
+  EXPECT_EQ(Counter, 10) << "increments stay buffered until commit";
+  Buf.commit();
+  EXPECT_EQ(Counter, 12);
+}
+
+TEST(SpecSpace, FetchAddLogsSharedReadForValidation) {
+  int64_t Counter = 10;
+  SpecWriteBuffer Buf;
+  SpecSpace Spec(&Buf);
+  Spec.fetchAdd(&Counter, int64_t{1});
+  EXPECT_EQ(Buf.numLoggedReads(), 1u);
+  Counter = 99; // A predecessor chunk committed a different count.
+  EXPECT_FALSE(Buf.validateReads())
+      << "a raced counter update must fail validation";
+}

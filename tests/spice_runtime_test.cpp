@@ -24,6 +24,7 @@
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <limits>
 #include <stdexcept>
 #include <thread>
@@ -527,6 +528,64 @@ TEST(LoopBuilder, ThrowingStepDoesNotPoisonThePoolOrTheHandle) {
   Armed = false;
   EXPECT_EQ(Sum.invoke(0), Want) << "handle must stay usable after the "
                                     "exception";
+}
+
+// Misuse diagnostics fire in every build type (reportFatalError, not
+// assert): a builder misassembled here would otherwise surface as an
+// opaque bad_function_call deep inside an invocation. The aliases keep
+// template-argument commas out of the EXPECT_DEATH macro arguments.
+namespace {
+using CountBuilder = LoopBuilder<int64_t, uint64_t>;
+using CountStepFn = std::function<bool(int64_t &, uint64_t &, SpecSpace &)>;
+} // namespace
+
+TEST(LoopBuilderDeathTest, BuildWithoutStepDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SpiceRuntime RT(/*NumThreads=*/2);
+        auto L = CountBuilder()
+                     .combine([](uint64_t &A, uint64_t &&B) { A += B; })
+                     .build(RT);
+      },
+      "step.*mandatory");
+}
+
+TEST(LoopBuilderDeathTest, BuildWithoutCombineDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        SpiceRuntime RT(/*NumThreads=*/2);
+        auto L = CountBuilder()
+                     .step([](int64_t &, uint64_t &, SpecSpace &) {
+                       return false;
+                     })
+                     .build(RT);
+      },
+      "combine.*mandatory");
+}
+
+TEST(LoopBuilderDeathTest, DoubleInitDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        CountBuilder()
+            .init([] { return uint64_t{0}; })
+            .init([] { return uint64_t{1}; });
+      },
+      "init set twice");
+}
+
+TEST(LoopBuilderDeathTest, DoubleStepDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  auto Step = [](int64_t &, uint64_t &, SpecSpace &) { return false; };
+  EXPECT_DEATH({ CountBuilder().step(Step).step(Step); },
+               "step set twice");
+}
+
+TEST(LoopBuilderDeathTest, NullCallableDies) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH({ CountBuilder().step(CountStepFn{}); }, "null callable");
 }
 
 TEST(LoopBuilder, DefaultInitValueInitializesState) {
