@@ -41,6 +41,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace spice;
@@ -71,6 +72,8 @@ struct NativeCell {
   uint64_t Stolen = 0;
   uint64_t RecoveryChunks = 0;
   double MisspecRate = 0.0;
+  uint64_t QueuedMicros = 0;
+  uint64_t GrantedLanes = 0;
   bool Correct = true;
 };
 
@@ -88,14 +91,16 @@ NativeCell finishCell(const SpiceStats &S, double SeqSeconds,
   Cell.Stolen = S.StolenChunks;
   Cell.RecoveryChunks = S.RecoveryChunks;
   Cell.MisspecRate = S.misspeculationRate();
+  Cell.QueuedMicros = S.QueuedMicros;
+  Cell.GrantedLanes = S.GrantedLanes;
   return Cell;
 }
 
-NativeCell runOtterNative(SpiceRuntime &RT, unsigned K, int Invocations,
-                          size_t ListSize) {
+NativeCell runOtterNative(SpiceRuntime &RT, const LoopOptions &Base,
+                          int Invocations, size_t ListSize) {
   ClauseList List(ListSize, 7001);
   OtterTraits Traits;
-  auto Loop = RT.makeLoop(Traits, nativeOptions(K));
+  auto Loop = RT.makeLoop(Traits, Base);
   NativeCell Cell;
   double SpiceSec = 0, SeqSec = 0;
   for (int I = 0; I != Invocations && List.head(); ++I) {
@@ -113,12 +118,12 @@ NativeCell runOtterNative(SpiceRuntime &RT, unsigned K, int Invocations,
   return Counted;
 }
 
-NativeCell runMcfNative(SpiceRuntime &RT, unsigned K, int Invocations,
-                        size_t TreeSize) {
+NativeCell runMcfNative(SpiceRuntime &RT, const LoopOptions &Base,
+                        int Invocations, size_t TreeSize) {
   BasisTree TreeSpice(TreeSize, 7002);
   BasisTree TreeRef(TreeSize, 7002);
   McfTraits Traits;
-  LoopOptions O = nativeOptions(K);
+  LoopOptions O = Base;
   O.EnableConflictDetection = true;
   auto Loop = RT.makeLoop(Traits, O);
   NativeCell Cell;
@@ -139,12 +144,12 @@ NativeCell runMcfNative(SpiceRuntime &RT, unsigned K, int Invocations,
   return Counted;
 }
 
-NativeCell runKsNative(SpiceRuntime &RT, unsigned K, int MaxSteps,
+NativeCell runKsNative(SpiceRuntime &RT, const LoopOptions &Base, int MaxSteps,
                        size_t Vertices) {
   KsGraph G(Vertices, 8, 7003);
   KsTraits Traits;
   Traits.Graph = &G;
-  auto Loop = RT.makeLoop(Traits, nativeOptions(K));
+  auto Loop = RT.makeLoop(Traits, Base);
   NativeCell Cell;
   double SpiceSec = 0, SeqSec = 0;
   int Steps = 0;
@@ -169,11 +174,10 @@ NativeCell runKsNative(SpiceRuntime &RT, unsigned K, int MaxSteps,
 
 /// Graph analytics (beyond the paper's four kernels): full SSSP runs
 /// from rotating sources; every frontier wave is one invocation.
-NativeCell runSsspNative(SpiceRuntime &RT, unsigned K, int Rounds,
+NativeCell runSsspNative(SpiceRuntime &RT, const LoopOptions &Base, int Rounds,
                          size_t Vertices) {
   SsspWorkload Work(CsrGraph::rmat(Vertices, 8, 7005), /*Source=*/0);
-  LoopOptions O = nativeOptions(K);
-  auto Loop = Work.makeLoop(RT, O);
+  auto Loop = Work.makeLoop(RT, Base);
   NativeCell Cell;
   double SpiceSec = 0, SeqSec = 0;
   for (int R = 0; R != Rounds; ++R) {
@@ -198,12 +202,11 @@ NativeCell runSsspNative(SpiceRuntime &RT, unsigned K, int Rounds,
 
 /// Packet processing (beyond the paper's four kernels): bursty traces
 /// against a hash-bucketed flow table, length varying per invocation.
-NativeCell runPacketsNative(SpiceRuntime &RT, unsigned K, int Invocations,
-                            size_t TraceLen) {
+NativeCell runPacketsNative(SpiceRuntime &RT, const LoopOptions &Base,
+                            int Invocations, size_t TraceLen) {
   PacketPipeline Live(512, 128, TraceLen, 7006);
   PacketPipeline Ref(512, 128, TraceLen, 7006);
-  LoopOptions O = nativeOptions(K);
-  auto Loop = Live.makeLoop(RT, O);
+  auto Loop = Live.makeLoop(RT, Base);
   NativeCell Cell;
   double SpiceSec = 0, SeqSec = 0;
   for (int I = 0; I != Invocations; ++I) {
@@ -226,11 +229,11 @@ NativeCell runPacketsNative(SpiceRuntime &RT, unsigned K, int Invocations,
   return Counted;
 }
 
-NativeCell runSjengNative(SpiceRuntime &RT, unsigned K, int Invocations,
-                          size_t Pieces) {
+NativeCell runSjengNative(SpiceRuntime &RT, const LoopOptions &Base,
+                          int Invocations, size_t Pieces) {
   SjengBoard Board(Pieces, 7004);
   SjengTraits Traits;
-  LoopOptions O = nativeOptions(K);
+  LoopOptions O = Base;
   O.UseWeightedWork = true;
   auto Loop = RT.makeLoop(Traits, O);
   NativeCell Cell;
@@ -370,22 +373,31 @@ int main() {
   const size_t Sz = Bench.pick<size_t>(3000, 600);
   std::vector<NativeRow> NativeRows = {
       {"otter",
-       [&](unsigned K) { return runOtterNative(RT, K, Inv, Sz); }},
+       [&](unsigned K) {
+         return runOtterNative(RT, nativeOptions(K), Inv, Sz);
+       }},
       {"181.mcf",
-       [&](unsigned K) { return runMcfNative(RT, K, Inv, Sz / 2); }},
-      {"ks", [&](unsigned K) { return runKsNative(RT, K, Inv, Sz / 4); }},
+       [&](unsigned K) {
+         return runMcfNative(RT, nativeOptions(K), Inv, Sz / 2);
+       }},
+      {"ks",
+       [&](unsigned K) {
+         return runKsNative(RT, nativeOptions(K), Inv, Sz / 4);
+       }},
       {"458.sjeng",
-       [&](unsigned K) { return runSjengNative(RT, K, Inv, Sz / 2); }},
+       [&](unsigned K) {
+         return runSjengNative(RT, nativeOptions(K), Inv, Sz / 2);
+       }},
       // Beyond the paper: the two post-paper workload families (see
       // docs/workloads.md). sssp counts full SSSP runs, not waves.
       {"sssp",
        [&](unsigned K) {
-         return runSsspNative(RT, K, Bench.pick(8, 3), Sz / 2);
+         return runSsspNative(RT, nativeOptions(K), Bench.pick(8, 3), Sz / 2);
        }},
       {"packets",
        [&](unsigned K) {
-         return runPacketsNative(RT, K, Inv, Bench.pick<size_t>(1 << 14,
-                                                               1 << 11));
+         return runPacketsNative(RT, nativeOptions(K), Inv,
+                                 Bench.pick<size_t>(1 << 14, 1 << 11));
        }},
   };
 
@@ -413,11 +425,107 @@ int main() {
               "chunk per thread, serial\nrecovery); larger k oversubscribes "
               "the worker deques and recovers through\nstealable chunks. "
               "Wall-clock numbers depend on the host's core count.\n");
+
+  //===------------------------------------------------------------------===//
+  // Part 3: multi-client contention -- the admission scheduler. All six
+  // kernels run at once, each driven by its own client thread on one
+  // shared runtime, so every invocation (invoke() == submit().get())
+  // queues at the Scheduler and the lane policy decides who gets freed
+  // lanes. Repeated per LanePolicy; the rows land in
+  // BENCH_fig7_speedup.json so the scheduler hot path is tracked per
+  // commit.
+  //===------------------------------------------------------------------===//
+  std::printf("\n=== Native runtime: multi-client contention (6 client "
+              "threads x 6 kernels,\n    one shared pool, "
+              "ChunksPerThread=2) ===\n\n");
+  const int CInv = Bench.pick(24, 6);
+  const size_t CSz = Bench.pick<size_t>(1500, 400);
+  struct PolicyRun {
+    const char *Name;
+    LanePolicy Policy;
+  };
+  const PolicyRun Policies[] = {
+      {"firstcome", LanePolicy::FirstCome},
+      {"fairshare", LanePolicy::FairShare},
+      {"priority", LanePolicy::Priority},
+  };
+  std::printf("%-10s | %8s | %10s | %8s | %8s | %8s | %8s\n", "policy",
+              "seconds", "queued-us", "granted", "deferred", "capped",
+              "correct");
+  std::printf("%.*s\n", 78,
+              "-----------------------------------------------------------"
+              "-------------------");
+  bool ContentionCorrect = true;
+  for (const PolicyRun &P : Policies) {
+    RuntimeConfig RC = Bench.runtimeConfig();
+    RC.Policy = P.Policy;
+    SpiceRuntime CRT(RC);
+    // Distinct priorities (only the Priority policy reads them): the
+    // paper kernels outrank the post-paper workloads.
+    auto Opt = [](int Priority) {
+      LoopOptions O = nativeOptions(2);
+      O.Priority = Priority;
+      return O;
+    };
+    std::vector<NativeCell> Cells(6);
+    Clock::time_point T0 = Clock::now();
+    std::vector<std::thread> Clients;
+    Clients.emplace_back(
+        [&] { Cells[0] = runOtterNative(CRT, Opt(5), CInv, CSz); });
+    Clients.emplace_back(
+        [&] { Cells[1] = runMcfNative(CRT, Opt(4), CInv, CSz / 2); });
+    Clients.emplace_back(
+        [&] { Cells[2] = runKsNative(CRT, Opt(3), CInv, CSz / 4); });
+    Clients.emplace_back(
+        [&] { Cells[3] = runSjengNative(CRT, Opt(2), CInv, CSz / 2); });
+    Clients.emplace_back([&] {
+      Cells[4] = runSsspNative(CRT, Opt(1), Bench.pick(4, 2), CSz / 2);
+    });
+    Clients.emplace_back([&] {
+      Cells[5] = runPacketsNative(CRT, Opt(0), CInv,
+                                  Bench.pick<size_t>(1 << 12, 1 << 10));
+    });
+    for (std::thread &C : Clients)
+      C.join();
+    double Seconds = secondsSince(T0);
+    uint64_t Queued = 0, Granted = 0;
+    bool Correct = true;
+    for (const NativeCell &Cell : Cells) {
+      Queued += Cell.QueuedMicros;
+      Granted += Cell.GrantedLanes;
+      Correct &= Cell.Correct;
+    }
+    SchedulerStats SS = CRT.schedulerStats();
+    std::printf("%-10s | %8.3f | %10lu | %8lu | %8lu | %8lu | %8s\n",
+                P.Name, Seconds, static_cast<unsigned long>(Queued),
+                static_cast<unsigned long>(Granted),
+                static_cast<unsigned long>(SS.DeferredGrants),
+                static_cast<unsigned long>(SS.CappedGrants),
+                Correct ? "yes" : "NO");
+    ContentionCorrect &= Correct;
+    Json.scalar(std::string("contention_seconds_") + P.Name, Seconds);
+    Json.scalar(std::string("contention_queued_micros_") + P.Name, Queued);
+    Json.scalar(std::string("contention_granted_lanes_") + P.Name,
+                Granted);
+    Json.scalar(std::string("contention_deferred_grants_") + P.Name,
+                SS.DeferredGrants);
+    Json.scalar(std::string("contention_capped_grants_") + P.Name,
+                SS.CappedGrants);
+  }
+  Json.scalar("contention_clients", uint64_t{6});
+  Json.scalar("contention_all_correct",
+              static_cast<uint64_t>(ContentionCorrect ? 1 : 0));
+  std::printf("\nEvery client verifies each invocation against its "
+              "sequential oracle while the\nother five compete for "
+              "lanes: queued-us is time invocations sat in the\n"
+              "admission queue, capped grants ran on fewer lanes than "
+              "requested (FairShare\nsplits deliberately).\n");
+
   Json.scalar("budget", std::string(Bench.budgetName()));
   Json.scalar("native_all_correct",
               static_cast<uint64_t>(AllCorrect ? 1 : 0));
   Json.write(); // Before the gate: the artifact matters most on failure.
-  if (!AllCorrect) {
+  if (!AllCorrect || !ContentionCorrect) {
     std::printf("NATIVE RESULT MISMATCH\n");
     return 1;
   }

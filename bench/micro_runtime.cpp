@@ -7,25 +7,56 @@
 // google-benchmark micro measurements of the native runtime's primitives:
 // the per-iteration detection compare at live-in widths 1..8 (the paper's
 // sjeng overhead discussion), speculative write-buffer operations, the
-// re-memoization planner, and a worker-pool invocation round trip.
+// re-memoization planner, worker-pool invocation round trips, and the
+// scheduler hot path (submit()/SpiceFuture round trips, solo and under a
+// contending client). The submit round trips are additionally hand-timed
+// into BENCH_micro_runtime.json so the scheduler hot path is tracked in
+// the per-commit perf artifacts (scripts/compare_bench.py reports them).
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchUtil.h"
+
 #include "core/Planner.h"
 #include "core/SpecWriteBuffer.h"
+#include "core/SpiceLoop.h"
+#include "core/SpiceRuntime.h"
 #include "core/WorkerPool.h"
 #include "workloads/Sjeng.h"
 
+#include <algorithm>
 #include <atomic>
 #include <benchmark/benchmark.h>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
+#include <thread>
 #include <vector>
 
 using namespace spice;
 using namespace spice::core;
 
 namespace {
+
+/// Tiny fixed-trip loop: short enough that the submission/lease overhead
+/// is a visible share of the round trip.
+struct MicroCountTraits {
+  using LiveIn = int64_t;
+  struct State {
+    uint64_t Sum = 0;
+  };
+  int64_t Trip = 256;
+
+  State initialState() { return {}; }
+  bool step(LiveIn &I, State &S, SpecSpace &) {
+    if (I >= Trip)
+      return false;
+    S.Sum += static_cast<uint64_t>(I);
+    ++I;
+    return true;
+  }
+  void combine(State &Into, State &&Chunk) { Into.Sum += Chunk.Sum; }
+};
 
 /// Live-in tuple of parameterizable width.
 template <unsigned W> struct WideLiveIn {
@@ -96,7 +127,7 @@ void BM_WorkerPoolRoundTrip(benchmark::State &State) {
 
 void BM_SessionRoundTrip(benchmark::State &State) {
   // Per-invocation cost of the shared-pool path: lease lanes, launch,
-  // wait, release (what every SpiceLoop::invokeParallel pays).
+  // wait, release (what every parallel invocation pays underneath).
   WorkerPool Pool(3);
   std::atomic<uint64_t> Sink{0};
   for (auto _ : State) {
@@ -106,6 +137,43 @@ void BM_SessionRoundTrip(benchmark::State &State) {
     S->launch([&](unsigned I) { Sink.fetch_add(I); });
     S->wait();
   }
+}
+
+void BM_SubmitRoundTrip(benchmark::State &State) {
+  // The scheduler hot path, uncontended: submit (admission + immediate
+  // grant + chunk launch) and drive the future to completion -- what
+  // every invoke() pays on top of the loop work itself.
+  SpiceRuntime RT(/*NumThreads=*/4);
+  MicroCountTraits Traits;
+  auto Loop = RT.makeLoop(Traits);
+  Loop.invoke(0); // Warm: submissions request lanes from here on.
+  for (auto _ : State) {
+    SpiceFuture<MicroCountTraits::State> F = Loop.submit(0);
+    benchmark::DoNotOptimize(F.get().Sum);
+  }
+}
+
+void BM_SubmitRoundTripContended(benchmark::State &State) {
+  // Same round trip with a second client thread hammering its own loop
+  // on the same runtime: submissions queue at the scheduler and grants
+  // ride the deferred (release-hook) path.
+  SpiceRuntime RT(/*NumThreads=*/4);
+  MicroCountTraits Traits, BgTraits;
+  auto Loop = RT.makeLoop(Traits);
+  auto BgLoop = RT.makeLoop(BgTraits);
+  Loop.invoke(0);
+  BgLoop.invoke(0);
+  std::atomic<bool> Stop{false};
+  std::thread Bg([&] {
+    while (!Stop.load(std::memory_order_relaxed))
+      benchmark::DoNotOptimize(BgLoop.submit(0).get().Sum);
+  });
+  for (auto _ : State) {
+    SpiceFuture<MicroCountTraits::State> F = Loop.submit(0);
+    benchmark::DoNotOptimize(F.get().Sum);
+  }
+  Stop.store(true);
+  Bg.join();
 }
 
 void BM_SjengEvalStep(benchmark::State &State) {
@@ -120,6 +188,41 @@ void BM_SjengEvalStep(benchmark::State &State) {
   }
 }
 
+/// Hand-timed median of \p Reps submit().get() round trips (ns), solo or
+/// against a contending background client. google-benchmark reports the
+/// same numbers interactively; this feeds the flat BENCH_*.json artifact
+/// the CI perf trajectory is built from.
+uint64_t medianSubmitRoundTripNanos(int Reps, bool Contended) {
+  using Clock = std::chrono::steady_clock;
+  SpiceRuntime RT(/*NumThreads=*/4);
+  MicroCountTraits Traits, BgTraits;
+  auto Loop = RT.makeLoop(Traits);
+  auto BgLoop = RT.makeLoop(BgTraits);
+  Loop.invoke(0);
+  BgLoop.invoke(0);
+  std::atomic<bool> Stop{false};
+  std::thread Bg;
+  if (Contended)
+    Bg = std::thread([&] {
+      while (!Stop.load(std::memory_order_relaxed))
+        BgLoop.submit(0).get();
+    });
+  std::vector<uint64_t> Nanos(static_cast<size_t>(Reps));
+  for (int I = 0; I != Reps; ++I) {
+    Clock::time_point T0 = Clock::now();
+    Loop.submit(0).get();
+    Nanos[static_cast<size_t>(I)] = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             T0)
+            .count());
+  }
+  Stop.store(true);
+  if (Bg.joinable())
+    Bg.join();
+  std::nth_element(Nanos.begin(), Nanos.begin() + Reps / 2, Nanos.end());
+  return Nanos[static_cast<size_t>(Reps / 2)];
+}
+
 } // namespace
 
 BENCHMARK(BM_DetectionCompare<1>);
@@ -132,6 +235,27 @@ BENCHMARK(BM_SpecBufferValidate)->Arg(16)->Arg(256);
 BENCHMARK(BM_PlannerCompute);
 BENCHMARK(BM_WorkerPoolRoundTrip);
 BENCHMARK(BM_SessionRoundTrip);
+BENCHMARK(BM_SubmitRoundTrip);
+BENCHMARK(BM_SubmitRoundTripContended);
 BENCHMARK(BM_SjengEvalStep);
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  // BENCH_micro_runtime.json: the scheduler hot path, tracked per commit
+  // alongside the figure benches (see bench/BenchUtil.h).
+  const spice::benchutil::BenchConfig Bench;
+  const int Reps = Bench.pick(400, 60);
+  spice::benchutil::BenchJson Json("micro_runtime");
+  Json.scalar("budget", std::string(Bench.budgetName()));
+  Json.scalar("submit_roundtrip_ns",
+              medianSubmitRoundTripNanos(Reps, /*Contended=*/false));
+  Json.scalar("contended_submit_roundtrip_ns",
+              medianSubmitRoundTripNanos(Reps, /*Contended=*/true));
+  Json.write();
+  return 0;
+}

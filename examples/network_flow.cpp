@@ -11,8 +11,19 @@
 // almost always passes) and falls back to sequential re-execution when a
 // pivot actually changed the values a chunk consumed.
 //
+// This example is also the async showcase: a server refreshing TWO
+// independent basis networks drives both loops from ONE client thread
+// through the submission API. submit(A); submit(B) admits both
+// invocations to the runtime's scheduler -- B's speculative chunks start
+// the moment A's resolution releases its lanes, overlapping A's commit
+// tail and B's own chunk-0 drive, where the old invoke(); invoke()
+// spelling serialized the two loops end to end. The per-loop
+// QueuedMicros/GrantedLanes counters and the runtime's scheduler stats
+// show the admission traffic.
+//
 //===----------------------------------------------------------------------===//
 
+#include "core/SpiceFuture.h"
 #include "core/SpiceLoop.h"
 #include "core/SpiceRuntime.h"
 #include "workloads/Mcf.h"
@@ -22,60 +33,110 @@
 using namespace spice::core;
 using namespace spice::workloads;
 
-int main() {
-  BasisTree Basis(20000, /*Seed=*/7);
-  SpiceRuntime Runtime(/*NumThreads=*/4);
-  McfTraits Traits;
-  LoopOptions Opts;
-  Opts.EnableConflictDetection = true; // Required: the loop stores.
-  auto Refresh = Runtime.makeLoop(Traits, Opts);
+namespace {
 
-  std::printf("simplex iterations with periodic potential refresh "
-              "(%zu-node basis tree)\n\n",
-              Basis.size());
-  long ChecksumTotal = 0;
-  for (int Pivot = 0; Pivot != 60; ++Pivot) {
-    McfTraits::State R = Refresh.invoke(Basis.traversalStart());
-    ChecksumTotal += R.Checksum;
-    // A few basis exchanges + cost perturbations between refreshes. Once
-    // in a while skip the incremental update: the next refresh then
-    // catches stale potentials through read validation.
-    bool Propagate = Pivot % 7 != 6;
-    Basis.mutate(/*Arcs=*/2, /*Relocations=*/1, Propagate);
-  }
-
-  const SpiceStats &S = Refresh.stats();
-  std::printf("refreshes:             %lu\n", (unsigned long)S.Invocations);
-  std::printf("checksum total:        %ld\n", ChecksumTotal);
-  std::printf("conflict squashes:     %lu (stale-read validation "
-              "failures)\n",
-              (unsigned long)S.ConflictSquashes);
-  std::printf("recovery iterations:   %lu\n",
-              (unsigned long)S.RecoveryIterations);
-  std::printf("mis-speculation rate:  %.2f%%\n",
-              100.0 * S.misspeculationRate());
-
-  // Verify final memory state against a sequential twin. The check loop
-  // registers on the *same* runtime: a second loop costs no threads.
-  BasisTree Twin(20000, 7);
-  auto Check = Runtime.makeLoop(Traits, Opts);
-  for (int Pivot = 0; Pivot != 60; ++Pivot) {
-    Twin.refreshPotentialReference();
-    Twin.mutate(2, 1, Pivot % 7 != 6);
-  }
-  Twin.refreshPotentialReference();
-  McfTraits::State Final = Refresh.invoke(Basis.traversalStart());
-  TreeNode *A = Basis.traversalStart(), *B = Twin.traversalStart();
+bool potentialsMatch(BasisTree &Live, BasisTree &Ref) {
+  TreeNode *A = Live.traversalStart(), *B = Ref.traversalStart();
   while (A && B) {
-    if (A->Potential != B->Potential) {
-      std::printf("\nPOTENTIAL MISMATCH vs sequential twin!\n");
-      return 1;
-    }
+    if (A->Potential != B->Potential)
+      return false;
     A = BasisTree::advance(A);
     B = BasisTree::advance(B);
   }
-  std::printf("final checksum:        %ld (all potentials match the "
-              "sequential twin)\n",
-              Final.Checksum);
+  return !A && !B;
+}
+
+} // namespace
+
+int main() {
+  // Two independent basis trees (think: two tenants of one solver
+  // service), each shadowed by a sequential twin that provides the
+  // per-refresh oracle.
+  BasisTree LiveA(20000, /*Seed=*/7), RefA(20000, 7);
+  BasisTree LiveB(14000, /*Seed=*/11), RefB(14000, 11);
+
+  // One runtime, one pool. FairShare: when both refreshes are queued,
+  // neither monopolizes the lanes.
+  RuntimeConfig RC;
+  RC.NumThreads = 4;
+  RC.Policy = LanePolicy::FairShare;
+  SpiceRuntime Runtime(RC);
+
+  McfTraits TraitsA, TraitsB;
+  LoopOptions Opts;
+  Opts.EnableConflictDetection = true; // Required: the loop stores.
+  auto RefreshA = Runtime.makeLoop(TraitsA, Opts);
+  auto RefreshB = Runtime.makeLoop(TraitsB, Opts);
+
+  std::printf("simplex iterations with periodic potential refresh\n"
+              "(two basis trees: %zu and %zu nodes, one shared runtime, "
+              "one client thread)\n\n",
+              LiveA.size(), LiveB.size());
+  long ChecksumTotal = 0;
+  for (int Pivot = 0; Pivot != 60; ++Pivot) {
+    // Sequential twins first: the oracle for this pivot round.
+    long WantA = RefA.refreshPotentialReference();
+    long WantB = RefB.refreshPotentialReference();
+
+    // Admit both refreshes, then resolve in submission order. A is
+    // granted the free lanes immediately; B queues and its speculative
+    // chunks start as soon as A's resolution hands the lanes back.
+    SpiceFuture<McfTraits::State> FA = RefreshA.submit(LiveA.traversalStart());
+    SpiceFuture<McfTraits::State> FB = RefreshB.submit(LiveB.traversalStart());
+    McfTraits::State RA = FA.get();
+    McfTraits::State RB = FB.get();
+    if (RA.Checksum != WantA || RB.Checksum != WantB) {
+      std::printf("CHECKSUM MISMATCH vs sequential twin at pivot %d\n",
+                  Pivot);
+      return 1;
+    }
+    ChecksumTotal += RA.Checksum + RB.Checksum;
+
+    // A few basis exchanges + cost perturbations between refreshes, in
+    // lockstep with the twins. Once in a while skip the incremental
+    // update: the next refresh then catches stale potentials through
+    // read validation.
+    bool Propagate = Pivot % 7 != 6;
+    LiveA.mutate(/*Arcs=*/2, /*Relocations=*/1, Propagate);
+    RefA.mutate(2, 1, Propagate);
+    LiveB.mutate(2, 1, Propagate);
+    RefB.mutate(2, 1, Propagate);
+  }
+
+  if (!potentialsMatch(LiveA, RefA) || !potentialsMatch(LiveB, RefB)) {
+    std::printf("\nPOTENTIAL MISMATCH vs sequential twin!\n");
+    return 1;
+  }
+
+  const SpiceStats &SA = RefreshA.stats();
+  const SpiceStats &SB = RefreshB.stats();
+  SchedulerStats Sched = Runtime.schedulerStats();
+  std::printf("refreshes:             %lu + %lu (all checksums and "
+              "potentials match)\n",
+              (unsigned long)SA.Invocations, (unsigned long)SB.Invocations);
+  std::printf("checksum total:        %ld\n", ChecksumTotal);
+  std::printf("conflict squashes:     %lu + %lu (stale-read validation "
+              "failures)\n",
+              (unsigned long)SA.ConflictSquashes,
+              (unsigned long)SB.ConflictSquashes);
+  std::printf("mis-speculation rate:  %.2f%% / %.2f%%\n",
+              100.0 * SA.misspeculationRate(),
+              100.0 * SB.misspeculationRate());
+  std::printf("granted lanes:         %lu / %lu (mean partition per "
+              "parallel invocation)\n",
+              (unsigned long)SA.GrantedLanes,
+              (unsigned long)SB.GrantedLanes);
+  std::printf("queued micros:         %lu / %lu (B queues while A holds "
+              "the pool)\n",
+              (unsigned long)SA.QueuedMicros,
+              (unsigned long)SB.QueuedMicros);
+  std::printf("scheduler:             %lu submitted, %lu immediate + %lu "
+              "deferred grants,\n                       %lu capped, "
+              "max queue depth %lu\n",
+              (unsigned long)Sched.Submitted,
+              (unsigned long)Sched.ImmediateGrants,
+              (unsigned long)Sched.DeferredGrants,
+              (unsigned long)Sched.CappedGrants,
+              (unsigned long)Sched.MaxQueueDepth);
   return 0;
 }

@@ -6,8 +6,10 @@ bench/BenchUtil.h). On main, the job caches those files as the baseline;
 on pull requests this script diffs the PR's artifacts against that
 baseline and FAILS (exit 1) when a gated metric regresses by more than
 --threshold (default 10%). The gated metrics are the simulated Figure 7
-speedup geomeans (higher is better); everything else is reported
-informationally so perf drift stays visible in the job log.
+speedup geomeans (higher is better) and the deterministic
+load-imbalance sweep of bench_ablation_loadbalance (lower is better);
+everything else is reported informationally so perf drift stays
+visible in the job log.
 
 Usage:
   scripts/compare_bench.py --current build --baseline bench-baseline
@@ -25,10 +27,17 @@ import sys
 
 # Metrics that gate the job: (file stem, key, higher_is_better). The
 # simulated Figure 7 geomeans are the repo's headline number (ROADMAP:
-# regression gate on the simulated Figure 7 geomean).
+# regression gate on the simulated Figure 7 geomean); the
+# load-imbalance sweep is deterministic (static hotspot workload,
+# re-priced from the runtime's own chunk boundaries), so a >threshold
+# increase means the planner or the work-stealing schedule regressed.
 DEFAULT_GATES = [
     ("fig7_speedup", "sim_geomean_2t", True),
     ("fig7_speedup", "sim_geomean_4t", True),
+    ("ablation_loadbalance", "load_imbalance_k1", False),
+    ("ablation_loadbalance", "load_imbalance_k2", False),
+    ("ablation_loadbalance", "load_imbalance_k4", False),
+    ("ablation_loadbalance", "load_imbalance_k8", False),
 ]
 
 

@@ -104,6 +104,12 @@ public:
   /// Executes one invocation starting from \p Start.
   State invoke(const LiveIn &Start) { return Loop->invoke(Start); }
 
+  /// Admits one invocation to the runtime's scheduler and returns its
+  /// completion future (see SpiceLoop::submit / core/SpiceFuture.h).
+  core::SpiceFuture<State> submit(const LiveIn &Start) {
+    return Loop->submit(Start);
+  }
+
   /// Plain sequential execution with no Spice machinery (baseline oracle
   /// for tests and benchmarks). Does not touch predictor state.
   State runSequentialReference(LiveIn LI) {

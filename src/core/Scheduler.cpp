@@ -1,0 +1,222 @@
+//===- core/Scheduler.cpp - Cross-loop lane admission scheduler -----------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Scheduler.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace spice;
+using namespace spice::core;
+
+Scheduler::~Scheduler() {
+  std::lock_guard<std::mutex> Lock(M);
+  if (!Queue.empty())
+    reportFatalError("destroying a Scheduler with invocations still "
+                     "queued; resolve every SpiceFuture before tearing "
+                     "down the runtime");
+}
+
+uint64_t Scheduler::submit(Request R) {
+  assert(R.RequestedLanes >= 1 && "a lane request needs at least one lane");
+  assert(R.OnGrant && "a lane request needs a grant callback");
+  uint64_t Ticket;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    Ticket = NextTicket++;
+    Queue.push_back(
+        Entry{std::move(R), Clock::now(), Ticket, /*Immediate=*/true});
+    ++St.Submitted;
+    St.MaxQueueDepth = std::max<uint64_t>(St.MaxQueueDepth, Queue.size());
+  }
+  runGrants();
+  // If our own pass did not grant this request, it now waits for a
+  // deferred grant and accumulates real queue time from Enqueued on.
+  // Only this entry is downgraded: a concurrent submitter's entry stays
+  // Immediate until *its* submit() finishes its own pass, keeping the
+  // ImmediateGrants / QueuedMicros==0 definition exact per request.
+  std::lock_guard<std::mutex> Lock(M);
+  for (Entry &E : Queue)
+    if (E.Ticket == Ticket)
+      E.Immediate = false;
+  return Ticket;
+}
+
+bool Scheduler::isQueued(uint64_t Ticket) const {
+  std::lock_guard<std::mutex> Lock(M);
+  for (const Entry &E : Queue)
+    if (E.Ticket == Ticket)
+      return true;
+  return false;
+}
+
+void Scheduler::onLanesFreed() { runGrants(); }
+
+SchedulerStats Scheduler::stats() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return St;
+}
+
+unsigned Scheduler::queueDepth() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return static_cast<unsigned>(Queue.size());
+}
+
+std::vector<Scheduler::Grant>
+Scheduler::planGrants(const std::vector<Candidate> &Pending,
+                      unsigned FreeLanes, LanePolicy Policy,
+                      uint64_t AgingStepMicros) {
+  std::vector<Grant> Plan;
+  if (FreeLanes == 0 || Pending.empty())
+    return Plan;
+
+  // FirstCome and Priority share the greedy core: walk an order, hand
+  // each request everything it asked for while lanes remain.
+  auto GreedyInOrder = [&](const std::vector<size_t> &Order) {
+    unsigned Free = FreeLanes;
+    for (size_t I : Order) {
+      if (Free == 0)
+        break;
+      unsigned Lanes = std::min(Free, Pending[I].RequestedLanes);
+      Plan.push_back(Grant{I, Lanes});
+      Free -= Lanes;
+    }
+  };
+
+  switch (Policy) {
+  case LanePolicy::FirstCome: {
+    std::vector<size_t> Order(Pending.size());
+    std::iota(Order.begin(), Order.end(), size_t{0});
+    GreedyInOrder(Order);
+    break;
+  }
+  case LanePolicy::Priority: {
+    // Effective priority = static priority + one step per
+    // AgingStepMicros spent queued; ties resolve in admission order
+    // (stable sort over the admission-ordered input).
+    auto Effective = [&](const Candidate &C) {
+      int64_t Aged = AgingStepMicros
+                         ? static_cast<int64_t>(C.QueuedMicros /
+                                                AgingStepMicros)
+                         : 0;
+      return static_cast<int64_t>(C.Priority) + Aged;
+    };
+    std::vector<size_t> Order(Pending.size());
+    std::iota(Order.begin(), Order.end(), size_t{0});
+    std::stable_sort(Order.begin(), Order.end(), [&](size_t A, size_t B) {
+      return Effective(Pending[A]) > Effective(Pending[B]);
+    });
+    GreedyInOrder(Order);
+    break;
+  }
+  case LanePolicy::FairShare: {
+    // Proportional split with a floor of one lane: cap_i ~ FreeLanes *
+    // req_i / sum(req), clamped to [1, req_i]. Overshoot (the floors of
+    // many small requests) is trimmed from the back of the admission
+    // queue -- latest submissions stay queued when there are more
+    // requests than lanes; undershoot (rounding) is handed back one
+    // lane at a time in admission order.
+    uint64_t SumReq = 0;
+    for (const Candidate &C : Pending)
+      SumReq += C.RequestedLanes;
+    std::vector<unsigned> Caps(Pending.size());
+    uint64_t Total = 0;
+    for (size_t I = 0; I != Pending.size(); ++I) {
+      uint64_t Share = static_cast<uint64_t>(FreeLanes) *
+                       Pending[I].RequestedLanes / SumReq;
+      Caps[I] = static_cast<unsigned>(std::clamp<uint64_t>(
+          Share, 1, Pending[I].RequestedLanes));
+      Total += Caps[I];
+    }
+    for (size_t I = Pending.size(); Total > FreeLanes && I-- > 0;) {
+      uint64_t Excess = Total - FreeLanes;
+      unsigned Keep = Caps[I] > Excess
+                          ? Caps[I] - static_cast<unsigned>(Excess)
+                          : 0;
+      Total -= Caps[I] - Keep;
+      Caps[I] = Keep;
+    }
+    bool Progress = true;
+    while (Total < FreeLanes && Progress) {
+      Progress = false;
+      for (size_t I = 0; I != Pending.size() && Total < FreeLanes; ++I) {
+        if (Caps[I] != 0 && Caps[I] < Pending[I].RequestedLanes) {
+          ++Caps[I];
+          ++Total;
+          Progress = true;
+        }
+      }
+    }
+    for (size_t I = 0; I != Pending.size(); ++I)
+      if (Caps[I] != 0)
+        Plan.push_back(Grant{I, Caps[I]});
+    break;
+  }
+  }
+  return Plan;
+}
+
+void Scheduler::runGrants() {
+  struct Action {
+    Entry E;
+    WorkerPool::SessionHandle Session;
+    uint64_t QueuedMicros;
+  };
+  std::vector<Action> Actions;
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    if (Queue.empty())
+      return;
+    unsigned Free = Pool.freeWorkers();
+    if (Free == 0)
+      return;
+    Clock::time_point Now = Clock::now();
+    std::vector<Candidate> Pending;
+    Pending.reserve(Queue.size());
+    for (const Entry &E : Queue) {
+      uint64_t Waited =
+          E.Immediate
+              ? 0
+              : static_cast<uint64_t>(
+                    std::chrono::duration_cast<std::chrono::microseconds>(
+                        Now - E.Enqueued)
+                        .count());
+      Pending.push_back(
+          Candidate{E.R.RequestedLanes, E.R.Priority, Waited});
+    }
+    std::vector<Grant> Plan =
+        planGrants(Pending, Free, Policy, AgingStepMicros);
+    std::vector<size_t> Granted;
+    for (const Grant &G : Plan) {
+      Entry &E = Queue[G.Index];
+      WorkerPool::SessionHandle S = Pool.tryAcquireSessionFor(
+          G.Lanes, E.R.AllowStealing, E.R.Owner);
+      if (!S)
+        break; // Raced with a blocking acquirer; retry on next release.
+      if (E.Immediate)
+        ++St.ImmediateGrants;
+      else
+        ++St.DeferredGrants;
+      if (S->lanes() < E.R.RequestedLanes)
+        ++St.CappedGrants;
+      uint64_t Waited = Pending[G.Index].QueuedMicros;
+      St.TotalQueuedMicros += Waited;
+      Actions.push_back(Action{std::move(E), std::move(S), Waited});
+      Granted.push_back(G.Index);
+    }
+    std::sort(Granted.begin(), Granted.end());
+    for (size_t I = Granted.size(); I-- > 0;)
+      Queue.erase(Queue.begin() +
+                  static_cast<std::ptrdiff_t>(Granted[I]));
+  }
+  // Callbacks run with no scheduler or pool lock held: they push chunks
+  // and launch the leased lanes, which take pool-side locks of their own.
+  for (Action &A : Actions)
+    A.E.R.OnGrant(std::move(A.Session), A.QueuedMicros);
+}

@@ -1,0 +1,188 @@
+//===- core/Scheduler.h - Cross-loop lane admission scheduler ---*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Scheduler is a SpiceRuntime's admission queue: every parallel
+/// invocation submitted through SpiceLoop::submit() becomes a lane
+/// Request here, and the scheduler -- not the WorkerPool's first-come
+/// blocking path -- decides which queued invocation the free lanes go
+/// to. Grants happen at two points, both without a dedicated scheduler
+/// thread:
+///
+///  * submit(): the new request is enqueued and a grant pass runs
+///    immediately, so an uncontended submission leaves with its session
+///    in hand (the fast path every sole-client invoke() takes).
+///  * WorkerPool release hook: when an invocation returns its lanes, the
+///    releasing thread runs a grant pass over the queue -- the deferred
+///    grant path. The request's OnGrant callback (which pushes the
+///    invocation's chunks and launches the leased lanes) therefore runs
+///    on whichever thread freed the lanes; the granted session is
+///    accounted to the request's Owner, the thread that drives the
+///    future (see WorkerPool::tryAcquireSessionFor).
+///
+/// Which request wins is LanePolicy (RuntimeConfig::Policy):
+///
+///  * FirstCome  -- admission order; the head takes every free lane it
+///                  asked for (the pre-scheduler behavior).
+///  * FairShare  -- free lanes split proportionally to the queued
+///                  requests, minimum one lane each, so one wide
+///                  invocation cannot monopolize the pool.
+///  * Priority   -- strict LoopOptions::Priority order, with queue time
+///                  aging the effective priority (one step per
+///                  RuntimeConfig::AgingStepMicros) so low-priority work
+///                  cannot starve.
+///
+/// The policy core is the pure function planGrants(), unit-tested in
+/// isolation (tests/scheduler_test.cpp); the mutexed queue machinery
+/// around it only executes its plan. Lock order: the scheduler mutex is
+/// taken strictly outside the pool mutex; grant callbacks run with
+/// neither held.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_CORE_SCHEDULER_H
+#define SPICE_CORE_SCHEDULER_H
+
+#include "core/SpiceConfig.h"
+#include "core/WorkerPool.h"
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace spice {
+namespace core {
+
+/// Runtime-wide admission counters, read via SpiceRuntime::
+/// schedulerStats(). Sequential invocations never enter the admission
+/// queue and are invisible here.
+struct SchedulerStats {
+  /// Requests that entered the admission queue.
+  uint64_t Submitted = 0;
+  /// Requests granted inside their own submit() call (lanes were free).
+  uint64_t ImmediateGrants = 0;
+  /// Requests granted later, by a thread releasing lanes.
+  uint64_t DeferredGrants = 0;
+  /// Grants handed fewer lanes than requested (pool contention; under
+  /// FairShare also deliberate splitting).
+  uint64_t CappedGrants = 0;
+  /// Total time granted requests spent queued (deferred grants only;
+  /// immediate grants contribute 0 by definition).
+  uint64_t TotalQueuedMicros = 0;
+  /// High-water mark of the admission queue depth.
+  uint64_t MaxQueueDepth = 0;
+};
+
+/// Cross-loop lane scheduler; owned by SpiceRuntime (one per pool).
+class Scheduler {
+public:
+  using Clock = std::chrono::steady_clock;
+
+  /// One queued invocation's lane request.
+  struct Request {
+    /// Lanes the invocation can use (its launchable chunk count), >= 1.
+    unsigned RequestedLanes = 1;
+    /// Session stealing flag (LoopOptions::ChunksPerThread > 1).
+    bool AllowStealing = false;
+    /// LoopOptions::Priority of the submitting loop.
+    int Priority = 0;
+    /// The thread that will drive the granted session (the submitter);
+    /// leases are accounted to it for self-deadlock diagnostics.
+    std::thread::id Owner;
+    /// Runs exactly once, outside every scheduler/pool mutex, on the
+    /// granting thread (submitter or releaser): receives the leased
+    /// session and the microseconds the request spent queued.
+    std::function<void(WorkerPool::SessionHandle, uint64_t)> OnGrant;
+  };
+
+  /// \p AgingStepMicros: see RuntimeConfig (Priority policy only).
+  Scheduler(WorkerPool &Pool, LanePolicy Policy, uint64_t AgingStepMicros)
+      : Pool(Pool), Policy(Policy), AgingStepMicros(AgingStepMicros) {}
+
+  /// A scheduler must drain before destruction; SpiceRuntime's
+  /// destructor diagnostics enforce it before this runs.
+  ~Scheduler();
+
+  Scheduler(const Scheduler &) = delete;
+  Scheduler &operator=(const Scheduler &) = delete;
+
+  /// Enqueues \p R and runs a grant pass. When the pass grants R itself
+  /// (free lanes, policy picked it), R.OnGrant has already run -- with
+  /// QueuedMicros == 0 -- by the time submit returns. Returns a ticket
+  /// identifying the request in the admission queue (never 0).
+  uint64_t submit(Request R);
+
+  /// True while the ticket's request sits in the admission queue. The
+  /// request leaves the queue the moment a grant pass picks it -- before
+  /// its OnGrant callback runs -- so false means granted-or-in-flight.
+  /// Used by the waiters' self-deadlock diagnostic: "still queued while
+  /// the waiting thread holds every lane" is provably stuck, "popped
+  /// but not yet Granted" is a grant mid-flight on another thread.
+  bool isQueued(uint64_t Ticket) const;
+
+  /// Deferred-grant entry point, wired to WorkerPool::setReleaseHook.
+  void onLanesFreed();
+
+  SchedulerStats stats() const;
+  unsigned queueDepth() const;
+  LanePolicy policy() const { return Policy; }
+
+  /// A queued request as planGrants sees it.
+  struct Candidate {
+    unsigned RequestedLanes;
+    int Priority;
+    uint64_t QueuedMicros;
+  };
+  /// One planned grant: lane cap for the request at \p Index of the
+  /// candidate (admission-ordered) vector.
+  struct Grant {
+    size_t Index;
+    unsigned Lanes;
+  };
+
+  /// Pure policy core: splits \p FreeLanes over \p Pending (admission
+  /// order) and returns the grants in execution order; requests absent
+  /// from the result stay queued. Guarantees sum(Lanes) <= FreeLanes and
+  /// 1 <= Lanes <= RequestedLanes per grant.
+  static std::vector<Grant> planGrants(const std::vector<Candidate> &Pending,
+                                       unsigned FreeLanes, LanePolicy Policy,
+                                       uint64_t AgingStepMicros);
+
+private:
+  struct Entry {
+    Request R;
+    Clock::time_point Enqueued;
+    uint64_t Ticket = 0;
+    /// True until the submit() call that enqueued this entry finishes
+    /// its own grant pass: a grant while set is an immediate grant and
+    /// reports 0 queued time.
+    bool Immediate = true;
+  };
+
+  /// Plans against the current free-lane count, executes the leases, and
+  /// pops granted entries -- all under the scheduler mutex -- then runs
+  /// the OnGrant callbacks unlocked.
+  void runGrants();
+
+  WorkerPool &Pool;
+  const LanePolicy Policy;
+  const uint64_t AgingStepMicros;
+
+  mutable std::mutex M;
+  std::deque<Entry> Queue;
+  uint64_t NextTicket = 1;
+  SchedulerStats St;
+};
+
+} // namespace core
+} // namespace spice
+
+#endif // SPICE_CORE_SCHEDULER_H

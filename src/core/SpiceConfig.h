@@ -31,8 +31,26 @@
 namespace spice {
 namespace core {
 
+/// Cross-loop lane policy: how the runtime's Scheduler splits freed
+/// worker lanes among queued invocations when concurrent submissions
+/// contend for the shared pool (see core/Scheduler.h).
+enum class LanePolicy {
+  /// Admission order: the oldest queued invocation takes every free lane
+  /// it asked for; later ones wait. The pre-scheduler behavior.
+  FirstCome,
+  /// Free lanes are split proportionally to the queued invocations'
+  /// requests, at least one lane each, so a wide invocation can no
+  /// longer monopolize the pool while others starve.
+  FairShare,
+  /// Strict LoopOptions::Priority order (higher first), with queued time
+  /// aging the effective priority so low-priority work cannot starve
+  /// (RuntimeConfig::AgingStepMicros).
+  Priority,
+};
+
 /// Process-wide settings of a SpiceRuntime: sizing and placement of the
-/// single shared WorkerPool that executes every registered loop.
+/// single shared WorkerPool that executes every registered loop, plus
+/// the cross-loop scheduling policy.
 struct RuntimeConfig {
   /// Total threads including the non-speculative main (client) thread;
   /// the shared pool spawns NumThreads - 1 workers.
@@ -43,6 +61,14 @@ struct RuntimeConfig {
   /// pinning: bind the worker to a node here and the lane leases hand the
   /// pinned workers to invocations. Null = no placement.
   std::function<void(unsigned)> WorkerStartHook;
+
+  /// How freed lanes are handed to queued invocations (see LanePolicy).
+  LanePolicy Policy = LanePolicy::FirstCome;
+
+  /// Under LanePolicy::Priority, a queued invocation's effective
+  /// priority grows by one for every AgingStepMicros it has waited
+  /// (starvation aging). 0 disables aging (pure strict priority).
+  uint64_t AgingStepMicros = 1000;
 };
 
 /// Per-loop policy: everything a single SpiceLoop decides for itself,
@@ -82,6 +108,10 @@ struct LoopOptions {
 
   /// Capacity of the bootstrap sampler used on the first invocation.
   size_t BootstrapCapacity = 64;
+
+  /// Scheduling priority of this loop's submissions under
+  /// LanePolicy::Priority (higher wins; ignored by the other policies).
+  int Priority = 0;
 
   /// Chunks of one invocation on a runtime with \p NumThreads threads. A
   /// single-threaded runtime never speculates, so oversubscription is
@@ -167,6 +197,17 @@ struct SpiceStats {
   /// Recovery chunks whose re-execution ran off the home lane (stolen by
   /// an idle worker or drained by the resolving main thread).
   uint64_t StolenRecoveryChunks = 0;
+  /// Time this loop's submissions spent in the runtime's admission queue
+  /// before the Scheduler granted them lanes. An uncontended submission
+  /// is granted inside submit() and contributes exactly 0; only deferred
+  /// grants (lanes freed later by another invocation) accumulate time.
+  uint64_t QueuedMicros = 0;
+  /// Worker lanes granted across this loop's parallel invocations. With
+  /// a sole client this is min(pool size, launched chunks) every time;
+  /// under contention the scheduler's policy caps it (FairShare splits,
+  /// Priority preempts admission order). GrantedLanes / (Invocations -
+  /// SequentialInvocations) is the mean partition this loop ran on.
+  uint64_t GrantedLanes = 0;
   /// Per-invocation imbalance numerator at execution-context granularity:
   /// the observed per-chunk work is list-scheduled onto the invocation's
   /// execution contexts (deterministically modelling the work-stealing

@@ -1,0 +1,141 @@
+//===- core/SpiceFuture.h - Completion handle for submit() ------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SpiceFuture is the completion handle returned by SpiceLoop::submit():
+/// the asynchronous half of an invocation. submit() admits the invocation
+/// to the runtime's Scheduler and returns immediately; the speculative
+/// chunks start on the granted worker lanes as soon as the scheduler
+/// hands them out, while the non-speculative chunk 0 and the ordered
+/// commit chain run inside wait()/get() on the thread that drives the
+/// future. A client can therefore keep several invocations -- of
+/// *different* loops -- in flight and overlap their speculative work:
+///
+/// \code
+///   auto FA = LoopA.submit(HeadA);   // lanes granted, chunks running
+///   auto FB = LoopB.submit(HeadB);   // queued behind A (policy decides)
+///   auto RA = FA.get();              // drives A's chunk 0 + commits
+///   auto RB = FB.get();              // B's chunks overlapped A's tail
+/// \endcode
+///
+/// Semantics:
+///  * wait() drives the invocation to completion (it executes loop work
+///    on the calling thread) and absorbs any exception a Traits callable
+///    threw; get() = wait() + return the result or rethrow. ready() is a
+///    non-blocking poll: true once the result is available so get()
+///    returns without running loop work.
+///  * A default-constructed or consumed future is invalid (valid() ==
+///    false); get() may be called once.
+///  * The destructor of a valid future drives the invocation to
+///    completion and discards the result (including any exception), so
+///    dropping a future never leaks leased lanes or a queued admission.
+///  * Resolve futures in submission order per client thread: blocking on
+///    a still-queued future while an earlier granted one holds every
+///    worker lane is a self-deadlock, and the runtime aborts with a
+///    diagnostic instead of hanging (see SpiceLoop::submit()). The
+///    diagnostic assumes the submitting thread drives the future; a
+///    future moved to another thread still executes correctly, but a
+///    deadlock it causes blocks instead of aborting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_CORE_SPICEFUTURE_H
+#define SPICE_CORE_SPICEFUTURE_H
+
+#include "support/ErrorHandling.h"
+
+#include <memory>
+#include <utility>
+
+namespace spice {
+namespace core {
+
+namespace detail {
+
+/// The invocation state a SpiceFuture drives; implemented by
+/// SpiceLoop::AsyncInvocation (one per submit()).
+template <typename StateT> class FutureImpl {
+public:
+  virtual ~FutureImpl() = default;
+
+  /// Drives the invocation to completion on the calling thread; absorbs
+  /// exceptions into the stored outcome. Idempotent.
+  virtual void wait() noexcept = 0;
+
+  /// True once the outcome (result or exception) is stored.
+  virtual bool ready() const = 0;
+
+  /// Moves the result out, or rethrows the stored exception. Requires a
+  /// completed invocation (call wait() first); consumed exactly once.
+  virtual StateT take() = 0;
+};
+
+} // namespace detail
+
+/// Move-only completion handle for one submitted invocation; see the
+/// file banner for the execution model.
+template <typename StateT> class SpiceFuture {
+public:
+  SpiceFuture() = default;
+  explicit SpiceFuture(std::unique_ptr<detail::FutureImpl<StateT>> Impl)
+      : Impl(std::move(Impl)) {}
+
+  SpiceFuture(SpiceFuture &&) = default;
+  SpiceFuture &operator=(SpiceFuture &&O) {
+    if (this != &O) {
+      abandon();
+      Impl = std::move(O.Impl);
+    }
+    return *this;
+  }
+  SpiceFuture(const SpiceFuture &) = delete;
+  SpiceFuture &operator=(const SpiceFuture &) = delete;
+
+  /// Completes the invocation (result discarded) if still owned.
+  ~SpiceFuture() { abandon(); }
+
+  /// False for a default-constructed, moved-from, or consumed handle.
+  bool valid() const { return Impl != nullptr; }
+
+  /// Non-blocking: true once get() would return without running loop
+  /// work on this thread.
+  bool ready() const { return Impl && Impl->ready(); }
+
+  /// Drives the invocation to completion on this thread. Does not
+  /// surface exceptions (get() does) and does not consume the handle.
+  void wait() {
+    if (Impl)
+      Impl->wait();
+  }
+
+  /// Drives the invocation to completion and returns the merged state,
+  /// or rethrows the exception a Traits callable threw. Consumes the
+  /// handle (valid() becomes false); get() on an invalid handle aborts
+  /// with a diagnostic.
+  StateT get() {
+    if (!Impl)
+      reportFatalError("SpiceFuture::get() on an invalid future (default-"
+                       "constructed, moved-from, or already consumed)");
+    Impl->wait();
+    std::unique_ptr<detail::FutureImpl<StateT>> Done = std::move(Impl);
+    return Done->take();
+  }
+
+private:
+  void abandon() {
+    if (Impl) {
+      Impl->wait();
+      Impl.reset();
+    }
+  }
+
+  std::unique_ptr<detail::FutureImpl<StateT>> Impl;
+};
+
+} // namespace core
+} // namespace spice
+
+#endif // SPICE_CORE_SPICEFUTURE_H

@@ -15,16 +15,28 @@
 /// every other core.
 ///
 /// A SpiceLoop is a lightweight handle on a SpiceRuntime: the runtime
-/// owns the single shared WorkerPool, and each invocation leases a
-/// partition of its worker lanes (WorkerPool::acquireSession), so many
-/// loops -- invoked from the same or different client threads -- share
-/// one set of pre-allocated threads:
+/// owns the single shared WorkerPool and the admission Scheduler, and
+/// each invocation is granted a partition of the worker lanes by the
+/// scheduler's LanePolicy, so many loops -- invoked from the same or
+/// different client threads -- share one set of pre-allocated threads:
 ///
 /// \code
 ///   SpiceRuntime RT(/*NumThreads=*/4);            // one pool, process-wide
 ///   auto Loop = RT.makeLoop(Traits, LoopOptions{}); // per-loop policy
-///   auto Result = Loop.invoke(Head);
+///   auto Result = Loop.invoke(Head);              // submit(Head).get()
 /// \endcode
+///
+/// Invocation is submission-based: submit(Start) admits the invocation
+/// to the runtime's scheduler and returns a SpiceFuture immediately. As
+/// soon as the scheduler grants lanes (inside submit when the pool has
+/// free workers, else deferred until another invocation releases its
+/// lanes), the speculative chunks start executing on the granted
+/// workers; the non-speculative chunk 0 and the ordered commit chain
+/// run on the client thread inside SpiceFuture::get()/wait(). invoke()
+/// is literally submit(Start).get() -- the synchronous spelling -- and
+/// a client can overlap invocations of *different* loops by holding
+/// several futures (one loop handle still runs one invocation at a
+/// time; see core/SpiceFuture.h for future semantics).
 ///
 /// A loop is adapted through a Traits object (or assembled from lambdas
 /// with spice::LoopBuilder, see core/LoopBuilder.h):
@@ -82,8 +94,10 @@
 
 #include "core/BootstrapSampler.h"
 #include "core/Planner.h"
+#include "core/Scheduler.h"
 #include "core/SpecWriteBuffer.h"
 #include "core/SpiceConfig.h"
+#include "core/SpiceFuture.h"
 #include "core/SpiceRuntime.h"
 #include "core/WorkerPool.h"
 #include "support/ErrorHandling.h"
@@ -91,9 +105,12 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <thread>
 #include <utility>
@@ -130,6 +147,10 @@ public:
                   std::make_unique<SpiceRuntime>(Config.runtime())) {}
 
   ~SpiceLoop() {
+    if (InvokeInFlight.load(std::memory_order_acquire))
+      reportFatalError("destroying a SpiceLoop while a submitted "
+                       "invocation is unresolved; get()/wait() its "
+                       "SpiceFuture (or destroy the future) first");
     if (RT)
       RT->unregisterLoop();
   }
@@ -138,28 +159,61 @@ public:
   SpiceLoop &operator=(const SpiceLoop &) = delete;
 
   /// Executes one invocation starting from \p Start and returns the merged
-  /// state (reductions and live-outs). Different loops of one runtime may
-  /// invoke concurrently, but each individual loop is driven by one
-  /// client thread at a time (the predictor state is per-loop);
-  /// overlapping invoke() calls on the same handle abort with a
-  /// diagnostic.
-  State invoke(const LiveIn &Start) {
+  /// state (reductions and live-outs): the synchronous spelling of
+  /// submit(Start).get(). Different loops of one runtime may invoke
+  /// concurrently, but each individual loop is driven by one client
+  /// thread at a time (the predictor state is per-loop); overlapping
+  /// invoke()/submit() calls on the same handle abort with a diagnostic.
+  State invoke(const LiveIn &Start) { return submit(Start).get(); }
+
+  /// Admits one invocation starting from \p Start to the runtime's
+  /// scheduler and returns its completion future. The speculative chunks
+  /// start on worker lanes as soon as the scheduler grants them (by
+  /// RuntimeConfig::Policy); chunk 0 and the ordered commit chain run on
+  /// the thread that drives the future (get/wait -- see
+  /// core/SpiceFuture.h). The loop handle runs one invocation at a time:
+  /// the next submit() must wait until this future resolves. \p Start
+  /// and the Traits object must stay valid until resolution.
+  ///
+  /// The granted lanes are accounted to the *submitting* thread, which
+  /// is expected to also drive the future: the self-deadlock diagnostic
+  /// (waiting on a grant only your own stack could unblock) keys off
+  /// that accounting. A future moved to and driven by a different
+  /// thread still executes correctly, but a deadlock it causes is no
+  /// longer provable and blocks instead of aborting.
+  SpiceFuture<State> submit(const LiveIn &Start) {
     if (InvokeInFlight.exchange(true, std::memory_order_acquire))
-      reportFatalError("SpiceLoop::invoke called concurrently on the same "
-                       "loop handle; a loop is driven by one client "
-                       "thread at a time (use one loop per client, many "
-                       "loops per runtime)");
-    // Clear the flag even when a Traits callable throws, so the handle
-    // reports the real error instead of a bogus concurrent-invoke one.
-    struct FlagClearer {
-      std::atomic<bool> &F;
-      ~FlagClearer() { F.store(false, std::memory_order_release); }
-    } Clear{InvokeInFlight};
+      reportFatalError("SpiceLoop::submit/invoke while a previous "
+                       "invocation of this loop handle is unresolved; a "
+                       "loop is driven by one client thread at a time "
+                       "(use one loop per client, many loops per "
+                       "runtime)");
     ++Stats.Invocations;
+    RT->noteSubmitted();
+    auto Inv = std::make_unique<AsyncInvocation>(*this, Start);
     unsigned ActiveChunks = countLaunchableSpecChunks();
-    if (ActiveChunks == 0)
-      return invokeSequential(Start);
-    return invokeParallel(Start, ActiveChunks);
+    if (ActiveChunks == 0) {
+      // No usable predictions: the whole invocation is the sequential
+      // protocol, executed by whoever drives the future. The scheduler
+      // is not involved -- no lanes are needed.
+      Inv->Phase.store(AsyncInvocation::InvPhase::SeqPending,
+                       std::memory_order_release);
+    } else {
+      Inv->ActiveChunks = ActiveChunks;
+      Inv->Phase.store(AsyncInvocation::InvPhase::Queued,
+                       std::memory_order_release);
+      Scheduler::Request R;
+      R.RequestedLanes = ActiveChunks;
+      R.AllowStealing = Config.ChunksPerThread > 1;
+      R.Priority = Config.Priority;
+      R.Owner = std::this_thread::get_id();
+      R.OnGrant = [I = Inv.get()](WorkerPool::SessionHandle S,
+                                  uint64_t Micros) {
+        I->onGrant(std::move(S), Micros);
+      };
+      Inv->Ticket = RT->scheduler().submit(std::move(R));
+    }
+    return SpiceFuture<State>(std::move(Inv));
   }
 
   /// Plain sequential execution with no Spice machinery (baseline oracle
@@ -363,29 +417,174 @@ private:
     return std::min(Budget, Config.MaxSpecIterations);
   }
 
-  /// Parallel invocation with \p ActiveChunks speculative chunks (chunks
-  /// 1..ActiveChunks; the non-speculative chunk 0 runs on main).
-  State invokeParallel(const LiveIn &Start, unsigned ActiveChunks) {
-    Stats.LaunchedSpecThreads += ActiveChunks;
-    // Oversubscription only changes behavior when there can be more
-    // chunks than workers; ChunksPerThread == 1 must reproduce the
-    // paper's fixed chunk-per-thread schedule exactly.
-    const bool Oversubscribed = Config.ChunksPerThread > 1;
-    // Snapshot predictions: memoization overwrites SVA during the run.
-    std::vector<LiveIn> Pred(SVA.begin(), SVA.begin() + ActiveChunks);
+  /// One submitted invocation: the shared state between the SpiceFuture
+  /// the client holds, the scheduler's grant callback, and the driving
+  /// thread. Phases: SeqPending (no predictions, whole invocation runs
+  /// in wait()), or Queued -> Granted (lanes leased, chunks launched) ->
+  /// Resolved. onGrant may run on a foreign (lane-releasing) thread; the
+  /// mutex/CV hand-off orders its writes before the driver's reads.
+  class AsyncInvocation final : public detail::FutureImpl<State> {
+  public:
+    AsyncInvocation(SpiceLoop &L, LiveIn Start)
+        : L(L), Start(std::move(Start)) {}
+
+    void wait() noexcept override {
+      if (Phase.load(std::memory_order_acquire) == InvPhase::Resolved)
+        return;
+      try {
+        if (Phase.load(std::memory_order_relaxed) ==
+            InvPhase::SeqPending) {
+          Result = L.invokeSequential(Start);
+        } else {
+          awaitGrant();
+          Result = L.resolveParallel(*this);
+        }
+      } catch (...) {
+        // Stored, surfaced by get(); swallowed by an abandoning
+        // destructor. Workers have no unwind path by design, so this is
+        // always the client's own callable throwing on this thread.
+        Err = std::current_exception();
+      }
+      L.InvokeInFlight.store(false, std::memory_order_release);
+      L.RT->noteResolved();
+      Phase.store(InvPhase::Resolved, std::memory_order_release);
+    }
+
+    bool ready() const override {
+      return Phase.load(std::memory_order_acquire) == InvPhase::Resolved;
+    }
+
+    State take() override {
+      assert(ready() && "take() before the invocation resolved");
+      if (Err)
+        std::rethrow_exception(Err);
+      return std::move(*Result);
+    }
+
+  private:
+    friend class SpiceLoop;
+
+    enum class InvPhase : int { SeqPending, Queued, Granted, Resolved };
+
+    /// Grant callback (scheduler): lease in hand, start the speculative
+    /// chunks, then publish the session to the driver.
+    void onGrant(WorkerPool::SessionHandle S, uint64_t Micros) {
+      L.prepareParallel(Pred, ActiveChunks);
+      L.launchChunks(*S, Pred, ActiveChunks);
+      {
+        std::lock_guard<std::mutex> Lock(M);
+        Session = std::move(S);
+        QueuedMicros = Micros;
+        Phase.store(InvPhase::Granted, std::memory_order_release);
+        // Deliberately notified under the mutex: the woken driver may
+        // resolve and destroy this object the instant it owns M, so the
+        // broadcast must complete before M is released.
+        CV.notify_all();
+      }
+    }
+
+    /// Driver side: blocks until the scheduler granted lanes. A request
+    /// still sitting in the admission queue while the waiting thread's
+    /// own sessions lease the entire pool can never be granted (grants
+    /// need a free lane, and only this parked thread's stack could free
+    /// one): that provable self-deadlock -- a step callback submitting
+    /// and waiting on the same runtime, or futures resolved out of
+    /// submission order -- aborts loudly instead of hanging.
+    ///
+    /// The check order is load-bearing. A grant pass leases lanes
+    /// (accounted to this thread, the request's owner) and removes the
+    /// request from the queue in one scheduler-mutex critical section,
+    /// so observing isQueued *after* observing holds-entire-pool is
+    /// conclusive: still queued then means no grant ever started for
+    /// this request, and the held lanes are all from this thread's own
+    /// earlier sessions -- which only its parked stack could release.
+    /// The reverse order would misfire on a grant mid-flight on another
+    /// thread (lanes already charged to us, Phase not yet Granted).
+    /// The diagnostic assumes the submitting thread drives the future
+    /// (leases are accounted to it); see SpiceLoop::submit().
+    void awaitGrant() {
+      std::unique_lock<std::mutex> Lock(M);
+      if (Phase.load(std::memory_order_relaxed) == InvPhase::Queued &&
+          L.RT->pool().callerHoldsEntirePool() &&
+          L.RT->scheduler().isQueued(Ticket))
+        reportFatalError(
+            "waiting on a queued SpiceFuture would deadlock: this "
+            "thread's sessions lease every worker of the pool, so the "
+            "grant this wait needs can never happen (nested "
+            "submit()/invoke() from a loop body, or futures resolved "
+            "out of submission order?)");
+      CV.wait(Lock, [this] {
+        return Phase.load(std::memory_order_relaxed) != InvPhase::Queued;
+      });
+    }
+
+    SpiceLoop &L;
+    LiveIn Start;
+    unsigned ActiveChunks = 0;
+    uint64_t Ticket = 0; ///< Admission-queue id (see awaitGrant).
+    std::vector<LiveIn> Pred;
+    WorkerPool::SessionHandle Session;
+    uint64_t QueuedMicros = 0;
+    std::mutex M;
+    std::condition_variable CV;
+    std::atomic<InvPhase> Phase{InvPhase::SeqPending};
+    std::optional<State> Result;
+    std::exception_ptr Err;
+  };
+
+  /// Grant-side setup, step 1: snapshot the predictions (memoization
+  /// overwrites SVA during the run) and reset the per-chunk machinery.
+  /// Runs on the granting thread; the launch that follows publishes the
+  /// writes to the workers, and the mutex hand-off in onGrant publishes
+  /// them to the driver.
+  void prepareParallel(std::vector<LiveIn> &Pred, unsigned ActiveChunks) {
+    Pred.assign(SVA.begin(), SVA.begin() + ActiveChunks);
     for (unsigned I = 0; I <= ActiveChunks; ++I) {
       AbortFlags[I].store(false, std::memory_order_relaxed);
       DoneFlags[I].store(false, std::memory_order_relaxed);
       Buffers[I].clear();
       Results[I].reset();
     }
+  }
 
-    // Lease lanes from the runtime's shared pool for this invocation.
-    // With a sole client this yields min(pool size, ActiveChunks) lanes,
-    // the pre-runtime schedule; under concurrent invocations the pool is
-    // partitioned and fewer lanes simply queue more chunks per lane.
-    WorkerPool::SessionHandle Session = RT->pool().acquireSession(
-        ActiveChunks, /*AllowStealing=*/Oversubscribed);
+  /// Grant-side setup, step 2: queue the speculative chunks on the
+  /// granted lanes and wake the leased workers. With a sole client the
+  /// session holds min(pool size, ActiveChunks) lanes, the pre-scheduler
+  /// schedule; a capped grant simply queues more chunks per lane. \p
+  /// Pred must stay valid until the session is joined (it lives in the
+  /// AsyncInvocation, which outlives resolution).
+  void launchChunks(WorkerSession &S, const std::vector<LiveIn> &Pred,
+                    unsigned ActiveChunks) {
+    const unsigned Lanes = S.lanes();
+    for (unsigned C = 1; C <= ActiveChunks; ++C)
+      S.pushChunk(homeLane(C, Lanes), C);
+    S.launch([this, SP = &S, &Pred, ActiveChunks](unsigned Lane) {
+      uint32_t C;
+      bool Stolen;
+      while (SP->acquireChunk(Lane, C, Stolen))
+        executeChunk(C, Pred, ActiveChunks, Stolen,
+                     Config.MaxSpecIterations);
+    });
+  }
+
+  /// Driver side of a granted invocation: chunk 0, the ordered commit
+  /// chain, recovery, and the per-invocation bookkeeping. Runs on the
+  /// thread driving the future; the speculative chunks have been
+  /// executing since the grant.
+  State resolveParallel(AsyncInvocation &Inv) {
+    const unsigned ActiveChunks = Inv.ActiveChunks;
+    const std::vector<LiveIn> &Pred = Inv.Pred;
+    // Owning the handle here gives the session the same lifetime as the
+    // pre-scheduler code: released (lanes returned, deferred grants
+    // offered) when resolution leaves this frame, even via an exception.
+    WorkerPool::SessionHandle Session = std::move(Inv.Session);
+    Stats.LaunchedSpecThreads += ActiveChunks;
+    Stats.QueuedMicros += Inv.QueuedMicros;
+    Stats.GrantedLanes += Session->lanes();
+    // Oversubscription only changes behavior when there can be more
+    // chunks than workers; ChunksPerThread == 1 must reproduce the
+    // paper's fixed chunk-per-thread schedule exactly.
+    const bool Oversubscribed = Config.ChunksPerThread > 1;
     const unsigned Lanes = Session->lanes();
     // If a Traits callable throws mid-invocation, the lanes must still be
     // joined before the handle returns them to the shared pool -- a
@@ -403,18 +602,8 @@ private:
         S.wait();
       }
     } Joiner{*this, *Session, ActiveChunks};
-    for (unsigned C = 1; C <= ActiveChunks; ++C)
-      Session->pushChunk(homeLane(C, Lanes), C);
-
-    Session->launch([&, S = Session.get()](unsigned Lane) {
-      uint32_t C;
-      bool Stolen;
-      while (S->acquireChunk(Lane, C, Stolen))
-        executeChunk(C, Pred, ActiveChunks, Stolen,
-                     Config.MaxSpecIterations);
-    });
-    Results[0] = runChunk(Start, &Pred[0], /*ChunkIdx=*/0, cursorFor(0),
-                          Config.MaxSpecIterations);
+    Results[0] = runChunk(Inv.Start, &Pred[0], /*ChunkIdx=*/0,
+                          cursorFor(0), Config.MaxSpecIterations);
 
     // Waits for chunk C to finish; in oversubscribed mode the main thread
     // makes itself useful by draining pending chunks while it waits. A

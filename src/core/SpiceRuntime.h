@@ -6,9 +6,9 @@
 ///
 /// \file
 /// SpiceRuntime is the process-wide home of the speculative runtime: it
-/// owns the single WorkerPool and every cross-loop policy knob
-/// (RuntimeConfig: thread count, worker placement hooks). Loops are
-/// lightweight handles registered on a runtime:
+/// owns the single WorkerPool, the lane Scheduler, and every cross-loop
+/// policy knob (RuntimeConfig: thread count, worker placement hooks,
+/// LanePolicy). Loops are lightweight handles registered on a runtime:
 ///
 /// \code
 ///   spice::core::SpiceRuntime RT(/*NumThreads=*/8);
@@ -16,16 +16,22 @@
 ///   spice::core::LoopOptions WithConflicts;
 ///   WithConflicts.EnableConflictDetection = true;
 ///   auto Refresh = RT.makeLoop(RefreshTraits, WithConflicts);
-///   // Different loops -- even from different client threads -- share
-///   // the pool; each invocation leases a partition of the worker lanes.
+///   // Synchronous: lease lanes, run, return the merged state.
 ///   auto R = Select.invoke(Head);
+///   // Asynchronous: admit both invocations, overlap their chunks.
+///   auto FS = Select.submit(Head);
+///   auto FR = Refresh.submit(Root);
+///   auto S = FS.get();
+///   auto P = FR.get();
 /// \endcode
 ///
 /// A program with N static Spice loops therefore runs on one thread pool
 /// (the paper's pre-allocated threads), not N of them: idle lanes of one
-/// loop serve another, and concurrent invocations from different client
-/// threads split the pool through WorkerPool::acquireSession instead of
-/// serializing. Per-loop policy lives in LoopOptions; see
+/// loop serve another, and concurrent invocations -- blocking invoke()
+/// or asynchronous submit() -- go through the runtime's admission
+/// Scheduler, which splits freed lanes among queued invocations by
+/// RuntimeConfig::Policy (first-come, fair-share, or aged priority; see
+/// core/Scheduler.h). Per-loop policy lives in LoopOptions; see
 /// core/SpiceLoop.h for the loop protocol and core/LoopBuilder.h for the
 /// lambda front-end that spares workloads the Traits boilerplate.
 ///
@@ -34,8 +40,10 @@
 #ifndef SPICE_CORE_SPICERUNTIME_H
 #define SPICE_CORE_SPICERUNTIME_H
 
+#include "core/Scheduler.h"
 #include "core/SpiceConfig.h"
 #include "core/WorkerPool.h"
+#include "support/ErrorHandling.h"
 
 #include <atomic>
 #include <cassert>
@@ -46,16 +54,18 @@ namespace core {
 
 template <typename Traits> class SpiceLoop;
 
-/// Owns the shared WorkerPool and all cross-loop policy. Loops hold a
-/// reference to their runtime, so the runtime must outlive every loop
-/// created on it.
+/// Owns the shared WorkerPool, the admission Scheduler, and all
+/// cross-loop policy. Loops hold a reference to their runtime, so the
+/// runtime must outlive every loop created on it.
 class SpiceRuntime {
 public:
   explicit SpiceRuntime(RuntimeConfig Config = {})
       : Config(std::move(Config)),
         Pool(this->Config.NumThreads > 0 ? this->Config.NumThreads - 1 : 0,
-             this->Config.WorkerStartHook) {
+             this->Config.WorkerStartHook),
+        Sched(Pool, this->Config.Policy, this->Config.AgingStepMicros) {
     assert(this->Config.NumThreads >= 1 && "need at least one thread");
+    Pool.setReleaseHook([this] { Sched.onLanesFreed(); });
   }
 
   /// Convenience: a runtime with \p NumThreads threads and default
@@ -64,9 +74,17 @@ public:
       : SpiceRuntime(RuntimeConfig{NumThreads, {}}) {}
 
   ~SpiceRuntime() {
-    assert(RegisteredLoops.load(std::memory_order_relaxed) == 0 &&
-           "destroying a SpiceRuntime while loops are still registered "
-           "on it (they would dangle)");
+    // Loud in every build type: both conditions leave dangling state
+    // behind (a future driving a destroyed scheduler, a loop handle
+    // holding a destroyed pool) that would otherwise surface as opaque
+    // crashes far from the mistake.
+    if (OutstandingSubmissions.load(std::memory_order_acquire) != 0)
+      reportFatalError("destroying a SpiceRuntime while submitted "
+                       "invocations are unresolved; get()/wait() every "
+                       "SpiceFuture (or destroy it) before the runtime");
+    if (RegisteredLoops.load(std::memory_order_relaxed) != 0)
+      reportFatalError("destroying a SpiceRuntime while loops are still "
+                       "registered on it (they would dangle)");
   }
 
   SpiceRuntime(const SpiceRuntime &) = delete;
@@ -78,8 +96,15 @@ public:
   const RuntimeConfig &config() const { return Config; }
 
   /// The shared worker pool (NumThreads - 1 workers). Invocations lease
-  /// lanes from it via acquireSession.
+  /// lanes from it via the scheduler (or acquireSession directly).
   WorkerPool &pool() { return Pool; }
+
+  /// The admission scheduler deciding which queued invocation freed
+  /// lanes go to (RuntimeConfig::Policy).
+  Scheduler &scheduler() { return Sched; }
+
+  /// Snapshot of the runtime-wide admission counters.
+  SchedulerStats schedulerStats() const { return Sched.stats(); }
 
   /// Creates a loop handle registered on this runtime. \p T must outlive
   /// the returned loop; the loop shares this runtime's worker pool with
@@ -104,9 +129,21 @@ private:
     RegisteredLoops.fetch_sub(1, std::memory_order_relaxed);
   }
 
+  /// Outstanding-submission accounting behind the destructor diagnostic:
+  /// every submit() notes itself, every resolution (get/wait/abandon)
+  /// notes back.
+  void noteSubmitted() {
+    OutstandingSubmissions.fetch_add(1, std::memory_order_acq_rel);
+  }
+  void noteResolved() {
+    OutstandingSubmissions.fetch_sub(1, std::memory_order_acq_rel);
+  }
+
   RuntimeConfig Config;
   WorkerPool Pool;
+  Scheduler Sched;
   std::atomic<unsigned> RegisteredLoops{0};
+  std::atomic<unsigned> OutstandingSubmissions{0};
 };
 
 } // namespace core

@@ -292,33 +292,84 @@ WorkerPool::SessionHandle WorkerPool::acquireSession(unsigned MaxLanes,
       reportFatalError("WorkerPool::acquireSession called while a legacy "
                        "launch is in flight; legacy launches may not be "
                        "mixed with concurrent sessions");
-    unsigned Take = std::min(FreeCount, MaxLanes);
-    S->Workers.reserve(Take);
-    for (unsigned I = 0; I != Slots.size() && S->Workers.size() != Take;
-         ++I) {
-      if (Slots[I].Leased)
-        continue;
-      Slots[I].Leased = true;
-      S->Workers.push_back(I);
-    }
-    FreeCount -= Take;
-    // Owner-keyed (not thread_local) accounting, so a handle destroyed
-    // on a different thread still decrements the acquirer's tally.
-    S->Owner = std::this_thread::get_id();
-    WorkersHeldByThread[S->Owner] += Take;
+    leaseLocked(*S, std::min(FreeCount, MaxLanes),
+                std::this_thread::get_id());
   }
   S->Deques.reset(S->lanes(), AllowStealing);
   return S;
 }
 
+WorkerPool::SessionHandle
+WorkerPool::tryAcquireSessionFor(unsigned MaxLanes, bool AllowStealing,
+                                 std::thread::id Owner) {
+  assert(!Threads.empty() && "tryAcquireSessionFor on an empty pool");
+  assert(MaxLanes >= 1 && "a session needs at least one lane");
+  SessionHandle S(new WorkerSession(*this));
+  {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (FreeCount == 0)
+      return nullptr;
+    // Same no-mixing rule as the blocking path: a session leased during
+    // a legacy launch could clobber a legacy worker's mailbox.
+    assert(!LegacyInFlight &&
+           "tryAcquireSessionFor during an in-flight legacy launch");
+    if (LegacyInFlight)
+      reportFatalError("WorkerPool::tryAcquireSessionFor called while a "
+                       "legacy launch is in flight; legacy launches may "
+                       "not be mixed with concurrent sessions");
+    leaseLocked(*S, std::min(FreeCount, MaxLanes), Owner);
+  }
+  S->Deques.reset(S->lanes(), AllowStealing);
+  return S;
+}
+
+void WorkerPool::leaseLocked(WorkerSession &S, unsigned Take,
+                             std::thread::id Owner) {
+  assert(Take <= FreeCount && "leasing more workers than are free");
+  S.Workers.reserve(Take);
+  for (unsigned I = 0; I != Slots.size() && S.Workers.size() != Take; ++I) {
+    if (Slots[I].Leased)
+      continue;
+    Slots[I].Leased = true;
+    S.Workers.push_back(I);
+  }
+  FreeCount -= Take;
+  // Owner-keyed (not thread_local) accounting, so a handle destroyed
+  // on a different thread still decrements the owner's tally -- and a
+  // deferred grant executed on a releasing thread is charged to the
+  // session's driver, not the releaser.
+  S.Owner = Owner;
+  WorkersHeldByThread[S.Owner] += Take;
+}
+
+void WorkerPool::setReleaseHook(std::function<void()> Hook) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  assert(FreeCount == Threads.size() &&
+         "setReleaseHook with sessions already leased");
+  ReleaseHook = std::move(Hook);
+}
+
+bool WorkerPool::callerHoldsEntirePool() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto Held = WorkersHeldByThread.find(std::this_thread::get_id());
+  return !Slots.empty() && Held != WorkersHeldByThread.end() &&
+         Held->second == Slots.size();
+}
+
 void WorkerPool::releaseSession(WorkerSession &S) {
+  unsigned Released;
+  // The hook object is written once before any session exists and never
+  // reassigned, so the pointer taken under the mutex stays valid after
+  // the unlock (the hook itself must run unlocked: it re-enters the pool
+  // through tryAcquireSessionFor).
+  const std::function<void()> *Hook = nullptr;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     for (unsigned W : S.Workers) {
       assert(Slots[W].Leased && "releasing a worker that was not leased");
       Slots[W].Leased = false;
     }
-    unsigned Released = static_cast<unsigned>(S.Workers.size());
+    Released = static_cast<unsigned>(S.Workers.size());
     FreeCount += Released;
     S.Workers.clear();
     auto It = WorkersHeldByThread.find(S.Owner);
@@ -330,8 +381,16 @@ void WorkerPool::releaseSession(WorkerSession &S) {
       if (It->second == 0)
         WorkersHeldByThread.erase(It);
     }
+    if (Released > 0 && ReleaseHook)
+      Hook = &ReleaseHook;
   }
-  LeaseCV.notify_all();
+  if (Released > 0)
+    LeaseCV.notify_all();
+  // Deferred-grant path: offer the freed lanes to the scheduler's
+  // admission queue. An empty (failed-tryAcquire) release freed nothing
+  // and must not re-enter the scheduler.
+  if (Hook)
+    (*Hook)();
 }
 
 unsigned WorkerPool::freeWorkers() const {

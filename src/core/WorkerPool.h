@@ -200,6 +200,36 @@ public:
   /// >= 1. Destroying the handle returns the lanes.
   SessionHandle acquireSession(unsigned MaxLanes, bool AllowStealing);
 
+  /// Non-blocking half of the deferred-grant path: leases min(free,
+  /// MaxLanes) workers, or returns null when no worker is free. The
+  /// lease is accounted to \p Owner -- the thread that will *drive* the
+  /// session -- rather than the calling thread, because a deferred grant
+  /// executes on whichever thread released the lanes (see
+  /// core/Scheduler.h). Self-deadlock diagnostics and the pool's
+  /// held-lane bookkeeping key off that owner.
+  SessionHandle tryAcquireSessionFor(unsigned MaxLanes, bool AllowStealing,
+                                     std::thread::id Owner);
+
+  /// tryAcquireSessionFor with the calling thread as the owner.
+  SessionHandle tryAcquireSession(unsigned MaxLanes, bool AllowStealing) {
+    return tryAcquireSessionFor(MaxLanes, AllowStealing,
+                                std::this_thread::get_id());
+  }
+
+  /// Hook invoked (outside the pool mutex) after every session release:
+  /// the deferred-grant path. The runtime's Scheduler registers itself
+  /// here so freed lanes are offered to queued invocations instead of
+  /// only waking blocked acquireSession callers. Must be set before any
+  /// session exists and never reassigned afterwards.
+  void setReleaseHook(std::function<void()> Hook);
+
+  /// True when the calling thread's sessions lease *every* worker of the
+  /// pool: any further blocking acquisition by this thread would be a
+  /// certain self-deadlock (only its own stack could free a lane, and it
+  /// is about to park). Used by the scheduler's wait path; always false
+  /// for an empty pool.
+  bool callerHoldsEntirePool() const;
+
   /// Workers currently not leased to any session (snapshot; racy by
   /// nature, exposed for tests and diagnostics).
   unsigned freeWorkers() const;
@@ -236,6 +266,10 @@ private:
   void workerMain(unsigned Index);
   void releaseSession(WorkerSession &S);
 
+  /// Leases \p Take free workers into \p S on behalf of \p Owner.
+  /// Requires the pool mutex and Take <= FreeCount.
+  void leaseLocked(WorkerSession &S, unsigned Take, std::thread::id Owner);
+
   /// Per-worker mailbox (guarded by Mutex). A worker runs at most one
   /// job at a time: Session is null for legacy launches, and the job
   /// itself lives once in the session (or in LegacyJob).
@@ -248,6 +282,9 @@ private:
 
   std::vector<std::thread> Threads;
   std::function<void(unsigned)> WorkerStartHook;
+  /// Deferred-grant hook (see setReleaseHook). Written once before any
+  /// session exists; read under the pool mutex, invoked outside it.
+  std::function<void()> ReleaseHook;
 
   mutable std::mutex Mutex;
   std::condition_variable WakeCV;  ///< Workers park here.

@@ -364,6 +364,11 @@ void expectStatsEqual(const SpiceStats &A, const SpiceStats &B) {
   EXPECT_EQ(A.MainHelpedChunks, B.MainHelpedChunks);
   EXPECT_EQ(A.RecoveryChunks, B.RecoveryChunks);
   EXPECT_EQ(A.StolenRecoveryChunks, B.StolenRecoveryChunks);
+  // Scheduler-era fields: a sole client is always granted immediately
+  // (0 queued micros) with the same lane partition on both paths.
+  EXPECT_EQ(A.QueuedMicros, B.QueuedMicros);
+  EXPECT_EQ(A.QueuedMicros, 0u);
+  EXPECT_EQ(A.GrantedLanes, B.GrantedLanes);
   EXPECT_DOUBLE_EQ(A.ImbalanceSum, B.ImbalanceSum);
   EXPECT_EQ(A.ImbalanceSamples, B.ImbalanceSamples);
   EXPECT_DOUBLE_EQ(A.ChunkImbalanceSum, B.ChunkImbalanceSum);
