@@ -9,9 +9,10 @@
 // sjeng overhead discussion), speculative write-buffer operations, the
 // re-memoization planner, worker-pool invocation round trips, and the
 // scheduler hot path (submit()/SpiceFuture round trips, solo and under a
-// contending client). The submit round trips are additionally hand-timed
-// into BENCH_micro_runtime.json so the scheduler hot path is tracked in
-// the per-commit perf artifacts (scripts/compare_bench.py reports them).
+// contending client, plus the submitBatch() amortization of both). The
+// submit and batch round trips are additionally hand-timed into
+// BENCH_micro_runtime.json so the scheduler hot path is tracked in the
+// per-commit perf artifacts (scripts/compare_bench.py reports them).
 //
 //===----------------------------------------------------------------------===//
 
@@ -176,6 +177,23 @@ void BM_SubmitRoundTripContended(benchmark::State &State) {
   Bg.join();
 }
 
+void BM_BatchSubmitRoundTrip(benchmark::State &State) {
+  // submitBatch(N).take(): one admission and one lane lease shared by N
+  // invocations. Reported per *batch*; divide by the batch size to
+  // compare against BM_SubmitRoundTrip.
+  const size_t N = static_cast<size_t>(State.range(0));
+  SpiceRuntime RT(/*NumThreads=*/4);
+  MicroCountTraits Traits;
+  auto Loop = RT.makeLoop(Traits);
+  Loop.invoke(0);
+  std::vector<int64_t> Starts(N, 0);
+  for (auto _ : State) {
+    SpiceBatchFuture<MicroCountTraits::State> F = Loop.submitBatch(Starts);
+    benchmark::DoNotOptimize(F.take());
+  }
+  State.SetItemsProcessed(State.iterations() * static_cast<int64_t>(N));
+}
+
 void BM_SjengEvalStep(benchmark::State &State) {
   workloads::SjengBoard Board(256, 3);
   workloads::SjengLiveIn LI = Board.start();
@@ -223,6 +241,45 @@ uint64_t medianSubmitRoundTripNanos(int Reps, bool Contended) {
   return Nanos[static_cast<size_t>(Reps / 2)];
 }
 
+/// Hand-timed median per-invocation cost of submitBatch(BatchN).take()
+/// round trips (ns), solo or contended -- the serving layer's
+/// amortization of medianSubmitRoundTripNanos (same loop, same trip
+/// count; only the admission traffic differs).
+uint64_t medianBatchSubmitPerInvocationNanos(int Reps, size_t BatchN,
+                                             bool Contended) {
+  using Clock = std::chrono::steady_clock;
+  SpiceRuntime RT(/*NumThreads=*/4);
+  MicroCountTraits Traits, BgTraits;
+  auto Loop = RT.makeLoop(Traits);
+  auto BgLoop = RT.makeLoop(BgTraits);
+  Loop.invoke(0);
+  BgLoop.invoke(0);
+  std::atomic<bool> Stop{false};
+  std::thread Bg;
+  if (Contended)
+    Bg = std::thread([&] {
+      while (!Stop.load(std::memory_order_relaxed))
+        BgLoop.submit(0).get();
+    });
+  std::vector<int64_t> Starts(BatchN, 0);
+  std::vector<uint64_t> Nanos(static_cast<size_t>(Reps));
+  for (int I = 0; I != Reps; ++I) {
+    Clock::time_point T0 = Clock::now();
+    Loop.submitBatch(Starts).take();
+    Nanos[static_cast<size_t>(I)] =
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - T0)
+                .count()) /
+        BatchN;
+  }
+  Stop.store(true);
+  if (Bg.joinable())
+    Bg.join();
+  std::nth_element(Nanos.begin(), Nanos.begin() + Reps / 2, Nanos.end());
+  return Nanos[static_cast<size_t>(Reps / 2)];
+}
+
 } // namespace
 
 BENCHMARK(BM_DetectionCompare<1>);
@@ -237,6 +294,7 @@ BENCHMARK(BM_WorkerPoolRoundTrip);
 BENCHMARK(BM_SessionRoundTrip);
 BENCHMARK(BM_SubmitRoundTrip);
 BENCHMARK(BM_SubmitRoundTripContended);
+BENCHMARK(BM_BatchSubmitRoundTrip)->Arg(4)->Arg(16);
 BENCHMARK(BM_SjengEvalStep);
 
 int main(int argc, char **argv) {
@@ -256,6 +314,15 @@ int main(int argc, char **argv) {
               medianSubmitRoundTripNanos(Reps, /*Contended=*/false));
   Json.scalar("contended_submit_roundtrip_ns",
               medianSubmitRoundTripNanos(Reps, /*Contended=*/true));
+  const int BatchReps = Bench.pick(100, 20);
+  Json.scalar(
+      "batch16_submit_per_invocation_ns",
+      medianBatchSubmitPerInvocationNanos(BatchReps, 16,
+                                          /*Contended=*/false));
+  Json.scalar(
+      "contended_batch16_submit_per_invocation_ns",
+      medianBatchSubmitPerInvocationNanos(BatchReps, 16,
+                                          /*Contended=*/true));
   Json.write();
   return 0;
 }

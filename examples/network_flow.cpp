@@ -132,11 +132,11 @@ int main() {
               (unsigned long)SB.QueuedMicros);
   std::printf("scheduler:             %lu submitted, %lu immediate + %lu "
               "deferred grants,\n                       %lu capped, "
-              "max queue depth %lu\n",
+              "high-water queue depth %lu\n",
               (unsigned long)Sched.Submitted,
               (unsigned long)Sched.ImmediateGrants,
               (unsigned long)Sched.DeferredGrants,
               (unsigned long)Sched.CappedGrants,
-              (unsigned long)Sched.MaxQueueDepth);
+              (unsigned long)Sched.HighWaterQueueDepth);
   return 0;
 }

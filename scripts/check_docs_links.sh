@@ -4,7 +4,9 @@
 #     bench/README.md resolves to an existing file (anchors stripped);
 #  2. every workload header (src/workloads/*.h) is mentioned in
 #     docs/workloads.md, so the workload matrix cannot silently go
-#     stale when a workload is added.
+#     stale when a workload is added;
+#  3. every core header (src/core/*.h) is mentioned somewhere under
+#     docs/, so a new core subsystem cannot land undocumented.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -40,8 +42,17 @@ for hdr in src/workloads/*.h; do
   fi
 done
 
+# --- 3. every core header is documented ------------------------------------
+for hdr in src/core/*.h; do
+  base=$(basename "$hdr")
+  if ! grep -rq "$base" docs/; then
+    echo "src/core/$base is not referenced anywhere in docs/"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs link check FAILED"
   exit 1
 fi
-echo "docs links resolve; all workload headers documented"
+echo "docs links resolve; all workload and core headers documented"

@@ -6,10 +6,14 @@ bench/BenchUtil.h). On main, the job caches those files as the baseline;
 on pull requests this script diffs the PR's artifacts against that
 baseline and FAILS (exit 1) when a gated metric regresses by more than
 --threshold (default 10%). The gated metrics are the simulated Figure 7
-speedup geomeans (higher is better) and the deterministic
-load-imbalance sweep of bench_ablation_loadbalance (lower is better);
-everything else is reported informationally so perf drift stays
-visible in the job log.
+speedup geomeans (higher is better), the deterministic load-imbalance
+sweep of bench_ablation_loadbalance (lower is better), and the serving
+throughput of bench_serve (higher is better); everything else is
+reported informationally so perf drift stays visible in the job log.
+
+A gated key the baseline emits but the current run does not is a hard
+failure: a regressing PR must not be able to disable its own gate by
+renaming or dropping the key.
 
 Usage:
   scripts/compare_bench.py --current build --baseline bench-baseline
@@ -31,6 +35,9 @@ import sys
 # load-imbalance sweep is deterministic (static hotspot workload,
 # re-priced from the runtime's own chunk boundaries), so a >threshold
 # increase means the planner or the work-stealing schedule regressed.
+# serve_throughput_rps is the serving layer's headline number (mixed
+# packet + SSSP request stream through one runtime; see docs/serving.md
+# and bench/serve.cpp).
 DEFAULT_GATES = [
     ("fig7_speedup", "sim_geomean_2t", True),
     ("fig7_speedup", "sim_geomean_4t", True),
@@ -38,6 +45,7 @@ DEFAULT_GATES = [
     ("ablation_loadbalance", "load_imbalance_k2", False),
     ("ablation_loadbalance", "load_imbalance_k4", False),
     ("ablation_loadbalance", "load_imbalance_k8", False),
+    ("serve", "serve_throughput_rps", True),
 ]
 
 

@@ -51,6 +51,7 @@
 #include <cstdio>
 #include <functional>
 #include <memory>
+#include <span>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -108,6 +109,12 @@ public:
   /// completion future (see SpiceLoop::submit / core/SpiceFuture.h).
   core::SpiceFuture<State> submit(const LiveIn &Start) {
     return Loop->submit(Start);
+  }
+
+  /// Admits \p Starts as ONE scheduler request sharing one lane lease
+  /// (see SpiceLoop::submitBatch / core/SpiceFuture.h).
+  core::SpiceBatchFuture<State> submitBatch(std::span<const LiveIn> Starts) {
+    return Loop->submitBatch(Starts);
   }
 
   /// Plain sequential execution with no Spice machinery (baseline oracle

@@ -23,18 +23,107 @@ Scheduler::~Scheduler() {
                      "down the runtime");
 }
 
+bool Scheduler::overCapLocked(const Request &R) const {
+  if (RuntimeCap && QueuedInvs + R.Invocations > RuntimeCap)
+    return true;
+  if (R.LoopCap && R.LoopTag) {
+    auto It = LoopQueued.find(R.LoopTag);
+    uint64_t Cur = It == LoopQueued.end() ? 0 : It->second;
+    if (Cur + R.Invocations > R.LoopCap)
+      return true;
+  }
+  return false;
+}
+
+void Scheduler::noteRemovedLocked(const Entry &E) {
+  assert(QueuedInvs >= E.R.Invocations && "queue accounting out of sync");
+  QueuedInvs -= std::min<uint64_t>(QueuedInvs, E.R.Invocations);
+  if (E.R.LoopTag) {
+    auto It = LoopQueued.find(E.R.LoopTag);
+    assert(It != LoopQueued.end() && It->second >= E.R.Invocations &&
+           "per-loop queue accounting out of sync");
+    if (It != LoopQueued.end()) {
+      It->second -= std::min<uint64_t>(It->second, E.R.Invocations);
+      if (It->second == 0)
+        LoopQueued.erase(It);
+    }
+  }
+}
+
+void Scheduler::sweepExpiredLocked(
+    Clock::time_point Now, std::vector<std::function<void()>> &Drops) {
+  for (size_t I = 0; I != Queue.size();) {
+    Entry &E = Queue[I];
+    // Immediate entries are exempt: the submission that enqueued them is
+    // still inside its own grant pass, which must get first shot even at
+    // a zero deadline.
+    bool Expired =
+        !E.Immediate && E.R.DeadlineMicros > 0 &&
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Now - E.Enqueued)
+                .count()) >= E.R.DeadlineMicros;
+    if (!Expired) {
+      ++I;
+      continue;
+    }
+    ++St.DroppedDeadline;
+    noteRemovedLocked(E);
+    if (E.R.OnDrop)
+      Drops.push_back(std::move(E.R.OnDrop));
+    Queue.erase(Queue.begin() + static_cast<std::ptrdiff_t>(I));
+  }
+}
+
 uint64_t Scheduler::submit(Request R) {
   assert(R.RequestedLanes >= 1 && "a lane request needs at least one lane");
   assert(R.OnGrant && "a lane request needs a grant callback");
+  assert(R.Invocations >= 1 && "a request admits at least one invocation");
   uint64_t Ticket;
+  std::vector<std::function<void()>> Drops;
   {
-    std::lock_guard<std::mutex> Lock(M);
+    std::unique_lock<std::mutex> Lock(M);
+    if (overCapLocked(R)) {
+      switch (Overload) {
+      case OverloadPolicy::Block:
+        // Self-deadlock diagnostic, same shape as awaitGrant's: room is
+        // only made by grants, grants need lanes, and every lane is
+        // leased to this thread's own (parked) stack.
+        if (Pool.callerHoldsEntirePool())
+          reportFatalError(
+              "Scheduler::submit would deadlock waiting for queue "
+              "room: this thread's sessions lease every worker of the "
+              "pool, so the grants that would drain the queue can "
+              "never happen (resolve earlier futures before submitting "
+              "past the cap)");
+        CapCV.wait(Lock, [&] { return !overCapLocked(R); });
+        break;
+      case OverloadPolicy::DeadlineDrop:
+        // Expired entries make room first; what remains decides.
+        sweepExpiredLocked(Clock::now(), Drops);
+        if (!overCapLocked(R))
+          break;
+        [[fallthrough]];
+      case OverloadPolicy::Reject:
+        ++St.RejectedSubmissions;
+        Lock.unlock();
+        for (auto &D : Drops)
+          D();
+        return 0;
+      }
+    }
     Ticket = NextTicket++;
+    QueuedInvs += R.Invocations;
+    if (R.LoopTag)
+      LoopQueued[R.LoopTag] += R.Invocations;
+    St.HighWaterQueueDepth =
+        std::max<uint64_t>(St.HighWaterQueueDepth, QueuedInvs);
+    ++St.Submitted;
     Queue.push_back(
         Entry{std::move(R), Clock::now(), Ticket, /*Immediate=*/true});
-    ++St.Submitted;
-    St.MaxQueueDepth = std::max<uint64_t>(St.MaxQueueDepth, Queue.size());
   }
+  for (auto &D : Drops)
+    D();
   runGrants();
   // If our own pass did not grant this request, it now waits for a
   // deferred grant and accumulates real queue time from Enqueued on.
@@ -66,6 +155,11 @@ SchedulerStats Scheduler::stats() const {
 unsigned Scheduler::queueDepth() const {
   std::lock_guard<std::mutex> Lock(M);
   return static_cast<unsigned>(Queue.size());
+}
+
+uint64_t Scheduler::queuedInvocations() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return QueuedInvs;
 }
 
 std::vector<Scheduler::Grant>
@@ -169,52 +263,64 @@ void Scheduler::runGrants() {
     uint64_t QueuedMicros;
   };
   std::vector<Action> Actions;
+  std::vector<std::function<void()>> Drops;
   {
     std::lock_guard<std::mutex> Lock(M);
     if (Queue.empty())
       return;
-    unsigned Free = Pool.freeWorkers();
-    if (Free == 0)
-      return;
     Clock::time_point Now = Clock::now();
-    std::vector<Candidate> Pending;
-    Pending.reserve(Queue.size());
-    for (const Entry &E : Queue) {
-      uint64_t Waited =
-          E.Immediate
-              ? 0
-              : static_cast<uint64_t>(
-                    std::chrono::duration_cast<std::chrono::microseconds>(
-                        Now - E.Enqueued)
-                        .count());
-      Pending.push_back(
-          Candidate{E.R.RequestedLanes, E.R.Priority, Waited});
+    // Expired entries leave before planning: a request past its deadline
+    // is shed even when lanes just became free for it.
+    if (Overload == OverloadPolicy::DeadlineDrop)
+      sweepExpiredLocked(Now, Drops);
+    unsigned Free = Pool.freeWorkers();
+    if (!Queue.empty() && Free > 0) {
+      std::vector<Candidate> Pending;
+      Pending.reserve(Queue.size());
+      for (const Entry &E : Queue) {
+        uint64_t Waited =
+            E.Immediate
+                ? 0
+                : static_cast<uint64_t>(
+                      std::chrono::duration_cast<std::chrono::microseconds>(
+                          Now - E.Enqueued)
+                          .count());
+        Pending.push_back(
+            Candidate{E.R.RequestedLanes, E.R.Priority, Waited});
+      }
+      std::vector<Grant> Plan =
+          planGrants(Pending, Free, Policy, AgingStepMicros);
+      std::vector<size_t> Granted;
+      for (const Grant &G : Plan) {
+        Entry &E = Queue[G.Index];
+        WorkerPool::SessionHandle S = Pool.tryAcquireSessionFor(
+            G.Lanes, E.R.AllowStealing, E.R.Owner);
+        if (!S)
+          break; // Raced with a blocking acquirer; retry on next release.
+        if (E.Immediate)
+          ++St.ImmediateGrants;
+        else
+          ++St.DeferredGrants;
+        if (S->lanes() < E.R.RequestedLanes)
+          ++St.CappedGrants;
+        uint64_t Waited = Pending[G.Index].QueuedMicros;
+        St.TotalQueuedMicros += Waited;
+        noteRemovedLocked(E);
+        Actions.push_back(Action{std::move(E), std::move(S), Waited});
+        Granted.push_back(G.Index);
+      }
+      std::sort(Granted.begin(), Granted.end());
+      for (size_t I = Granted.size(); I-- > 0;)
+        Queue.erase(Queue.begin() +
+                    static_cast<std::ptrdiff_t>(Granted[I]));
     }
-    std::vector<Grant> Plan =
-        planGrants(Pending, Free, Policy, AgingStepMicros);
-    std::vector<size_t> Granted;
-    for (const Grant &G : Plan) {
-      Entry &E = Queue[G.Index];
-      WorkerPool::SessionHandle S = Pool.tryAcquireSessionFor(
-          G.Lanes, E.R.AllowStealing, E.R.Owner);
-      if (!S)
-        break; // Raced with a blocking acquirer; retry on next release.
-      if (E.Immediate)
-        ++St.ImmediateGrants;
-      else
-        ++St.DeferredGrants;
-      if (S->lanes() < E.R.RequestedLanes)
-        ++St.CappedGrants;
-      uint64_t Waited = Pending[G.Index].QueuedMicros;
-      St.TotalQueuedMicros += Waited;
-      Actions.push_back(Action{std::move(E), std::move(S), Waited});
-      Granted.push_back(G.Index);
-    }
-    std::sort(Granted.begin(), Granted.end());
-    for (size_t I = Granted.size(); I-- > 0;)
-      Queue.erase(Queue.begin() +
-                  static_cast<std::ptrdiff_t>(Granted[I]));
   }
+  // Every removal makes room below the caps: wake parked Block
+  // submitters before running the callbacks.
+  if (!Actions.empty() || !Drops.empty())
+    CapCV.notify_all();
+  for (auto &D : Drops)
+    D();
   // Callbacks run with no scheduler or pool lock held: they push chunks
   // and launch the leased lanes, which take pool-side locks of their own.
   for (Action &A : Actions)

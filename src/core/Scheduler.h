@@ -35,6 +35,19 @@
 ///                  RuntimeConfig::AgingStepMicros) so low-priority work
 ///                  cannot starve.
 ///
+/// The queue is bounded when the runtime asks for it: submissions carry
+/// an invocation weight (a batch counts its size), and when admitting
+/// one would push the runtime-wide (RuntimeConfig::MaxQueuedInvocations)
+/// or per-loop (LoopOptions::MaxQueuedSubmissions) depth past its cap,
+/// the RuntimeConfig::OverloadPolicy decides: Block parks the submitter
+/// until the queue drains, Reject sheds the submission (ticket 0,
+/// SchedulerStats::RejectedSubmissions), and DeadlineDrop additionally
+/// expires queued requests that out-waited their
+/// LoopOptions::SubmitDeadlineMicros at every grant pass
+/// (SchedulerStats::DroppedDeadline). Overload therefore degrades into
+/// counted shedding instead of unbounded queue growth; docs/serving.md
+/// is the operator guide.
+///
 /// The policy core is the pure function planGrants(), unit-tested in
 /// isolation (tests/scheduler_test.cpp); the mutexed queue machinery
 /// around it only executes its plan. Lock order: the scheduler mutex is
@@ -50,11 +63,13 @@
 #include "core/WorkerPool.h"
 
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -77,8 +92,20 @@ struct SchedulerStats {
   /// Total time granted requests spent queued (deferred grants only;
   /// immediate grants contribute 0 by definition).
   uint64_t TotalQueuedMicros = 0;
-  /// High-water mark of the admission queue depth.
-  uint64_t MaxQueueDepth = 0;
+  /// High-water mark of the admission queue depth, in queued
+  /// *invocations* (a batch counts its size) -- the figure the queue
+  /// caps bound. With caps set this can never exceed the cap plus one
+  /// in-admission request.
+  uint64_t HighWaterQueueDepth = 0;
+  /// Submissions shed at admission because a queue cap was hit under
+  /// OverloadPolicy::Reject (or DeadlineDrop with a still-full queue).
+  /// Their futures resolve to OverloadError; they are not in Submitted.
+  uint64_t RejectedSubmissions = 0;
+  /// Queued requests dropped after waiting past their
+  /// LoopOptions::SubmitDeadlineMicros under OverloadPolicy::
+  /// DeadlineDrop. These *are* counted in Submitted (they entered the
+  /// queue) but never in ImmediateGrants/DeferredGrants.
+  uint64_t DroppedDeadline = 0;
 };
 
 /// Cross-loop lane scheduler; owned by SpiceRuntime (one per pool).
@@ -97,15 +124,34 @@ public:
     /// The thread that will drive the granted session (the submitter);
     /// leases are accounted to it for self-deadlock diagnostics.
     std::thread::id Owner;
+    /// Invocations this request admits at once (a batch's size); the
+    /// queue caps and HighWaterQueueDepth count in this unit.
+    unsigned Invocations = 1;
+    /// Admission deadline in microseconds (0 = none); see
+    /// LoopOptions::SubmitDeadlineMicros. Only OverloadPolicy::
+    /// DeadlineDrop acts on it.
+    uint64_t DeadlineMicros = 0;
+    /// Identity of the submitting loop, keying the per-loop queue cap
+    /// accounting (null = exempt from per-loop caps).
+    const void *LoopTag = nullptr;
+    /// The submitting loop's MaxQueuedSubmissions (0 = unbounded).
+    uint64_t LoopCap = 0;
     /// Runs exactly once, outside every scheduler/pool mutex, on the
     /// granting thread (submitter or releaser): receives the leased
     /// session and the microseconds the request spent queued.
     std::function<void(WorkerPool::SessionHandle, uint64_t)> OnGrant;
+    /// Runs instead of OnGrant -- outside every lock, on the sweeping
+    /// thread -- when the request is deadline-dropped. Optional.
+    std::function<void()> OnDrop;
   };
 
-  /// \p AgingStepMicros: see RuntimeConfig (Priority policy only).
-  Scheduler(WorkerPool &Pool, LanePolicy Policy, uint64_t AgingStepMicros)
-      : Pool(Pool), Policy(Policy), AgingStepMicros(AgingStepMicros) {}
+  /// Policy, aging, queue caps, and overload behavior all come from the
+  /// runtime's \p Config (see RuntimeConfig).
+  Scheduler(WorkerPool &Pool, const RuntimeConfig &Config)
+      : Pool(Pool), Policy(Config.Policy),
+        AgingStepMicros(Config.AgingStepMicros),
+        RuntimeCap(Config.MaxQueuedInvocations), Overload(Config.Overload) {
+  }
 
   /// A scheduler must drain before destruction; SpiceRuntime's
   /// destructor diagnostics enforce it before this runs.
@@ -117,7 +163,13 @@ public:
   /// Enqueues \p R and runs a grant pass. When the pass grants R itself
   /// (free lanes, policy picked it), R.OnGrant has already run -- with
   /// QueuedMicros == 0 -- by the time submit returns. Returns a ticket
-  /// identifying the request in the admission queue (never 0).
+  /// identifying the request in the admission queue, or 0 when admission
+  /// control shed it: the request would push a queue past its cap and
+  /// the policy is Reject (or DeadlineDrop with nothing left to drop).
+  /// A rejected request's callbacks never run. Under Block, submit
+  /// instead parks until the queue has room -- with a fatal self-
+  /// deadlock diagnostic when the caller's own sessions hold every lane,
+  /// because only its parked stack could ever make room.
   uint64_t submit(Request R);
 
   /// True while the ticket's request sits in the admission queue. The
@@ -133,7 +185,11 @@ public:
 
   SchedulerStats stats() const;
   unsigned queueDepth() const;
+  /// Queued invocations (requests weighted by Request::Invocations) --
+  /// the figure the queue caps bound.
+  uint64_t queuedInvocations() const;
   LanePolicy policy() const { return Policy; }
+  OverloadPolicy overloadPolicy() const { return Overload; }
 
   /// A queued request as planGrants sees it.
   struct Candidate {
@@ -163,23 +219,51 @@ private:
     uint64_t Ticket = 0;
     /// True until the submit() call that enqueued this entry finishes
     /// its own grant pass: a grant while set is an immediate grant and
-    /// reports 0 queued time.
+    /// reports 0 queued time, and the deadline sweep skips it (a
+    /// submission always gets its own grant attempt first).
     bool Immediate = true;
   };
 
   /// Plans against the current free-lane count, executes the leases, and
   /// pops granted entries -- all under the scheduler mutex -- then runs
-  /// the OnGrant callbacks unlocked.
+  /// the OnGrant callbacks unlocked. Under DeadlineDrop the pass first
+  /// sweeps expired entries.
   void runGrants();
+
+  /// True when admitting \p R now would push the runtime-wide or the
+  /// request's per-loop queue past its cap. Requires the scheduler
+  /// mutex.
+  bool overCapLocked(const Request &R) const;
+
+  /// Removes every non-Immediate entry that has waited past its
+  /// deadline, updating the queue accounting and DroppedDeadline, and
+  /// collects the OnDrop callbacks into \p Drops (run them outside the
+  /// mutex). Requires the scheduler mutex.
+  void sweepExpiredLocked(Clock::time_point Now,
+                          std::vector<std::function<void()>> &Drops);
+
+  /// Queue-accounting half of removing \p E from the queue (grant or
+  /// drop). Requires the scheduler mutex.
+  void noteRemovedLocked(const Entry &E);
 
   WorkerPool &Pool;
   const LanePolicy Policy;
   const uint64_t AgingStepMicros;
+  const uint64_t RuntimeCap;
+  const OverloadPolicy Overload;
 
   mutable std::mutex M;
   std::deque<Entry> Queue;
   uint64_t NextTicket = 1;
   SchedulerStats St;
+  /// Queued invocations (Request::Invocations-weighted queue depth).
+  uint64_t QueuedInvs = 0;
+  /// Same, per submitting loop (keyed by Request::LoopTag). Entries are
+  /// erased when they reach zero.
+  std::unordered_map<const void *, uint64_t> LoopQueued;
+  /// Blocked submitters (OverloadPolicy::Block) park here until a grant
+  /// or drop shrinks the queue below the caps.
+  std::condition_variable CapCV;
 };
 
 } // namespace core

@@ -48,6 +48,28 @@ enum class LanePolicy {
   Priority,
 };
 
+/// What the admission Scheduler does with a submission that would push a
+/// queue past its cap (RuntimeConfig::MaxQueuedInvocations or
+/// LoopOptions::MaxQueuedSubmissions). Serving deployments pick the
+/// shedding policy that matches their clients; see docs/serving.md.
+enum class OverloadPolicy {
+  /// submit() blocks the calling thread until the queue has room (grants
+  /// or drops make room). The no-shedding default: overload turns into
+  /// client-side backpressure instead of errors.
+  Block,
+  /// submit() fails immediately: the returned future resolves to an
+  /// OverloadError and SchedulerStats::RejectedSubmissions counts the
+  /// shed request. The classic load-shedding front door.
+  Reject,
+  /// Like Reject when a cap is hit, but additionally every queued
+  /// request carrying a deadline (LoopOptions::SubmitDeadlineMicros) is
+  /// dropped -- future resolves to OverloadError,
+  /// SchedulerStats::DroppedDeadline counts it -- once it has waited past
+  /// its deadline. Deadlines are checked at grant passes (a submission
+  /// and every lane release), not by a timer thread.
+  DeadlineDrop,
+};
+
 /// Process-wide settings of a SpiceRuntime: sizing and placement of the
 /// single shared WorkerPool that executes every registered loop, plus
 /// the cross-loop scheduling policy.
@@ -69,6 +91,17 @@ struct RuntimeConfig {
   /// priority grows by one for every AgingStepMicros it has waited
   /// (starvation aging). 0 disables aging (pure strict priority).
   uint64_t AgingStepMicros = 1000;
+
+  /// Runtime-wide cap on queued (admitted but not yet granted)
+  /// invocations across every loop, counted in invocations -- a batch
+  /// submission counts its full size while it waits. 0 = unbounded (the
+  /// pre-backpressure behavior). What happens at the cap is Overload.
+  uint64_t MaxQueuedInvocations = 0;
+
+  /// Overload behavior when a submission would exceed
+  /// MaxQueuedInvocations or the submitting loop's
+  /// LoopOptions::MaxQueuedSubmissions (see OverloadPolicy).
+  OverloadPolicy Overload = OverloadPolicy::Block;
 };
 
 /// Per-loop policy: everything a single SpiceLoop decides for itself,
@@ -112,6 +145,20 @@ struct LoopOptions {
   /// Scheduling priority of this loop's submissions under
   /// LanePolicy::Priority (higher wins; ignored by the other policies).
   int Priority = 0;
+
+  /// Per-loop cap on this loop's queued (not yet granted) invocations,
+  /// counted like RuntimeConfig::MaxQueuedInvocations -- a batch counts
+  /// its full size, so set this at least as large as the largest batch
+  /// this loop submits. 0 = unbounded. The runtime's OverloadPolicy
+  /// decides what happens at the cap.
+  uint64_t MaxQueuedSubmissions = 0;
+
+  /// Admission deadline of this loop's submissions: under
+  /// OverloadPolicy::DeadlineDrop, a submission still ungranted after
+  /// this many microseconds in the queue is dropped (its future resolves
+  /// to an OverloadError; SchedulerStats::DroppedDeadline counts it).
+  /// 0 = no deadline. Ignored by the Block and Reject policies.
+  uint64_t SubmitDeadlineMicros = 0;
 
   /// Chunks of one invocation on a runtime with \p NumThreads threads. A
   /// single-threaded runtime never speculates, so oversubscription is

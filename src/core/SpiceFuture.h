@@ -40,6 +40,13 @@
 ///    future moved to another thread still executes correctly, but a
 ///    deadlock it causes blocks instead of aborting.
 ///
+/// SpiceBatchFuture is the N-invocation sibling returned by
+/// SpiceLoop::submitBatch(): one scheduler trip and one lane lease
+/// amortized over N invocations executed in submission order (see the
+/// class comment and docs/serving.md). A submission shed by the
+/// runtime's admission control (RuntimeConfig::OverloadPolicy) resolves
+/// to an OverloadError instead of a result, on both future kinds.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef SPICE_CORE_SPICEFUTURE_H
@@ -47,11 +54,25 @@
 
 #include "support/ErrorHandling.h"
 
+#include <cstddef>
 #include <memory>
+#include <stdexcept>
 #include <utility>
+#include <vector>
 
 namespace spice {
 namespace core {
+
+/// Thrown by SpiceFuture::get() / SpiceBatchFuture::get() when the
+/// runtime's admission control shed the submission instead of executing
+/// it: a queue cap hit under OverloadPolicy::Reject, or a queued request
+/// that out-waited its deadline under OverloadPolicy::DeadlineDrop. A
+/// serving layer catches this and maps it to its load-shedding response
+/// (see docs/serving.md); SchedulerStats counts every occurrence.
+class OverloadError : public std::runtime_error {
+public:
+  explicit OverloadError(const char *What) : std::runtime_error(What) {}
+};
 
 namespace detail {
 
@@ -71,6 +92,33 @@ public:
   /// Moves the result out, or rethrows the stored exception. Requires a
   /// completed invocation (call wait() first); consumed exactly once.
   virtual StateT take() = 0;
+};
+
+/// The invocation state a SpiceBatchFuture drives; implemented by
+/// SpiceLoop::AsyncInvocation (which executes the batch's elements in
+/// submission order on the driving thread).
+template <typename StateT> class BatchFutureImpl {
+public:
+  virtual ~BatchFutureImpl() = default;
+
+  /// Drives every element to completion on the calling thread; absorbs
+  /// exceptions into the per-element outcomes. Idempotent.
+  virtual void waitAll() noexcept = 0;
+
+  /// Drives elements 0..I (inclusive) to completion; elements resolve
+  /// strictly in submission order, so earlier elements complete too.
+  virtual void waitUpTo(size_t I) noexcept = 0;
+
+  /// True once every element's outcome is stored.
+  virtual bool allReady() const = 0;
+
+  /// Number of elements in the batch.
+  virtual size_t count() const = 0;
+
+  /// Moves element I's result out, or rethrows its stored exception.
+  /// Requires the element completed (waitUpTo(I) first); each element
+  /// is consumed exactly once.
+  virtual StateT takeElement(size_t I) = 0;
 };
 
 } // namespace detail
@@ -133,6 +181,111 @@ private:
   }
 
   std::unique_ptr<detail::FutureImpl<StateT>> Impl;
+};
+
+/// Move-only completion handle for one *batched* submission
+/// (SpiceLoop::submitBatch): N invocations admitted through the
+/// scheduler as one request, executed element-by-element in submission
+/// order on the thread that drives this future. The batch shares one
+/// lane lease across all elements, so the per-invocation admission cost
+/// is the batch's single trip through the scheduler divided by N.
+///
+/// Semantics mirror SpiceFuture, element-wise:
+///  * wait() drives the whole batch; get(I) drives elements 0..I (order
+///    is fixed) and returns element I's state or rethrows its exception
+///    -- each element may be taken once, in any order.
+///  * take() drives the whole batch, consumes the handle, and returns
+///    every state in submission order; if any element threw, the first
+///    stored exception is rethrown (later elements still executed --
+///    one element's failure does not shed the rest of the batch).
+///  * The destructor of a valid handle drives the batch to completion
+///    and discards all results, so dropping a batch future neither
+///    leaks the lane lease nor aborts elements twice.
+///  * An admission-shed batch (OverloadPolicy) stores an OverloadError
+///    in *every* element: the batch was one scheduler request, so it is
+///    shed as one.
+template <typename StateT> class SpiceBatchFuture {
+public:
+  SpiceBatchFuture() = default;
+  explicit SpiceBatchFuture(
+      std::unique_ptr<detail::BatchFutureImpl<StateT>> Impl)
+      : Impl(std::move(Impl)) {}
+
+  SpiceBatchFuture(SpiceBatchFuture &&) = default;
+  SpiceBatchFuture &operator=(SpiceBatchFuture &&O) {
+    if (this != &O) {
+      abandon();
+      Impl = std::move(O.Impl);
+    }
+    return *this;
+  }
+  SpiceBatchFuture(const SpiceBatchFuture &) = delete;
+  SpiceBatchFuture &operator=(const SpiceBatchFuture &) = delete;
+
+  /// Completes the batch (results discarded) if still owned.
+  ~SpiceBatchFuture() { abandon(); }
+
+  /// False for a default-constructed, moved-from, or consumed handle
+  /// (and for the result of submitting an empty batch).
+  bool valid() const { return Impl != nullptr; }
+
+  /// Elements in the batch (0 for an invalid handle).
+  size_t size() const { return Impl ? Impl->count() : 0; }
+
+  /// Non-blocking: true once every element's outcome is stored.
+  bool ready() const { return Impl && Impl->allReady(); }
+
+  /// Drives the whole batch to completion on this thread. Does not
+  /// surface exceptions (get()/take() do) and does not consume the
+  /// handle.
+  void wait() {
+    if (Impl)
+      Impl->waitAll();
+  }
+
+  /// Drives elements 0..I to completion and returns element I's merged
+  /// state, or rethrows the exception its Traits callable threw (or the
+  /// OverloadError of a shed batch). Each element may be taken once;
+  /// out-of-range or doubly-taken elements abort with a diagnostic.
+  StateT get(size_t I) {
+    if (!Impl)
+      reportFatalError("SpiceBatchFuture::get() on an invalid batch "
+                       "future (default-constructed, moved-from, or "
+                       "already consumed)");
+    if (I >= Impl->count())
+      reportFatalError("SpiceBatchFuture::get() element out of range");
+    Impl->waitUpTo(I);
+    return Impl->takeElement(I);
+  }
+
+  /// Drives the whole batch, consumes the handle, and returns every
+  /// element's state in submission order; rethrows the first stored
+  /// exception if any element failed. Aborts with a diagnostic if an
+  /// element was already taken via get(I).
+  std::vector<StateT> take() {
+    if (!Impl)
+      reportFatalError("SpiceBatchFuture::take() on an invalid batch "
+                       "future (default-constructed, moved-from, or "
+                       "already consumed)");
+    Impl->waitAll();
+    std::unique_ptr<detail::BatchFutureImpl<StateT>> Done =
+        std::move(Impl);
+    std::vector<StateT> Out;
+    Out.reserve(Done->count());
+    for (size_t I = 0; I != Done->count(); ++I)
+      Out.push_back(Done->takeElement(I));
+    return Out;
+  }
+
+private:
+  void abandon() {
+    if (Impl) {
+      Impl->waitAll();
+      Impl.reset();
+    }
+  }
+
+  std::unique_ptr<detail::BatchFutureImpl<StateT>> Impl;
 };
 
 } // namespace core

@@ -38,6 +38,14 @@
 /// several futures (one loop handle still runs one invocation at a
 /// time; see core/SpiceFuture.h for future semantics).
 ///
+/// Serving layers batch: submitBatch(Starts) admits N invocations as
+/// ONE scheduler request returning a SpiceBatchFuture -- one admission
+/// trip and one lane lease amortized across the batch, the elements
+/// executing in submission order on the driving thread. Admission
+/// itself is bounded: queue caps plus RuntimeConfig::OverloadPolicy
+/// shed overload as OverloadError futures instead of growing the queue
+/// (see core/Scheduler.h and docs/serving.md).
+///
 /// A loop is adapted through a Traits object (or assembled from lambdas
 /// with spice::LoopBuilder, see core/LoopBuilder.h):
 ///
@@ -112,6 +120,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <thread>
 #include <utility>
 #include <vector>
@@ -182,38 +191,26 @@ public:
   /// thread still executes correctly, but a deadlock it causes is no
   /// longer provable and blocks instead of aborting.
   SpiceFuture<State> submit(const LiveIn &Start) {
-    if (InvokeInFlight.exchange(true, std::memory_order_acquire))
-      reportFatalError("SpiceLoop::submit/invoke while a previous "
-                       "invocation of this loop handle is unresolved; a "
-                       "loop is driven by one client thread at a time "
-                       "(use one loop per client, many loops per "
-                       "runtime)");
-    ++Stats.Invocations;
-    RT->noteSubmitted();
-    auto Inv = std::make_unique<AsyncInvocation>(*this, Start);
-    unsigned ActiveChunks = countLaunchableSpecChunks();
-    if (ActiveChunks == 0) {
-      // No usable predictions: the whole invocation is the sequential
-      // protocol, executed by whoever drives the future. The scheduler
-      // is not involved -- no lanes are needed.
-      Inv->Phase.store(AsyncInvocation::InvPhase::SeqPending,
-                       std::memory_order_release);
-    } else {
-      Inv->ActiveChunks = ActiveChunks;
-      Inv->Phase.store(AsyncInvocation::InvPhase::Queued,
-                       std::memory_order_release);
-      Scheduler::Request R;
-      R.RequestedLanes = ActiveChunks;
-      R.AllowStealing = Config.ChunksPerThread > 1;
-      R.Priority = Config.Priority;
-      R.Owner = std::this_thread::get_id();
-      R.OnGrant = [I = Inv.get()](WorkerPool::SessionHandle S,
-                                  uint64_t Micros) {
-        I->onGrant(std::move(S), Micros);
-      };
-      Inv->Ticket = RT->scheduler().submit(std::move(R));
-    }
-    return SpiceFuture<State>(std::move(Inv));
+    return SpiceFuture<State>(submitStarts({Start}));
+  }
+
+  /// Admits \p Starts.size() invocations as ONE scheduler request and
+  /// returns their SpiceBatchFuture: one admission-queue trip and one
+  /// lane lease amortized over the whole batch, which is what makes
+  /// per-request cost scale for serving workloads (docs/serving.md).
+  /// The elements execute in submission order on the thread driving the
+  /// future -- element k's live-in predictions come from element k-1's
+  /// run, so batches of a warmed loop stay parallel throughout, while a
+  /// cold loop (no predictions at submit time) runs the whole batch
+  /// sequentially. The loop handle still runs one *submission* at a
+  /// time; the queue caps count a batch as Starts.size() invocations.
+  /// An empty batch returns an invalid future. \p Starts is copied;
+  /// the Traits object must stay valid until resolution.
+  SpiceBatchFuture<State> submitBatch(std::span<const LiveIn> Starts) {
+    if (Starts.empty())
+      return SpiceBatchFuture<State>();
+    return SpiceBatchFuture<State>(
+        submitStarts(std::vector<LiveIn>(Starts.begin(), Starts.end())));
   }
 
   /// Plain sequential execution with no Spice machinery (baseline oracle
@@ -417,57 +414,120 @@ private:
     return std::min(Budget, Config.MaxSpecIterations);
   }
 
-  /// One submitted invocation: the shared state between the SpiceFuture
-  /// the client holds, the scheduler's grant callback, and the driving
-  /// thread. Phases: SeqPending (no predictions, whole invocation runs
-  /// in wait()), or Queued -> Granted (lanes leased, chunks launched) ->
-  /// Resolved. onGrant may run on a foreign (lane-releasing) thread; the
-  /// mutex/CV hand-off orders its writes before the driver's reads.
-  class AsyncInvocation final : public detail::FutureImpl<State> {
-  public:
-    AsyncInvocation(SpiceLoop &L, LiveIn Start)
-        : L(L), Start(std::move(Start)) {}
+  class AsyncInvocation;
 
-    void wait() noexcept override {
-      if (Phase.load(std::memory_order_acquire) == InvPhase::Resolved)
-        return;
-      try {
-        if (Phase.load(std::memory_order_relaxed) ==
-            InvPhase::SeqPending) {
-          Result = L.invokeSequential(Start);
-        } else {
-          awaitGrant();
-          Result = L.resolveParallel(*this);
-        }
-      } catch (...) {
-        // Stored, surfaced by get(); swallowed by an abandoning
-        // destructor. Workers have no unwind path by design, so this is
-        // always the client's own callable throwing on this thread.
-        Err = std::current_exception();
-      }
-      L.InvokeInFlight.store(false, std::memory_order_release);
-      L.RT->noteResolved();
-      Phase.store(InvPhase::Resolved, std::memory_order_release);
+  /// Shared admission path of submit()/submitBatch(): one scheduler
+  /// request covering all of \p Starts (size 1 for a plain submit).
+  std::unique_ptr<AsyncInvocation> submitStarts(std::vector<LiveIn> Starts) {
+    assert(!Starts.empty() && "a submission needs at least one start");
+    if (InvokeInFlight.exchange(true, std::memory_order_acquire))
+      reportFatalError("SpiceLoop::submit/invoke while a previous "
+                       "invocation of this loop handle is unresolved; a "
+                       "loop is driven by one client thread at a time "
+                       "(use one loop per client, many loops per "
+                       "runtime)");
+    const size_t N = Starts.size();
+    Stats.Invocations += N;
+    RT->noteSubmitted();
+    auto Inv = std::make_unique<AsyncInvocation>(*this, std::move(Starts));
+    unsigned ActiveChunks = countLaunchableSpecChunks();
+    if (ActiveChunks == 0) {
+      // No usable predictions: every element runs the sequential
+      // protocol, executed by whoever drives the future. The scheduler
+      // is not involved -- no lanes are needed.
+      Inv->Phase.store(AsyncInvocation::InvPhase::SeqPending,
+                       std::memory_order_release);
+    } else {
+      Inv->ActiveChunks = ActiveChunks;
+      Inv->Phase.store(AsyncInvocation::InvPhase::Queued,
+                       std::memory_order_release);
+      Scheduler::Request R;
+      R.RequestedLanes = ActiveChunks;
+      R.AllowStealing = Config.ChunksPerThread > 1;
+      R.Priority = Config.Priority;
+      R.Owner = std::this_thread::get_id();
+      R.Invocations = static_cast<unsigned>(N);
+      R.DeadlineMicros = Config.SubmitDeadlineMicros;
+      R.LoopTag = this;
+      R.LoopCap = Config.MaxQueuedSubmissions;
+      R.OnGrant = [I = Inv.get()](WorkerPool::SessionHandle S,
+                                  uint64_t Micros) {
+        I->onGrant(std::move(S), Micros);
+      };
+      R.OnDrop = [I = Inv.get()] { I->onDropped(); };
+      Inv->Ticket = RT->scheduler().submit(std::move(R));
+      if (Inv->Ticket == 0)
+        // Admission control shed the request (queue cap under Reject,
+        // or DeadlineDrop with a still-full queue): no callback will
+        // ever run, and the future resolves to OverloadError when
+        // driven. Same thread as the client, so a plain store is safe.
+        Inv->Phase.store(AsyncInvocation::InvPhase::Dropped,
+                         std::memory_order_release);
     }
+    return Inv;
+  }
 
+  /// One submitted request -- a single invocation or a whole batch: the
+  /// shared state between the future the client holds, the scheduler's
+  /// grant/drop callbacks, and the driving thread. Phases: SeqPending
+  /// (no predictions, every element runs in wait()), or Queued ->
+  /// Granted (lanes leased, element 0's chunks launched) -> Resolved,
+  /// with Dropped replacing Granted when admission control shed the
+  /// request. Elements execute strictly in submission order on the
+  /// driving thread; the lane lease is held across all of them and
+  /// released exactly once in finish() -- so an abandoned batch neither
+  /// leaks lanes nor double-aborts. onGrant/onDropped may run on a
+  /// foreign (lane-releasing) thread; the mutex/CV hand-off orders
+  /// their writes before the driver's reads.
+  class AsyncInvocation final : public detail::FutureImpl<State>,
+                                public detail::BatchFutureImpl<State> {
+  public:
+    AsyncInvocation(SpiceLoop &L, std::vector<LiveIn> Starts)
+        : L(L), Starts(std::move(Starts)), Results(this->Starts.size()),
+          Errs(this->Starts.size()) {}
+
+    // FutureImpl view (plain submit: a batch of one).
+    void wait() noexcept override { resolveThrough(Starts.size() - 1); }
     bool ready() const override {
       return Phase.load(std::memory_order_acquire) == InvPhase::Resolved;
     }
+    State take() override { return takeElement(0); }
 
-    State take() override {
-      assert(ready() && "take() before the invocation resolved");
-      if (Err)
-        std::rethrow_exception(Err);
-      return std::move(*Result);
+    // BatchFutureImpl view (submitBatch).
+    void waitAll() noexcept override { resolveThrough(Starts.size() - 1); }
+    void waitUpTo(size_t I) noexcept override { resolveThrough(I); }
+    bool allReady() const override { return ready(); }
+    size_t count() const override { return Starts.size(); }
+
+    State takeElement(size_t I) override {
+      assert(I < Starts.size() && NextElem > I &&
+             "takeElement before the element resolved");
+      if (Errs[I]) {
+        std::exception_ptr E = std::move(Errs[I]);
+        Errs[I] = nullptr;
+        std::rethrow_exception(E);
+      }
+      if (!Results[I])
+        reportFatalError("batch element taken twice (each element of a "
+                         "SpiceBatchFuture may be consumed once)");
+      State S = std::move(*Results[I]);
+      Results[I].reset();
+      return S;
     }
 
   private:
     friend class SpiceLoop;
 
-    enum class InvPhase : int { SeqPending, Queued, Granted, Resolved };
+    enum class InvPhase : int {
+      SeqPending,
+      Queued,
+      Granted,
+      Dropped,
+      Resolved
+    };
 
-    /// Grant callback (scheduler): lease in hand, start the speculative
-    /// chunks, then publish the session to the driver.
+    /// Grant callback (scheduler): lease in hand, start element 0's
+    /// speculative chunks, then publish the session to the driver.
     void onGrant(WorkerPool::SessionHandle S, uint64_t Micros) {
       L.prepareParallel(Pred, ActiveChunks);
       L.launchChunks(*S, Pred, ActiveChunks);
@@ -481,6 +541,14 @@ private:
         // broadcast must complete before M is released.
         CV.notify_all();
       }
+    }
+
+    /// Drop callback (scheduler deadline sweep): the request left the
+    /// admission queue ungranted; wake the driver to shed.
+    void onDropped() {
+      std::lock_guard<std::mutex> Lock(M);
+      Phase.store(InvPhase::Dropped, std::memory_order_release);
+      CV.notify_all();
     }
 
     /// Driver side: blocks until the scheduler granted lanes. A request
@@ -518,8 +586,86 @@ private:
       });
     }
 
+    /// Driver core: executes elements NextElem..Last in submission
+    /// order, storing each outcome, and finishes the request when the
+    /// last element is done. One thread drives a future, so this is
+    /// never concurrent with itself. Idempotent past the end.
+    void resolveThrough(size_t Last) noexcept {
+      if (Phase.load(std::memory_order_acquire) == InvPhase::Resolved)
+        return;
+      Last = std::min(Last, Starts.size() - 1);
+      if (!Began) {
+        Began = true;
+        if (Phase.load(std::memory_order_relaxed) == InvPhase::Queued)
+          awaitGrant();
+        if (Phase.load(std::memory_order_relaxed) == InvPhase::Dropped) {
+          // Admission control shed the request. It was one scheduler
+          // request, so it sheds as one: every element resolves to the
+          // same overload outcome.
+          std::exception_ptr E = std::make_exception_ptr(OverloadError(
+              "submission shed by the runtime's admission control "
+              "(queue cap under OverloadPolicy::Reject, or deadline "
+              "expiry under OverloadPolicy::DeadlineDrop)"));
+          for (size_t I = 0; I != Starts.size(); ++I)
+            Errs[I] = E;
+          NextElem = Starts.size();
+        }
+      }
+      while (NextElem <= Last) {
+        size_t I = NextElem;
+        try {
+          Results[I] = runElement(I);
+        } catch (...) {
+          // Stored per element, surfaced by get(); swallowed by an
+          // abandoning destructor. Workers have no unwind path by
+          // design, so this is always the client's own callable
+          // throwing on this thread -- the session was joined on the
+          // unwind (SessionJoiner) and the batch continues with the
+          // next element.
+          Errs[I] = std::current_exception();
+        }
+        NextElem = I + 1;
+      }
+      if (NextElem == Starts.size())
+        finish();
+    }
+
+    /// One element's execution on the driving thread. Element 0 of a
+    /// granted request resolves the chunks launched at grant time;
+    /// every later element re-launches the held session against the
+    /// predictions its predecessor refreshed (or runs sequentially when
+    /// none are valid -- lanes idle for that element, but order is
+    /// preserved).
+    State runElement(size_t I) {
+      if (I == 0 && Session)
+        return L.resolveGranted(*Session, Starts[0], Pred, ActiveChunks,
+                                QueuedMicros);
+      if (!Session)
+        return L.invokeSequential(Starts[I]);
+      unsigned Active = L.countLaunchableSpecChunks();
+      if (Active == 0)
+        return L.invokeSequential(Starts[I]);
+      // The leased workers are parked between elements (resolveGranted
+      // joins them), so reopening the deques here is race-free.
+      Session->reopenQueues();
+      L.prepareParallel(Pred, Active);
+      L.launchChunks(*Session, Pred, Active);
+      return L.resolveGranted(*Session, Starts[I], Pred, Active,
+                              /*QueuedMicros=*/0);
+    }
+
+    /// Exactly-once completion of the whole request: release the lane
+    /// lease (offering deferred grants), clear the loop's in-flight
+    /// flag, and publish Resolved.
+    void finish() noexcept {
+      Session.reset();
+      L.InvokeInFlight.store(false, std::memory_order_release);
+      L.RT->noteResolved();
+      Phase.store(InvPhase::Resolved, std::memory_order_release);
+    }
+
     SpiceLoop &L;
-    LiveIn Start;
+    std::vector<LiveIn> Starts; ///< One per element, submission order.
     unsigned ActiveChunks = 0;
     uint64_t Ticket = 0; ///< Admission-queue id (see awaitGrant).
     std::vector<LiveIn> Pred;
@@ -528,8 +674,10 @@ private:
     std::mutex M;
     std::condition_variable CV;
     std::atomic<InvPhase> Phase{InvPhase::SeqPending};
-    std::optional<State> Result;
-    std::exception_ptr Err;
+    std::vector<std::optional<State>> Results; ///< Per-element outcome.
+    std::vector<std::exception_ptr> Errs;      ///< Per-element error.
+    size_t NextElem = 0; ///< Next element to execute (driver only).
+    bool Began = false;  ///< Driver entered resolution (driver only).
   };
 
   /// Grant-side setup, step 1: snapshot the predictions (memoization
@@ -567,25 +715,27 @@ private:
     });
   }
 
-  /// Driver side of a granted invocation: chunk 0, the ordered commit
-  /// chain, recovery, and the per-invocation bookkeeping. Runs on the
-  /// thread driving the future; the speculative chunks have been
-  /// executing since the grant.
-  State resolveParallel(AsyncInvocation &Inv) {
-    const unsigned ActiveChunks = Inv.ActiveChunks;
-    const std::vector<LiveIn> &Pred = Inv.Pred;
-    // Owning the handle here gives the session the same lifetime as the
-    // pre-scheduler code: released (lanes returned, deferred grants
-    // offered) when resolution leaves this frame, even via an exception.
-    WorkerPool::SessionHandle Session = std::move(Inv.Session);
+  /// Driver side of one granted invocation (one batch element): chunk
+  /// 0, the ordered commit chain, recovery, and the per-invocation
+  /// bookkeeping, against the chunks previously launched on \p Session
+  /// (launchChunks). Runs on the thread driving the future; the
+  /// speculative chunks have been executing since the launch. The
+  /// session is *borrowed*: the caller keeps the lease afterwards (a
+  /// batch re-launches it element by element) and releases it exactly
+  /// once when the whole request completes (AsyncInvocation::finish).
+  /// On exit -- normal or unwinding -- the leased workers are joined
+  /// and the queues closed, so the caller may reopen and re-launch.
+  State resolveGranted(WorkerSession &Session, const LiveIn &Start,
+                       const std::vector<LiveIn> &Pred,
+                       unsigned ActiveChunks, uint64_t QueuedMicros) {
     Stats.LaunchedSpecThreads += ActiveChunks;
-    Stats.QueuedMicros += Inv.QueuedMicros;
-    Stats.GrantedLanes += Session->lanes();
+    Stats.QueuedMicros += QueuedMicros;
+    Stats.GrantedLanes += Session.lanes();
     // Oversubscription only changes behavior when there can be more
     // chunks than workers; ChunksPerThread == 1 must reproduce the
     // paper's fixed chunk-per-thread schedule exactly.
     const bool Oversubscribed = Config.ChunksPerThread > 1;
-    const unsigned Lanes = Session->lanes();
+    const unsigned Lanes = Session.lanes();
     // If a Traits callable throws mid-invocation, the lanes must still be
     // joined before the handle returns them to the shared pool -- a
     // session destroyed with its job in flight would lease busy workers
@@ -601,8 +751,8 @@ private:
         S.closeQueues();
         S.wait();
       }
-    } Joiner{*this, *Session, ActiveChunks};
-    Results[0] = runChunk(Inv.Start, &Pred[0], /*ChunkIdx=*/0,
+    } Joiner{*this, Session, ActiveChunks};
+    Results[0] = runChunk(Start, &Pred[0], /*ChunkIdx=*/0,
                           cursorFor(0), Config.MaxSpecIterations);
 
     // Waits for chunk C to finish; in oversubscribed mode the main thread
@@ -613,7 +763,7 @@ private:
     auto WaitForChunk = [&](unsigned C) {
       while (!DoneFlags[C].load(std::memory_order_acquire)) {
         uint32_t P;
-        if (Oversubscribed && Session->helpPopFront(P)) {
+        if (Oversubscribed && Session.helpPopFront(P)) {
           ++Stats.MainHelpedChunks;
           executeChunk(P, Pred, ActiveChunks, /*Stolen=*/true,
                        P == C ? Config.MaxSpecIterations
@@ -672,7 +822,7 @@ private:
           AbortFlags[J].store(false, std::memory_order_relaxed);
           // Front of the lane: J blocks the whole commit chain, so it
           // must run before any more-speculative pending chunk.
-          Session->pushChunkFront(homeLane(J, Lanes), J);
+          Session.pushChunkFront(homeLane(J, Lanes), J);
           continue; // Same J: wait for the recovery execution.
         }
         // Paper protocol (and oversubscribed last resort): everything
@@ -708,8 +858,8 @@ private:
       Merged = runRecovery(std::move(Merged), Pred[RecoverFrom - 1], Work,
                            RecoverFrom);
 
-    Session->closeQueues();
-    Session->wait(); // Handle destruction returns the leased lanes.
+    Session.closeQueues();
+    Session.wait(); // The caller's finish() returns the leased lanes.
 
     // Post-join bookkeeping: wasted work and stale rows of dead chunks.
     bool AnySquash = AnyFailure;

@@ -63,7 +63,7 @@ public:
       : Config(std::move(Config)),
         Pool(this->Config.NumThreads > 0 ? this->Config.NumThreads - 1 : 0,
              this->Config.WorkerStartHook),
-        Sched(Pool, this->Config.Policy, this->Config.AgingStepMicros) {
+        Sched(Pool, this->Config) {
     assert(this->Config.NumThreads >= 1 && "need at least one thread");
     Pool.setReleaseHook([this] { Sched.onLanesFreed(); });
   }

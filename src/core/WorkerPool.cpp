@@ -39,6 +39,14 @@ void ChunkDeques::reset(unsigned NumLanes, bool AllowStealing) {
   Closed.store(false, std::memory_order_release);
 }
 
+void ChunkDeques::reopen() {
+  for (auto &L : Lanes) {
+    std::lock_guard<std::mutex> Lock(L->M);
+    L->Q.clear();
+  }
+  Closed.store(false, std::memory_order_release);
+}
+
 void ChunkDeques::bumpEpoch() {
   {
     std::lock_guard<std::mutex> Lock(Mutex);

@@ -70,6 +70,13 @@ public:
   /// Prepares \p NumLanes open deques, discarding any previous state.
   void reset(unsigned NumLanes, bool AllowStealing);
 
+  /// Clears every lane and lifts a previous close(), keeping the lane
+  /// count and stealing mode: the next launch round of a multi-round
+  /// session (batch submission). Only valid while no acquirer is active
+  /// -- i.e. between a wait() and the next launch(), when the leased
+  /// workers are parked.
+  void reopen();
+
   void push(unsigned Lane, uint32_t Chunk);
   void pushFront(unsigned Lane, uint32_t Chunk);
 
@@ -143,6 +150,11 @@ public:
     Deques.pushFront(Lane, Chunk);
   }
   void closeQueues() { Deques.close(); }
+  /// Reopens the deques for another launch round on the same lease
+  /// (batch elements re-launch the session; see SpiceLoop::submitBatch).
+  /// Only between wait() and the next launch(), while the leased
+  /// workers are parked.
+  void reopenQueues() { Deques.reopen(); }
   bool acquireChunk(unsigned Lane, uint32_t &Chunk, bool &Stolen) {
     return Deques.acquire(Lane, Chunk, Stolen);
   }

@@ -13,10 +13,20 @@
 // (submit-then-destroy-runtime, nested submission self-deadlock,
 // futures resolved out of submission order).
 //
+// The serving layer on top of that surface is covered here too:
+// batched submission (SpiceLoop::submitBatch / SpiceBatchFuture --
+// N-invocation equivalence through one admission, per-element
+// exception isolation, abandoned batches releasing their lease) and
+// bounded admission (queue caps with OverloadPolicy::Reject /
+// DeadlineDrop shedding counted in SchedulerStats, and Block parking
+// submitters until grants make room -- the Block test runs real client
+// threads and is a TSan target like the fair-share one).
+//
 //===----------------------------------------------------------------------===//
 
 #include "core/LoopBuilder.h"
 #include "core/Scheduler.h"
+#include "core/SpiceFuture.h"
 #include "core/SpiceLoop.h"
 #include "core/SpiceRuntime.h"
 #include "workloads/Otter.h"
@@ -24,6 +34,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -353,6 +364,255 @@ TEST(LaneScheduler, PriorityPolicyRuntimeStaysCorrectUncontended) {
   for (int I = 0; I != 4; ++I)
     EXPECT_EQ(Loop.invoke(0).Sum, T.expected());
   EXPECT_EQ(RT.schedulerStats().ImmediateGrants, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// SpiceBatchFuture: batched submission
+//===----------------------------------------------------------------------===//
+
+TEST(BatchFuture, BatchMatchesNSoloSubmissionsThroughOneAdmission) {
+  // The serving-layer amortization claim, checked for exactness: a batch
+  // of 8 must produce bit-identical results and loop stats to 8 solo
+  // submissions -- while making ONE trip through the scheduler where the
+  // solo client makes 8.
+  CountTraits TSolo, TBatch;
+  SpiceRuntime RTSolo(/*NumThreads=*/4), RTBatch(/*NumThreads=*/4);
+  auto Solo = RTSolo.makeLoop(TSolo);
+  auto Batch = RTBatch.makeLoop(TBatch);
+  EXPECT_EQ(Solo.invoke(0).Sum, TSolo.expected()); // Warm (sequential).
+  EXPECT_EQ(Batch.invoke(0).Sum, TBatch.expected());
+
+  for (int I = 0; I != 8; ++I)
+    EXPECT_EQ(Solo.submit(0).get().Sum, TSolo.expected());
+  std::vector<int64_t> Starts(8, 0);
+  SpiceBatchFuture<CountTraits::State> F = Batch.submitBatch(Starts);
+  EXPECT_TRUE(F.valid());
+  EXPECT_EQ(F.size(), 8u);
+  std::vector<CountTraits::State> Out = F.take();
+  EXPECT_FALSE(F.valid()) << "take() consumes the handle";
+  ASSERT_EQ(Out.size(), 8u);
+  for (const CountTraits::State &S : Out)
+    EXPECT_EQ(S.Sum, TBatch.expected());
+
+  const SpiceStats &A = Solo.stats(), &B = Batch.stats();
+  EXPECT_EQ(A.Invocations, B.Invocations);
+  EXPECT_EQ(A.SequentialInvocations, B.SequentialInvocations);
+  EXPECT_EQ(A.TotalIterations, B.TotalIterations);
+  EXPECT_EQ(A.GrantedLanes, B.GrantedLanes)
+      << "every batch element re-launches the same leased lanes";
+  SchedulerStats SA = RTSolo.schedulerStats();
+  SchedulerStats SB = RTBatch.schedulerStats();
+  EXPECT_EQ(SA.Submitted, 8u);
+  EXPECT_EQ(SB.Submitted, 1u) << "one admission covers the whole batch";
+  EXPECT_EQ(SB.ImmediateGrants, 1u);
+  EXPECT_EQ(SB.HighWaterQueueDepth, 8u)
+      << "queue depth is weighted: a batch counts as its size";
+}
+
+TEST(BatchFuture, EmptyBatchIsInvalidAndTouchesNothing) {
+  SpiceRuntime RT(/*NumThreads=*/4);
+  CountTraits T;
+  auto Loop = RT.makeLoop(T);
+  std::vector<int64_t> None;
+  SpiceBatchFuture<CountTraits::State> F = Loop.submitBatch(None);
+  EXPECT_FALSE(F.valid());
+  EXPECT_EQ(F.size(), 0u);
+  F.wait(); // No-op, not a crash.
+  EXPECT_EQ(Loop.stats().Invocations, 0u);
+  EXPECT_EQ(Loop.invoke(0).Sum, T.expected())
+      << "the handle was never marked in flight";
+}
+
+TEST(BatchFuture, AbandonedBatchReleasesItsLeaseExactlyOnce) {
+  // The destructor drives the whole batch: no leaked lanes, no
+  // double-abort, and the runtime tears down cleanly afterwards (its
+  // destructor dies loudly on any unresolved submission).
+  SpiceRuntime RT(/*NumThreads=*/4);
+  CountTraits T;
+  auto Loop = RT.makeLoop(T);
+  EXPECT_EQ(Loop.invoke(0).Sum, T.expected()); // Warm.
+  std::vector<int64_t> Starts(4, 0);
+  { SpiceBatchFuture<CountTraits::State> F = Loop.submitBatch(Starts); }
+  EXPECT_EQ(Loop.stats().Invocations, 5u);
+  EXPECT_EQ(RT.pool().freeWorkers(), 3u)
+      << "the abandoned batch must return its leased lanes";
+  EXPECT_EQ(Loop.invoke(0).Sum, T.expected())
+      << "handle must stay usable after the abandonment";
+}
+
+TEST(BatchFuture, ElementExceptionDoesNotShedTheRestOfTheBatch) {
+  // One element's Traits callable throwing (always on the driving
+  // thread: workers have no unwind path) is isolated to that element --
+  // earlier and later elements still execute and their results are
+  // retrievable, and the lane lease survives the unwind.
+  SpiceRuntime RT(/*NumThreads=*/4);
+  const std::thread::id MainId = std::this_thread::get_id();
+  auto Sum =
+      CountBuilder()
+          .step([&](int64_t &I, uint64_t &S, SpecSpace &) {
+            if (I < 0 && std::this_thread::get_id() == MainId)
+              throw std::runtime_error("client bug in element");
+            if (I >= 4096)
+              return false;
+            S += static_cast<uint64_t>(I);
+            ++I;
+            return true;
+          })
+          .combine([](uint64_t &Into, uint64_t &&Chunk) { Into += Chunk; })
+          .build(RT);
+  const uint64_t Want = 4096ull * 4095 / 2;
+  EXPECT_EQ(Sum.invoke(0), Want); // Warm (sequential).
+
+  std::vector<int64_t> Starts = {0, -1, 0}; // Element 1 throws.
+  SpiceBatchFuture<uint64_t> F = Sum.submitBatch(Starts);
+  EXPECT_EQ(F.get(0), Want);
+  EXPECT_THROW(F.get(1), std::runtime_error);
+  EXPECT_EQ(F.get(2), Want)
+      << "an element after the throwing one must still have executed";
+  F = SpiceBatchFuture<uint64_t>(); // Consume leftovers via abandon.
+  EXPECT_EQ(RT.pool().freeWorkers(), 3u)
+      << "the unwound element must not leak the batch's lane lease";
+
+  // take() surfaces the first stored exception after the whole batch ran.
+  SpiceBatchFuture<uint64_t> G = Sum.submitBatch(std::vector<int64_t>{-1, 0});
+  EXPECT_THROW(G.take(), std::runtime_error);
+}
+
+//===----------------------------------------------------------------------===//
+// Bounded admission: queue caps and overload policies (TSan target)
+//===----------------------------------------------------------------------===//
+
+TEST(Overload, RejectShedsSubmissionsPastTheRuntimeCap) {
+  // One worker lane, runtime-wide cap of one queued invocation: A holds
+  // the lane, B fills the queue, C must be shed as an OverloadError
+  // future instead of growing the queue.
+  RuntimeConfig C;
+  C.NumThreads = 2;
+  C.MaxQueuedInvocations = 1;
+  C.Overload = OverloadPolicy::Reject;
+  SpiceRuntime RT(C);
+  CountTraits TA, TB, TC;
+  auto LoopA = RT.makeLoop(TA);
+  auto LoopB = RT.makeLoop(TB);
+  auto LoopC = RT.makeLoop(TC);
+  EXPECT_EQ(LoopA.invoke(0).Sum, TA.expected()); // Warm all three.
+  EXPECT_EQ(LoopB.invoke(0).Sum, TB.expected());
+  EXPECT_EQ(LoopC.invoke(0).Sum, TC.expected());
+
+  auto FA = LoopA.submit(0); // Granted the lane immediately.
+  auto FB = LoopB.submit(0); // Admitted: fills the queue.
+  auto FC = LoopC.submit(0); // Over cap: shed.
+  EXPECT_THROW(FC.get(), OverloadError);
+  EXPECT_EQ(FA.get().Sum, TA.expected());
+  EXPECT_EQ(FB.get().Sum, TB.expected())
+      << "admitted submissions are untouched by the shedding";
+
+  SchedulerStats S = RT.schedulerStats();
+  EXPECT_EQ(S.RejectedSubmissions, 1u);
+  EXPECT_EQ(S.DroppedDeadline, 0u);
+  EXPECT_EQ(S.Submitted, 2u) << "a rejected submission is never admitted";
+  EXPECT_EQ(S.HighWaterQueueDepth, 1u) << "the cap bounded the queue";
+  EXPECT_EQ(RT.pool().freeWorkers(), 1u);
+}
+
+TEST(Overload, DeadlineDropShedsARequestThatOutwaitedItsDeadline) {
+  // B's submission carries a 2ms deadline and queues behind A, which
+  // holds the only lane for far longer: the grant pass triggered by A's
+  // resolution must sweep B out instead of granting it.
+  RuntimeConfig C;
+  C.NumThreads = 2;
+  C.Overload = OverloadPolicy::DeadlineDrop;
+  SpiceRuntime RT(C);
+  CountTraits TA, TB;
+  auto LoopA = RT.makeLoop(TA);
+  LoopOptions OB;
+  OB.SubmitDeadlineMicros = 2000;
+  auto LoopB = RT.makeLoop(TB, OB);
+  EXPECT_EQ(LoopA.invoke(0).Sum, TA.expected()); // Warm both.
+  EXPECT_EQ(LoopB.invoke(0).Sum, TB.expected());
+
+  auto FA = LoopA.submit(0); // Holds the lane until driven.
+  auto FB = LoopB.submit(0); // Queued, deadline ticking.
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_EQ(FA.get().Sum, TA.expected()); // Release -> sweep drops B.
+  EXPECT_THROW(FB.get(), OverloadError);
+
+  SchedulerStats S = RT.schedulerStats();
+  EXPECT_EQ(S.DroppedDeadline, 1u);
+  EXPECT_EQ(S.RejectedSubmissions, 0u);
+  EXPECT_EQ(S.Submitted, 2u) << "dropped requests were admitted first";
+  EXPECT_EQ(S.DeferredGrants, 0u) << "B must never have been granted";
+  EXPECT_EQ(RT.pool().freeWorkers(), 1u);
+}
+
+TEST(Overload, BlockParksASubmitterUntilGrantsMakeRoom) {
+  // Default policy: a third client hitting the cap parks inside
+  // submit() and is admitted -- not shed -- once resolving the earlier
+  // futures drains the queue. Runs a real parked thread (TSan target).
+  RuntimeConfig C;
+  C.NumThreads = 2;
+  C.MaxQueuedInvocations = 1;
+  C.Overload = OverloadPolicy::Block;
+  SpiceRuntime RT(C);
+  CountTraits TA, TB, TC;
+  auto LoopA = RT.makeLoop(TA);
+  auto LoopB = RT.makeLoop(TB);
+  auto LoopC = RT.makeLoop(TC);
+  EXPECT_EQ(LoopA.invoke(0).Sum, TA.expected()); // Warm all three.
+  EXPECT_EQ(LoopB.invoke(0).Sum, TB.expected());
+  EXPECT_EQ(LoopC.invoke(0).Sum, TC.expected());
+
+  auto FA = LoopA.submit(0); // Granted the lane.
+  auto FB = LoopB.submit(0); // Fills the queue (at the cap).
+  std::atomic<bool> Admitted{false};
+  std::atomic<uint64_t> CSum{0};
+  std::thread T([&] {
+    auto FC = LoopC.submit(0); // Parks: over cap until FB is granted.
+    Admitted.store(true);
+    CSum.store(FC.get().Sum);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(Admitted.load())
+      << "no grant has run, so the cap still blocks the third client";
+  EXPECT_EQ(FA.get().Sum, TA.expected()); // Grants B -> room -> C admits.
+  EXPECT_EQ(FB.get().Sum, TB.expected()); // Grants C.
+  T.join();
+  EXPECT_TRUE(Admitted.load());
+  EXPECT_EQ(CSum.load(), TC.expected());
+
+  SchedulerStats S = RT.schedulerStats();
+  EXPECT_EQ(S.RejectedSubmissions, 0u) << "Block never sheds";
+  EXPECT_EQ(S.DroppedDeadline, 0u);
+  EXPECT_EQ(S.Submitted, 3u);
+  EXPECT_EQ(S.HighWaterQueueDepth, 1u) << "the cap held while parking";
+}
+
+TEST(Overload, PerLoopCapRejectsABatchLargerThanTheCap) {
+  // The per-loop cap weighs a batch as its size and sheds it whole: a
+  // batch of 4 against MaxQueuedSubmissions = 2 resolves every element
+  // to the same OverloadError, and a batch within the cap still runs.
+  RuntimeConfig C;
+  C.NumThreads = 4;
+  C.Overload = OverloadPolicy::Reject;
+  SpiceRuntime RT(C);
+  CountTraits T;
+  LoopOptions O;
+  O.MaxQueuedSubmissions = 2;
+  auto Loop = RT.makeLoop(T, O);
+  EXPECT_EQ(Loop.invoke(0).Sum, T.expected()); // Warm.
+
+  std::vector<int64_t> Four(4, 0);
+  SpiceBatchFuture<CountTraits::State> F = Loop.submitBatch(Four);
+  EXPECT_TRUE(F.valid());
+  for (size_t I = 0; I != 4; ++I)
+    EXPECT_THROW(F.get(I), OverloadError)
+        << "the batch was one request, so it sheds as one";
+  F = SpiceBatchFuture<CountTraits::State>();
+  EXPECT_EQ(RT.schedulerStats().RejectedSubmissions, 1u);
+
+  std::vector<int64_t> Two(2, 0);
+  for (CountTraits::State &S : Loop.submitBatch(Two).take())
+    EXPECT_EQ(S.Sum, T.expected());
 }
 
 //===----------------------------------------------------------------------===//
