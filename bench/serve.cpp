@@ -10,10 +10,12 @@
 //  1. Sustained mixed load. Even clients serve packet-pipeline requests
 //     (one freshly generated trace per request), odd clients serve SSSP
 //     requests (one full delta-stepping run per request), all through
-//     one FairShare runtime. Warmup rounds are oracle-checked against
+//     one shared runtime -- measured once under LanePolicy::FairShare
+//     and once under LanePolicy::Adaptive (lanes follow observed
+//     marginal throughput). Warmup rounds are oracle-checked against
 //     the sequential twins; the measured phase merges every client's
 //     per-request latency into serve_throughput_rps and
-//     serve_p50/p99/p999_us.
+//     serve_p50/p99/p999_us (serve_adaptive_* for the Adaptive pass).
 //
 //  2. Batch amortization under contention. A sjeng evaluation client
 //     (read-only board: perfectly repeatable invocations) measures 16
@@ -99,8 +101,11 @@ struct ServeResult {
 
 /// Part 1: the sustained mixed-load phase. Every client runs warmup
 /// rounds (oracle-checked), parks at a barrier, then serves its measured
-/// requests; the wall clock spans only the measured phase.
-ServeResult runSustainedLoad(const benchutil::BenchConfig &Bench) {
+/// requests; the wall clock spans only the measured phase. Run once per
+/// lane policy: FairShare (no tenant monopolizes the lanes) and Adaptive
+/// (lanes follow observed marginal throughput; see docs/tuning.md).
+ServeResult runSustainedLoad(const benchutil::BenchConfig &Bench,
+                             LanePolicy Policy) {
   const unsigned Clients = Bench.pick(6u, 4u);
   const size_t TraceBase = Bench.pick<size_t>(16000, 3000);
   const int PacketWarmup = Bench.pick(4, 2);
@@ -110,7 +115,7 @@ ServeResult runSustainedLoad(const benchutil::BenchConfig &Bench) {
   const int SsspRequests = Bench.pick(30, 6);
 
   RuntimeConfig RC = Bench.runtimeConfig();
-  RC.Policy = LanePolicy::FairShare; // No tenant monopolizes the lanes.
+  RC.Policy = Policy;
   SpiceRuntime RT(RC);
 
   std::atomic<unsigned> Ready{0};
@@ -314,9 +319,10 @@ int main() {
   std::printf("spice serving bench (budget=%s, threads=%u)\n\n",
               Bench.budgetName(), Bench.threads());
 
-  // Part 1: sustained mixed load.
-  ServeResult Serve = runSustainedLoad(Bench);
-  if (!Serve.OracleOk) {
+  // Part 1: sustained mixed load, once per lane policy.
+  ServeResult Serve = runSustainedLoad(Bench, LanePolicy::FairShare);
+  ServeResult Adaptive = runSustainedLoad(Bench, LanePolicy::Adaptive);
+  if (!Serve.OracleOk || !Adaptive.OracleOk) {
     std::printf("FAILED: serving results diverged from the oracles\n");
     return 1;
   }
@@ -324,10 +330,17 @@ int main() {
   double P50 = percentileUs(Serve.LatenciesUs, 500);
   double P99 = percentileUs(Serve.LatenciesUs, 990);
   double P999 = percentileUs(Serve.LatenciesUs, 999);
-  std::printf("sustained load:  %lu requests in %.2fs -> %.0f req/s\n",
+  std::printf("sustained load:  %lu requests in %.2fs -> %.0f req/s "
+              "(FairShare)\n",
               (unsigned long)Serve.Requests, Serve.ElapsedSeconds, Rps);
-  std::printf("latency:         p50 %.0fus  p99 %.0fus  p99.9 %.0fus\n\n",
+  std::printf("latency:         p50 %.0fus  p99 %.0fus  p99.9 %.0fus\n",
               P50, P99, P999);
+  double AdRps = Adaptive.Requests / Adaptive.ElapsedSeconds;
+  double AdP99 = percentileUs(Adaptive.LatenciesUs, 990);
+  std::printf("adaptive lanes:  %lu requests in %.2fs -> %.0f req/s, "
+              "p99 %.0fus (%.2fx FairShare)\n\n",
+              (unsigned long)Adaptive.Requests, Adaptive.ElapsedSeconds,
+              AdRps, AdP99, Rps ? AdRps / Rps : 0.0);
 
   // Part 2: batch amortization under contention.
   const int BatchReps = Bench.pick(100, 16);
@@ -366,6 +379,8 @@ int main() {
   Json.scalar("serve_p50_us", P50);
   Json.scalar("serve_p99_us", P99);
   Json.scalar("serve_p999_us", P999);
+  Json.scalar("serve_adaptive_throughput_rps", AdRps);
+  Json.scalar("serve_adaptive_p99_us", AdP99);
   Json.scalar("serve_solo_submit_ns", SoloNs);
   Json.scalar("serve_batch16_submit_per_invocation_ns", BatchNs);
   Json.scalar("serve_rejected_submissions",

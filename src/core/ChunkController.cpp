@@ -1,0 +1,174 @@
+//===- core/ChunkController.cpp - Adaptive chunk-granularity control ------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ChunkController.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spice {
+namespace core {
+
+ChunkController::ChunkController(const ChunkControllerConfig &Config)
+    : Cfg(Config) {
+  // Defensive normalization; SpiceLoop registration rejects bad bounds
+  // with a fatal diagnostic before a controller is ever built.
+  Cfg.MinK = std::max(1u, Cfg.MinK);
+  Cfg.MaxK = std::max(Cfg.MinK, Cfg.MaxK);
+  Cfg.EpochInvocations = std::max(1u, Cfg.EpochInvocations);
+  K = Cfg.MinK;
+}
+
+double ChunkController::score(const InvocationSample &S) {
+  const uint64_t Executed = S.Iterations + S.WastedIterations;
+  if (Executed == 0)
+    return 0.0;
+  const uint64_t Useful =
+      S.Iterations > S.RecoveryIterations ? S.Iterations - S.RecoveryIterations
+                                          : 0;
+  const double Eff =
+      static_cast<double>(Useful) / static_cast<double>(Executed);
+  // An imbalanced invocation finishes when its slowest lane does; scale
+  // useful-work fraction down by how far the makespan sat above ideal.
+  const double Penalty = std::max(1.0, S.LoadImbalance);
+  return Eff / Penalty;
+}
+
+bool ChunkController::step(int StepDir) {
+  if (StepDir > 0) {
+    if (K >= Cfg.MaxK)
+      return false;
+    K = std::min(K * 2, Cfg.MaxK);
+    ++Grows;
+  } else {
+    if (K <= Cfg.MinK)
+      return false;
+    K = std::max(K / 2, Cfg.MinK);
+    ++Shrinks;
+  }
+  // The move recuts the plan; give the new rung time to settle before
+  // the next scored epoch (see ChunkControllerConfig::SettleEpochs).
+  SettleLeft = Cfg.SettleEpochs;
+  return true;
+}
+
+unsigned ChunkController::onInvocation(const InvocationSample &S) {
+  if (S.Sequential)
+    return K;
+  ScoreAcc += score(S);
+  IterAcc += S.Iterations;
+  RecoveryAcc += S.RecoveryIterations;
+  WasteAcc += S.WastedIterations;
+  if (++Fill < Cfg.EpochInvocations)
+    return K;
+
+  const double EpochScore = ScoreAcc / static_cast<double>(Fill);
+  const double RecFrac =
+      IterAcc ? static_cast<double>(RecoveryAcc) / static_cast<double>(IterAcc)
+              : 0.0;
+  const double WasteFrac =
+      IterAcc ? static_cast<double>(WasteAcc) / static_cast<double>(IterAcc)
+              : 0.0;
+  Fill = 0;
+  ScoreAcc = 0.0;
+  IterAcc = RecoveryAcc = WasteAcc = 0;
+  LastEpochScore = EpochScore;
+  if (SettleLeft > 0) {
+    // Transitional epoch right after a k move: the plan is still
+    // recutting around the new granularity. Observe it (LastEpochScore
+    // above) but do not let it drive a decision.
+    --SettleLeft;
+    return K;
+  }
+  decide(EpochScore, RecFrac, WasteFrac);
+  return K;
+}
+
+void ChunkController::decide(double EpochScore, double EpochRecoveryFraction,
+                             double EpochWasteFraction) {
+  ++Decisions;
+
+  if (M == Mode::Steady) {
+    // Hysteresis hold: only a real DETERIORATION reopens probing -- an
+    // improvement is no evidence against the current k. The reference
+    // score tracks in-band wander and all upside (epoch means are noisy
+    // -- squash-heavy and clean invocations alternate) so that drift
+    // accumulating over many epochs does not masquerade as a shift.
+    if (EpochScore >= SteadyScore * (1.0 - Cfg.Drift)) {
+      SteadyScore = 0.5 * (SteadyScore + EpochScore);
+      return;
+    }
+    // Re-probe direction comes from the counters: heavy recovery or
+    // wasted work means chunk boundaries are hurting (go coarser);
+    // otherwise the remaining suspect is load imbalance (go finer).
+    // When that direction is unavailable (already at the bound), hold
+    // instead of probing the opposite -- known-wrong -- way.
+    Dir = EpochRecoveryFraction > Cfg.RecoveryHigh ||
+                  EpochWasteFraction > Cfg.WasteHigh
+              ? -1
+              : 1;
+    if (!step(Dir)) {
+      SteadyScore = EpochScore;
+      return;
+    }
+    ++Reprobes;
+    M = Mode::Probing;
+    PrevScore = EpochScore;
+    HavePrev = true;
+    return;
+  }
+
+  // Probing.
+  if (!HavePrev) {
+    // Baseline epoch: record it and take the first ladder step.
+    PrevScore = EpochScore;
+    HavePrev = true;
+    if (!step(Dir)) {
+      Dir = -Dir;
+      if (!step(Dir)) {
+        M = Mode::Steady;
+        SteadyScore = EpochScore;
+      }
+    }
+    return;
+  }
+
+  if (EpochScore > PrevScore * (1.0 + Cfg.Deadband)) {
+    // Better: keep climbing; settle if the ladder ends here.
+    PrevScore = EpochScore;
+    if (!step(Dir)) {
+      M = Mode::Steady;
+      SteadyScore = EpochScore;
+    }
+    return;
+  }
+  // Worse, or flat within the deadband: the step did not earn its keep.
+  // Revert to the rung we came from and hold there -- settling on the
+  // far side of a flat comparison would let per-epoch noise walk k away
+  // from a good setting one "flat" step at a time.
+  step(-Dir);
+  M = Mode::Steady;
+  SteadyScore = PrevScore;
+  HavePrev = false;
+}
+
+ChunkController::Snapshot ChunkController::snapshot() const {
+  Snapshot S;
+  S.K = K;
+  S.M = M;
+  S.Direction = Dir;
+  S.EpochFill = Fill;
+  S.LastEpochScore = LastEpochScore;
+  S.SteadyScore = SteadyScore;
+  S.Decisions = Decisions;
+  S.Grows = Grows;
+  S.Shrinks = Shrinks;
+  S.Reprobes = Reprobes;
+  return S;
+}
+
+} // namespace core
+} // namespace spice

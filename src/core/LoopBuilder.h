@@ -124,6 +124,12 @@ public:
   }
 
   const core::SpiceStats &stats() const { return Loop->stats(); }
+  /// Consistent snapshot of the last completed invocation's stats (see
+  /// SpiceLoop::lastStats and docs/stats.md).
+  core::SpiceStats lastStats() const { return Loop->lastStats(); }
+  /// Effective-chunking snapshot (see SpiceLoop::tuning and
+  /// docs/tuning.md).
+  core::LoopTuning tuning() const { return Loop->tuning(); }
   const core::SpiceConfig &config() const { return Loop->config(); }
   const core::LoopOptions &options() const { return Loop->options(); }
   core::SpiceRuntime &runtime() const { return Loop->runtime(); }

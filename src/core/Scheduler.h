@@ -34,6 +34,11 @@
 ///                  aging the effective priority (one step per
 ///                  RuntimeConfig::AgingStepMicros) so low-priority work
 ///                  cannot starve.
+///  * Adaptive   -- free lanes split proportionally to each loop's
+///                  observed marginal throughput (the noteThroughput
+///                  EWMA of iterations committed per lane-microsecond),
+///                  floor of one lane, so lanes concentrate where they
+///                  commit the most work (docs/tuning.md).
 ///
 /// The queue is bounded when the runtime asks for it: submissions carry
 /// an invocation weight (a batch counts its size), and when admitting
@@ -106,6 +111,12 @@ struct SchedulerStats {
   /// DeadlineDrop. These *are* counted in Submitted (they entered the
   /// queue) but never in ImmediateGrants/DeferredGrants.
   uint64_t DroppedDeadline = 0;
+  /// Throughput feedback samples consumed (Scheduler::noteThroughput);
+  /// resolved parallel invocations report one each. Fed regardless of
+  /// policy so switching to LanePolicy::Adaptive starts warm.
+  uint64_t ThroughputSamples = 0;
+  /// Grants planned by LanePolicy::Adaptive's throughput-weighted split.
+  uint64_t AdaptiveGrants = 0;
 };
 
 /// Cross-loop lane scheduler; owned by SpiceRuntime (one per pool).
@@ -191,11 +202,30 @@ public:
   LanePolicy policy() const { return Policy; }
   OverloadPolicy overloadPolicy() const { return Overload; }
 
+  /// Feedback from a resolved parallel invocation of the loop identified
+  /// by \p LoopTag: \p Iterations committed on \p Lanes lanes over
+  /// \p Micros microseconds. Folded into the loop's marginal-throughput
+  /// EWMA (iterations per lane-microsecond), the weight
+  /// LanePolicy::Adaptive grants by. Cheap and always accepted, so loops
+  /// report under every policy and a later switch to Adaptive starts
+  /// with warm weights. Zero-lane / zero-time samples are ignored.
+  void noteThroughput(const void *LoopTag, uint64_t Iterations,
+                      unsigned Lanes, uint64_t Micros);
+
+  /// The loop's current marginal-throughput EWMA, or -1 when it has not
+  /// reported a sample yet (introspection; see SpiceLoop::tuning()).
+  double laneRate(const void *LoopTag) const;
+
   /// A queued request as planGrants sees it.
   struct Candidate {
     unsigned RequestedLanes;
     int Priority;
     uint64_t QueuedMicros;
+    /// Marginal-throughput weight of the submitting loop (iterations per
+    /// lane-microsecond EWMA), or < 0 when the loop has no sample yet --
+    /// LanePolicy::Adaptive weighs sampleless loops at the mean of the
+    /// known rates. Ignored by the other policies.
+    double LaneRate = -1.0;
   };
   /// One planned grant: lane cap for the request at \p Index of the
   /// candidate (admission-ordered) vector.
@@ -261,6 +291,9 @@ private:
   /// Same, per submitting loop (keyed by Request::LoopTag). Entries are
   /// erased when they reach zero.
   std::unordered_map<const void *, uint64_t> LoopQueued;
+  /// Marginal-throughput EWMA per loop (iterations per lane-microsecond,
+  /// keyed by Request::LoopTag); the LanePolicy::Adaptive grant weights.
+  std::unordered_map<const void *, double> LaneRates;
   /// Blocked submitters (OverloadPolicy::Block) park here until a grant
   /// or drop shrinks the queue below the caps.
   std::condition_variable CapCV;

@@ -9,8 +9,8 @@
 ///
 ///  * RuntimeConfig -- process-wide settings of a SpiceRuntime (thread
 ///    count, worker placement hooks). One runtime serves many loops.
-///  * LoopOptions -- per-loop policy (oversubscription degree, conflict
-///    detection, work metric, recovery limits).
+///  * LoopOptions -- per-loop policy (chunk granularity via ChunkPolicy,
+///    conflict detection, work metric, recovery limits).
 ///  * SpiceConfig -- the legacy flat aggregate of both, kept so code
 ///    written against the one-loop-one-pool API keeps compiling; it
 ///    splits into the two scoped structs via runtime() / loop().
@@ -46,6 +46,16 @@ enum class LanePolicy {
   /// aging the effective priority so low-priority work cannot starve
   /// (RuntimeConfig::AgingStepMicros).
   Priority,
+  /// Feedback-driven split: free lanes go to queued invocations in
+  /// proportion to their loop's observed marginal throughput -- an EWMA
+  /// of iterations committed per lane-microsecond, fed back by every
+  /// resolved invocation (Scheduler::noteThroughput). Loops without a
+  /// sample yet are weighted at the mean of the known rates, and every
+  /// planned grant keeps the FairShare floor of one lane, so new or
+  /// currently-slow loops still run (and keep producing samples) while
+  /// lanes concentrate where they commit the most work. See
+  /// docs/tuning.md.
+  Adaptive,
 };
 
 /// What the admission Scheduler does with a submission that would push a
@@ -104,6 +114,49 @@ struct RuntimeConfig {
   OverloadPolicy Overload = OverloadPolicy::Block;
 };
 
+/// Chunk-granularity policy of one loop (LoopOptions::Chunking): either
+/// a pinned chunks-per-thread -- the default, bit-for-bit the historical
+/// behavior -- or online control by a per-loop ChunkController that
+/// moves k inside [MinK, MaxK] from the loop's own counters (see
+/// core/ChunkController.h; docs/tuning.md is the operator guide).
+struct ChunkPolicy {
+  enum class Kind : uint8_t { Static, Adaptive };
+  Kind Mode = Kind::Static;
+
+  /// Inclusive chunks-per-thread bounds. Static policies pin
+  /// MinK == MaxK; the default 0 defers to the flat
+  /// LoopOptions::ChunksPerThread knob, so code that only sets that
+  /// field keeps its exact behavior.
+  unsigned MinK = 0;
+  unsigned MaxK = 0;
+
+  /// Parallel invocations the controller scores per decision (see
+  /// ChunkControllerConfig::EpochInvocations). The default suits loops
+  /// whose per-invocation scores are steady; conflict-heavy loops whose
+  /// invocations swing between clean and squashed runs need longer
+  /// epochs so a probe compares means, not single draws.
+  unsigned EpochInvocations = 6;
+
+  /// Pinned k: every invocation runs K chunks per thread.
+  static ChunkPolicy Static(unsigned K) {
+    ChunkPolicy P;
+    P.Mode = Kind::Static;
+    P.MinK = P.MaxK = K;
+    return P;
+  }
+
+  /// Online control within [MinK, MaxK] (inclusive).
+  static ChunkPolicy Adaptive(unsigned MinK, unsigned MaxK,
+                              unsigned EpochInvocations = 6) {
+    ChunkPolicy P;
+    P.Mode = Kind::Adaptive;
+    P.MinK = MinK;
+    P.MaxK = MaxK;
+    P.EpochInvocations = EpochInvocations;
+    return P;
+  }
+};
+
 /// Per-loop policy: everything a single SpiceLoop decides for itself,
 /// independent of the runtime that executes it.
 struct LoopOptions {
@@ -112,8 +165,16 @@ struct LoopOptions {
   /// the invocation with ChunksPerThread * NumThreads chunks scheduled
   /// onto per-worker deques with work stealing, and mis-speculation
   /// recovery re-enqueues the squashed work as stealable chunks instead
-  /// of replaying it on the single faulting thread.
+  /// of replaying it on the single faulting thread. Loop registration
+  /// rejects 0 with a fatal diagnostic. Ignored when Chunking is
+  /// adaptive (the controller picks k inside its bounds).
   unsigned ChunksPerThread = 1;
+
+  /// Chunk-granularity policy. The default Static policy with
+  /// unset bounds follows ChunksPerThread exactly; switch to
+  /// ChunkPolicy::Adaptive(MinK, MaxK) to let the loop tune its own k
+  /// (introspect via SpiceLoop::tuning()).
+  ChunkPolicy Chunking;
 
   /// Paper's adaptive scheme: memoize fresh live-ins on *every* invocation.
   /// When false, the first invocation's memoized values are reused forever
@@ -160,13 +221,35 @@ struct LoopOptions {
   /// 0 = no deadline. Ignored by the Block and Reject policies.
   uint64_t SubmitDeadlineMicros = 0;
 
-  /// Chunks of one invocation on a runtime with \p NumThreads threads. A
-  /// single-threaded runtime never speculates, so oversubscription is
-  /// meaningless there.
+  /// True when this loop adapts its chunk granularity at runtime.
+  bool adaptiveChunking() const {
+    return Chunking.Mode == ChunkPolicy::Kind::Adaptive;
+  }
+
+  /// Smallest chunks-per-thread this loop can run (static policies pin
+  /// min == max == the configured k).
+  unsigned minChunksPerThread() const {
+    if (adaptiveChunking())
+      return Chunking.MinK;
+    return Chunking.MinK ? Chunking.MinK : ChunksPerThread;
+  }
+
+  /// Largest chunks-per-thread this loop can run -- what every
+  /// invocation-sized structure is allocated for.
+  unsigned maxChunksPerThread() const {
+    if (adaptiveChunking())
+      return Chunking.MaxK;
+    return Chunking.MaxK ? Chunking.MaxK : ChunksPerThread;
+  }
+
+  /// Chunks of one invocation on a runtime with \p NumThreads threads;
+  /// for adaptive loops, the upper bound the structures are sized for.
+  /// A single-threaded runtime never speculates, so oversubscription is
+  /// meaningless there. Loop registration rejects ChunksPerThread == 0
+  /// and malformed adaptive bounds with a fatal diagnostic, so no
+  /// silent fallback is applied here.
   unsigned numChunks(unsigned NumThreads) const {
-    return NumThreads <= 1 ? 1
-                           : NumThreads * (ChunksPerThread ? ChunksPerThread
-                                                           : 1);
+    return NumThreads <= 1 ? 1 : NumThreads * maxChunksPerThread();
   }
 };
 
@@ -176,7 +259,9 @@ struct LoopOptions {
 /// once. Field access is unchanged (C.NumThreads, C.ChunksPerThread,
 /// ...). Still accepted by the SpiceLoop(Traits&, SpiceConfig)
 /// constructor, which builds a dedicated single-loop runtime from
-/// runtime() and applies loop().
+/// runtime() and applies loop() -- but that path is deprecated (it
+/// prints a one-time runtime note); new code should configure a
+/// SpiceRuntime and call makeLoop().
 struct SpiceConfig : RuntimeConfig, LoopOptions {
   /// The runtime-wide half of this config.
   RuntimeConfig runtime() const { return *this; }

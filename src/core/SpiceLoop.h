@@ -101,6 +101,7 @@
 #define SPICE_CORE_SPICELOOP_H
 
 #include "core/BootstrapSampler.h"
+#include "core/ChunkController.h"
 #include "core/Planner.h"
 #include "core/Scheduler.h"
 #include "core/SpecWriteBuffer.h"
@@ -113,6 +114,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cassert>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
@@ -150,10 +152,18 @@ public:
 
   /// Legacy constructor: builds a dedicated single-loop runtime from
   /// \p Config (one private pool per loop, as before the SpiceRuntime
-  /// split). Prefer registering loops on one shared runtime.
+  /// split). Deprecated -- it notes loudly at runtime (once per process)
+  /// and will be removed; create one SpiceRuntime and register loops
+  /// with SpiceRuntime::makeLoop instead.
   SpiceLoop(Traits &T, const SpiceConfig &Config)
       : SpiceLoop(T, Config.loop(),
-                  std::make_unique<SpiceRuntime>(Config.runtime())) {}
+                  std::make_unique<SpiceRuntime>(Config.runtime())) {
+    reportDeprecationNote(
+        "SpiceLoop(Traits&, SpiceConfig) builds a private single-loop "
+        "runtime and is deprecated; construct a SpiceRuntime and use "
+        "SpiceRuntime::makeLoop(traits, LoopOptions) so loops share one "
+        "worker pool");
+  }
 
   ~SpiceLoop() {
     if (InvokeInFlight.load(std::memory_order_acquire))
@@ -223,7 +233,53 @@ public:
     return S;
   }
 
+  /// Live cumulative counters. The reference stays valid for the loop's
+  /// lifetime but is updated *during* resolution, so a reader overlapping
+  /// an in-flight invocation can see a half-updated invocation; use
+  /// lastStats() for a consistent snapshot. docs/stats.md documents
+  /// which counters are cumulative and which are per-invocation means.
   const SpiceStats &stats() const { return Stats; }
+
+  /// Consistent snapshot of the cumulative counters as of the last
+  /// *completed* invocation (batch element): taken by the driving thread
+  /// after all of the invocation's bookkeeping, so every counter in it
+  /// agrees about how many invocations it covers. Call from the thread
+  /// that drives this loop's futures (or between invocations).
+  SpiceStats lastStats() const { return LastStats; }
+
+  /// Tuning introspection: the effective chunk granularity the next
+  /// invocation will plan for, this loop's observed mean lane share, and
+  /// -- for ChunkPolicy::Adaptive loops -- the controller state behind
+  /// it (see core/ChunkController.h and docs/tuning.md). Static loops
+  /// report their pinned k with a default controller snapshot. Same
+  /// consistency rule as lastStats(): read between invocations.
+  LoopTuning tuning() const {
+    LoopTuning Tune;
+    Tune.Adaptive = Controller != nullptr;
+    Tune.ChunksPerThread = effectiveK();
+    Tune.PlannedChunks = PlanChunks;
+    if (Opts.adaptiveChunking()) {
+      Tune.MinK = Opts.Chunking.MinK;
+      Tune.MaxK = Opts.Chunking.MaxK;
+    } else {
+      Tune.MinK = Tune.MaxK = Tune.ChunksPerThread;
+    }
+    const uint64_t Parallel =
+        Stats.Invocations - Stats.SequentialInvocations;
+    const unsigned Workers =
+        Config.NumThreads > 1 ? Config.NumThreads - 1 : 1;
+    Tune.LaneShare =
+        Parallel ? static_cast<double>(Stats.GrantedLanes) /
+                       (static_cast<double>(Parallel) * Workers)
+                 : 0.0;
+    if (Controller) {
+      Tune.Controller = Controller->snapshot();
+    } else {
+      Tune.Controller.K = Tune.ChunksPerThread;
+      Tune.Controller.M = ChunkController::Mode::Steady;
+    }
+    return Tune;
+  }
 
   /// Effective flat view of this loop's configuration: the runtime's
   /// thread count merged with the per-loop options.
@@ -280,10 +336,14 @@ private:
     return 1;
   }
 
-  /// Longest launchable prefix: chunk i+1 needs a valid SVA row i.
+  /// Longest launchable prefix: chunk i+1 needs a valid SVA row i. Capped
+  /// at the current plan's chunk count -- after an adaptive shrink, rows
+  /// beyond it are stale and must not launch (they are also invalidated
+  /// eagerly in setEffectiveK; the cap makes the invariant local).
   unsigned countLaunchableSpecChunks() const {
+    const unsigned Limit = PlanChunks > 0 ? PlanChunks - 1 : 0;
     unsigned N = 0;
-    while (N < SVA.size() && RowValid[N])
+    while (N < Limit && N < SVA.size() && RowValid[N])
       ++N;
     return N;
   }
@@ -371,11 +431,12 @@ private:
     if (!UsePlan)
       seedFromSampler();
     planNext({Work});
+    LastStats = Stats;
     return S;
   }
 
   void seedFromSampler() {
-    std::optional<std::vector<LiveIn>> Rows = Sampler.extract(NumChunks);
+    std::optional<std::vector<LiveIn>> Rows = Sampler.extract(PlanChunks);
     if (!Rows)
       return; // Too few iterations: stay sequential next time too.
     for (size_t I = 0; I != Rows->size(); ++I) {
@@ -410,7 +471,11 @@ private:
   uint64_t helpIterBudget() const {
     if (Plan.TotalWork == 0)
       return Config.MaxSpecIterations;
-    uint64_t Budget = 4 * (Plan.TotalWork / NumChunks) + 1024;
+    // Divide by the plan's own chunk count: under adaptive chunking the
+    // running invocation executes the chunks its plan cut, which may
+    // differ from the freshly chosen PlanChunks.
+    const uint64_t Chunks = std::max<uint64_t>(1, Plan.PerThread.size());
+    uint64_t Budget = 4 * (Plan.TotalWork / Chunks) + 1024;
     return std::min(Budget, Config.MaxSpecIterations);
   }
 
@@ -443,7 +508,7 @@ private:
                        std::memory_order_release);
       Scheduler::Request R;
       R.RequestedLanes = ActiveChunks;
-      R.AllowStealing = Config.ChunksPerThread > 1;
+      R.AllowStealing = effectiveK() > 1;
       R.Priority = Config.Priority;
       R.Owner = std::this_thread::get_id();
       R.Invocations = static_cast<unsigned>(N);
@@ -728,13 +793,15 @@ private:
   State resolveGranted(WorkerSession &Session, const LiveIn &Start,
                        const std::vector<LiveIn> &Pred,
                        unsigned ActiveChunks, uint64_t QueuedMicros) {
+    const auto ResolveStart = std::chrono::steady_clock::now();
+    const SpiceStats Before = Stats;
     Stats.LaunchedSpecThreads += ActiveChunks;
     Stats.QueuedMicros += QueuedMicros;
     Stats.GrantedLanes += Session.lanes();
     // Oversubscription only changes behavior when there can be more
-    // chunks than workers; ChunksPerThread == 1 must reproduce the
+    // chunks than workers; an effective k of 1 must reproduce the
     // paper's fixed chunk-per-thread schedule exactly.
-    const bool Oversubscribed = Config.ChunksPerThread > 1;
+    const bool Oversubscribed = effectiveK() > 1;
     const unsigned Lanes = Session.lanes();
     // If a Traits callable throws mid-invocation, the lanes must still be
     // joined before the handle returns them to the shared pool -- a
@@ -776,7 +843,7 @@ private:
 
     // --- Ordered chain resolution (main thread) ---
     State Merged = std::move(*Results[0]->S);
-    std::vector<uint64_t> Work(NumChunks, 0);
+    std::vector<uint64_t> Work(PlanChunks, 0);
     Work[0] = Results[0]->Work;
     Stats.TotalIterations += Results[0]->Iterations;
 
@@ -913,7 +980,36 @@ private:
       }
     }
 
+    // Feedback: marginal throughput to the scheduler's lane-rate EWMA
+    // (fed under every policy so LanePolicy::Adaptive starts warm), and
+    // the invocation's counter deltas to the chunk controller, which may
+    // move PlanChunks for the *next* plan.
+    const uint64_t ResolveMicros = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - ResolveStart)
+            .count());
+    RT->scheduler().noteThroughput(
+        this, Stats.TotalIterations - Before.TotalIterations, Lanes,
+        ResolveMicros);
+    if (Controller) {
+      InvocationSample Sample;
+      Sample.Iterations = Stats.TotalIterations - Before.TotalIterations;
+      Sample.RecoveryIterations =
+          Stats.RecoveryIterations - Before.RecoveryIterations;
+      Sample.WastedIterations =
+          Stats.WastedIterations - Before.WastedIterations;
+      Sample.StolenChunks = Stats.StolenChunks - Before.StolenChunks;
+      Sample.QueuedMicros = QueuedMicros;
+      if (Stats.ImbalanceSamples > Before.ImbalanceSamples)
+        Sample.LoadImbalance = Stats.ImbalanceSum - Before.ImbalanceSum;
+      if (Stats.ChunkImbalanceSamples > Before.ChunkImbalanceSamples)
+        Sample.ChunkImbalance =
+            Stats.ChunkImbalanceSum - Before.ChunkImbalanceSum;
+      setEffectiveK(Controller->onInvocation(Sample));
+    }
+
     planNext(Work);
+    LastStats = Stats;
     return Merged;
   }
 
@@ -948,15 +1044,58 @@ private:
     return MemoCursor(&Plan.PerThread[ChunkIdx]);
   }
 
+  /// Effective chunks per thread the next invocation plans for: the
+  /// controller's pick under ChunkPolicy::Adaptive, the pinned k
+  /// otherwise.
+  unsigned effectiveK() const {
+    return Controller ? Controller->currentK()
+                      : Config.maxChunksPerThread();
+  }
+
+  /// Applies a controller decision: retarget the next plan at \p K
+  /// chunks per thread. On a shrink, SVA rows at and beyond the new last
+  /// chunk are stale boundaries and are invalidated -- chunk boundaries
+  /// 0..PlanChunks-2 stay valid, so the next invocation still runs fully
+  /// parallel (with one transiently fat last chunk the fresh plan then
+  /// rebalances). On a grow, rows beyond the old range are already
+  /// invalid and fill in naturally once the wider plan has run: the new
+  /// granularity takes full effect one invocation later.
+  void setEffectiveK(unsigned K) {
+    const unsigned NewPlanChunks = std::min(
+        NumChunks, std::max(1u, Config.NumThreads * std::max(1u, K)));
+    if (NewPlanChunks == PlanChunks)
+      return;
+    if (NewPlanChunks < PlanChunks)
+      for (size_t Row = NewPlanChunks > 0 ? NewPlanChunks - 1 : 0;
+           Row < RowValid.size(); ++Row)
+        RowValid[Row] = 0;
+    PlanChunks = NewPlanChunks;
+  }
+
   /// Central predictor component: plan the next invocation's memoization.
   void planNext(const std::vector<uint64_t> &Work) {
     if (Config.NumThreads < 2)
       return;
-    if (!Config.RememoizeEveryInvocation && !Plan.empty())
-      return; // Memoize-once ablation: keep the first plan forever.
+    if (!Config.RememoizeEveryInvocation && !Plan.empty() &&
+        Plan.PerThread.size() == PlanChunks)
+      return; // Memoize-once: keep the plan while the granularity holds.
+              // A controller retarget (PlanChunks moved) still recuts --
+              // the old boundaries describe chunks that no longer exist,
+              // and without the recut an adaptive probe would execute the
+              // old granularity and read as a no-op.
     std::vector<uint64_t> Padded(Work);
-    Padded.resize(NumChunks, 0);
-    Plan = planMemoization(Padded, NumChunks);
+    if (Padded.size() > PlanChunks) {
+      // Shrink transition: the finished invocation ran more chunks than
+      // the next plan targets. The next invocation's last chunk covers
+      // every span from PlanChunks-1 on (its boundary rows were just
+      // invalidated), so fold that work into it -- the plan's recording
+      // points then land inside chunks that will actually run.
+      for (size_t J = PlanChunks; J < Padded.size(); ++J)
+        Padded[PlanChunks - 1] += Padded[J];
+      Padded.resize(PlanChunks);
+    }
+    Padded.resize(PlanChunks, 0);
+    Plan = planMemoization(Padded, PlanChunks);
   }
 
   /// Delegation target of both public constructors: \p Owned is the
@@ -966,9 +1105,9 @@ private:
             std::unique_ptr<SpiceRuntime> Owned,
             SpiceRuntime *Shared = nullptr)
       : T(T), OwnedRT(std::move(Owned)),
-        RT(Shared ? Shared : OwnedRT.get()), Opts(Opts),
-        Config(mergedConfig(RT->config(), Opts)),
-        NumChunks(Config.numChunks()),
+        RT(Shared ? Shared : OwnedRT.get()), Opts(validated(Opts)),
+        Config(mergedConfig(RT->config(), this->Opts)),
+        NumChunks(Config.numChunks()), PlanChunks(NumChunks),
         Sampler(std::max(Config.BootstrapCapacity,
                          static_cast<size_t>(2 * NumChunks))),
         SVA(NumChunks > 1 ? NumChunks - 1 : 0), RowValid(SVA.size(), 0),
@@ -976,7 +1115,37 @@ private:
         AbortFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
         DoneFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
         Results(NumChunks) {
+    // NumChunks (and every invocation-sized structure above) is sized
+    // for the policy's largest k; adaptive loops start at MinK and the
+    // controller moves PlanChunks within the allocation.
+    if (Config.adaptiveChunking() && Config.NumThreads > 1) {
+      ChunkControllerConfig CC;
+      CC.MinK = Config.Chunking.MinK;
+      CC.MaxK = Config.Chunking.MaxK;
+      CC.EpochInvocations = Config.Chunking.EpochInvocations;
+      Controller = std::make_unique<ChunkController>(CC);
+      setEffectiveK(Controller->currentK());
+    }
     RT->registerLoop();
+  }
+
+  /// Registration-time validation of the per-loop options; fatal on a
+  /// configuration that previously fell back silently.
+  static const LoopOptions &validated(const LoopOptions &Opts) {
+    if (Opts.adaptiveChunking()) {
+      if (Opts.Chunking.MinK == 0 || Opts.Chunking.MaxK < Opts.Chunking.MinK)
+        reportFatalError(
+            "ChunkPolicy::Adaptive bounds are invalid at loop "
+            "registration: require 1 <= MinK <= MaxK (MinK = 0 or "
+            "MaxK < MinK given)");
+    } else if (Opts.maxChunksPerThread() == 0) {
+      reportFatalError(
+          "LoopOptions::ChunksPerThread is 0 at loop registration; the "
+          "oversubscription degree must be >= 1 (1 = the paper's one "
+          "chunk per thread). The old silent fallback to 1 has been "
+          "removed");
+    }
+    return Opts;
   }
 
   Traits &T;
@@ -984,7 +1153,12 @@ private:
   SpiceRuntime *RT;                      ///< Never null.
   LoopOptions Opts;
   SpiceConfig Config; ///< Effective view: runtime threads + Opts.
-  unsigned NumChunks;
+  unsigned NumChunks; ///< Allocation bound: chunks at the largest k.
+  /// Chunks the next invocation's memoization plan targets (== NumChunks
+  /// for static policies; moved by the controller inside the allocation
+  /// for adaptive ones). Written only between invocations by the thread
+  /// driving the loop.
+  unsigned PlanChunks;
   BootstrapSampler<LiveIn> Sampler;
   MemoizationPlan Plan;
   std::vector<LiveIn> SVA;
@@ -994,6 +1168,11 @@ private:
   std::unique_ptr<std::atomic<bool>[]> DoneFlags;
   std::vector<std::optional<ChunkResult>> Results;
   SpiceStats Stats;
+  /// Snapshot of Stats at the last completed invocation (lastStats()).
+  SpiceStats LastStats;
+  /// Adaptive chunk-granularity controller; null for static policies.
+  /// Driven only between invocations by the thread driving the loop.
+  std::unique_ptr<ChunkController> Controller;
   /// Guards against overlapping invoke() on one handle (see invoke()).
   std::atomic<bool> InvokeInFlight{false};
 };

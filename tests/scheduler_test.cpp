@@ -136,6 +136,50 @@ TEST(PlanGrants, FairShareNeverGrantsBeyondARequest) {
   EXPECT_EQ(Plan[1].Lanes, 2u);
 }
 
+TEST(PlanGrants, AdaptiveWeightsLanesByObservedThroughput) {
+  // Candidate::LaneRate is the noteThroughput EWMA (iterations per
+  // lane-microsecond). A loop committing 3x the iterations per lane
+  // draws 3x the lanes.
+  Candidates Q = {{4, 0, 0, /*LaneRate=*/3.0}, {4, 0, 0, /*LaneRate=*/1.0}};
+  auto Plan = Scheduler::planGrants(Q, 4, LanePolicy::Adaptive, 0);
+  ASSERT_EQ(Plan.size(), 2u);
+  EXPECT_EQ(Plan[0].Lanes, 3u);
+  EXPECT_EQ(Plan[1].Lanes, 1u);
+}
+
+TEST(PlanGrants, AdaptiveUnsampledLoopTakesTheMeanOfKnownRates) {
+  // No sample yet (LaneRate <= 0) is neutral, not punitive: the loop is
+  // weighted at the mean of the measured rates until it proves itself.
+  Candidates Q = {{4, 0, 0, /*LaneRate=*/2.0}, {4, 0, 0, /*LaneRate=*/-1.0}};
+  auto Plan = Scheduler::planGrants(Q, 4, LanePolicy::Adaptive, 0);
+  ASSERT_EQ(Plan.size(), 2u);
+  EXPECT_EQ(Plan[0].Lanes, 2u);
+  EXPECT_EQ(Plan[1].Lanes, 2u) << "unknown rate must split evenly, not starve";
+}
+
+TEST(PlanGrants, AdaptiveWithNoSamplesDegradesToFairShare) {
+  // Before any invocation completes nobody has a rate: the split must be
+  // exactly FairShare's request-proportional one.
+  Candidates Q = {{8, 0, 0}, {1, 0, 0}};
+  auto Adaptive = Scheduler::planGrants(Q, 4, LanePolicy::Adaptive, 0);
+  auto Fair = Scheduler::planGrants(Q, 4, LanePolicy::FairShare, 0);
+  ASSERT_EQ(Adaptive.size(), Fair.size());
+  for (size_t I = 0; I != Fair.size(); ++I) {
+    EXPECT_EQ(Adaptive[I].Index, Fair[I].Index);
+    EXPECT_EQ(Adaptive[I].Lanes, Fair[I].Lanes);
+  }
+}
+
+TEST(PlanGrants, AdaptiveKeepsTheFloorOfOneLane) {
+  // However lopsided the rates, an admitted request is never starved to
+  // zero lanes -- same floor FairShare guarantees.
+  Candidates Q = {{4, 0, 0, /*LaneRate=*/100.0}, {4, 0, 0, /*LaneRate=*/0.01}};
+  auto Plan = Scheduler::planGrants(Q, 4, LanePolicy::Adaptive, 0);
+  ASSERT_EQ(Plan.size(), 2u);
+  EXPECT_EQ(Plan[0].Lanes, 3u);
+  EXPECT_EQ(Plan[1].Lanes, 1u) << "the slow loop keeps its one-lane floor";
+}
+
 TEST(PlanGrants, PriorityIsStrictWithoutAging) {
   Candidates Q = {{2, /*Priority=*/0, /*QueuedMicros=*/50000},
                   {2, /*Priority=*/5, /*QueuedMicros=*/0}};
@@ -364,6 +408,48 @@ TEST(LaneScheduler, PriorityPolicyRuntimeStaysCorrectUncontended) {
   for (int I = 0; I != 4; ++I)
     EXPECT_EQ(Loop.invoke(0).Sum, T.expected());
   EXPECT_EQ(RT.schedulerStats().ImmediateGrants, 3u);
+}
+
+TEST(LaneScheduler, AdaptivePolicyRuntimeStaysCorrectAndSamplesRates) {
+  // End-to-end Adaptive: two contending loops on a starved pool. The
+  // correctness bar is FairShare's (both oracles hold, every admitted
+  // request granted); additionally the scheduler must have collected
+  // throughput samples and stamped its grants as adaptive.
+  RuntimeConfig C;
+  C.NumThreads = 3;
+  C.Policy = LanePolicy::Adaptive;
+  SpiceRuntime RT(C);
+  OtterTraits OtterA, OtterB;
+  auto LoopA = RT.makeLoop(OtterA);
+  auto LoopB = RT.makeLoop(OtterB);
+
+  std::atomic<bool> AOk{true}, BOk{true};
+  auto Client = [](decltype(LoopA) &Loop, uint64_t Seed,
+                   std::atomic<bool> &Ok) {
+    ClauseList List(400, Seed);
+    for (int I = 0; I != 30 && List.head(); ++I) {
+      Clause *Expected = List.findLightestReference();
+      SpiceFuture<OtterTraits::State> F = Loop.submit(List.head());
+      OtterTraits::State Got = F.get();
+      if (Got.MinClause != Expected) {
+        Ok.store(false);
+        return;
+      }
+      List.mutate(Got.MinClause, 2);
+    }
+  };
+  std::thread TA([&] { Client(LoopA, 91, AOk); });
+  std::thread TB([&] { Client(LoopB, 92, BOk); });
+  TA.join();
+  TB.join();
+  EXPECT_TRUE(AOk.load()) << "loop A diverged from its oracle";
+  EXPECT_TRUE(BOk.load()) << "loop B diverged from its oracle";
+  SchedulerStats S = RT.schedulerStats();
+  EXPECT_EQ(S.ImmediateGrants + S.DeferredGrants, S.Submitted)
+      << "every admitted request must eventually be granted";
+  EXPECT_EQ(S.AdaptiveGrants, S.ImmediateGrants + S.DeferredGrants);
+  EXPECT_GT(S.ThroughputSamples, 0u)
+      << "parallel invocations must feed the per-loop rate EWMA";
 }
 
 //===----------------------------------------------------------------------===//

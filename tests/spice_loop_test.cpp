@@ -11,6 +11,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/SpiceLoop.h"
+#include "core/SpiceRuntime.h"
 #include "workloads/Ks.h"
 #include "workloads/Mcf.h"
 #include "workloads/Otter.h"
@@ -24,15 +25,10 @@ using namespace spice;
 using namespace spice::core;
 using namespace spice::workloads;
 
-namespace {
-
-SpiceConfig makeConfig(unsigned Threads) {
-  SpiceConfig C;
-  C.NumThreads = Threads;
-  return C;
-}
-
-} // namespace
+// Every protocol test registers its loop on a SpiceRuntime via
+// makeLoop(), the supported construction path. Coverage of the
+// deprecated flat-SpiceConfig constructor lives in one suite in
+// tests/spice_runtime_test.cpp (legacy-vs-runtime stat equivalence).
 
 //===----------------------------------------------------------------------===//
 // Otter (linked-list min, the paper's running example)
@@ -51,7 +47,8 @@ TEST_P(OtterSpiceTest, MatchesSequentialAcrossInvocations) {
   const OtterParam P = GetParam();
   ClauseList List(P.ListSize, P.Seed);
   OtterTraits Traits;
-  SpiceLoop<OtterTraits> Loop(Traits, makeConfig(P.Threads));
+  SpiceRuntime RT(P.Threads);
+  auto Loop = RT.makeLoop(Traits);
 
   for (int Invocation = 0; Invocation != 30 && List.head(); ++Invocation) {
     Clause *Expected = List.findLightestReference();
@@ -77,7 +74,8 @@ TEST(OtterSpice, HighChurnStillCorrect) {
   // Insert so aggressively that predictions frequently break.
   ClauseList List(200, 99);
   OtterTraits Traits;
-  SpiceLoop<OtterTraits> Loop(Traits, makeConfig(4));
+  SpiceRuntime RT(4);
+  auto Loop = RT.makeLoop(Traits);
   for (int I = 0; I != 40; ++I) {
     Clause *Expected = List.findLightestReference();
     OtterTraits::State Got = Loop.invoke(List.head());
@@ -91,7 +89,8 @@ TEST(OtterSpice, StableListBecomesFullySpeculative) {
   // should validate all threads.
   ClauseList List(600, 5);
   OtterTraits Traits;
-  SpiceLoop<OtterTraits> Loop(Traits, makeConfig(4));
+  SpiceRuntime RT(4);
+  auto Loop = RT.makeLoop(Traits);
   for (int I = 0; I != 10; ++I) {
     OtterTraits::State Got = Loop.invoke(List.head());
     ASSERT_EQ(Got.MinClause, List.findLightestReference());
@@ -106,7 +105,8 @@ TEST(OtterSpice, RemovedPredictionIsDetectedAndSquashed) {
   // Deterministically break row 0: remove exactly the predicted node.
   ClauseList List(300, 7);
   OtterTraits Traits;
-  SpiceLoop<OtterTraits> Loop(Traits, makeConfig(2));
+  SpiceRuntime RT(2);
+  auto Loop = RT.makeLoop(Traits);
   (void)Loop.invoke(List.head()); // Bootstrap.
   ASSERT_EQ(Loop.validRows(), 1u);
 
@@ -132,7 +132,8 @@ TEST(OtterSpice, RemovedPredictionIsDetectedAndSquashed) {
 TEST(OtterSpice, SingleThreadConfigDegeneratesToSequential) {
   ClauseList List(100, 3);
   OtterTraits Traits;
-  SpiceLoop<OtterTraits> Loop(Traits, makeConfig(1));
+  SpiceRuntime RT(1);
+  auto Loop = RT.makeLoop(Traits);
   for (int I = 0; I != 5; ++I) {
     OtterTraits::State Got = Loop.invoke(List.head());
     ASSERT_EQ(Got.MinClause, List.findLightestReference());
@@ -145,9 +146,10 @@ TEST(OtterSpice, SingleThreadConfigDegeneratesToSequential) {
 TEST(OtterSpice, MemoizeOnceAblationStillCorrect) {
   ClauseList List(400, 21);
   OtterTraits Traits;
-  SpiceConfig C = makeConfig(4);
-  C.RememoizeEveryInvocation = false;
-  SpiceLoop<OtterTraits> Loop(Traits, C);
+  SpiceRuntime RT(4);
+  LoopOptions O;
+  O.RememoizeEveryInvocation = false;
+  auto Loop = RT.makeLoop(Traits, O);
   uint64_t Misses = 0;
   for (int I = 0; I != 50; ++I) {
     Clause *Expected = List.findLightestReference();
@@ -182,9 +184,10 @@ TEST_P(McfSpiceTest, PotentialsAndChecksumMatchSequential) {
   BasisTree TreeRef(P.TreeSize, P.Seed); // Identical twin for the oracle.
 
   McfTraits Traits;
-  SpiceConfig C = makeConfig(P.Threads);
-  C.EnableConflictDetection = true; // Loop writes shared memory.
-  SpiceLoop<McfTraits> Loop(Traits, C);
+  SpiceRuntime RT(P.Threads);
+  LoopOptions O;
+  O.EnableConflictDetection = true; // Loop writes shared memory.
+  auto Loop = RT.makeLoop(Traits, O);
 
   for (int Invocation = 0; Invocation != 25; ++Invocation) {
     int64_t WantChecksum = TreeRef.refreshPotentialReference();
@@ -219,9 +222,10 @@ TEST(McfSpice, StalePotentialsForceConflictSquashes) {
   BasisTree TreeSpice(800, 41);
   BasisTree TreeRef(800, 41);
   McfTraits Traits;
-  SpiceConfig C = makeConfig(4);
-  C.EnableConflictDetection = true;
-  SpiceLoop<McfTraits> Loop(Traits, C);
+  SpiceRuntime RT(4);
+  LoopOptions O;
+  O.EnableConflictDetection = true;
+  auto Loop = RT.makeLoop(Traits, O);
   for (int I = 0; I != 15; ++I) {
     int64_t Want = TreeRef.refreshPotentialReference();
     McfTraits::State Got = Loop.invoke(TreeSpice.traversalStart());
@@ -250,7 +254,8 @@ TEST(KsSpice, InnerLoopMatchesSequentialAcrossSwapSteps) {
   KsGraph G(128, 4, 51);
   KsTraits Traits;
   Traits.Graph = &G;
-  SpiceLoop<KsTraits> Loop(Traits, makeConfig(4));
+  SpiceRuntime RT(4);
+  auto Loop = RT.makeLoop(Traits);
 
   // One KL pass: repeatedly pick the first unswapped A vertex, find its
   // best partner via the Spice loop, and swap.
@@ -286,7 +291,8 @@ TEST(KsSpice, AdaptsToShrinkingList) {
   KsGraph G(256, 4, 52);
   KsTraits Traits;
   Traits.Graph = &G;
-  SpiceLoop<KsTraits> Loop(Traits, makeConfig(4));
+  SpiceRuntime RT(4);
+  auto Loop = RT.makeLoop(Traits);
   int Steps = 0;
   while (G.aListHead() && G.bListHead() && Steps < 100) {
     KsVertex *A = G.aListHead();
@@ -322,9 +328,10 @@ TEST_P(SjengSpiceTest, ScoresMatchSequential) {
   const SjengParam P = GetParam();
   SjengBoard Board(P.Pieces, P.Seed);
   SjengTraits Traits;
-  SpiceConfig C = makeConfig(P.Threads);
-  C.UseWeightedWork = P.WeightedWork;
-  SpiceLoop<SjengTraits> Loop(Traits, C);
+  SpiceRuntime RT(P.Threads);
+  LoopOptions O;
+  O.UseWeightedWork = P.WeightedWork;
+  auto Loop = RT.makeLoop(Traits, O);
 
   for (int Invocation = 0; Invocation != 40; ++Invocation) {
     SjengScore Want = Board.evalReference();
@@ -365,10 +372,11 @@ TEST_P(OversubscribedOtterTest, MatchesSequentialAcrossInvocations) {
   const OversubParam P = GetParam();
   ClauseList List(P.ListSize, P.Seed);
   OtterTraits Traits;
-  SpiceConfig C = makeConfig(P.Threads);
-  C.ChunksPerThread = P.ChunksPerThread;
-  SpiceLoop<OtterTraits> Loop(Traits, C);
-  ASSERT_EQ(C.numChunks(), P.Threads * P.ChunksPerThread);
+  SpiceRuntime RT(P.Threads);
+  LoopOptions O;
+  O.ChunksPerThread = P.ChunksPerThread;
+  auto Loop = RT.makeLoop(Traits, O);
+  ASSERT_EQ(Loop.config().numChunks(), P.Threads * P.ChunksPerThread);
 
   for (int Invocation = 0; Invocation != 30 && List.head(); ++Invocation) {
     Clause *Expected = List.findLightestReference();
@@ -393,9 +401,10 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(OversubscribedSpice, PlansOneScheduleListPerChunk) {
   ClauseList List(600, 220);
   OtterTraits Traits;
-  SpiceConfig C = makeConfig(4);
-  C.ChunksPerThread = 2;
-  SpiceLoop<OtterTraits> Loop(Traits, C);
+  SpiceRuntime RT(4);
+  LoopOptions O;
+  O.ChunksPerThread = 2;
+  auto Loop = RT.makeLoop(Traits, O);
   (void)Loop.invoke(List.head()); // Bootstrap plans the next invocation.
   EXPECT_EQ(Loop.currentPlan().PerThread.size(), 8u)
       << "chunk planning must cover ChunksPerThread * NumThreads chunks";
@@ -409,9 +418,10 @@ TEST(OversubscribedSpice, StableListStaysFullySpeculative) {
   // with twice as many chunks as threads.
   ClauseList List(600, 221);
   OtterTraits Traits;
-  SpiceConfig C = makeConfig(4);
-  C.ChunksPerThread = 2;
-  SpiceLoop<OtterTraits> Loop(Traits, C);
+  SpiceRuntime RT(4);
+  LoopOptions O;
+  O.ChunksPerThread = 2;
+  auto Loop = RT.makeLoop(Traits, O);
   for (int I = 0; I != 10; ++I) {
     OtterTraits::State Got = Loop.invoke(List.head());
     ASSERT_EQ(Got.MinClause, List.findLightestReference());
@@ -429,9 +439,10 @@ TEST(OversubscribedSpice, ForcedMispredictionsStillCorrect) {
   // through stealable chunks without corrupting the reduction.
   ClauseList List(400, 222);
   OtterTraits Traits;
-  SpiceConfig C = makeConfig(4);
-  C.ChunksPerThread = 4;
-  SpiceLoop<OtterTraits> Loop(Traits, C);
+  SpiceRuntime RT(4);
+  LoopOptions O;
+  O.ChunksPerThread = 4;
+  auto Loop = RT.makeLoop(Traits, O);
   uint64_t MissesBefore = Loop.stats().MisspeculatedInvocations;
   for (int I = 0; I != 40 && List.size() > 32; ++I) {
     // Remove a mid-list node (close to some memoized row) plus the min.
@@ -457,10 +468,11 @@ TEST(OversubscribedMcf, StalePotentialsRecoverThroughStealableChunks) {
   BasisTree TreeSpice(800, 241);
   BasisTree TreeRef(800, 241);
   McfTraits Traits;
-  SpiceConfig C = makeConfig(4);
-  C.ChunksPerThread = 4;
-  C.EnableConflictDetection = true;
-  SpiceLoop<McfTraits> Loop(Traits, C);
+  SpiceRuntime RT(4);
+  LoopOptions O;
+  O.ChunksPerThread = 4;
+  O.EnableConflictDetection = true;
+  auto Loop = RT.makeLoop(Traits, O);
   for (int I = 0; I != 15; ++I) {
     int64_t Want = TreeRef.refreshPotentialReference();
     McfTraits::State Got = Loop.invoke(TreeSpice.traversalStart());
@@ -489,9 +501,10 @@ TEST(OversubscribedKs, ShrinkingListStaysCorrectAndParallel) {
   KsGraph G(256, 4, 251);
   KsTraits Traits;
   Traits.Graph = &G;
-  SpiceConfig C = makeConfig(4);
-  C.ChunksPerThread = 2;
-  SpiceLoop<KsTraits> Loop(Traits, C);
+  SpiceRuntime RT(4);
+  LoopOptions O;
+  O.ChunksPerThread = 2;
+  auto Loop = RT.makeLoop(Traits, O);
   int Steps = 0;
   while (G.aListHead() && G.bListHead() && Steps < 100) {
     KsVertex *A = G.aListHead();
@@ -512,10 +525,11 @@ TEST(OversubscribedKs, ShrinkingListStaysCorrectAndParallel) {
 TEST(OversubscribedSjeng, WeightedWorkSweepMatchesSequential) {
   SjengBoard Board(500, 261);
   SjengTraits Traits;
-  SpiceConfig C = makeConfig(4);
-  C.ChunksPerThread = 4;
-  C.UseWeightedWork = true;
-  SpiceLoop<SjengTraits> Loop(Traits, C);
+  SpiceRuntime RT(4);
+  LoopOptions O;
+  O.ChunksPerThread = 4;
+  O.UseWeightedWork = true;
+  auto Loop = RT.makeLoop(Traits, O);
   for (int Invocation = 0; Invocation != 40; ++Invocation) {
     SjengScore Want = Board.evalReference();
     SjengScore Got = Loop.invoke(Board.start());
@@ -527,7 +541,8 @@ TEST(OversubscribedSjeng, WeightedWorkSweepMatchesSequential) {
 TEST(SjengSpice, AttributeChurnCausesModerateMisspeculation) {
   SjengBoard Board(400, 71);
   SjengTraits Traits;
-  SpiceLoop<SjengTraits> Loop(Traits, makeConfig(4));
+  SpiceRuntime RT(4);
+  auto Loop = RT.makeLoop(Traits);
   for (int I = 0; I != 100; ++I) {
     SjengScore Want = Board.evalReference();
     SjengScore Got = Loop.invoke(Board.start());
