@@ -12,7 +12,10 @@
 // contending client, plus the submitBatch() amortization of both). The
 // submit and batch round trips are additionally hand-timed into
 // BENCH_micro_runtime.json so the scheduler hot path is tracked in the
-// per-commit perf artifacts (scripts/compare_bench.py reports them).
+// per-commit perf artifacts (scripts/compare_bench.py reports them),
+// alongside the JIT tier's compile costs: jit_cold_compile_ns (first
+// CodeCache::getOrCompile of a loop -- lift, passes, lowering) vs
+// jit_cache_hit_compile_ns (every warm re-lookup of the same key).
 //
 //===----------------------------------------------------------------------===//
 
@@ -23,11 +26,15 @@
 #include "core/SpiceLoop.h"
 #include "core/SpiceRuntime.h"
 #include "core/WorkerPool.h"
+#include "jit/CodeCache.h"
+#include "transform/CanonicalLoop.h"
+#include "workloads/IRWorkloads.h"
 #include "workloads/Sjeng.h"
 
 #include <algorithm>
 #include <atomic>
 #include <benchmark/benchmark.h>
+#include <cassert>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -206,6 +213,38 @@ void BM_SjengEvalStep(benchmark::State &State) {
   }
 }
 
+/// Hand-timed median of the CodeCache paths on the otter IR loop: cold
+/// is the full getOrCompile pipeline (frontend -> passes -> backend)
+/// into a fresh cache, warm is a repeat getOrCompile hitting the same
+/// (function, region, options-hash) key -- the price every re-submitted
+/// serving invocation actually pays.
+uint64_t medianJitCompileNanos(int Reps, bool Warm) {
+  using Clock = std::chrono::steady_clock;
+  ir::Module M;
+  workloads::OtterIR W(/*ListSize=*/64, /*Seed=*/5);
+  ir::Function *F = W.build(M);
+  auto CL = transform::matchCanonicalLoop(*F);
+  assert(CL && "otter loop must match the canonical shape");
+  core::LoopOptions Opts;
+  jit::CodeCache WarmCache;
+  if (Warm)
+    (void)WarmCache.getOrCompile(*CL, Opts);
+  std::vector<uint64_t> Nanos(static_cast<size_t>(Reps));
+  for (int I = 0; I != Reps; ++I) {
+    jit::CodeCache ColdCache;
+    jit::CodeCache &Cache = Warm ? WarmCache : ColdCache;
+    Clock::time_point T0 = Clock::now();
+    auto Unit = Cache.getOrCompile(*CL, Opts);
+    Nanos[static_cast<size_t>(I)] = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             T0)
+            .count());
+    benchmark::DoNotOptimize(Unit);
+  }
+  std::nth_element(Nanos.begin(), Nanos.begin() + Reps / 2, Nanos.end());
+  return Nanos[static_cast<size_t>(Reps / 2)];
+}
+
 /// Hand-timed median of \p Reps submit().get() round trips (ns), solo or
 /// against a contending background client. google-benchmark reports the
 /// same numbers interactively; this feeds the flat BENCH_*.json artifact
@@ -323,6 +362,13 @@ int main(int argc, char **argv) {
       "contended_batch16_submit_per_invocation_ns",
       medianBatchSubmitPerInvocationNanos(BatchReps, 16,
                                           /*Contended=*/true));
+  // The JIT tier's serving costs: what a first-ever submission pays to
+  // compile vs what every warm re-submission pays for the cache hit.
+  const int JitReps = Bench.pick(200, 40);
+  Json.scalar("jit_cold_compile_ns",
+              medianJitCompileNanos(JitReps, /*Warm=*/false));
+  Json.scalar("jit_cache_hit_compile_ns",
+              medianJitCompileNanos(JitReps, /*Warm=*/true));
   Json.write();
   return 0;
 }

@@ -6,7 +6,9 @@
 #     docs/workloads.md, so the workload matrix cannot silently go
 #     stale when a workload is added;
 #  3. every core header (src/core/*.h) is mentioned somewhere under
-#     docs/, so a new core subsystem cannot land undocumented.
+#     docs/, so a new core subsystem cannot land undocumented;
+#  4. every JIT header (src/jit/*.h) is mentioned somewhere under
+#     docs/, for the same reason (docs/jit.md is the map).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -51,8 +53,17 @@ for hdr in src/core/*.h; do
   fi
 done
 
+# --- 4. every JIT header is documented --------------------------------------
+for hdr in src/jit/*.h; do
+  base=$(basename "$hdr")
+  if ! grep -rq "$base" docs/; then
+    echo "src/jit/$base is not referenced anywhere in docs/"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs link check FAILED"
   exit 1
 fi
-echo "docs links resolve; all workload and core headers documented"
+echo "docs links resolve; all workload, core and jit headers documented"

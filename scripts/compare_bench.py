@@ -42,10 +42,13 @@ import sys
 # suite geomean over the best single static k must not regress, and the
 # adaptive runs' mean recovery fraction must not grow (the controller
 # steering into re-execution-heavy granularities would show up here
-# before it costs the geomean).
+# before it costs the geomean). jit_vs_interp_throughput guards the JIT
+# tier's headline claim (docs/jit.md): the compiled loop body must stay
+# well ahead of the vm interpreter on the same workload.
 DEFAULT_GATES = [
     ("fig7_speedup", "sim_geomean_2t", True),
     ("fig7_speedup", "sim_geomean_4t", True),
+    ("fig7_speedup", "jit_vs_interp_throughput", True),
     ("ablation_loadbalance", "load_imbalance_k1", False),
     ("ablation_loadbalance", "load_imbalance_k2", False),
     ("ablation_loadbalance", "load_imbalance_k4", False),

@@ -11,9 +11,9 @@
 ///    count, worker placement hooks). One runtime serves many loops.
 ///  * LoopOptions -- per-loop policy (chunk granularity via ChunkPolicy,
 ///    conflict detection, work metric, recovery limits).
-///  * SpiceConfig -- the legacy flat aggregate of both, kept so code
-///    written against the one-loop-one-pool API keeps compiling; it
-///    splits into the two scoped structs via runtime() / loop().
+///  * SpiceConfig -- the flat effective view of both (every knob of a
+///    registered loop in one struct, see mergedConfig()); it splits
+///    into the two scoped structs via runtime() / loop().
 ///
 /// Plus the statistics block every experiment reads (mis-speculation
 /// rates, squashes, load balance).
@@ -253,15 +253,12 @@ struct LoopOptions {
   }
 };
 
-/// Legacy flat aggregate from the era when every SpiceLoop owned a
-/// private thread pool: literally the two scoped structs glued together
-/// by inheritance, so every knob is declared (and defaulted) exactly
-/// once. Field access is unchanged (C.NumThreads, C.ChunksPerThread,
-/// ...). Still accepted by the SpiceLoop(Traits&, SpiceConfig)
-/// constructor, which builds a dedicated single-loop runtime from
-/// runtime() and applies loop() -- but that path is deprecated (it
-/// prints a one-time runtime note); new code should configure a
-/// SpiceRuntime and call makeLoop().
+/// Flat effective view of one registered loop: literally the two scoped
+/// structs glued together by inheritance, so every knob is declared
+/// (and defaulted) exactly once and field access is flat (C.NumThreads,
+/// C.ChunksPerThread, ...). Produced by mergedConfig() and read back
+/// through SpiceLoop::config(); new code configures a SpiceRuntime and
+/// calls makeLoop(Traits, LoopOptions).
 struct SpiceConfig : RuntimeConfig, LoopOptions {
   /// The runtime-wide half of this config.
   RuntimeConfig runtime() const { return *this; }

@@ -64,12 +64,6 @@
 ///   };
 /// \endcode
 ///
-/// Migration note: the pre-runtime constructor
-/// `SpiceLoop<Traits>(T, SpiceConfig)` still works -- it builds a private
-/// single-loop runtime from SpiceConfig::runtime() and applies
-/// SpiceConfig::loop() -- but programs with more than one static loop
-/// should create one SpiceRuntime and register every loop on it.
-///
 /// Protocol per invocation (paper sections 3-4, generalized to chunks):
 ///  * chunk 0 (main thread, non-speculative) starts from the real live-in;
 ///    chunk i >= 1 starts from SVA row i-1 (the value memoized last

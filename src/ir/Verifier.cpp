@@ -45,14 +45,19 @@ private:
   }
 
   void collectBlocks() {
-    for (const auto &BB : F)
+    for (const auto &BB : F) {
       KnownBlocks.insert(BB.get());
+      for (const auto &I : *BB)
+        KnownInsts.insert(I.get());
+    }
   }
 
   void computePredecessors() {
     for (const auto &BB : F)
-      for (BasicBlock *Succ : BB->successors())
+      for (BasicBlock *Succ : BB->successors()) {
         ++PredCount[Succ];
+        PredSets[Succ].insert(BB.get());
+      }
   }
 
   /// Expected value-operand count for \p I, or -1 when variadic.
@@ -122,9 +127,20 @@ private:
         SeenNonPhi = true;
       }
       verifyArity(BB, Inst);
-      for (const Value *Op : Inst.operands())
-        if (!Op)
+      for (const Value *Op : Inst.operands()) {
+        if (!Op) {
           error("null operand in block " + BB.getName());
+          continue;
+        }
+        // Every Instruction operand must live in this function: consumers
+        // (the interpreter's register file, the JIT frontend's register
+        // allocation) index operands by their number in *this* function,
+        // so a stray cross-function operand reads someone else's slot.
+        if (const auto *OpI = dyn_cast<Instruction>(Op))
+          if (!KnownInsts.count(OpI))
+            error("instruction in block " + BB.getName() +
+                  " uses an operand from outside the function");
+      }
       // Resteer legitimately targets a recovery block in another thread's
       // function (the paper's remote-resteer); everything else must stay
       // within the function.
@@ -161,12 +177,33 @@ private:
       error("phi in block " + BB.getName() + " has " +
             std::to_string(Phi.getNumOperands()) + " incomings but block has " +
             std::to_string(Preds) + " predecessors");
+    if (Phi.getNumOperands() == 0)
+      error("phi in block " + BB.getName() + " has no incoming values");
+    // Each incoming block must actually be a predecessor, and only once:
+    // the interpreter resolves phis by the edge just taken, so an
+    // incoming for a non-predecessor is dead weight at best and a
+    // duplicate makes the resolution ambiguous.
+    const auto PS = PredSets.find(&BB);
+    std::unordered_set<const BasicBlock *> SeenIncoming;
+    for (unsigned I = 0, E = Phi.getNumBlockOperands(); I != E; ++I) {
+      const BasicBlock *In = Phi.getBlockOperand(I);
+      if (!SeenIncoming.insert(In).second)
+        error("phi in block " + BB.getName() +
+              " has duplicate incoming blocks");
+      if (PS == PredSets.end() || !PS->second.count(In))
+        error("phi in block " + BB.getName() +
+              " has an incoming from a non-predecessor block");
+    }
   }
 
   const Function &F;
   std::vector<std::string> *Errors;
   std::unordered_set<const BasicBlock *> KnownBlocks;
+  std::unordered_set<const Instruction *> KnownInsts;
   std::unordered_map<const BasicBlock *, unsigned> PredCount;
+  std::unordered_map<const BasicBlock *,
+                     std::unordered_set<const BasicBlock *>>
+      PredSets;
   bool Ok = true;
 };
 

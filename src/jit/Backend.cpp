@@ -1,0 +1,519 @@
+//===- jit/Backend.cpp - Threaded-code closure backend --------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Backend.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+using namespace spice;
+using namespace spice::jit;
+
+namespace {
+
+// ALU closures replicate vm::ThreadContext::applyBinary bit for bit:
+// wraparound add/sub/mul through uint64, 63-masked shifts, 0/1 compares.
+
+uint32_t opAdd(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = static_cast<int64_t>(static_cast<uint64_t>(C.R[S.A]) +
+                                    static_cast<uint64_t>(C.R[S.B]));
+  return S.Next;
+}
+uint32_t opSub(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = static_cast<int64_t>(static_cast<uint64_t>(C.R[S.A]) -
+                                    static_cast<uint64_t>(C.R[S.B]));
+  return S.Next;
+}
+uint32_t opMul(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = static_cast<int64_t>(static_cast<uint64_t>(C.R[S.A]) *
+                                    static_cast<uint64_t>(C.R[S.B]));
+  return S.Next;
+}
+uint32_t opSDiv(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] / C.R[S.B]; // Dominating GuardDiv.
+  return S.Next;
+}
+uint32_t opSRem(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] % C.R[S.B]; // Dominating GuardDiv.
+  return S.Next;
+}
+uint32_t opAnd(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] & C.R[S.B];
+  return S.Next;
+}
+uint32_t opOr(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] | C.R[S.B];
+  return S.Next;
+}
+uint32_t opXor(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] ^ C.R[S.B];
+  return S.Next;
+}
+uint32_t opShl(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = static_cast<int64_t>(static_cast<uint64_t>(C.R[S.A])
+                                    << (static_cast<uint64_t>(C.R[S.B]) & 63));
+  return S.Next;
+}
+uint32_t opLShr(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = static_cast<int64_t>(static_cast<uint64_t>(C.R[S.A]) >>
+                                    (static_cast<uint64_t>(C.R[S.B]) & 63));
+  return S.Next;
+}
+uint32_t opAShr(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] >> (static_cast<uint64_t>(C.R[S.B]) & 63);
+  return S.Next;
+}
+uint32_t opSMin(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] < C.R[S.B] ? C.R[S.A] : C.R[S.B];
+  return S.Next;
+}
+uint32_t opSMax(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] > C.R[S.B] ? C.R[S.A] : C.R[S.B];
+  return S.Next;
+}
+uint32_t opCmpEq(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] == C.R[S.B];
+  return S.Next;
+}
+uint32_t opCmpNe(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] != C.R[S.B];
+  return S.Next;
+}
+uint32_t opCmpSLt(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] < C.R[S.B];
+  return S.Next;
+}
+uint32_t opCmpSLe(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] <= C.R[S.B];
+  return S.Next;
+}
+uint32_t opCmpSGt(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] > C.R[S.B];
+  return S.Next;
+}
+uint32_t opCmpSGe(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] >= C.R[S.B];
+  return S.Next;
+}
+uint32_t opCmpULt(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = static_cast<uint64_t>(C.R[S.A]) <
+               static_cast<uint64_t>(C.R[S.B]);
+  return S.Next;
+}
+uint32_t opSelect(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] ? C.R[S.B] : C.R[S.C];
+  return S.Next;
+}
+uint32_t opCopy(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A];
+  return S.Next;
+}
+uint32_t opLoadImm(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = S.Imm;
+  return S.Next;
+}
+uint32_t opLoad(const Slot &S, ExecCtx &C) {
+  // In bounds by the dominating GuardLoad; address 0 legally reads the
+  // reserved null word (the interpreter allows it too).
+  C.R[S.Dst] = C.Spec->read<int64_t>(
+      C.MemBase + static_cast<uint64_t>(C.R[S.A]));
+  return S.Next;
+}
+uint32_t opStore(const Slot &S, ExecCtx &C) {
+  C.Spec->write<int64_t>(C.MemBase + static_cast<uint64_t>(C.R[S.A]),
+                         C.R[S.B]);
+  return S.Next;
+}
+uint32_t opGuardLoad(const Slot &S, ExecCtx &C) {
+  return static_cast<uint64_t>(C.R[S.A]) < C.MemWords ? S.Next : kRetDeopt;
+}
+uint32_t opGuardStore(const Slot &S, ExecCtx &C) {
+  auto Addr = static_cast<uint64_t>(C.R[S.A]);
+  return (Addr < C.MemWords && Addr != 0) ? S.Next : kRetDeopt;
+}
+uint32_t opGuardDiv(const Slot &S, ExecCtx &C) {
+  int64_t A = C.R[S.A];
+  int64_t B = C.R[S.B];
+  bool Ok = B != 0 &&
+            !(A == std::numeric_limits<int64_t>::min() && B == -1);
+  return Ok ? S.Next : kRetDeopt;
+}
+uint32_t opJmp(const Slot &S, ExecCtx &) { return S.Target; }
+uint32_t opJmpIf(const Slot &S, ExecCtx &C) {
+  return C.R[S.A] ? S.Target : S.Next;
+}
+uint32_t opIterEnd(const Slot &, ExecCtx &) { return kRetOk; }
+uint32_t opLoopExit(const Slot &, ExecCtx &) { return kRetExit; }
+uint32_t opNop(const Slot &S, ExecCtx &) { return S.Next; }
+
+// Fused slots, built by the peephole in lowerToClosures(). Each performs
+// its constituent ops in the original order -- reads before writes,
+// intermediate destinations still written -- so register effects and
+// deopt points are bit-identical to the unfused sequence.
+
+uint32_t opLoadGuarded(const Slot &S, ExecCtx &C) {
+  auto Addr = static_cast<uint64_t>(C.R[S.A]);
+  if (Addr >= C.MemWords)
+    return kRetDeopt;
+  C.R[S.Dst] = C.Spec->read<int64_t>(C.MemBase + Addr);
+  return S.Next;
+}
+uint32_t opStoreGuarded(const Slot &S, ExecCtx &C) {
+  auto Addr = static_cast<uint64_t>(C.R[S.A]);
+  if (Addr >= C.MemWords || Addr == 0)
+    return kRetDeopt;
+  C.Spec->write<int64_t>(C.MemBase + Addr, C.R[S.B]);
+  return S.Next;
+}
+uint32_t opSDivGuarded(const Slot &S, ExecCtx &C) {
+  int64_t A = C.R[S.A];
+  int64_t B = C.R[S.B];
+  if (B == 0 || (A == std::numeric_limits<int64_t>::min() && B == -1))
+    return kRetDeopt;
+  C.R[S.Dst] = A / B;
+  return S.Next;
+}
+uint32_t opSRemGuarded(const Slot &S, ExecCtx &C) {
+  int64_t A = C.R[S.A];
+  int64_t B = C.R[S.B];
+  if (B == 0 || (A == std::numeric_limits<int64_t>::min() && B == -1))
+    return kRetDeopt;
+  C.R[S.Dst] = A % B;
+  return S.Next;
+}
+// Pointer chase: Dst = A + B (still written; later ops may read it),
+// guard, D2 = Mem[Dst].
+uint32_t opAddLoadGuarded(const Slot &S, ExecCtx &C) {
+  auto Sum = static_cast<int64_t>(static_cast<uint64_t>(C.R[S.A]) +
+                                  static_cast<uint64_t>(C.R[S.B]));
+  C.R[S.Dst] = Sum;
+  auto Addr = static_cast<uint64_t>(Sum);
+  if (Addr >= C.MemWords)
+    return kRetDeopt;
+  C.R[S.D2] = C.Spec->read<int64_t>(C.MemBase + Addr);
+  return S.Next;
+}
+// Two selects on one condition register (min/max-with-payload updates).
+// The condition is re-read for the second select: if the first's Dst is
+// the condition register, the unfused sequence saw the updated value.
+uint32_t opSelect2(const Slot &S, ExecCtx &C) {
+  C.R[S.Dst] = C.R[S.A] ? C.R[S.B] : C.R[S.C];
+  C.R[S.D2] = C.R[S.A] ? C.R[S.A2] : C.R[S.B2];
+  return S.Next;
+}
+// Compare feeding two selects (the min/max-with-payload update): the
+// compare's Dst is still written; the second select's registers ride in
+// Imm (two packed non-negative indices). The first select must not
+// write the shared condition register (checked at fusion time).
+uint32_t opCmpSLtSel2(const Slot &S, ExecCtx &C) {
+  const int64_t T = C.R[S.A] < C.R[S.B];
+  C.R[S.Dst] = T;
+  C.R[S.C] = T ? C.R[S.D2] : C.R[S.A2];
+  const auto T2 = static_cast<int32_t>(S.Imm & 0xFFFFFFFF);
+  const auto E2 = static_cast<int32_t>(S.Imm >> 32);
+  C.R[S.B2] = T ? C.R[T2] : C.R[E2];
+  return S.Next;
+}
+uint32_t opCmpSGtSel2(const Slot &S, ExecCtx &C) {
+  const int64_t T = C.R[S.A] > C.R[S.B];
+  C.R[S.Dst] = T;
+  C.R[S.C] = T ? C.R[S.D2] : C.R[S.A2];
+  const auto T2 = static_cast<int32_t>(S.Imm & 0xFFFFFFFF);
+  const auto E2 = static_cast<int32_t>(S.Imm >> 32);
+  C.R[S.B2] = T ? C.R[T2] : C.R[E2];
+  return S.Next;
+}
+
+uint32_t opCopyBatch(const Slot &S, ExecCtx &C) {
+  const CopyPair *P = C.Copies + S.Imm;
+  for (int32_t I = 0; I != S.A; ++I)
+    C.R[P[I].Dst] = C.R[P[I].Src];
+  return S.Next;
+}
+// Compare-and-branch: the compare's Dst is still written (it may be read
+// beyond the branch), then the fresh result picks the edge.
+uint32_t opCmpEqBr(const Slot &S, ExecCtx &C) {
+  int64_t T = C.R[S.A] == C.R[S.B];
+  C.R[S.Dst] = T;
+  return T ? S.Target : S.Next;
+}
+uint32_t opCmpNeBr(const Slot &S, ExecCtx &C) {
+  int64_t T = C.R[S.A] != C.R[S.B];
+  C.R[S.Dst] = T;
+  return T ? S.Target : S.Next;
+}
+uint32_t opCmpSLtBr(const Slot &S, ExecCtx &C) {
+  int64_t T = C.R[S.A] < C.R[S.B];
+  C.R[S.Dst] = T;
+  return T ? S.Target : S.Next;
+}
+uint32_t opCmpSLeBr(const Slot &S, ExecCtx &C) {
+  int64_t T = C.R[S.A] <= C.R[S.B];
+  C.R[S.Dst] = T;
+  return T ? S.Target : S.Next;
+}
+uint32_t opCmpSGtBr(const Slot &S, ExecCtx &C) {
+  int64_t T = C.R[S.A] > C.R[S.B];
+  C.R[S.Dst] = T;
+  return T ? S.Target : S.Next;
+}
+uint32_t opCmpSGeBr(const Slot &S, ExecCtx &C) {
+  int64_t T = C.R[S.A] >= C.R[S.B];
+  C.R[S.Dst] = T;
+  return T ? S.Target : S.Next;
+}
+uint32_t opCmpULtBr(const Slot &S, ExecCtx &C) {
+  int64_t T = static_cast<uint64_t>(C.R[S.A]) <
+              static_cast<uint64_t>(C.R[S.B]);
+  C.R[S.Dst] = T;
+  return T ? S.Target : S.Next;
+}
+
+OpFn cmpBranchFor(JitOp Op) {
+  switch (Op) {
+  case JitOp::CmpEq:
+    return opCmpEqBr;
+  case JitOp::CmpNe:
+    return opCmpNeBr;
+  case JitOp::CmpSLt:
+    return opCmpSLtBr;
+  case JitOp::CmpSLe:
+    return opCmpSLeBr;
+  case JitOp::CmpSGt:
+    return opCmpSGtBr;
+  case JitOp::CmpSGe:
+    return opCmpSGeBr;
+  case JitOp::CmpULt:
+    return opCmpULtBr;
+  default:
+    spice_unreachable("not a comparison op");
+  }
+}
+
+OpFn closureFor(JitOp Op) {
+  switch (Op) {
+  case JitOp::Add:
+    return opAdd;
+  case JitOp::Sub:
+    return opSub;
+  case JitOp::Mul:
+    return opMul;
+  case JitOp::SDiv:
+    return opSDiv;
+  case JitOp::SRem:
+    return opSRem;
+  case JitOp::And:
+    return opAnd;
+  case JitOp::Or:
+    return opOr;
+  case JitOp::Xor:
+    return opXor;
+  case JitOp::Shl:
+    return opShl;
+  case JitOp::LShr:
+    return opLShr;
+  case JitOp::AShr:
+    return opAShr;
+  case JitOp::SMin:
+    return opSMin;
+  case JitOp::SMax:
+    return opSMax;
+  case JitOp::CmpEq:
+    return opCmpEq;
+  case JitOp::CmpNe:
+    return opCmpNe;
+  case JitOp::CmpSLt:
+    return opCmpSLt;
+  case JitOp::CmpSLe:
+    return opCmpSLe;
+  case JitOp::CmpSGt:
+    return opCmpSGt;
+  case JitOp::CmpSGe:
+    return opCmpSGe;
+  case JitOp::CmpULt:
+    return opCmpULt;
+  case JitOp::Select:
+    return opSelect;
+  case JitOp::Copy:
+    return opCopy;
+  case JitOp::LoadImm:
+    return opLoadImm;
+  case JitOp::Load:
+    return opLoad;
+  case JitOp::Store:
+    return opStore;
+  case JitOp::GuardLoad:
+    return opGuardLoad;
+  case JitOp::GuardStore:
+    return opGuardStore;
+  case JitOp::GuardDiv:
+    return opGuardDiv;
+  case JitOp::Jmp:
+    return opJmp;
+  case JitOp::JmpIf:
+    return opJmpIf;
+  case JitOp::IterEnd:
+    return opIterEnd;
+  case JitOp::LoopExit:
+    return opLoopExit;
+  case JitOp::Nop:
+    return opNop;
+  }
+  spice_unreachable("unknown JitOp");
+}
+
+} // namespace
+
+std::shared_ptr<const CompiledUnit>
+jit::lowerToClosures(std::unique_ptr<JitFunction> Fn) {
+  assert(Fn && verifyJitFunction(*Fn).empty() &&
+         "lowering an invalid JitFunction");
+  auto Unit = std::make_shared<CompiledUnit>();
+  Unit->Fn = std::move(*Fn);
+  const std::vector<JitInst> &Insts = Unit->Fn.Insts;
+  const size_t N = Insts.size();
+
+  // Jump targets are fusion barriers: a slot's non-first op must never
+  // be reachable on its own, or entering it would replay its siblings.
+  std::vector<char> Leader(N + 1, 0);
+  if (N)
+    Leader[0] = 1;
+  for (const JitInst &I : Insts)
+    if (I.Op == JitOp::Jmp || I.Op == JitOp::JmpIf)
+      Leader[I.Target] = 1;
+  auto CanFuse = [&](size_t Idx) { return Idx < N && !Leader[Idx]; };
+
+  // First walk: build slots, recording which instruction landed in which
+  // slot. Targets still hold instruction indices until the remap below.
+  std::vector<uint32_t> SlotOf(N + 1, 0);
+  std::vector<size_t> NeedsTarget;
+  size_t Idx = 0;
+  while (Idx < N) {
+    const JitInst &I = Insts[Idx];
+    Slot S;
+    S.Fn = nullptr;
+    S.Dst = I.Dst;
+    S.A = I.A;
+    S.B = I.B;
+    S.C = I.C;
+    S.D2 = S.A2 = S.B2 = -1;
+    S.Imm = I.Imm;
+    S.Target = I.Target;
+    size_t Consumed = 1;
+    if (I.Op == JitOp::Add && CanFuse(Idx + 1) && CanFuse(Idx + 2) &&
+        Insts[Idx + 1].Op == JitOp::GuardLoad &&
+        Insts[Idx + 1].A == I.Dst && Insts[Idx + 2].Op == JitOp::Load &&
+        Insts[Idx + 2].A == I.Dst) {
+      S.Fn = opAddLoadGuarded;
+      S.D2 = Insts[Idx + 2].Dst;
+      Consumed = 3;
+    } else if (I.Op == JitOp::GuardLoad && CanFuse(Idx + 1) &&
+               Insts[Idx + 1].Op == JitOp::Load &&
+               Insts[Idx + 1].A == I.A) {
+      S.Fn = opLoadGuarded;
+      S.Dst = Insts[Idx + 1].Dst;
+      Consumed = 2;
+    } else if (I.Op == JitOp::GuardStore && CanFuse(Idx + 1) &&
+               Insts[Idx + 1].Op == JitOp::Store &&
+               Insts[Idx + 1].A == I.A) {
+      S.Fn = opStoreGuarded;
+      S.B = Insts[Idx + 1].B;
+      Consumed = 2;
+    } else if (I.Op == JitOp::GuardDiv && CanFuse(Idx + 1) &&
+               (Insts[Idx + 1].Op == JitOp::SDiv ||
+                Insts[Idx + 1].Op == JitOp::SRem) &&
+               Insts[Idx + 1].A == I.A && Insts[Idx + 1].B == I.B) {
+      S.Fn = Insts[Idx + 1].Op == JitOp::SDiv ? opSDivGuarded
+                                              : opSRemGuarded;
+      S.Dst = Insts[Idx + 1].Dst;
+      Consumed = 2;
+    } else if ((I.Op == JitOp::CmpSLt || I.Op == JitOp::CmpSGt) &&
+               CanFuse(Idx + 1) && CanFuse(Idx + 2) &&
+               Insts[Idx + 1].Op == JitOp::Select &&
+               Insts[Idx + 1].A == I.Dst && Insts[Idx + 1].Dst != I.Dst &&
+               Insts[Idx + 2].Op == JitOp::Select &&
+               Insts[Idx + 2].A == I.Dst) {
+      S.Fn = I.Op == JitOp::CmpSLt ? opCmpSLtSel2 : opCmpSGtSel2;
+      S.C = Insts[Idx + 1].Dst;
+      S.D2 = Insts[Idx + 1].B;
+      S.A2 = Insts[Idx + 1].C;
+      S.B2 = Insts[Idx + 2].Dst;
+      S.Imm = static_cast<int64_t>(static_cast<uint32_t>(Insts[Idx + 2].B)) |
+              (static_cast<int64_t>(Insts[Idx + 2].C) << 32);
+      Consumed = 3;
+    } else if (isComparison(I.Op) && CanFuse(Idx + 1) &&
+               Insts[Idx + 1].Op == JitOp::JmpIf &&
+               Insts[Idx + 1].A == I.Dst) {
+      S.Fn = cmpBranchFor(I.Op);
+      S.Target = Insts[Idx + 1].Target;
+      NeedsTarget.push_back(Unit->Slots.size());
+      Consumed = 2;
+    } else if (I.Op == JitOp::Select && CanFuse(Idx + 1) &&
+               Insts[Idx + 1].Op == JitOp::Select &&
+               Insts[Idx + 1].A == I.A) {
+      S.Fn = opSelect2;
+      S.D2 = Insts[Idx + 1].Dst;
+      S.A2 = Insts[Idx + 1].B;
+      S.B2 = Insts[Idx + 1].C;
+      Consumed = 2;
+    } else if (I.Op == JitOp::Copy && CanFuse(Idx + 1) &&
+               Insts[Idx + 1].Op == JitOp::Copy) {
+      size_t Run = 1;
+      while (CanFuse(Idx + Run) && Insts[Idx + Run].Op == JitOp::Copy)
+        ++Run;
+      S.Fn = opCopyBatch;
+      S.Imm = static_cast<int64_t>(Unit->CopyTable.size());
+      S.A = static_cast<int32_t>(Run);
+      for (size_t R = 0; R != Run; ++R)
+        Unit->CopyTable.push_back({Insts[Idx + R].Dst, Insts[Idx + R].A});
+      Consumed = Run;
+    } else {
+      S.Fn = closureFor(I.Op);
+      if (I.Op == JitOp::Jmp || I.Op == JitOp::JmpIf)
+        NeedsTarget.push_back(Unit->Slots.size());
+    }
+    for (size_t K = 0; K != Consumed; ++K)
+      SlotOf[Idx + K] = static_cast<uint32_t>(Unit->Slots.size());
+    Unit->Slots.push_back(S);
+    Idx += Consumed;
+  }
+  SlotOf[N] = static_cast<uint32_t>(Unit->Slots.size());
+
+  // Second walk: fall-through successors and branch targets now that the
+  // instruction -> slot mapping is complete. Every target is a leader,
+  // and a leader always starts its slot, so the map is exact.
+  for (size_t SI = 0; SI != Unit->Slots.size(); ++SI)
+    Unit->Slots[SI].Next = static_cast<uint32_t>(SI) + 1;
+  for (size_t SI : NeedsTarget)
+    Unit->Slots[SI].Target = SlotOf[Unit->Slots[SI].Target];
+
+  // Sentinel threading: an edge into an IterEnd / LoopExit slot returns
+  // that slot's sentinel directly, saving a dispatch on every iteration
+  // (the back edge always ends in IterEnd). The slots themselves stay,
+  // so entering at pc 0 still works for degenerate one-op loops.
+  auto Thread = [&](uint32_t P) {
+    if (P < Unit->Slots.size()) {
+      if (Unit->Slots[P].Fn == opIterEnd)
+        return kRetOk;
+      if (Unit->Slots[P].Fn == opLoopExit)
+        return kRetExit;
+    }
+    return P;
+  };
+  for (Slot &S : Unit->Slots) {
+    S.Next = Thread(S.Next);
+    S.Target = Thread(S.Target);
+  }
+  return Unit;
+}
+

@@ -1,0 +1,140 @@
+//===- jit/Backend.h - Threaded-code closure backend ------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The portable backend: each JIT-IR op lowers to one pre-compiled C++
+/// closure (a plain function pointer, no captures) operating on a Slot --
+/// the op's registers and immediate, flattened -- and an ExecCtx -- the
+/// chunk's register frame plus the memory view. Dispatch is a single
+/// indirect call per op ("threaded code"): each closure returns the next
+/// pc, so branches cost nothing extra and the dispatch loop is two loads
+/// and a jump. That is portable to any host the repo builds on while
+/// removing everything that makes vm::ThreadContext slow per instruction
+/// (operand dyn_casts, per-block hash-map counting, virtual env calls).
+///
+/// Lowering additionally fuses common instruction pairs into one slot so
+/// hot loops pay fewer dispatches per iteration: guard+memory-op,
+/// compare+branch, address-add+guard+load, two selects sharing a
+/// condition, and runs of copies (batched through CompiledUnit's side
+/// table). Fusion never crosses a jump target, and every fused closure
+/// performs exactly the unfused ops in their original order -- including
+/// still writing intermediate destinations -- so it is invisible to the
+/// deopt protocol and to any later reader of those registers.
+///
+/// All memory traffic goes through core::SpecSpace, so the same compiled
+/// unit runs non-speculatively (direct view, relaxed-atomic shared
+/// access) and speculatively (buffered view with read logging) -- chunk 0
+/// and speculative chunks execute the same Slots.
+///
+/// execute() runs one header-to-header traversal and returns one of
+/// three sentinels: kRetOk (IterEnd -- one outer iteration retired),
+/// kRetExit (the loop exit edge), kRetDeopt (a guard failed, or the fuel
+/// budget ran out -- a mis-speculated chunk looping in garbage must not
+/// wedge a worker). The runner (JitLoop.h) maps these onto the Spice
+/// chunk protocol.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_JIT_BACKEND_H
+#define SPICE_JIT_BACKEND_H
+
+#include "core/SpecWriteBuffer.h"
+#include "jit/JitIR.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace spice {
+namespace jit {
+
+struct Slot;
+struct ExecCtx;
+
+/// One op's pre-compiled closure: executes the op and returns the next
+/// pc (Slot::Next for straight-line ops, a target or sentinel otherwise).
+using OpFn = uint32_t (*)(const Slot &S, ExecCtx &Ctx);
+
+/// Sentinel pcs. Any pc >= kSentinelBase stops dispatch.
+inline constexpr uint32_t kRetDeopt = 0xFFFFFFFDu;
+inline constexpr uint32_t kRetExit = 0xFFFFFFFEu;
+inline constexpr uint32_t kRetOk = 0xFFFFFFFFu;
+inline constexpr uint32_t kSentinelBase = kRetDeopt;
+
+/// One lowered instruction: closure plus flattened operands. D2/A2/B2
+/// carry the second op's registers in fused slots (-1 when unused).
+struct Slot {
+  OpFn Fn;
+  int32_t Dst;
+  int32_t A;
+  int32_t B;
+  int32_t C;
+  int32_t D2;
+  int32_t A2;
+  int32_t B2;
+  int64_t Imm;
+  uint32_t Target;
+  uint32_t Next; ///< pc + 1, precomputed.
+};
+
+/// One entry of a CopyBatch slot's run (CompiledUnit::CopyTable).
+struct CopyPair {
+  int32_t Dst;
+  int32_t Src;
+};
+
+/// Execution context for one step of one chunk.
+struct ExecCtx {
+  int64_t *R;              ///< Register frame (chunk-private).
+  int64_t *MemBase;        ///< vm::Memory word array.
+  uint64_t MemWords;       ///< Memory size; the guards' bound.
+  core::SpecSpace *Spec;   ///< Direct or buffered memory view.
+  uint64_t Fuel;           ///< Per-step op budget; 0 => deopt.
+  const CopyPair *Copies = nullptr; ///< Unit's copy table; set by execute().
+};
+
+/// A fully lowered loop: the JIT function's metadata (the runner reads
+/// its const pool, bindings, phi registers and reductions) plus the
+/// executable slots. Immutable after construction and therefore safely
+/// shared across threads and cached (CodeCache.h).
+struct CompiledUnit {
+  JitFunction Fn;
+  std::vector<Slot> Slots;
+  /// Backing store for CopyBatch slots: each references a contiguous run
+  /// (Imm = start index, A = count) executed in order.
+  std::vector<CopyPair> CopyTable;
+};
+
+/// Lowers \p Fn (which must verify cleanly) into a CompiledUnit.
+std::shared_ptr<const CompiledUnit>
+lowerToClosures(std::unique_ptr<JitFunction> Fn);
+
+/// Runs one header-to-header traversal starting at pc 0. Returns kRetOk,
+/// kRetExit or kRetDeopt. Inline so the per-iteration call disappears
+/// into JitLoopTraits::step.
+inline uint32_t execute(const CompiledUnit &U, ExecCtx &Ctx) {
+  const Slot *Slots = U.Slots.data();
+  Ctx.Copies = U.CopyTable.data();
+  // No closure touches Fuel, so it stays in a register for the loop.
+  uint64_t Fuel = Ctx.Fuel;
+  uint32_t Pc = 0;
+  while (Pc < kSentinelBase) {
+    if (Fuel == 0) {
+      Ctx.Fuel = 0;
+      return kRetDeopt; // Runaway (mis-speculated inner loop).
+    }
+    --Fuel;
+    const Slot &S = Slots[Pc];
+    Pc = S.Fn(S, Ctx);
+  }
+  Ctx.Fuel = Fuel;
+  return Pc;
+}
+
+} // namespace jit
+} // namespace spice
+
+#endif // SPICE_JIT_BACKEND_H

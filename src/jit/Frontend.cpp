@@ -1,0 +1,482 @@
+//===- jit/Frontend.cpp - ir::Function loop region -> JIT IR --------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Frontend.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Instruction.h"
+#include "ir/Value.h"
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+using namespace spice;
+using namespace spice::jit;
+using namespace spice::transform;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+namespace {
+
+/// Maps an ir ALU/compare opcode onto its JIT twin. Returns false for
+/// non-ALU opcodes.
+bool mapAluOp(Opcode Op, JitOp &Out) {
+  switch (Op) {
+  case Opcode::Add:
+    Out = JitOp::Add;
+    return true;
+  case Opcode::Sub:
+    Out = JitOp::Sub;
+    return true;
+  case Opcode::Mul:
+    Out = JitOp::Mul;
+    return true;
+  case Opcode::SDiv:
+    Out = JitOp::SDiv;
+    return true;
+  case Opcode::SRem:
+    Out = JitOp::SRem;
+    return true;
+  case Opcode::And:
+    Out = JitOp::And;
+    return true;
+  case Opcode::Or:
+    Out = JitOp::Or;
+    return true;
+  case Opcode::Xor:
+    Out = JitOp::Xor;
+    return true;
+  case Opcode::Shl:
+    Out = JitOp::Shl;
+    return true;
+  case Opcode::LShr:
+    Out = JitOp::LShr;
+    return true;
+  case Opcode::AShr:
+    Out = JitOp::AShr;
+    return true;
+  case Opcode::SMin:
+    Out = JitOp::SMin;
+    return true;
+  case Opcode::SMax:
+    Out = JitOp::SMax;
+    return true;
+  case Opcode::ICmpEq:
+    Out = JitOp::CmpEq;
+    return true;
+  case Opcode::ICmpNe:
+    Out = JitOp::CmpNe;
+    return true;
+  case Opcode::ICmpSLt:
+    Out = JitOp::CmpSLt;
+    return true;
+  case Opcode::ICmpSLe:
+    Out = JitOp::CmpSLe;
+    return true;
+  case Opcode::ICmpSGt:
+    Out = JitOp::CmpSGt;
+    return true;
+  case Opcode::ICmpSGe:
+    Out = JitOp::CmpSGe;
+    return true;
+  case Opcode::ICmpULt:
+    Out = JitOp::CmpULt;
+    return true;
+  default:
+    return false;
+  }
+}
+
+class Lifter {
+public:
+  Lifter(const CanonicalLoop &CL, JitFunction &F) : CL(CL), F(F) {}
+
+  bool run(std::string &Error);
+
+private:
+  bool refuseUnsupported();
+  void allocateLoopRegs();
+  bool lowerBlock(const BasicBlock *BB);
+  bool lowerInst(const Instruction *I);
+  bool lowerEdge(const BasicBlock *From, const BasicBlock *To);
+  bool regFor(const Value *V, int32_t &Reg);
+  void buildMetadata(std::string &Error);
+
+  void emit(JitInst I) { F.Insts.push_back(I); }
+
+  const CanonicalLoop &CL;
+  JitFunction &F;
+  std::unordered_map<const Value *, uint32_t> ValueRegs;
+  std::unordered_map<const BasicBlock *, uint32_t> BlockOffsets;
+  /// Jmp/JmpIf instructions whose Target is a block laid out later.
+  std::vector<std::pair<size_t, const BasicBlock *>> Fixups;
+  std::vector<uint32_t> Scratch; ///< Phi-trampoline scratch bank.
+  std::string Err;
+};
+
+bool Lifter::refuseUnsupported() {
+  for (const BasicBlock *BB : CL.L->blocks())
+    for (size_t I = 0; I != BB->size(); ++I) {
+      switch (BB->get(I)->getOpcode()) {
+      case Opcode::Send:
+      case Opcode::Recv:
+      case Opcode::SpecBegin:
+      case Opcode::SpecCommit:
+      case Opcode::SpecRollback:
+      case Opcode::Resteer:
+      case Opcode::Halt:
+      case Opcode::Ret:
+        Err = "loop contains simulator-only opcode " +
+              std::string(getOpcodeName(BB->get(I)->getOpcode()));
+        return false;
+      default:
+        break;
+      }
+    }
+  return true;
+}
+
+void Lifter::allocateLoopRegs() {
+  size_t MaxPhis = 0;
+  for (const BasicBlock *BB : CL.L->blocks()) {
+    size_t NumPhis = 0;
+    for (size_t I = 0; I != BB->size(); ++I) {
+      const Instruction *In = BB->get(I);
+      if (In->getOpcode() == Opcode::Phi)
+        ++NumPhis;
+      if (In->producesValue())
+        ValueRegs[In] = F.newReg();
+    }
+    MaxPhis = NumPhis > MaxPhis ? NumPhis : MaxPhis;
+  }
+  for (size_t I = 0; I != MaxPhis; ++I)
+    Scratch.push_back(F.newReg());
+}
+
+bool Lifter::regFor(const Value *V, int32_t &Reg) {
+  auto It = ValueRegs.find(V);
+  if (It != ValueRegs.end()) {
+    Reg = static_cast<int32_t>(It->second);
+    return true;
+  }
+  if (const auto *C = dyn_cast<ConstantInt>(V)) {
+    uint32_t R = F.newReg();
+    F.ConstPool.push_back({R, C->getValue()});
+    ValueRegs[V] = R;
+    Reg = static_cast<int32_t>(R);
+    return true;
+  }
+  if (isa<Argument>(V) || isa<GlobalVariable>(V)) {
+    uint32_t R = F.newReg();
+    F.Bindings.push_back({R, V});
+    ValueRegs[V] = R;
+    Reg = static_cast<int32_t>(R);
+    return true;
+  }
+  const auto *I = dyn_cast<Instruction>(V);
+  if (I && !CL.L->contains(I)) {
+    // Defined by the entry slice: invariant during the invocation.
+    uint32_t R = F.newReg();
+    F.Bindings.push_back({R, V});
+    ValueRegs[V] = R;
+    Reg = static_cast<int32_t>(R);
+    return true;
+  }
+  Err = "unmapped in-loop value (non-value-producing operand?)";
+  return false;
+}
+
+bool Lifter::lowerEdge(const BasicBlock *From, const BasicBlock *To) {
+  if (!CL.L->contains(To)) {
+    assert(To == CL.Exit && "canonical loop has a single exit");
+    emit({JitOp::LoopExit});
+    return true;
+  }
+  // The edge's phi assignments are simultaneous: collect the full
+  // parallel-copy set before emitting anything.
+  struct PhiCopy {
+    int32_t Dst, Src;
+  };
+  std::vector<PhiCopy> Copies;
+  bool Ok = true;
+  To->forEachPhi([&](Instruction *Phi) {
+    if (!Ok)
+      return;
+    const Value *In = Phi->getPhiIncomingFor(From);
+    if (!In) {
+      Err = "phi has no incoming for a lowered edge";
+      Ok = false;
+      return;
+    }
+    int32_t SrcReg;
+    if (!regFor(In, SrcReg)) {
+      Ok = false;
+      return;
+    }
+    if (SrcReg != static_cast<int32_t>(ValueRegs.at(Phi)))
+      Copies.push_back({static_cast<int32_t>(ValueRegs.at(Phi)), SrcReg});
+  });
+  if (!Ok)
+    return false;
+  bool Conflict = false;
+  for (const PhiCopy &A : Copies)
+    for (const PhiCopy &B : Copies)
+      Conflict |= A.Src == B.Dst;
+  if (!Conflict) {
+    // No source is also a destination, so the simultaneous assignment
+    // degenerates to plain ordered copies (the common case: next-values
+    // come from body instructions, not from other phis).
+    for (const PhiCopy &C : Copies) {
+      JitInst Mv;
+      Mv.Op = JitOp::Copy;
+      Mv.Dst = C.Dst;
+      Mv.A = C.Src;
+      emit(Mv);
+    }
+  } else {
+    // Trampoline: gather every incoming into scratch, then commit, the
+    // same way the interpreter's executeBranchTo handles phi swaps.
+    assert(Copies.size() <= Scratch.size() && "scratch bank too small");
+    for (size_t I = 0; I != Copies.size(); ++I) {
+      JitInst Gather;
+      Gather.Op = JitOp::Copy;
+      Gather.Dst = static_cast<int32_t>(Scratch[I]);
+      Gather.A = Copies[I].Src;
+      emit(Gather);
+    }
+    for (size_t I = 0; I != Copies.size(); ++I) {
+      JitInst Commit;
+      Commit.Op = JitOp::Copy;
+      Commit.Dst = Copies[I].Dst;
+      Commit.A = static_cast<int32_t>(Scratch[I]);
+      emit(Commit);
+    }
+  }
+  if (To == CL.Header) {
+    emit({JitOp::IterEnd});
+    return true;
+  }
+  JitInst J;
+  J.Op = JitOp::Jmp;
+  auto It = BlockOffsets.find(To);
+  if (It != BlockOffsets.end()) {
+    J.Target = It->second;
+  } else {
+    Fixups.push_back({F.Insts.size(), To});
+  }
+  emit(J);
+  return true;
+}
+
+bool Lifter::lowerInst(const Instruction *I) {
+  switch (I->getOpcode()) {
+  case Opcode::Phi:
+    return true; // Handled by edge trampolines.
+  case Opcode::ProfNewInvoc:
+  case Opcode::ProfRecord:
+  case Opcode::ProfIterEnd:
+    return true; // The JIT tier runs after profiling.
+  case Opcode::Load: {
+    int32_t Addr;
+    if (!regFor(I->getOperand(0), Addr))
+      return false;
+    JitInst G;
+    G.Op = JitOp::GuardLoad;
+    G.A = Addr;
+    emit(G);
+    JitInst L;
+    L.Op = JitOp::Load;
+    L.Dst = static_cast<int32_t>(ValueRegs.at(I));
+    L.A = Addr;
+    emit(L);
+    return true;
+  }
+  case Opcode::Store: {
+    int32_t Addr, V;
+    if (!regFor(I->getOperand(0), Addr) || !regFor(I->getOperand(1), V))
+      return false;
+    JitInst G;
+    G.Op = JitOp::GuardStore;
+    G.A = Addr;
+    emit(G);
+    JitInst S;
+    S.Op = JitOp::Store;
+    S.A = Addr;
+    S.B = V;
+    emit(S);
+    return true;
+  }
+  case Opcode::Select: {
+    int32_t Cond, T, E;
+    if (!regFor(I->getOperand(0), Cond) || !regFor(I->getOperand(1), T) ||
+        !regFor(I->getOperand(2), E))
+      return false;
+    JitInst S;
+    S.Op = JitOp::Select;
+    S.Dst = static_cast<int32_t>(ValueRegs.at(I));
+    S.A = Cond;
+    S.B = T;
+    S.C = E;
+    emit(S);
+    return true;
+  }
+  case Opcode::Br:
+    return lowerEdge(I->getParent(), I->getBlockOperand(0));
+  case Opcode::CondBr: {
+    int32_t Cond;
+    if (!regFor(I->getOperand(0), Cond))
+      return false;
+    JitInst J;
+    J.Op = JitOp::JmpIf;
+    J.A = Cond;
+    size_t JmpAt = F.Insts.size();
+    emit(J); // Target patched to the true edge below.
+    if (!lowerEdge(I->getParent(), I->getBlockOperand(1))) // False edge.
+      return false;
+    F.Insts[JmpAt].Target = static_cast<uint32_t>(F.Insts.size());
+    return lowerEdge(I->getParent(), I->getBlockOperand(0)); // True edge.
+  }
+  default: {
+    JitOp Op;
+    if (!mapAluOp(I->getOpcode(), Op)) {
+      Err = "unsupported opcode " +
+            std::string(getOpcodeName(I->getOpcode()));
+      return false;
+    }
+    int32_t A, B;
+    if (!regFor(I->getOperand(0), A) || !regFor(I->getOperand(1), B))
+      return false;
+    if (Op == JitOp::SDiv || Op == JitOp::SRem) {
+      JitInst G;
+      G.Op = JitOp::GuardDiv;
+      G.A = A;
+      G.B = B;
+      emit(G);
+    }
+    JitInst In;
+    In.Op = Op;
+    In.Dst = static_cast<int32_t>(ValueRegs.at(I));
+    In.A = A;
+    In.B = B;
+    emit(In);
+    return true;
+  }
+  }
+}
+
+bool Lifter::lowerBlock(const BasicBlock *BB) {
+  BlockOffsets[BB] = static_cast<uint32_t>(F.Insts.size());
+  for (size_t I = 0; I != BB->size(); ++I)
+    if (!lowerInst(BB->get(I)))
+      return false;
+  return true;
+}
+
+void Lifter::buildMetadata(std::string &Error) {
+  // Header phis in block order: reductions (primaries first, then
+  // payloads pointing at their primary's index) and speculated live-ins.
+  std::unordered_map<const Instruction *, int32_t> PrimaryIndex;
+  const LoopCarriedInfo &Info = CL.Info;
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I) {
+    const Instruction *Phi = Info.HeaderPhis[I];
+    const ReductionInfo *R = Info.getReductionFor(Phi);
+    if (!R) {
+      F.SpecPhiRegs.push_back(ValueRegs.at(Phi));
+      F.SpecPhis.push_back(Phi);
+      F.SpecPhiStarts.push_back(Info.StartValues[I]);
+      continue;
+    }
+    bool IsPayload = R->Kind == ReductionKind::MinPayload ||
+                     R->Kind == ReductionKind::MaxPayload;
+    if (IsPayload)
+      continue; // Second pass, after every primary has an index.
+    JitReduction JR;
+    JR.Kind = R->Kind;
+    JR.Reg = ValueRegs.at(Phi);
+    JR.Identity = getReductionIdentity(R->Kind);
+    JR.Phi = Phi;
+    JR.StartValue = R->StartValue;
+    PrimaryIndex[Phi] = static_cast<int32_t>(F.Reductions.size());
+    F.Reductions.push_back(JR);
+  }
+  for (size_t I = 0; I != Info.HeaderPhis.size(); ++I) {
+    const Instruction *Phi = Info.HeaderPhis[I];
+    const ReductionInfo *R = Info.getReductionFor(Phi);
+    if (!R || (R->Kind != ReductionKind::MinPayload &&
+               R->Kind != ReductionKind::MaxPayload))
+      continue;
+    auto It = PrimaryIndex.find(R->PrimaryPhi);
+    if (It == PrimaryIndex.end()) {
+      Error = "payload reduction's primary is not a lowered reduction";
+      return;
+    }
+    JitReduction JR;
+    JR.Kind = R->Kind;
+    JR.Reg = ValueRegs.at(Phi);
+    JR.PrimaryIndex = It->second;
+    JR.Identity = getReductionIdentity(R->Kind);
+    JR.Phi = Phi;
+    JR.StartValue = R->StartValue;
+    F.Reductions.push_back(JR);
+  }
+}
+
+bool Lifter::run(std::string &Error) {
+  if (!refuseUnsupported()) {
+    Error = Err;
+    return false;
+  }
+  allocateLoopRegs();
+
+  // Header first (the unit's entry is pc 0), then the remaining loop
+  // blocks in reverse post-order so forward Jmps are the common case.
+  if (!lowerBlock(CL.Header)) {
+    Error = Err;
+    return false;
+  }
+  for (const BasicBlock *BB : CL.CFG->reversePostOrder()) {
+    if (BB == CL.Header || !CL.L->contains(BB))
+      continue;
+    if (!lowerBlock(BB)) {
+      Error = Err;
+      return false;
+    }
+  }
+  for (const auto &[InstIdx, BB] : Fixups) {
+    auto It = BlockOffsets.find(BB);
+    assert(It != BlockOffsets.end() && "jump to an un-lowered block");
+    F.Insts[InstIdx].Target = It->second;
+  }
+  buildMetadata(Error);
+  return Error.empty();
+}
+
+} // namespace
+
+FrontendResult jit::liftLoop(const CanonicalLoop &CL) {
+  FrontendResult Res;
+  auto Fn = std::make_unique<JitFunction>();
+  Fn->Name = CL.F->getName() + ".loop";
+  Fn->Source = CL.F;
+  Fn->Header = CL.Header;
+  Fn->Exit = CL.Exit;
+  Lifter L(CL, *Fn);
+  if (!L.run(Res.Error))
+    return Res;
+  std::vector<std::string> Errors = verifyJitFunction(*Fn);
+  if (!Errors.empty()) {
+    Res.Error = "lifted function fails verification: " + Errors.front();
+    return Res;
+  }
+  Res.Fn = std::move(Fn);
+  return Res;
+}

@@ -1,0 +1,56 @@
+//===- jit/Frontend.h - ir::Function loop region -> JIT IR ------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JIT frontend lifts the loop region of a canonical Spice loop
+/// (transform::CanonicalLoop) into a JitFunction:
+///
+///   * every value-producing in-loop instruction (including phis) gets a
+///     frame register; constants become const-pool registers; values
+///     defined outside the loop (arguments, globals, entry-slice
+///     instructions) become per-invocation binding registers;
+///   * control flow is linearized with explicit Jmp/JmpIf; every CFG edge
+///     gets a *phi trampoline* (parallel copy through scratch registers,
+///     gather-then-commit, so swap permutations stay correct);
+///   * the back edge to the outer header lowers to its trampoline plus
+///     `IterEnd`; the loop's single exit edge lowers to `LoopExit`;
+///   * loads, stores and divisions get explicit guards replicating the
+///     interpreter's asserts, turned into deopts (JitIR.h).
+///
+/// Profiling intrinsics (ProfNewInvoc/ProfRecord/ProfIterEnd) are
+/// dropped -- the JIT tier runs after profiling. Channel, speculation and
+/// resteer intrinsics (Send/Recv/Spec*/Resteer/Halt) are simulator-only;
+/// a loop containing them is refused and stays on the interpreter.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_JIT_FRONTEND_H
+#define SPICE_JIT_FRONTEND_H
+
+#include "jit/JitIR.h"
+#include "transform/CanonicalLoop.h"
+
+#include <memory>
+#include <string>
+
+namespace spice {
+namespace jit {
+
+/// Outcome of a lift: either a JitFunction or a reason for refusal.
+struct FrontendResult {
+  std::unique_ptr<JitFunction> Fn;
+  std::string Error;
+};
+
+/// Lifts the loop region of \p CL. On success the returned function
+/// verifies cleanly (verifyJitFunction) and enters at pc 0 with the
+/// header-phi registers holding the current iteration's live-ins.
+FrontendResult liftLoop(const transform::CanonicalLoop &CL);
+
+} // namespace jit
+} // namespace spice
+
+#endif // SPICE_JIT_FRONTEND_H

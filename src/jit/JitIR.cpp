@@ -1,0 +1,271 @@
+//===- jit/JitIR.cpp - Compact register-machine JIT IR --------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/JitIR.h"
+
+#include "support/ErrorHandling.h"
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+using namespace spice;
+using namespace spice::jit;
+
+const char *jit::getJitOpName(JitOp Op) {
+  switch (Op) {
+  case JitOp::Add:
+    return "add";
+  case JitOp::Sub:
+    return "sub";
+  case JitOp::Mul:
+    return "mul";
+  case JitOp::SDiv:
+    return "sdiv";
+  case JitOp::SRem:
+    return "srem";
+  case JitOp::And:
+    return "and";
+  case JitOp::Or:
+    return "or";
+  case JitOp::Xor:
+    return "xor";
+  case JitOp::Shl:
+    return "shl";
+  case JitOp::LShr:
+    return "lshr";
+  case JitOp::AShr:
+    return "ashr";
+  case JitOp::SMin:
+    return "smin";
+  case JitOp::SMax:
+    return "smax";
+  case JitOp::CmpEq:
+    return "cmp.eq";
+  case JitOp::CmpNe:
+    return "cmp.ne";
+  case JitOp::CmpSLt:
+    return "cmp.slt";
+  case JitOp::CmpSLe:
+    return "cmp.sle";
+  case JitOp::CmpSGt:
+    return "cmp.sgt";
+  case JitOp::CmpSGe:
+    return "cmp.sge";
+  case JitOp::CmpULt:
+    return "cmp.ult";
+  case JitOp::Select:
+    return "select";
+  case JitOp::Copy:
+    return "copy";
+  case JitOp::LoadImm:
+    return "loadimm";
+  case JitOp::Load:
+    return "load";
+  case JitOp::Store:
+    return "store";
+  case JitOp::GuardLoad:
+    return "guard.load";
+  case JitOp::GuardStore:
+    return "guard.store";
+  case JitOp::GuardDiv:
+    return "guard.div";
+  case JitOp::Jmp:
+    return "jmp";
+  case JitOp::JmpIf:
+    return "jmpif";
+  case JitOp::IterEnd:
+    return "iterend";
+  case JitOp::LoopExit:
+    return "loopexit";
+  case JitOp::Nop:
+    return "nop";
+  }
+  spice_unreachable("unknown JitOp");
+}
+
+int64_t jit::evalBinary(JitOp Op, int64_t L, int64_t R) {
+  auto UL = static_cast<uint64_t>(L);
+  auto UR = static_cast<uint64_t>(R);
+  switch (Op) {
+  case JitOp::Add:
+    return static_cast<int64_t>(UL + UR);
+  case JitOp::Sub:
+    return static_cast<int64_t>(UL - UR);
+  case JitOp::Mul:
+    return static_cast<int64_t>(UL * UR);
+  case JitOp::SDiv:
+    return L / R;
+  case JitOp::SRem:
+    return L % R;
+  case JitOp::And:
+    return L & R;
+  case JitOp::Or:
+    return L | R;
+  case JitOp::Xor:
+    return L ^ R;
+  case JitOp::Shl:
+    return static_cast<int64_t>(UL << (UR & 63));
+  case JitOp::LShr:
+    return static_cast<int64_t>(UL >> (UR & 63));
+  case JitOp::AShr:
+    return L >> (UR & 63);
+  case JitOp::SMin:
+    return L < R ? L : R;
+  case JitOp::SMax:
+    return L > R ? L : R;
+  case JitOp::CmpEq:
+    return L == R;
+  case JitOp::CmpNe:
+    return L != R;
+  case JitOp::CmpSLt:
+    return L < R;
+  case JitOp::CmpSLe:
+    return L <= R;
+  case JitOp::CmpSGt:
+    return L > R;
+  case JitOp::CmpSGe:
+    return L >= R;
+  case JitOp::CmpULt:
+    return UL < UR;
+  default:
+    spice_unreachable("evalBinary on a non-ALU JitOp");
+  }
+}
+
+unsigned jit::getSourceRegs(const JitInst &I, int32_t Regs[3]) {
+  if (isBinaryAlu(I.Op) || isComparison(I.Op)) {
+    Regs[0] = I.A;
+    Regs[1] = I.B;
+    return 2;
+  }
+  switch (I.Op) {
+  case JitOp::Select:
+    Regs[0] = I.A;
+    Regs[1] = I.B;
+    Regs[2] = I.C;
+    return 3;
+  case JitOp::Copy:
+  case JitOp::Load:
+  case JitOp::GuardLoad:
+  case JitOp::GuardStore:
+  case JitOp::JmpIf:
+    Regs[0] = I.A;
+    return 1;
+  case JitOp::Store:
+  case JitOp::GuardDiv:
+    Regs[0] = I.A;
+    Regs[1] = I.B;
+    return 2;
+  default:
+    return 0; // LoadImm, Jmp, IterEnd, LoopExit, Nop.
+  }
+}
+
+void JitFunction::print(std::ostream &OS) const {
+  OS << "jitfunc @" << Name << " regs=" << NumRegs << "\n";
+  for (const JitImm &C : ConstPool)
+    OS << "  const r" << C.Reg << " = " << C.Value << "\n";
+  for (const JitBinding &B : Bindings)
+    OS << "  bind  r" << B.Reg << "\n";
+  for (size_t I = 0; I != SpecPhiRegs.size(); ++I)
+    OS << "  spec  r" << SpecPhiRegs[I] << "\n";
+  for (const JitReduction &R : Reductions)
+    OS << "  red   r" << R.Reg << " "
+       << analysis::getReductionKindName(R.Kind) << "\n";
+  for (size_t I = 0; I != Insts.size(); ++I) {
+    const JitInst &In = Insts[I];
+    OS << "  " << I << ": " << getJitOpName(In.Op);
+    if (producesValue(In.Op))
+      OS << " r" << In.Dst << " <-";
+    int32_t Srcs[3];
+    unsigned N = getSourceRegs(In, Srcs);
+    for (unsigned S = 0; S != N; ++S)
+      OS << " r" << Srcs[S];
+    if (In.Op == JitOp::LoadImm)
+      OS << " " << In.Imm;
+    if (In.Op == JitOp::Jmp || In.Op == JitOp::JmpIf)
+      OS << " -> " << In.Target;
+    OS << "\n";
+  }
+}
+
+std::vector<std::string> jit::verifyJitFunction(const JitFunction &F) {
+  std::vector<std::string> Errors;
+  auto Err = [&](size_t Pc, const std::string &Msg) {
+    Errors.push_back("@" + F.Name + " inst " + std::to_string(Pc) + ": " +
+                     Msg);
+  };
+  auto Meta = [&](const std::string &Msg) {
+    Errors.push_back("@" + F.Name + ": " + Msg);
+  };
+
+  std::unordered_set<uint32_t> Immutable;
+  for (const JitImm &C : F.ConstPool) {
+    if (C.Reg >= F.NumRegs)
+      Meta("const-pool register out of range");
+    if (!Immutable.insert(C.Reg).second)
+      Meta("register has two const-pool entries");
+  }
+  for (const JitBinding &B : F.Bindings) {
+    if (B.Reg >= F.NumRegs)
+      Meta("binding register out of range");
+    if (!B.Src)
+      Meta("binding with null source value");
+    if (!Immutable.insert(B.Reg).second)
+      Meta("binding register aliases another immutable register");
+  }
+  for (uint32_t R : F.SpecPhiRegs)
+    if (R >= F.NumRegs)
+      Meta("spec-phi register out of range");
+  if (F.SpecPhiRegs.size() != F.SpecPhis.size() ||
+      F.SpecPhiRegs.size() != F.SpecPhiStarts.size())
+    Meta("spec-phi metadata arrays disagree in length");
+  for (size_t I = 0; I != F.Reductions.size(); ++I) {
+    const JitReduction &R = F.Reductions[I];
+    if (R.Reg >= F.NumRegs)
+      Meta("reduction register out of range");
+    bool IsPayload = R.Kind == analysis::ReductionKind::MinPayload ||
+                     R.Kind == analysis::ReductionKind::MaxPayload;
+    if (IsPayload) {
+      if (R.PrimaryIndex < 0 ||
+          static_cast<size_t>(R.PrimaryIndex) >= F.Reductions.size())
+        Meta("payload reduction without a primary");
+      else if (static_cast<size_t>(R.PrimaryIndex) >= I)
+        Meta("payload reduction precedes its primary");
+    }
+  }
+
+  for (size_t Pc = 0; Pc != F.Insts.size(); ++Pc) {
+    const JitInst &I = F.Insts[Pc];
+    if (producesValue(I.Op)) {
+      if (I.Dst < 0 || static_cast<uint32_t>(I.Dst) >= F.NumRegs)
+        Err(Pc, "destination register out of range");
+      else if (Immutable.count(static_cast<uint32_t>(I.Dst)))
+        Err(Pc, "write to an immutable (const/binding) register");
+    }
+    int32_t Srcs[3];
+    unsigned N = getSourceRegs(I, Srcs);
+    for (unsigned S = 0; S != N; ++S)
+      if (Srcs[S] < 0 || static_cast<uint32_t>(Srcs[S]) >= F.NumRegs)
+        Err(Pc, "source register out of range");
+    if ((I.Op == JitOp::Jmp || I.Op == JitOp::JmpIf) &&
+        I.Target >= F.Insts.size())
+      Err(Pc, "jump target out of range");
+  }
+
+  // Control must never fall off the end of the unit.
+  if (F.Insts.empty())
+    Meta("empty instruction stream");
+  else {
+    JitOp Last = F.Insts.back().Op;
+    if (!endsFlow(Last))
+      Meta("control can fall off the end of the unit (last op " +
+           std::string(getJitOpName(Last)) + ")");
+  }
+  return Errors;
+}

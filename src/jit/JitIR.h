@@ -1,0 +1,225 @@
+//===- jit/JitIR.h - Compact register-machine JIT IR ------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The JIT's internal representation: a linear, non-SSA register machine
+/// over a flat frame of int64 registers. The frontend (Frontend.h) lifts
+/// one canonical `SpiceTransform`-shaped loop region of an `ir::Function`
+/// into a `JitFunction`; the passes (Passes.h) fold, dedup and strip it;
+/// the backend (Backend.h) lowers each op to a pre-compiled C++ closure.
+///
+/// One compiled unit covers exactly one *outer-loop iteration*: execution
+/// enters at pc 0 (the loop header, with the header-phi registers already
+/// holding this iteration's live-ins), runs through the body -- inner
+/// loops are ordinary intra-unit jumps -- and stops at one of two
+/// terminators: `IterEnd` (the back edge to the header was taken; the
+/// phi-copy trampoline before it has moved the next iteration's live-ins
+/// into the phi registers) or `LoopExit` (the loop's single exit edge was
+/// taken). This keeps the speculation protocol's granularity identical to
+/// the interpreter's: the runtime observes the loop one iteration at a
+/// time, exactly where the detection compare and the abort checks live.
+///
+/// Speculation safety is explicit in the IR: every memory access and
+/// division is preceded by a guard op (`GuardLoad` / `GuardStore` /
+/// `GuardDiv`) that re-checks what the interpreter asserts. On a
+/// mis-speculated chunk those asserts can legitimately fail (stale
+/// pointers, garbage cursors), so a failing guard *deopts* -- the backend
+/// returns a deopt sentinel and the runner poisons the chunk (JitLoop.h)
+/// instead of crashing.
+///
+/// Register classes (all indices into one frame):
+///   * const-pool registers -- immutable, filled once per compiled unit;
+///   * binding registers    -- immutable during an invocation, evaluated
+///     from the source function's invariant live-ins by the entry slice;
+///   * phi / scratch registers -- mutated by the unit itself.
+/// The verifier rejects writes to the immutable classes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_JIT_JITIR_H
+#define SPICE_JIT_JITIR_H
+
+#include "analysis/LoopCarried.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace spice {
+namespace jit {
+
+/// JIT IR opcodes. The ALU/compare group mirrors vm::ThreadContext's
+/// applyBinary semantics exactly (wraparound add/sub/mul, 63-masked
+/// shifts, 0/1 compares); the backend and the constant folder share one
+/// evaluator (evalBinary) so they cannot drift apart.
+enum class JitOp : uint8_t {
+  // Binary ALU: Dst = A op B.
+  Add,
+  Sub,
+  Mul,
+  SDiv, // Must be dominated by a GuardDiv on the same operands.
+  SRem, // Likewise.
+  And,
+  Or,
+  Xor,
+  Shl,
+  LShr,
+  AShr,
+  SMin,
+  SMax,
+  // Comparisons: Dst = (A op B) ? 1 : 0.
+  CmpEq,
+  CmpNe,
+  CmpSLt,
+  CmpSLe,
+  CmpSGt,
+  CmpSGe,
+  CmpULt,
+  Select,  // Dst = A ? R[B] : R[C]
+  Copy,    // Dst = A
+  LoadImm, // Dst = Imm
+  Load,    // Dst = Mem[A]; requires a dominating GuardLoad on A.
+  Store,   // Mem[A] = B; requires a dominating GuardStore on A.
+  // Guards: fall through when the condition holds, deopt otherwise.
+  GuardLoad,  // deopt unless (uint64)A < MemWords
+  GuardStore, // deopt unless (uint64)A < MemWords && A != 0
+  GuardDiv,   // deopt unless B != 0 && !(A == INT64_MIN && B == -1)
+  Jmp,        // pc = Target
+  JmpIf,      // pc = A ? Target : pc + 1
+  IterEnd,    // One outer iteration done; live-ins already advanced.
+  LoopExit,   // The loop's exit edge was taken.
+  Nop,        // Pass tombstone; stripped by compactNops().
+};
+
+const char *getJitOpName(JitOp Op);
+
+inline bool isBinaryAlu(JitOp Op) {
+  return Op >= JitOp::Add && Op <= JitOp::SMax;
+}
+inline bool isComparison(JitOp Op) {
+  return Op >= JitOp::CmpEq && Op <= JitOp::CmpULt;
+}
+inline bool isGuard(JitOp Op) {
+  return Op == JitOp::GuardLoad || Op == JitOp::GuardStore ||
+         Op == JitOp::GuardDiv;
+}
+/// Ops after which control never falls through to pc + 1.
+inline bool endsFlow(JitOp Op) {
+  return Op == JitOp::Jmp || Op == JitOp::IterEnd || Op == JitOp::LoopExit;
+}
+/// True when the op writes its Dst register.
+inline bool producesValue(JitOp Op) {
+  return (isBinaryAlu(Op) || isComparison(Op)) || Op == JitOp::Select ||
+         Op == JitOp::Copy || Op == JitOp::LoadImm || Op == JitOp::Load;
+}
+/// Ops that must never be removed by DCE regardless of register liveness.
+inline bool hasSideEffects(JitOp Op) {
+  return Op == JitOp::Store || isGuard(Op) || Op == JitOp::Jmp ||
+         Op == JitOp::JmpIf || Op == JitOp::IterEnd || Op == JitOp::LoopExit;
+}
+
+/// Evaluates a binary ALU/compare op with the interpreter's exact
+/// semantics. SDiv/SRem preconditions (nonzero divisor, no
+/// INT64_MIN / -1 overflow) are the caller's responsibility -- both the
+/// backend (guarded) and the constant folder (checks before folding)
+/// satisfy them.
+int64_t evalBinary(JitOp Op, int64_t L, int64_t R);
+
+/// One JIT instruction. Dst/A/B/C are register indices (-1 when unused);
+/// Imm is LoadImm's payload; Target is Jmp/JmpIf's instruction index.
+struct JitInst {
+  JitOp Op = JitOp::Nop;
+  int32_t Dst = -1;
+  int32_t A = -1;
+  int32_t B = -1;
+  int32_t C = -1;
+  int64_t Imm = 0;
+  uint32_t Target = 0;
+};
+
+/// Returns the source registers \p I reads into \p Regs (size >= 3);
+/// returns how many.
+unsigned getSourceRegs(const JitInst &I, int32_t Regs[3]);
+
+/// A const-pool entry: frame register \p Reg always holds \p Value.
+struct JitImm {
+  uint32_t Reg;
+  int64_t Value;
+};
+
+/// A per-invocation binding: before each invocation the runner evaluates
+/// \p Src (an Argument, GlobalVariable, or entry-slice Instruction of the
+/// source function) and writes it into frame register \p Reg.
+struct JitBinding {
+  uint32_t Reg;
+  const ir::Value *Src;
+};
+
+/// One reduction carried by the compiled loop. \p Reg is the frame slot
+/// holding the running value; chunks start it at \p Identity and the
+/// runner folds the true start value in exactly once after the merge.
+/// Payload (argmin/argmax) kinds take the merge decision of the primary
+/// reduction at \p PrimaryIndex.
+struct JitReduction {
+  analysis::ReductionKind Kind;
+  uint32_t Reg = 0;
+  int32_t PrimaryIndex = -1; ///< Index into Reductions; payload kinds only.
+  int64_t Identity = 0;
+  const ir::Instruction *Phi = nullptr; ///< Source header phi (exit slice).
+  const ir::Value *StartValue = nullptr;
+};
+
+/// A lifted loop region plus the metadata the runner needs to drive it.
+class JitFunction {
+public:
+  std::string Name;
+  uint32_t NumRegs = 0;
+  std::vector<JitInst> Insts;
+
+  std::vector<JitImm> ConstPool;
+  std::vector<JitBinding> Bindings;
+
+  /// Speculated live-ins, in the canonical (header block) order the
+  /// detection compare uses. Parallel arrays: frame register, source
+  /// header phi, and its preheader start value.
+  std::vector<uint32_t> SpecPhiRegs;
+  std::vector<const ir::Instruction *> SpecPhis;
+  std::vector<const ir::Value *> SpecPhiStarts;
+
+  std::vector<JitReduction> Reductions;
+
+  const ir::Function *Source = nullptr;
+  const ir::BasicBlock *Header = nullptr;
+  const ir::BasicBlock *Exit = nullptr;
+
+  uint32_t newReg() { return NumRegs++; }
+
+  /// Const-pool and binding registers are immutable inside the unit.
+  bool isImmutableReg(uint32_t R) const {
+    for (const JitImm &C : ConstPool)
+      if (C.Reg == R)
+        return true;
+    for (const JitBinding &B : Bindings)
+      if (B.Reg == R)
+        return true;
+    return false;
+  }
+
+  void print(std::ostream &OS) const;
+};
+
+/// Structural verifier for a JitFunction: register indices in range,
+/// operand presence per op, jump targets in range, no fallthrough off the
+/// end, no writes to immutable registers, spec-phi/reduction metadata
+/// consistent. Returns human-readable errors (empty = valid).
+std::vector<std::string> verifyJitFunction(const JitFunction &F);
+
+} // namespace jit
+} // namespace spice
+
+#endif // SPICE_JIT_JITIR_H

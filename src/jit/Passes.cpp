@@ -1,0 +1,361 @@
+//===- jit/Passes.cpp - JIT IR cleanup passes -----------------------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/Passes.h"
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <tuple>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+using namespace spice;
+using namespace spice::jit;
+
+namespace {
+
+/// Per-register definition counts. Registers the *runner* writes between
+/// steps (spec-phi live-ins) or merges (reductions) get an extra external
+/// definition so they are never treated as single-def constants.
+std::vector<uint32_t> countDefs(const JitFunction &F) {
+  std::vector<uint32_t> Defs(F.NumRegs, 0);
+  for (const JitInst &I : F.Insts)
+    if (producesValue(I.Op) && I.Dst >= 0)
+      ++Defs[static_cast<uint32_t>(I.Dst)];
+  for (uint32_t R : F.SpecPhiRegs)
+    ++Defs[R];
+  for (const JitReduction &R : F.Reductions)
+    ++Defs[R.Reg];
+  return Defs;
+}
+
+void toNop(JitInst &I) {
+  I = JitInst{}; // JitOp::Nop with cleared fields.
+}
+
+} // namespace
+
+bool jit::constantFold(JitFunction &F) {
+  std::vector<uint32_t> Defs = countDefs(F);
+  // Known-constant registers. Seeded from the const pool; extended with
+  // single-def registers as their defining ops fold.
+  std::unordered_map<uint32_t, int64_t> Known;
+  for (const JitImm &C : F.ConstPool)
+    Known[C.Reg] = C.Value;
+
+  auto KnownVal = [&](int32_t Reg, int64_t &V) {
+    auto It = Known.find(static_cast<uint32_t>(Reg));
+    if (It == Known.end())
+      return false;
+    V = It->second;
+    return true;
+  };
+  auto SingleDef = [&](int32_t Dst) {
+    return Dst >= 0 && Defs[static_cast<uint32_t>(Dst)] == 1;
+  };
+
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (JitInst &I : F.Insts) {
+      int64_t A, B, C;
+      if ((isBinaryAlu(I.Op) || isComparison(I.Op)) && SingleDef(I.Dst) &&
+          !Known.count(static_cast<uint32_t>(I.Dst)) && KnownVal(I.A, A) &&
+          KnownVal(I.B, B)) {
+        if ((I.Op == JitOp::SDiv || I.Op == JitOp::SRem) &&
+            (B == 0 ||
+             (A == std::numeric_limits<int64_t>::min() && B == -1)))
+          continue; // Would trap; leave for the guard to deopt.
+        I.Imm = evalBinary(I.Op, A, B);
+        I.Op = JitOp::LoadImm;
+        I.A = I.B = -1;
+        Known[static_cast<uint32_t>(I.Dst)] = I.Imm;
+        Progress = Changed = true;
+        continue;
+      }
+      if (I.Op == JitOp::Copy && SingleDef(I.Dst) &&
+          !Known.count(static_cast<uint32_t>(I.Dst)) && KnownVal(I.A, A)) {
+        I.Op = JitOp::LoadImm;
+        I.Imm = A;
+        I.A = -1;
+        Known[static_cast<uint32_t>(I.Dst)] = A;
+        Progress = Changed = true;
+        continue;
+      }
+      if (I.Op == JitOp::LoadImm && SingleDef(I.Dst) &&
+          !Known.count(static_cast<uint32_t>(I.Dst))) {
+        Known[static_cast<uint32_t>(I.Dst)] = I.Imm;
+        Progress = true; // Not a mutation, but new knowledge.
+        continue;
+      }
+      if (I.Op == JitOp::Select && KnownVal(I.A, C)) {
+        I.A = C ? I.B : I.C;
+        I.Op = JitOp::Copy;
+        I.B = I.C = -1;
+        Progress = Changed = true;
+        continue;
+      }
+      if (I.Op == JitOp::GuardDiv && KnownVal(I.B, B) && B != 0 &&
+          B != -1) {
+        toNop(I);
+        Progress = Changed = true;
+        continue;
+      }
+      if (I.Op == JitOp::JmpIf && KnownVal(I.A, A)) {
+        if (A) {
+          I.Op = JitOp::Jmp;
+          I.A = -1;
+        } else {
+          toNop(I);
+        }
+        Progress = Changed = true;
+        continue;
+      }
+    }
+  }
+  return Changed;
+}
+
+bool jit::eliminateDeadCode(JitFunction &F) {
+  // Roots: registers the runner reads after a step (spec-phi live-ins for
+  // the detection compare, reduction accumulators for the merge).
+  std::unordered_set<uint32_t> Used;
+  for (uint32_t R : F.SpecPhiRegs)
+    Used.insert(R);
+  for (const JitReduction &R : F.Reductions)
+    Used.insert(R.Reg);
+
+  std::vector<char> Live(F.Insts.size(), 0);
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    for (size_t Idx = 0; Idx != F.Insts.size(); ++Idx) {
+      if (Live[Idx])
+        continue;
+      const JitInst &I = F.Insts[Idx];
+      if (I.Op == JitOp::Nop)
+        continue;
+      bool IsLive = hasSideEffects(I.Op) ||
+                    (producesValue(I.Op) &&
+                     Used.count(static_cast<uint32_t>(I.Dst)));
+      if (!IsLive)
+        continue;
+      Live[Idx] = 1;
+      Progress = true;
+      int32_t Srcs[3];
+      unsigned N = getSourceRegs(I, Srcs);
+      for (unsigned S = 0; S != N; ++S)
+        Used.insert(static_cast<uint32_t>(Srcs[S]));
+    }
+  }
+
+  bool Changed = false;
+  for (size_t Idx = 0; Idx != F.Insts.size(); ++Idx) {
+    if (!Live[Idx] && F.Insts[Idx].Op != JitOp::Nop) {
+      toNop(F.Insts[Idx]);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool jit::dedupGuards(JitFunction &F) {
+  // Straight-line leaders: entry, every jump target, and the successor
+  // of every flow-changing op (the deopt exit of a guard leaves the unit
+  // entirely, so guards do not start new runs).
+  std::vector<char> Leader(F.Insts.size() + 1, 0);
+  Leader[0] = 1;
+  for (size_t Idx = 0; Idx != F.Insts.size(); ++Idx) {
+    const JitInst &I = F.Insts[Idx];
+    if (I.Op == JitOp::Jmp || I.Op == JitOp::JmpIf)
+      Leader[I.Target] = 1;
+    if (endsFlow(I.Op) || I.Op == JitOp::JmpIf)
+      Leader[Idx + 1] = 1;
+  }
+
+  bool Changed = false;
+  // (op, A, B) -> still valid. B is -1 for single-operand guards.
+  std::map<std::tuple<JitOp, int32_t, int32_t>, bool> Seen;
+  for (size_t Idx = 0; Idx != F.Insts.size(); ++Idx) {
+    if (Leader[Idx])
+      Seen.clear();
+    JitInst &I = F.Insts[Idx];
+    if (isGuard(I.Op)) {
+      auto Key = std::make_tuple(I.Op, I.A,
+                                 I.Op == JitOp::GuardDiv ? I.B : -1);
+      auto [It, Inserted] = Seen.try_emplace(Key, true);
+      if (!Inserted && It->second) {
+        toNop(I);
+        Changed = true;
+        continue;
+      }
+      It->second = true;
+    }
+    if (producesValue(I.Op) && I.Dst >= 0) {
+      // A redefinition invalidates every guard mentioning the register.
+      for (auto &[Key, Valid] : Seen)
+        if (std::get<1>(Key) == I.Dst || std::get<2>(Key) == I.Dst)
+          Valid = false;
+    }
+  }
+  return Changed;
+}
+
+bool jit::simplifyJumps(JitFunction &F) {
+  // A Jmp (or JmpIf -- both edges coincide, and reading the condition
+  // has no side effect) whose target is the next instruction is pure
+  // dispatch overhead on every iteration.
+  bool Changed = false;
+  for (size_t Idx = 0; Idx != F.Insts.size(); ++Idx) {
+    JitInst &I = F.Insts[Idx];
+    if ((I.Op == JitOp::Jmp || I.Op == JitOp::JmpIf) &&
+        I.Target == static_cast<uint32_t>(Idx) + 1) {
+      toNop(I);
+      Changed = true;
+    }
+  }
+  return Changed;
+}
+
+bool jit::coalesceCopies(JitFunction &F) {
+  // `def S at p; ...; copy D <- S at c` becomes a direct def of D when
+  // S is single-def/single-use, p..c is one straight-line run (no jumps
+  // out, no entries in: control reaching c always came through p), and
+  // nothing in between reads or writes D. Guards in between are fine: a
+  // deopt discards the whole chunk frame, so D's early write is never
+  // observed. The def may read D itself -- every closure reads all its
+  // operands before writing Dst.
+  bool Changed = false;
+  bool Progress = true;
+  while (Progress) {
+    Progress = false;
+    const size_t N = F.Insts.size();
+    std::vector<char> Leader(N + 1, 0);
+    if (N)
+      Leader[0] = 1;
+    for (const JitInst &I : F.Insts)
+      if (I.Op == JitOp::Jmp || I.Op == JitOp::JmpIf)
+        Leader[I.Target] = 1;
+
+    // Def/use counts with the runner's external accesses folded in:
+    // spec-phi and reduction registers are written and read between
+    // steps, const-pool and binding registers are written at setup, so
+    // none of them can ever look single-def as a coalescing source.
+    std::vector<uint32_t> Defs(F.NumRegs, 0), Uses(F.NumRegs, 0);
+    std::vector<int64_t> DefAt(F.NumRegs, -1);
+    for (size_t Idx = 0; Idx != N; ++Idx) {
+      const JitInst &I = F.Insts[Idx];
+      if (producesValue(I.Op) && I.Dst >= 0) {
+        ++Defs[static_cast<uint32_t>(I.Dst)];
+        DefAt[static_cast<uint32_t>(I.Dst)] = static_cast<int64_t>(Idx);
+      }
+      int32_t Srcs[3];
+      unsigned K = getSourceRegs(I, Srcs);
+      for (unsigned S = 0; S != K; ++S)
+        ++Uses[static_cast<uint32_t>(Srcs[S])];
+    }
+    for (uint32_t R : F.SpecPhiRegs) {
+      ++Defs[R];
+      ++Uses[R];
+    }
+    for (const JitReduction &R : F.Reductions) {
+      ++Defs[R.Reg];
+      ++Uses[R.Reg];
+    }
+    for (const JitImm &C : F.ConstPool)
+      ++Defs[C.Reg];
+    for (const JitBinding &B : F.Bindings)
+      ++Defs[B.Reg];
+
+    for (size_t C = 0; C != N && !Progress; ++C) {
+      const JitInst &Cp = F.Insts[C];
+      if (Cp.Op != JitOp::Copy || Cp.A < 0)
+        continue;
+      const auto S = static_cast<uint32_t>(Cp.A);
+      const int32_t D = Cp.Dst;
+      if (Defs[S] != 1 || Uses[S] != 1)
+        continue;
+      const int64_t P = DefAt[S];
+      if (P < 0 || static_cast<size_t>(P) >= C)
+        continue;
+      bool Safe = true;
+      for (size_t Idx = P + 1; Idx != C && Safe; ++Idx) {
+        const JitInst &Mid = F.Insts[Idx];
+        if (endsFlow(Mid.Op) || Mid.Op == JitOp::JmpIf)
+          Safe = false;
+        if (producesValue(Mid.Op) && Mid.Dst == D)
+          Safe = false;
+        int32_t Srcs[3];
+        unsigned K = getSourceRegs(Mid, Srcs);
+        for (unsigned U = 0; U != K; ++U)
+          if (Srcs[U] == D)
+            Safe = false;
+      }
+      for (size_t Idx = P + 1; Idx <= C && Safe; ++Idx)
+        if (Leader[Idx])
+          Safe = false;
+      if (!Safe)
+        continue;
+      F.Insts[static_cast<size_t>(P)].Dst = D;
+      toNop(F.Insts[C]);
+      Progress = Changed = true;
+    }
+  }
+  return Changed;
+}
+
+void jit::compactNops(JitFunction &F) {
+  std::vector<uint32_t> NewIdx(F.Insts.size() + 1, 0);
+  uint32_t N = 0;
+  for (size_t Idx = 0; Idx != F.Insts.size(); ++Idx) {
+    NewIdx[Idx] = N;
+    if (F.Insts[Idx].Op != JitOp::Nop)
+      ++N;
+  }
+  NewIdx[F.Insts.size()] = N;
+
+  std::vector<JitInst> Out;
+  Out.reserve(N);
+  for (const JitInst &I : F.Insts) {
+    if (I.Op == JitOp::Nop)
+      continue;
+    JitInst Copy = I;
+    if (Copy.Op == JitOp::Jmp || Copy.Op == JitOp::JmpIf) {
+      // A target pointing at a Nop slides forward to the next survivor;
+      // the flow op ending the targeted run always survives.
+      assert(NewIdx[Copy.Target] < N && "jump target compacted away");
+      Copy.Target = NewIdx[Copy.Target];
+    }
+    Out.push_back(Copy);
+  }
+  F.Insts = std::move(Out);
+}
+
+void jit::runDefaultPasses(JitFunction &F) {
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    Changed |= constantFold(F);
+    Changed |= dedupGuards(F);
+    Changed |= eliminateDeadCode(F);
+  }
+  compactNops(F);
+  // Layout-sensitive cleanups need the compacted form (they reason about
+  // physical adjacency); each round can expose the next -- a folded jump
+  // glues two runs together, letting more copies coalesce.
+  bool Layout = true;
+  while (Layout) {
+    Layout = simplifyJumps(F);
+    Layout |= coalesceCopies(F);
+    if (Layout)
+      compactNops(F);
+  }
+  assert(verifyJitFunction(F).empty() && "passes broke the function");
+}

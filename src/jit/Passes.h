@@ -1,0 +1,61 @@
+//===- jit/Passes.h - JIT IR cleanup passes ---------------------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Five small flow-insensitive passes over JitFunction, plus the Nop
+/// compactor that strips their tombstones:
+///
+///   * constantFold  -- evaluates ops whose operands are const-pool
+///     registers (single-def destinations only), folds const-condition
+///     JmpIf to Jmp/Nop and provably-passing GuardDiv to Nop;
+///   * eliminateDeadCode -- removes value-producing ops whose results
+///     can never reach a root (spec-phi / reduction registers) or a
+///     side-effecting op;
+///   * dedupGuards  -- drops a guard that repeats an identical guard
+///     earlier in the same straight-line run with no redefinition of its
+///     operands in between (the frontend emits one guard per memory op,
+///     so address-recomputing loops produce many duplicates);
+///   * simplifyJumps -- drops Jmp/JmpIf whose target is the next
+///     instruction (the frontend's two-edge CondBr lowering leaves one
+///     per conditional when an edge falls through);
+///   * coalesceCopies -- rewrites `def S; ...; copy D <- S` into a
+///     direct def of D when S is single-def/single-use and the region
+///     between is one straight-line run that never touches D, removing
+///     the per-iteration phi-commit copies the trampolines emit.
+///
+/// Passes replace instructions with Nop; compactNops() renumbers and
+/// drops them. runDefaultPasses() iterates the trio to a fixpoint and
+/// compacts; the result re-verifies (asserted in debug builds).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_JIT_PASSES_H
+#define SPICE_JIT_PASSES_H
+
+#include "jit/JitIR.h"
+
+namespace spice {
+namespace jit {
+
+/// Each pass returns true when it changed the function.
+bool constantFold(JitFunction &F);
+bool eliminateDeadCode(JitFunction &F);
+bool dedupGuards(JitFunction &F);
+bool simplifyJumps(JitFunction &F);
+bool coalesceCopies(JitFunction &F);
+
+/// Removes Nop instructions, remapping jump targets. Safe because every
+/// jump target leads (possibly through Nops) to a surviving flow op.
+void compactNops(JitFunction &F);
+
+/// Fold + dedup + DCE to a fixpoint, compact, then the layout-sensitive
+/// cleanups (simplifyJumps, coalesceCopies) to their own fixpoint.
+void runDefaultPasses(JitFunction &F);
+
+} // namespace jit
+} // namespace spice
+
+#endif // SPICE_JIT_PASSES_H

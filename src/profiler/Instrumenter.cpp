@@ -25,14 +25,21 @@ using namespace spice::ir;
 std::vector<InstrumentedLoop> profiler::instrumentFunction(
     Module &M, Function &F, const InstrumenterOptions &Opts,
     const std::unordered_map<const BasicBlock *, uint64_t> *BlockCounts) {
+  if (!BlockCounts)
+    return instrumentFunction(M, F, Opts,
+                              static_cast<const vm::HotnessProfile *>(
+                                  nullptr));
+  vm::HotnessProfile Profile;
+  Profile.accumulate(*BlockCounts);
+  return instrumentFunction(M, F, Opts, &Profile);
+}
+
+std::vector<InstrumentedLoop> profiler::instrumentFunction(
+    Module &M, Function &F, const InstrumenterOptions &Opts,
+    const vm::HotnessProfile *Profile) {
   CFGInfo CFG(F);
   DominatorTree DT(CFG);
   LoopInfo LI(CFG, DT);
-
-  uint64_t TotalDyn = 0;
-  if (BlockCounts)
-    for (const auto &[BB, N] : *BlockCounts)
-      TotalDyn += N;
 
   std::vector<InstrumentedLoop> Out;
   int64_t NextId = Opts.FirstLoopId;
@@ -46,15 +53,8 @@ std::vector<InstrumentedLoop> profiler::instrumentFunction(
     if (Info.SpeculatedLiveIns.empty())
       continue;
     double Hotness = 1.0;
-    if (BlockCounts && TotalDyn > 0) {
-      uint64_t LoopDyn = 0;
-      for (BasicBlock *BB : L->blocks()) {
-        auto It = BlockCounts->find(BB);
-        if (It != BlockCounts->end())
-          LoopDyn += It->second;
-      }
-      Hotness = static_cast<double>(LoopDyn) /
-                static_cast<double>(TotalDyn);
+    if (Profile && Profile->TotalDynamic > 0) {
+      Hotness = Profile->fractionIn(L->blocks());
       if (Hotness < Opts.HotnessThreshold)
         continue;
     }

@@ -21,6 +21,7 @@
 
 #include "analysis/LoopCarried.h"
 #include "ir/Module.h"
+#include "vm/Interpreter.h"
 
 #include <cstdint>
 #include <unordered_map>
@@ -46,10 +47,17 @@ struct InstrumenterOptions {
   int64_t FirstLoopId = 1;
 };
 
-/// Instruments every candidate loop of \p F in place. \p BlockCounts, when
-/// non-null, supplies dynamic per-block instruction counts from a prior
-/// profiling run (vm::ExecutionResult::BlockCounts) used for the hotness
-/// filter. Returns the instrumented loops; the function is renumbered.
+/// Instruments every candidate loop of \p F in place. \p Profile, when
+/// non-null, supplies the dynamic per-block counts of a prior profiling
+/// run for the hotness filter -- the same vm::HotnessProfile JIT tiering
+/// promotes from, so both consumers apply identical hotness math.
+/// Returns the instrumented loops; the function is renumbered.
+std::vector<InstrumentedLoop> instrumentFunction(
+    ir::Module &M, ir::Function &F, const InstrumenterOptions &Opts,
+    const vm::HotnessProfile *Profile);
+
+/// Convenience overload over raw per-block counts
+/// (vm::ExecutionResult::BlockCounts); wraps them in a HotnessProfile.
 std::vector<InstrumentedLoop> instrumentFunction(
     ir::Module &M, ir::Function &F, const InstrumenterOptions &Opts,
     const std::unordered_map<const ir::BasicBlock *, uint64_t> *BlockCounts

@@ -1,0 +1,86 @@
+//===- transform/CanonicalLoop.cpp - Canonical Spice loop matcher ---------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "transform/CanonicalLoop.h"
+
+#include "ir/BasicBlock.h"
+#include "ir/Instruction.h"
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace spice;
+using namespace spice::transform;
+using namespace spice::analysis;
+using namespace spice::ir;
+
+std::unique_ptr<CanonicalLoop>
+transform::matchCanonicalLoop(Function &F, std::string *WhyNot) {
+  auto Fail = [&](const std::string &Why) -> std::unique_ptr<CanonicalLoop> {
+    if (WhyNot)
+      *WhyNot = "@" + F.getName() + ": " + Why;
+    return nullptr;
+  };
+
+  F.renumber();
+  auto CL = std::make_unique<CanonicalLoop>();
+  CL->F = &F;
+  CL->CFG = std::make_unique<CFGInfo>(F);
+  CL->DT = std::make_unique<DominatorTree>(*CL->CFG);
+  CL->LI = std::make_unique<LoopInfo>(*CL->CFG, *CL->DT);
+
+  std::vector<Loop *> Tops = CL->LI->topLevelLoops();
+  if (Tops.size() != 1)
+    return Fail("expected exactly one top-level loop, found " +
+                std::to_string(Tops.size()));
+  CL->L = Tops.front();
+  CL->Header = CL->L->getHeader();
+
+  CL->Latch = CL->L->getSingleLatch();
+  if (!CL->Latch)
+    return Fail("loop has multiple latches");
+
+  CL->Preheader = CL->L->getPreheader(*CL->CFG);
+  if (!CL->Preheader || CL->Preheader != F.getEntryBlock())
+    return Fail("entry block is not the loop preheader");
+
+  std::vector<BasicBlock *> Exiting = CL->L->getExitingBlocks();
+  if (Exiting.size() != 1 || Exiting.front() != CL->Header)
+    return Fail("loop must exit only from its header");
+  std::vector<BasicBlock *> Exits = CL->L->getExitBlocks(*CL->CFG);
+  if (Exits.size() != 1)
+    return Fail("loop must have a single exit block");
+  CL->Exit = Exits.front();
+
+  if (CL->Exit->empty() ||
+      CL->Exit->getTerminator()->getOpcode() != Opcode::Ret)
+    return Fail("exit block must end in Ret");
+  if (CL->Exit->front()->getOpcode() == Opcode::Phi)
+    return Fail("exit block must be phi-free");
+
+  CL->Info = analyzeLoopCarried(*CL->CFG, *CL->L);
+  if (CL->Info.SpeculatedLiveIns.empty())
+    return Fail("no speculated live-ins (nothing for Spice to predict)");
+
+  // Every value used after the loop must be a recognized reduction: the
+  // parallel merge reconstitutes only reduction phis.
+  for (const Instruction *Out : CL->Info.LiveOuts)
+    if (!CL->Info.getReductionFor(Out))
+      return Fail("live-out is not a reduction phi");
+
+  // Payload reductions must be able to follow a primary that is itself in
+  // the reduction set.
+  for (const ReductionInfo &R : CL->Info.Reductions) {
+    bool IsPayload = R.Kind == ReductionKind::MinPayload ||
+                     R.Kind == ReductionKind::MaxPayload;
+    if (IsPayload && (!R.PrimaryPhi || !CL->Info.getReductionFor(R.PrimaryPhi)))
+      return Fail("payload reduction without a recognized primary");
+  }
+
+  return CL;
+}

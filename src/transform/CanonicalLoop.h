@@ -1,0 +1,60 @@
+//===- transform/CanonicalLoop.h - Canonical Spice loop matcher -*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recognizes the canonical single-loop function shape that
+/// `SpiceTransform` emits and consumes (and that the IR workload builders
+/// produce): entry == preheader, one top-level loop exiting only from its
+/// header, a single phi-free exit block ending in Ret, a non-empty
+/// speculated live-in set, and every live-out a recognized reduction phi.
+///
+/// `SpiceTransform` *asserts* this shape (its callers guarantee it); the
+/// JIT tier must instead *decide* whether a function is compilable and
+/// fall back to the interpreter when it is not, so this matcher reports
+/// failure with a reason rather than aborting. The returned object owns
+/// the analyses the match was computed from, keeping the `Loop` and
+/// `LoopCarriedInfo` pointers valid for the compiled code's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_TRANSFORM_CANONICALLOOP_H
+#define SPICE_TRANSFORM_CANONICALLOOP_H
+
+#include "analysis/Dominators.h"
+#include "analysis/LoopCarried.h"
+#include "analysis/LoopInfo.h"
+
+#include <memory>
+#include <string>
+
+namespace spice {
+namespace transform {
+
+/// A successfully matched canonical loop, with owning analyses.
+struct CanonicalLoop {
+  const ir::Function *F = nullptr;
+  analysis::Loop *L = nullptr; ///< Owned by LI below.
+  ir::BasicBlock *Preheader = nullptr;
+  ir::BasicBlock *Header = nullptr;
+  ir::BasicBlock *Latch = nullptr;
+  ir::BasicBlock *Exit = nullptr;
+  analysis::LoopCarriedInfo Info;
+
+  std::unique_ptr<analysis::CFGInfo> CFG;
+  std::unique_ptr<analysis::DominatorTree> DT;
+  std::unique_ptr<analysis::LoopInfo> LI;
+};
+
+/// Matches \p F against the canonical shape. Returns null and (when
+/// \p WhyNot is non-null) a reason on mismatch. Renumbers \p F.
+std::unique_ptr<CanonicalLoop> matchCanonicalLoop(ir::Function &F,
+                                                  std::string *WhyNot
+                                                  = nullptr);
+
+} // namespace transform
+} // namespace spice
+
+#endif // SPICE_TRANSFORM_CANONICALLOOP_H

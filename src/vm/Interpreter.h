@@ -7,8 +7,9 @@
 /// \file
 /// Convenience wrapper: run one function to completion on a Memory and
 /// collect the return value, dynamic instruction count, and per-block
-/// execution counts (used by the Table 2 hotness experiment and by the
-/// profiler's candidate filter).
+/// execution counts, plus the HotnessProfile view of those counts that
+/// every hotness consumer (the Table 2 experiment, the profiler's
+/// candidate filter, JIT tiering) shares.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,11 +25,53 @@
 namespace spice {
 namespace vm {
 
+/// Per-block execution counts in a stable, queryable form -- the single
+/// source of truth for "how hot is this region". profiler::Instrumenter
+/// filters candidate loops with it and jit tiering promotes regions with
+/// it, so the two tiers can never disagree on the hotness math.
+struct HotnessProfile {
+  std::unordered_map<const ir::BasicBlock *, uint64_t> BlockCounts;
+  uint64_t TotalDynamic = 0;
+
+  /// Folds another run's per-block counts in (profiles accumulate
+  /// across invocations until a tier decision is made).
+  void
+  accumulate(const std::unordered_map<const ir::BasicBlock *, uint64_t> &C) {
+    for (const auto &[BB, N] : C) {
+      BlockCounts[BB] += N;
+      TotalDynamic += N;
+    }
+  }
+
+  uint64_t countFor(const ir::BasicBlock *BB) const {
+    auto It = BlockCounts.find(BB);
+    return It == BlockCounts.end() ? 0 : It->second;
+  }
+
+  /// Fraction of all dynamic instructions spent in \p Blocks (the
+  /// paper's loop-hotness metric). 0 when nothing was executed.
+  double fractionIn(const std::vector<ir::BasicBlock *> &Blocks) const {
+    if (TotalDynamic == 0)
+      return 0.0;
+    uint64_t In = 0;
+    for (const ir::BasicBlock *BB : Blocks)
+      In += countFor(BB);
+    return static_cast<double>(In) / static_cast<double>(TotalDynamic);
+  }
+};
+
 /// Result of a completed single-threaded execution.
 struct ExecutionResult {
   int64_t ReturnValue = 0;
   uint64_t DynamicInstructions = 0;
   std::unordered_map<const ir::BasicBlock *, uint64_t> BlockCounts;
+
+  /// The counts as a HotnessProfile (TotalDynamic recomputed from them).
+  HotnessProfile profile() const {
+    HotnessProfile P;
+    P.accumulate(BlockCounts);
+    return P;
+  }
 };
 
 /// Runs \p F on \p Mem with \p Args until it returns. The function must be

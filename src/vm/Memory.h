@@ -36,6 +36,11 @@ public:
 
   uint64_t size() const { return Words.size(); }
 
+  /// Raw word array, for native code (the JIT backend) that accesses VM
+  /// memory through core::SpecSpace instead of load()/store().
+  int64_t *data() { return Words.data(); }
+  const int64_t *data() const { return Words.data(); }
+
   int64_t load(uint64_t Addr) const {
     assert(Addr < Words.size() && "load out of bounds");
     return Words[Addr];

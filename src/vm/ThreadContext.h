@@ -68,6 +68,12 @@ public:
   /// Evaluates an SSA value in the current register state.
   int64_t evaluate(const ir::Value *V) const;
 
+  /// Overwrites \p I's register. Used by the JIT tier to deposit the
+  /// natively computed loop results before resuming interpretation at
+  /// the loop exit (jumpTo + run): the exit slice then reads the final
+  /// reduction values exactly as if the interpreter had run the loop.
+  void setValue(const ir::Instruction *I, int64_t V) { setRegister(I, V); }
+
   uint64_t getStepsExecuted() const { return Steps; }
 
   /// Per-block executed-instruction counts (for loop hotness).

@@ -195,6 +195,76 @@ TEST(Verifier, CatchesEmptyBlockAndBadArity) {
   EXPECT_FALSE(verifyFunction(*F2, &Errors));
 }
 
+TEST(Verifier, CatchesPhiIncomingFromNonPredecessor) {
+  CountedLoop L;
+  // Rewire the i-phi's body incoming to claim it came from the exit
+  // block: counts still match (2 incomings, 2 predecessors), only the
+  // identity check can catch it.
+  Instruction *Phi = L.IPhi;
+  Value *FromBody = Phi->getPhiIncomingFor(L.Body);
+  ASSERT_NE(FromBody, nullptr);
+  auto Bad = std::make_unique<Instruction>(Opcode::Phi, std::vector<Value *>{});
+  Bad->addPhiIncoming(Phi->getPhiIncomingFor(L.Entry), L.Entry);
+  Bad->addPhiIncoming(FromBody, L.Exit); // Exit never branches to header.
+  L.Header->insertAt(0, std::move(Bad));
+  L.F->renumber();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*L.F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("non-predecessor"), std::string::npos);
+}
+
+TEST(Verifier, CatchesDuplicatePhiIncomingBlocks) {
+  CountedLoop L;
+  // Two incomings from the same predecessor: the edge-taken resolution
+  // rule has no way to pick one.
+  auto Bad = std::make_unique<Instruction>(Opcode::Phi, std::vector<Value *>{});
+  IRBuilder B(L.M, nullptr);
+  Bad->addPhiIncoming(B.getInt(1), L.Entry);
+  Bad->addPhiIncoming(B.getInt(2), L.Entry);
+  L.Header->insertAt(0, std::move(Bad));
+  L.F->renumber();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*L.F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("duplicate incoming"), std::string::npos);
+}
+
+TEST(Verifier, CatchesZeroIncomingPhi) {
+  Module M;
+  Function *F = M.createFunction("bad");
+  BasicBlock *Entry = F->createBlock("entry");
+  IRBuilder B(M, Entry);
+  B.createPhi("orphan"); // Entry has 0 predecessors: counts match.
+  B.createRet(B.getInt(0));
+  F->renumber();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("no incoming"), std::string::npos);
+}
+
+TEST(Verifier, CatchesOperandFromAnotherFunction) {
+  Module M;
+  Function *Donor = M.createFunction("donor");
+  BasicBlock *DB = Donor->createBlock("entry");
+  IRBuilder B(M, DB);
+  Instruction *Foreign = B.createAdd(B.getInt(1), B.getInt(2), "foreign");
+  B.createRet(Foreign);
+  Donor->renumber();
+  ASSERT_TRUE(verifyFunction(*Donor, nullptr));
+
+  Function *F = M.createFunction("thief");
+  BasicBlock *E = F->createBlock("entry");
+  B.setInsertBlock(E);
+  B.createRet(Foreign); // Register index belongs to @donor's frame.
+  F->renumber();
+  std::vector<std::string> Errors;
+  EXPECT_FALSE(verifyFunction(*F, &Errors));
+  ASSERT_FALSE(Errors.empty());
+  EXPECT_NE(Errors.front().find("outside the function"), std::string::npos);
+}
+
 TEST(Verifier, AcceptsWholeModule) {
   CountedLoop L;
   EXPECT_TRUE(verifyModule(L.M, nullptr));
