@@ -245,6 +245,94 @@ uint64_t medianJitCompileNanos(int Reps, bool Warm) {
   return Nanos[static_cast<size_t>(Reps / 2)];
 }
 
+/// Times \p Reps repetitions of \p Body (each covering \p OpsPerRep
+/// individual operations) and returns the median per-operation cost in
+/// nanoseconds. Small enough batches of cheap ops would disappear under
+/// clock overhead, hence the batching.
+template <typename Fn>
+uint64_t medianOpNanos(int Reps, uint64_t OpsPerRep, Fn &&Body) {
+  using Clock = std::chrono::steady_clock;
+  std::vector<uint64_t> Nanos(static_cast<size_t>(Reps));
+  for (int I = 0; I != Reps; ++I) {
+    Clock::time_point T0 = Clock::now();
+    Body();
+    Nanos[static_cast<size_t>(I)] =
+        static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                Clock::now() - T0)
+                .count()) /
+        OpsPerRep;
+  }
+  std::nth_element(Nanos.begin(), Nanos.begin() + Reps / 2, Nanos.end());
+  return Nanos[static_cast<size_t>(Reps / 2)];
+}
+
+constexpr size_t SpecBenchAddrs = 48;
+constexpr int SpecBenchRounds = 64;
+
+/// Per-write cost over a realistic chunk lifetime: 48 distinct
+/// addresses inserted fresh each generation, with the (cheap, O(live))
+/// clear amortized in -- i.e. what a reused buffer pays per buffered
+/// store at steady state.
+uint64_t specWriteNanos(int Reps) {
+  std::vector<int64_t> Cells(SpecBenchAddrs, 0);
+  SpecWriteBuffer Buf;
+  return medianOpNanos(
+      Reps, SpecBenchAddrs * SpecBenchRounds, [&] {
+        for (int R = 0; R != SpecBenchRounds; ++R) {
+          for (size_t I = 0; I != SpecBenchAddrs; ++I)
+            Buf.write(&Cells[I], static_cast<int64_t>(I + R));
+          Buf.clear();
+        }
+      });
+}
+
+/// Per-read cost when the address is in the write log (read-own-write).
+uint64_t specReadHitNanos(int Reps) {
+  std::vector<int64_t> Cells(SpecBenchAddrs, 0);
+  SpecWriteBuffer Buf;
+  for (size_t I = 0; I != SpecBenchAddrs; ++I)
+    Buf.write(&Cells[I], static_cast<int64_t>(I));
+  return medianOpNanos(
+      Reps, SpecBenchAddrs * SpecBenchRounds, [&] {
+        for (int R = 0; R != SpecBenchRounds; ++R)
+          for (size_t I = 0; I != SpecBenchAddrs; ++I)
+            benchmark::DoNotOptimize(Buf.read(&Cells[I]));
+      });
+}
+
+/// Per-read cost when the address was never written: probe, shared
+/// load, and the already-logged check (steady state after the first
+/// read of each address).
+uint64_t specReadMissNanos(int Reps) {
+  std::vector<int64_t> Cells(SpecBenchAddrs, 7);
+  SpecWriteBuffer Buf;
+  for (int64_t &C : Cells)
+    benchmark::DoNotOptimize(Buf.read(&C));
+  return medianOpNanos(
+      Reps, SpecBenchAddrs * SpecBenchRounds, [&] {
+        for (int R = 0; R != SpecBenchRounds; ++R)
+          for (size_t I = 0; I != SpecBenchAddrs; ++I)
+            benchmark::DoNotOptimize(Buf.read(&Cells[I]));
+      });
+}
+
+/// Per-live-entry cost of the populate-then-clear cycle on a reused
+/// buffer: what the generation-stamp clear (plus the re-inserts it
+/// enables) costs compared to throwing buffers away.
+uint64_t specClearReuseNanos(int Reps) {
+  constexpr size_t Live = 32;
+  std::vector<int64_t> Cells(Live, 0);
+  SpecWriteBuffer Buf;
+  return medianOpNanos(Reps, Live * SpecBenchRounds, [&] {
+    for (int R = 0; R != SpecBenchRounds; ++R) {
+      for (size_t I = 0; I != Live; ++I)
+        Buf.write(&Cells[I], static_cast<int64_t>(R));
+      Buf.clear();
+    }
+  });
+}
+
 /// Hand-timed median of \p Reps submit().get() round trips (ns), solo or
 /// against a contending background client. google-benchmark reports the
 /// same numbers interactively; this feeds the flat BENCH_*.json artifact
@@ -349,6 +437,12 @@ int main(int argc, char **argv) {
   const int Reps = Bench.pick(400, 60);
   spice::benchutil::BenchJson Json("micro_runtime");
   Json.scalar("budget", std::string(Bench.budgetName()));
+  // Speculative-buffer primitives (see docs/stats.md for definitions).
+  const int SpecReps = Bench.pick(400, 60);
+  Json.scalar("spec_write_ns", specWriteNanos(SpecReps));
+  Json.scalar("spec_read_hit_ns", specReadHitNanos(SpecReps));
+  Json.scalar("spec_read_miss_ns", specReadMissNanos(SpecReps));
+  Json.scalar("spec_clear_reuse_ns", specClearReuseNanos(SpecReps));
   Json.scalar("submit_roundtrip_ns",
               medianSubmitRoundTripNanos(Reps, /*Contended=*/false));
   Json.scalar("contended_submit_roundtrip_ns",

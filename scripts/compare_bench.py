@@ -44,7 +44,11 @@ import sys
 # steering into re-execution-heavy granularities would show up here
 # before it costs the geomean). jit_vs_interp_throughput guards the JIT
 # tier's headline claim (docs/jit.md): the compiled loop body must stay
-# well ahead of the vm interpreter on the same workload.
+# well ahead of the vm interpreter on the same workload. The
+# submit-round-trip gates (lower is better) guard the scheduler/buffer
+# hot path now that it has been attacked directly: the solo and
+# contended submit().get() medians from bench_micro_runtime must not
+# creep back up as per-submit allocations sneak in.
 DEFAULT_GATES = [
     ("fig7_speedup", "sim_geomean_2t", True),
     ("fig7_speedup", "sim_geomean_4t", True),
@@ -56,6 +60,8 @@ DEFAULT_GATES = [
     ("ablation_loadbalance", "adaptive_vs_best_static_geomean", True),
     ("ablation_loadbalance", "adaptive_recovery_fraction", False),
     ("serve", "serve_throughput_rps", True),
+    ("micro_runtime", "submit_roundtrip_ns", False),
+    ("micro_runtime", "contended_submit_roundtrip_ns", False),
 ]
 
 

@@ -127,6 +127,11 @@ public:
   /// Consistent snapshot of the last completed invocation's stats (see
   /// SpiceLoop::lastStats and docs/stats.md).
   core::SpiceStats lastStats() const { return Loop->lastStats(); }
+  /// Speculative-buffer pool snapshot (see SpiceLoop::bufferPoolStats
+  /// and docs/stats.md).
+  core::SpecBufferPoolStats bufferPoolStats() const {
+    return Loop->bufferPoolStats();
+  }
   /// Effective-chunking snapshot (see SpiceLoop::tuning and
   /// docs/tuning.md).
   core::LoopTuning tuning() const { return Loop->tuning(); }

@@ -15,12 +15,15 @@
 using namespace spice;
 using namespace spice::core;
 
-MemoizationPlan core::planMemoization(const std::vector<uint64_t> &Work,
-                                      unsigned NumChunks) {
+void core::planMemoizationInto(const std::vector<uint64_t> &Work,
+                               unsigned NumChunks, MemoizationPlan &Plan) {
   assert(NumChunks >= 2 && "planning needs at least two chunks");
   assert(Work.size() <= NumChunks && "more work entries than chunks");
 
-  MemoizationPlan Plan;
+  // Reuse the existing per-chunk lists' capacity: clear, then resize to
+  // the (possibly changed) chunk count.
+  for (auto &L : Plan.PerThread)
+    L.clear();
   Plan.PerThread.resize(NumChunks);
 
   uint64_t W = 0;
@@ -28,24 +31,31 @@ MemoizationPlan core::planMemoization(const std::vector<uint64_t> &Work,
     W += V;
   Plan.TotalWork = W;
   if (W == 0)
-    return Plan;
+    return;
 
-  // Prefix[j] = work preceding chunk j.
-  std::vector<uint64_t> Prefix(Work.size() + 1, 0);
-  for (size_t J = 0; J != Work.size(); ++J)
-    Prefix[J + 1] = Prefix[J] + Work[J];
-
+  // Targets are nondecreasing in K, so one cursor (J, Before) -- chunk J
+  // with Before work preceding it -- walks the chunks once; no prefix-sum
+  // scratch vector is needed.
+  size_t J = 0;
+  uint64_t Before = 0;
   for (unsigned K = 1; K != NumChunks; ++K) {
     uint64_t Target = (static_cast<uint64_t>(K) * W) / NumChunks;
-    // Find the chunk whose interval [Prefix[j], Prefix[j+1]) holds Target.
-    // Skip zero-work chunks: their empty interval can't contain anything.
-    size_t J = 0;
-    while (J + 1 < Work.size() && Prefix[J + 1] <= Target)
+    // Find the chunk whose interval [Before, Before + Work[J]) holds
+    // Target. Skip zero-work chunks: their empty interval can't contain
+    // anything.
+    while (J + 1 < Work.size() && Before + Work[J] <= Target) {
+      Before += Work[J];
       ++J;
+    }
     assert(Work[J] > 0 && "target landed in an empty chunk");
-    Plan.PerThread[J].push_back(
-        {Target - Prefix[J], /*Row=*/K - 1});
+    Plan.PerThread[J].push_back({Target - Before, /*Row=*/K - 1});
   }
+}
+
+MemoizationPlan core::planMemoization(const std::vector<uint64_t> &Work,
+                                      unsigned NumChunks) {
+  MemoizationPlan Plan;
+  planMemoizationInto(Work, NumChunks, Plan);
   return Plan;
 }
 

@@ -75,6 +75,15 @@ struct MemoizationPlan {
 MemoizationPlan planMemoization(const std::vector<uint64_t> &Work,
                                 unsigned NumChunks);
 
+/// Arena-reuse variant: recomputes the plan into \p Plan, reusing its
+/// per-chunk entry lists' capacity instead of allocating a fresh plan.
+/// This is the hot-path spelling -- SpiceLoop replans after every
+/// invocation, and a re-invoked loop's plan shape is stable, so the
+/// steady state allocates nothing. Semantics identical to
+/// planMemoization.
+void planMemoizationInto(const std::vector<uint64_t> &Work,
+                         unsigned NumChunks, MemoizationPlan &Plan);
+
 /// Deterministic greedy list-scheduling makespan: assigns the chunks of
 /// \p ChunkWork, in chunk order, each to the currently least-loaded of
 /// \p Workers execution contexts, and returns the resulting maximum

@@ -11,6 +11,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <optional>
 
 using namespace spice;
 using namespace spice::core;
@@ -329,6 +330,9 @@ void Scheduler::runGrants() {
     WorkerPool::SessionHandle Session;
     uint64_t QueuedMicros;
   };
+  // The sole-candidate fast path fills Solo; only the contended
+  // multi-candidate path pays for the planning vectors below.
+  std::optional<Action> Solo;
   std::vector<Action> Actions;
   std::vector<std::function<void()>> Drops;
   {
@@ -340,8 +344,39 @@ void Scheduler::runGrants() {
     // is shed even when lanes just became free for it.
     if (Overload == OverloadPolicy::DeadlineDrop)
       sweepExpiredLocked(Now, Drops);
-    unsigned Free = Pool.freeWorkers();
-    if (!Queue.empty() && Free > 0) {
+    if (Queue.size() == 1) {
+      // Fast path: with a single queued request, every LanePolicy grants
+      // it min(free lanes, requested) -- greedy, proportional, and
+      // priority orders are all trivial -- so skip planGrants and its
+      // per-pass Pending/Plan/Granted vectors. tryAcquireSessionFor
+      // itself returns null when no lane is free. This is the shape of
+      // every uncontended submit() and of the serving steady state.
+      Entry &E = Queue.front();
+      WorkerPool::SessionHandle S = Pool.tryAcquireSessionFor(
+          E.R.RequestedLanes, E.R.AllowStealing, E.R.Owner);
+      if (S) {
+        if (E.Immediate)
+          ++St.ImmediateGrants;
+        else
+          ++St.DeferredGrants;
+        if (Policy == LanePolicy::Adaptive)
+          ++St.AdaptiveGrants;
+        if (S->lanes() < E.R.RequestedLanes)
+          ++St.CappedGrants;
+        uint64_t Waited =
+            E.Immediate
+                ? 0
+                : static_cast<uint64_t>(
+                      std::chrono::duration_cast<std::chrono::microseconds>(
+                          Now - E.Enqueued)
+                          .count());
+        St.TotalQueuedMicros += Waited;
+        noteRemovedLocked(E);
+        Solo.emplace(Action{std::move(E), std::move(S), Waited});
+        Queue.pop_front();
+      }
+    } else if (unsigned Free = Pool.freeWorkers();
+               !Queue.empty() && Free > 0) {
       std::vector<Candidate> Pending;
       Pending.reserve(Queue.size());
       for (const Entry &E : Queue) {
@@ -392,12 +427,14 @@ void Scheduler::runGrants() {
   }
   // Every removal makes room below the caps: wake parked Block
   // submitters before running the callbacks.
-  if (!Actions.empty() || !Drops.empty())
+  if (Solo || !Actions.empty() || !Drops.empty())
     CapCV.notify_all();
   for (auto &D : Drops)
     D();
   // Callbacks run with no scheduler or pool lock held: they push chunks
   // and launch the leased lanes, which take pool-side locks of their own.
+  if (Solo)
+    Solo->E.R.OnGrant(std::move(Solo->Session), Solo->QueuedMicros);
   for (Action &A : Actions)
     A.E.R.OnGrant(std::move(A.Session), A.QueuedMicros);
 }

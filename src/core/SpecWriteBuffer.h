@@ -15,12 +15,26 @@
 /// chunk's start; on squash the buffer is discarded. Reads of shared
 /// memory are logged with the value observed so the runtime can perform
 /// commit-time value validation (the software analogue of conflict
-/// detection; silent same-value re-writes validate cleanly).
+/// detection; silent same-value re-writes validate cleanly -- an ABA
+/// write sequence that restores the observed value is *intended* to
+/// validate, exactly like the paper's value-based conflict check).
+///
+/// Storage layout: one open-addressing hash table (pointer-keyed, linear
+/// probing, power-of-two capacity) indexes both the write log and the
+/// read log. Slots are invalidated wholesale by bumping a generation
+/// stamp, so clear() is O(live entries), not O(capacity), and the table
+/// carries no tombstones (entries are never erased within a generation).
+/// The table and both logs start on inline storage sized so the common
+/// small chunk never heap-allocates; a buffer that did grow keeps its
+/// capacity across clear() so loops re-invoked millions of times stop
+/// paying malloc/rehash after warm-up (see capacity()/rehashes()).
 ///
 /// Concurrent access discipline: locations that may be written by one
 /// thread while read speculatively by another are accessed through
 /// std::atomic_ref with relaxed ordering, which keeps the racy reads the
-/// hardware would permit well-defined in C++.
+/// hardware would permit well-defined in C++. Odd-sized values (3/5/6/7
+/// bytes) take a plain memcpy path everywhere -- loads, validation, and
+/// commit -- consistent with loadShared/storeShared.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,8 +45,8 @@
 #include <cassert>
 #include <cstdint>
 #include <cstring>
-#include <unordered_map>
-#include <vector>
+#include <memory>
+#include <type_traits>
 
 namespace spice {
 namespace core {
@@ -42,55 +56,137 @@ template <typename T>
 concept BufferableValue =
     std::is_trivially_copyable_v<T> && sizeof(T) <= sizeof(uint64_t);
 
+namespace detail {
+
+/// Minimal small-buffer vector for trivially copyable elements: the first
+/// N elements live inline, growth moves to a doubling heap array. Used for
+/// the speculative write/read logs so small chunks never heap-allocate.
+template <typename T, size_t N> class SmallVec {
+  static_assert(std::is_trivially_copyable_v<T>);
+
+public:
+  SmallVec() = default;
+  SmallVec(const SmallVec &) = delete;
+  SmallVec &operator=(const SmallVec &) = delete;
+
+  void push_back(const T &V) {
+    if (Sz == Cap)
+      grow();
+    Data[Sz++] = V;
+  }
+  T &operator[](size_t I) { return Data[I]; }
+  const T &operator[](size_t I) const { return Data[I]; }
+  size_t size() const { return Sz; }
+  size_t capacity() const { return Cap; }
+  bool empty() const { return Sz == 0; }
+  void clear() { Sz = 0; }
+  const T *begin() const { return Data; }
+  const T *end() const { return Data + Sz; }
+
+private:
+  void grow() {
+    size_t NewCap = Cap * 2;
+    auto NewHeap = std::make_unique<T[]>(NewCap);
+    std::memcpy(NewHeap.get(), Data, Sz * sizeof(T));
+    Heap = std::move(NewHeap);
+    Data = Heap.get();
+    Cap = NewCap;
+  }
+
+  T Inline[N];
+  std::unique_ptr<T[]> Heap;
+  T *Data = Inline;
+  size_t Sz = 0;
+  size_t Cap = N;
+};
+
+} // namespace detail
+
 /// Private buffer of speculative stores plus a read-validation log.
 class SpecWriteBuffer {
+  /// Inline hash-table capacity (power of two). At the 1/2 load-factor
+  /// limit this indexes up to InlineCap/2 distinct addresses before the
+  /// first heap allocation, which also bounds the inline log sizes below.
+  static constexpr size_t InlineCap = 64;
+  static constexpr size_t InlineLog = InlineCap / 2;
+  static constexpr uint32_t NoIdx = ~uint32_t{0};
+
 public:
-  /// Buffered speculative store.
+  SpecWriteBuffer() = default;
+  // The loop owns buffers in a vector sized once at construction; the
+  // table keeps interior pointers into inline storage, so copies and
+  // moves are disallowed rather than fixed up.
+  SpecWriteBuffer(const SpecWriteBuffer &) = delete;
+  SpecWriteBuffer &operator=(const SpecWriteBuffer &) = delete;
+
+  /// Buffered speculative store. Repeat writes to the same address update
+  /// the existing log slot in place; the *last* write's size wins, so the
+  /// final commit stores exactly the bytes of the final value.
   template <BufferableValue T> void write(T *Ptr, T V) {
     uint64_t Raw = 0;
     std::memcpy(&Raw, &V, sizeof(T));
-    void *Key = Ptr;
-    auto [It, Inserted] = WriteMap.try_emplace(Key, WriteLog.size());
-    if (Inserted)
-      WriteLog.push_back({Key, Raw, sizeof(T)});
-    else
-      WriteLog[It->second].Raw = Raw;
+    Entry &E = findOrInsert(Ptr);
+    recordWrite(E, Ptr, Raw, sizeof(T));
   }
 
   /// Speculative load: own writes first, then shared memory (relaxed
   /// atomic), logging the observed value for commit-time validation.
+  /// Only the *first* read of an address is logged; validation checks
+  /// the first-observed value.
   template <BufferableValue T> T read(const T *Ptr) {
-    auto It = WriteMap.find(const_cast<T *>(Ptr));
-    if (It != WriteMap.end()) {
+    Entry &E = findOrInsert(const_cast<T *>(Ptr));
+    if (E.WriteIdx != NoIdx) {
       T V;
-      std::memcpy(&V, &WriteLog[It->second].Raw, sizeof(T));
+      std::memcpy(&V, &WriteLog[E.WriteIdx].Raw, sizeof(T));
       return V;
     }
     T V = loadShared(Ptr);
-    uint64_t Raw = 0;
-    std::memcpy(&Raw, &V, sizeof(T));
-    ReadLog.try_emplace(Ptr, LoggedRead{Raw, sizeof(T)});
+    recordRead(E, Ptr, V);
     return V;
+  }
+
+  /// Read-modify-write in one table probe: reads through the buffer (own
+  /// write first, logging the shared value for validation otherwise),
+  /// buffers Old + Delta, and returns Old. Not atomic across chunks --
+  /// cross-chunk counter races are exactly what commit-time read
+  /// validation catches.
+  template <BufferableValue T> T fetchAdd(T *Ptr, T Delta) {
+    Entry &E = findOrInsert(Ptr);
+    T Old;
+    if (E.WriteIdx != NoIdx)
+      std::memcpy(&Old, &WriteLog[E.WriteIdx].Raw, sizeof(T));
+    else {
+      Old = loadShared(Ptr);
+      recordRead(E, Ptr, Old);
+    }
+    T New = static_cast<T>(Old + Delta);
+    uint64_t Raw = 0;
+    std::memcpy(&Raw, &New, sizeof(T));
+    recordWrite(E, Ptr, Raw, sizeof(T));
+    return Old;
   }
 
   /// Commit-time validation: true when every logged read still matches
   /// shared memory. Chunks commit in iteration order, so success implies
   /// the chunk's execution serializes after its predecessors.
   bool validateReads() const {
-    for (const auto &[Ptr, LR] : ReadLog) {
+    for (const LoggedRead &LR : ReadLog) {
       uint64_t Now = 0;
       switch (LR.Size) {
       case 8:
-        Now = rawLoad<uint64_t>(Ptr);
+        Now = rawLoad<uint64_t>(LR.Addr);
         break;
       case 4:
-        Now = rawLoad<uint32_t>(Ptr);
+        Now = rawLoad<uint32_t>(LR.Addr);
         break;
       case 2:
-        Now = rawLoad<uint16_t>(Ptr);
+        Now = rawLoad<uint16_t>(LR.Addr);
         break;
-      default:
-        Now = rawLoad<uint8_t>(Ptr);
+      case 1:
+        Now = rawLoad<uint8_t>(LR.Addr);
+        break;
+      default: // Odd sizes: plain load, matching loadShared.
+        std::memcpy(&Now, LR.Addr, LR.Size);
         break;
       }
       if (Now != LR.Raw)
@@ -113,24 +209,44 @@ public:
       case 2:
         rawStore<uint16_t>(S.Addr, S.Raw);
         break;
-      default:
+      case 1:
         rawStore<uint8_t>(S.Addr, S.Raw);
+        break;
+      default: // Odd sizes: plain store, matching storeShared.
+        std::memcpy(S.Addr, &S.Raw, S.Size);
         break;
       }
     }
     clear();
   }
 
-  /// Discards all buffered state (squash).
+  /// Discards all buffered state (squash). O(live entries): table slots
+  /// die wholesale via the generation bump, logs just reset their size,
+  /// and all capacity (table and logs) is retained for reuse.
   void clear() {
     WriteLog.clear();
-    WriteMap.clear();
     ReadLog.clear();
+    Live = 0;
+    if (++Gen == 0) {
+      // Generation counter wrapped (once per 2^32 clears): stale slots
+      // from 2^32 generations ago could alias the new stamp, so reset
+      // every slot once and restart at 1.
+      for (size_t I = 0; I < Cap; ++I)
+        Table[I].Gen = 0;
+      Gen = 1;
+    }
   }
 
   bool empty() const { return WriteLog.empty() && ReadLog.empty(); }
   size_t numWrites() const { return WriteLog.size(); }
   size_t numLoggedReads() const { return ReadLog.size(); }
+
+  /// Introspection for reuse/leak tests and stats: current table slot
+  /// count, cumulative growth count since construction, and whether the
+  /// table still lives in inline storage (no heap allocation yet).
+  size_t capacity() const { return Cap; }
+  uint64_t rehashes() const { return Rehashes; }
+  bool usesInlineStorage() const { return HeapTable == nullptr; }
 
   /// Relaxed-atomic load usable for both speculative and direct accesses.
   /// (atomic_ref<const T> is not available until after C++20, hence the
@@ -163,9 +279,98 @@ private:
     uint8_t Size;
   };
   struct LoggedRead {
+    const void *Addr;
     uint64_t Raw;
     uint8_t Size;
   };
+  /// One table slot: live iff Gen matches the buffer's current
+  /// generation. WriteIdx/ReadIdx index into the logs (NoIdx = absent).
+  struct Entry {
+    void *Key;
+    uint32_t Gen;
+    uint32_t WriteIdx;
+    uint32_t ReadIdx;
+  };
+
+  static size_t hashPtr(const void *P) {
+    uint64_t X = reinterpret_cast<uintptr_t>(P);
+    X ^= X >> 29;
+    X *= UINT64_C(0x9E3779B97F4A7C15); // Fibonacci hashing multiplier.
+    X ^= X >> 32;
+    return static_cast<size_t>(X);
+  }
+
+  /// First slot in the probe sequence that either holds Key or is free
+  /// (stale generation). Within a generation entries are never erased,
+  /// so linear probing needs no tombstones; slots from earlier
+  /// generations terminate probes exactly like never-used slots.
+  Entry *probe(void *Key) const {
+    size_t Mask = Cap - 1;
+    size_t I = hashPtr(Key) & Mask;
+    for (;;) {
+      Entry &E = Table[I];
+      if (E.Gen != Gen || E.Key == Key)
+        return &E;
+      I = (I + 1) & Mask;
+    }
+  }
+
+  Entry &findOrInsert(void *Key) {
+    Entry *E = probe(Key);
+    if (E->Gen == Gen)
+      return *E;
+    if (2 * (Live + 1) > Cap) { // Grow at 1/2 load factor.
+      grow();
+      E = probe(Key);
+    }
+    E->Key = Key;
+    E->Gen = Gen;
+    E->WriteIdx = NoIdx;
+    E->ReadIdx = NoIdx;
+    ++Live;
+    return *E;
+  }
+
+  void recordWrite(Entry &E, void *Ptr, uint64_t Raw, uint8_t Size) {
+    if (E.WriteIdx == NoIdx) {
+      E.WriteIdx = static_cast<uint32_t>(WriteLog.size());
+      WriteLog.push_back({Ptr, Raw, Size});
+      return;
+    }
+    Slot &S = WriteLog[E.WriteIdx];
+    S.Raw = Raw;
+    S.Size = Size;
+  }
+
+  template <BufferableValue T>
+  void recordRead(Entry &E, const T *Ptr, T Observed) {
+    if (E.ReadIdx != NoIdx)
+      return; // First-read-value wins for validation.
+    uint64_t Raw = 0;
+    std::memcpy(&Raw, &Observed, sizeof(T));
+    E.ReadIdx = static_cast<uint32_t>(ReadLog.size());
+    ReadLog.push_back({Ptr, Raw, sizeof(T)});
+  }
+
+  void grow() {
+    size_t NewCap = Cap * 2;
+    // Value-initialized: Gen == 0, dead under every current Gen >= 1.
+    auto NewTable = std::make_unique<Entry[]>(NewCap);
+    size_t Mask = NewCap - 1;
+    for (size_t I = 0; I < Cap; ++I) {
+      const Entry &Old = Table[I];
+      if (Old.Gen != Gen)
+        continue;
+      size_t J = hashPtr(Old.Key) & Mask;
+      while (NewTable[J].Gen == Gen)
+        J = (J + 1) & Mask;
+      NewTable[J] = Old;
+    }
+    HeapTable = std::move(NewTable);
+    Table = HeapTable.get();
+    Cap = NewCap;
+    ++Rehashes;
+  }
 
   template <typename U> static uint64_t rawLoad(const void *Ptr) {
     std::atomic_ref<U> Ref(*static_cast<U *>(const_cast<void *>(Ptr)));
@@ -176,9 +381,26 @@ private:
     Ref.store(static_cast<U>(Raw), std::memory_order_relaxed);
   }
 
-  std::vector<Slot> WriteLog;
-  std::unordered_map<void *, size_t> WriteMap;
-  std::unordered_map<const void *, LoggedRead> ReadLog;
+  Entry InlineTable[InlineCap] = {}; // Gen == 0: dead under Gen >= 1.
+  std::unique_ptr<Entry[]> HeapTable;
+  Entry *Table = InlineTable;
+  size_t Cap = InlineCap;
+  size_t Live = 0;     // Distinct addresses touched this generation.
+  uint32_t Gen = 1;    // Current generation stamp; 0 is never current.
+  uint64_t Rehashes = 0;
+  detail::SmallVec<Slot, InlineLog> WriteLog;
+  detail::SmallVec<LoggedRead, InlineLog> ReadLog;
+};
+
+/// Aggregate introspection over a set of SpecWriteBuffers (a loop's
+/// per-chunk buffer pool, SpiceLoop::bufferPoolStats). TableSlots and
+/// Rehashes are monotone and stabilize once the loop has seen its
+/// working set; the reuse/leak stress test asserts exactly that.
+struct SpecBufferPoolStats {
+  uint64_t Buffers = 0;    ///< Buffers kept alive across invocations.
+  uint64_t TableSlots = 0; ///< Sum of open-addressing table capacities.
+  uint64_t Rehashes = 0;   ///< Cumulative table growth events.
+  uint64_t HeapTables = 0; ///< Buffers that outgrew inline storage.
 };
 
 /// The memory view handed to loop bodies: direct when the executing thread
@@ -208,13 +430,15 @@ public:
   }
 
   /// Read-modify-write convenience for shared counters (flow statistics,
-  /// visit counts): reads through the buffer (own writes first, logging
-  /// the shared value for validation otherwise), writes back Old + Delta,
-  /// and returns Old. Not atomic across chunks -- cross-chunk counter
-  /// races are exactly what commit-time read validation catches.
+  /// visit counts): a single buffer probe when speculative (see
+  /// SpecWriteBuffer::fetchAdd), a relaxed load + store when direct.
+  /// Returns Old. Not atomic across chunks -- cross-chunk counter races
+  /// are exactly what commit-time read validation catches.
   template <BufferableValue T> T fetchAdd(T *Ptr, T Delta) {
-    T Old = read(Ptr);
-    write(Ptr, static_cast<T>(Old + Delta));
+    if (Buf)
+      return Buf->fetchAdd(Ptr, Delta);
+    T Old = SpecWriteBuffer::loadShared(Ptr);
+    SpecWriteBuffer::storeShared(Ptr, static_cast<T>(Old + Delta));
     return Old;
   }
 

@@ -305,6 +305,22 @@ public:
                                SVA.begin() + countLaunchableSpecChunks());
   }
 
+  /// Aggregate SpecWriteBuffer introspection across this loop's
+  /// per-chunk buffer pool (the buffers live for the loop's lifetime and
+  /// are reused by every invocation). Same consistency rule as
+  /// lastStats(): read between invocations.
+  SpecBufferPoolStats bufferPoolStats() const {
+    SpecBufferPoolStats P;
+    P.Buffers = Buffers.size();
+    for (const SpecWriteBuffer &B : Buffers) {
+      P.TableSlots += B.capacity();
+      P.Rehashes += B.rehashes();
+      if (!B.usesInlineStorage())
+        ++P.HeapTables;
+    }
+    return P;
+  }
+
 private:
   enum class ChunkStatus : uint8_t {
     Matched, ///< Found the successor's predicted live-in: chunk complete.
@@ -588,8 +604,8 @@ private:
     /// Grant callback (scheduler): lease in hand, start element 0's
     /// speculative chunks, then publish the session to the driver.
     void onGrant(WorkerPool::SessionHandle S, uint64_t Micros) {
-      L.prepareParallel(Pred, ActiveChunks);
-      L.launchChunks(*S, Pred, ActiveChunks);
+      L.prepareParallel(ActiveChunks);
+      L.launchChunks(*S, ActiveChunks);
       {
         std::lock_guard<std::mutex> Lock(M);
         Session = std::move(S);
@@ -697,7 +713,7 @@ private:
     /// preserved).
     State runElement(size_t I) {
       if (I == 0 && Session)
-        return L.resolveGranted(*Session, Starts[0], Pred, ActiveChunks,
+        return L.resolveGranted(*Session, Starts[0], ActiveChunks,
                                 QueuedMicros);
       if (!Session)
         return L.invokeSequential(Starts[I]);
@@ -707,9 +723,9 @@ private:
       // The leased workers are parked between elements (resolveGranted
       // joins them), so reopening the deques here is race-free.
       Session->reopenQueues();
-      L.prepareParallel(Pred, Active);
-      L.launchChunks(*Session, Pred, Active);
-      return L.resolveGranted(*Session, Starts[I], Pred, Active,
+      L.prepareParallel(Active);
+      L.launchChunks(*Session, Active);
+      return L.resolveGranted(*Session, Starts[I], Active,
                               /*QueuedMicros=*/0);
     }
 
@@ -727,7 +743,6 @@ private:
     std::vector<LiveIn> Starts; ///< One per element, submission order.
     unsigned ActiveChunks = 0;
     uint64_t Ticket = 0; ///< Admission-queue id (see awaitGrant).
-    std::vector<LiveIn> Pred;
     WorkerPool::SessionHandle Session;
     uint64_t QueuedMicros = 0;
     std::mutex M;
@@ -739,13 +754,15 @@ private:
     bool Began = false;  ///< Driver entered resolution (driver only).
   };
 
-  /// Grant-side setup, step 1: snapshot the predictions (memoization
-  /// overwrites SVA during the run) and reset the per-chunk machinery.
-  /// Runs on the granting thread; the launch that follows publishes the
-  /// writes to the workers, and the mutex hand-off in onGrant publishes
-  /// them to the driver.
-  void prepareParallel(std::vector<LiveIn> &Pred, unsigned ActiveChunks) {
-    Pred.assign(SVA.begin(), SVA.begin() + ActiveChunks);
+  /// Grant-side setup, step 1: snapshot the predictions into PredArena
+  /// (memoization overwrites SVA during the run) and reset the per-chunk
+  /// machinery. Runs on the granting thread; the launch that follows
+  /// publishes the writes to the workers, and the mutex hand-off in
+  /// onGrant publishes them to the driver. One invocation per loop is in
+  /// flight at a time (InvokeInFlight), so the loop-owned arena is safe
+  /// and its capacity is reused by every invocation.
+  void prepareParallel(unsigned ActiveChunks) {
+    PredArena.assign(SVA.begin(), SVA.begin() + ActiveChunks);
     for (unsigned I = 0; I <= ActiveChunks; ++I) {
       AbortFlags[I].store(false, std::memory_order_relaxed);
       DoneFlags[I].store(false, std::memory_order_relaxed);
@@ -757,19 +774,21 @@ private:
   /// Grant-side setup, step 2: queue the speculative chunks on the
   /// granted lanes and wake the leased workers. With a sole client the
   /// session holds min(pool size, ActiveChunks) lanes, the pre-scheduler
-  /// schedule; a capped grant simply queues more chunks per lane. \p
-  /// Pred must stay valid until the session is joined (it lives in the
-  /// AsyncInvocation, which outlives resolution).
-  void launchChunks(WorkerSession &S, const std::vector<LiveIn> &Pred,
-                    unsigned ActiveChunks) {
+  /// schedule; a capped grant simply queues more chunks per lane. The
+  /// job context (session pointer, active count, PredArena) lives in the
+  /// loop so the lambda captures only `this` -- small enough for
+  /// std::function's inline storage, so a launch never heap-allocates.
+  void launchChunks(WorkerSession &S, unsigned ActiveChunks) {
     const unsigned Lanes = S.lanes();
     for (unsigned C = 1; C <= ActiveChunks; ++C)
       S.pushChunk(homeLane(C, Lanes), C);
-    S.launch([this, SP = &S, &Pred, ActiveChunks](unsigned Lane) {
+    Launch.S = &S;
+    Launch.ActiveChunks = ActiveChunks;
+    S.launch([this](unsigned Lane) {
       uint32_t C;
       bool Stolen;
-      while (SP->acquireChunk(Lane, C, Stolen))
-        executeChunk(C, Pred, ActiveChunks, Stolen,
+      while (Launch.S->acquireChunk(Lane, C, Stolen))
+        executeChunk(C, PredArena, Launch.ActiveChunks, Stolen,
                      Config.MaxSpecIterations);
     });
   }
@@ -785,9 +804,9 @@ private:
   /// On exit -- normal or unwinding -- the leased workers are joined
   /// and the queues closed, so the caller may reopen and re-launch.
   State resolveGranted(WorkerSession &Session, const LiveIn &Start,
-                       const std::vector<LiveIn> &Pred,
                        unsigned ActiveChunks, uint64_t QueuedMicros) {
     const auto ResolveStart = std::chrono::steady_clock::now();
+    const std::vector<LiveIn> &Pred = PredArena;
     const SpiceStats Before = Stats;
     Stats.LaunchedSpecThreads += ActiveChunks;
     Stats.QueuedMicros += QueuedMicros;
@@ -836,8 +855,12 @@ private:
     };
 
     // --- Ordered chain resolution (main thread) ---
+    // Work/Requeues live in loop-owned arenas: one invocation is in
+    // flight per loop, and reusing their capacity keeps the per-submit
+    // resolution allocation-free.
     State Merged = std::move(*Results[0]->S);
-    std::vector<uint64_t> Work(PlanChunks, 0);
+    WorkArena.assign(PlanChunks, 0);
+    std::vector<uint64_t> &Work = WorkArena;
     Work[0] = Results[0]->Work;
     Stats.TotalIterations += Results[0]->Iterations;
 
@@ -845,7 +868,8 @@ private:
     unsigned Committed = 0;     // Highest committed speculative chunk.
     unsigned RecoverFrom = ~0u; // Chunk to re-execute serially (legacy).
     bool AnyFailure = false;    // A validated chunk failed and was redone.
-    std::vector<unsigned> Requeues(ActiveChunks + 1, 0);
+    RequeueArena.assign(ActiveChunks + 1, 0);
+    std::vector<unsigned> &Requeues = RequeueArena;
     for (unsigned J = 1; J <= ActiveChunks;) {
       if (!PrevMatched) {
         // Chunk J's start was never seen: mis-speculation. Squash.
@@ -959,9 +983,9 @@ private:
         // min(NumThreads, ActiveChunks + 1), the pre-runtime value;
         // under pool contention it reflects the partition actually held.
         unsigned ExecUnits = Lanes + 1;
-        std::vector<uint64_t> ChunkWork(Work.begin(),
-                                        Work.begin() + ActiveChunks + 1);
-        uint64_t Makespan = listScheduleMakespan(ChunkWork, ExecUnits);
+        ChunkWorkArena.assign(Work.begin(),
+                              Work.begin() + ActiveChunks + 1);
+        uint64_t Makespan = listScheduleMakespan(ChunkWorkArena, ExecUnits);
         double Ideal =
             static_cast<double>(Total) / static_cast<double>(ExecUnits);
         Stats.ImbalanceSum += static_cast<double>(Makespan) / Ideal;
@@ -1077,7 +1101,8 @@ private:
               // the old boundaries describe chunks that no longer exist,
               // and without the recut an adaptive probe would execute the
               // old granularity and read as a no-op.
-    std::vector<uint64_t> Padded(Work);
+    PadScratch.assign(Work.begin(), Work.end());
+    std::vector<uint64_t> &Padded = PadScratch;
     if (Padded.size() > PlanChunks) {
       // Shrink transition: the finished invocation ran more chunks than
       // the next plan targets. The next invocation's last chunk covers
@@ -1089,7 +1114,10 @@ private:
       Padded.resize(PlanChunks);
     }
     Padded.resize(PlanChunks, 0);
-    Plan = planMemoization(Padded, PlanChunks);
+    // In-place replan: the plan's per-chunk lists keep their capacity,
+    // so the steady-state replan after every invocation is
+    // allocation-free.
+    planMemoizationInto(Padded, PlanChunks, Plan);
   }
 
   /// Delegation target of both public constructors: \p Owned is the
@@ -1161,6 +1189,26 @@ private:
   std::unique_ptr<std::atomic<bool>[]> AbortFlags;
   std::unique_ptr<std::atomic<bool>[]> DoneFlags;
   std::vector<std::optional<ChunkResult>> Results;
+  /// Launch context captured by reference from the worker lambda so the
+  /// lambda closes over `this` alone (8 bytes -- fits std::function's
+  /// small-buffer storage, so launching chunks never heap-allocates).
+  /// Written in launchChunks under the pool mutex taken by
+  /// WorkerSession::launch, which is what publishes it to the workers.
+  struct LaunchCtx {
+    WorkerSession *S = nullptr;
+    unsigned ActiveChunks = 0;
+  };
+  LaunchCtx Launch;
+  /// Reusable per-invocation scratch. Safe as members because at most
+  /// one invocation is in flight per loop (InvokeInFlight): written by
+  /// the driving thread in prepareParallel/resolveGranted before workers
+  /// start (ordered by the pool mutex in launch, and by onGrant's
+  /// mutex/CV for the submit path), read-only while chunks run.
+  std::vector<LiveIn> PredArena;
+  std::vector<uint64_t> WorkArena;
+  std::vector<uint64_t> PadScratch;
+  std::vector<uint64_t> ChunkWorkArena;
+  std::vector<unsigned> RequeueArena;
   SpiceStats Stats;
   /// Snapshot of Stats at the last completed invocation (lastStats()).
   SpiceStats LastStats;

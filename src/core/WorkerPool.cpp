@@ -26,15 +26,15 @@ using namespace spice::core::detail;
 //===----------------------------------------------------------------------===//
 
 void ChunkDeques::reset(unsigned NumLanes, bool AllowStealing) {
-  if (Lanes.size() != NumLanes) {
-    Lanes.clear();
-    Lanes.reserve(NumLanes);
-    for (unsigned I = 0; I != NumLanes; ++I)
-      Lanes.push_back(std::make_unique<Lane>());
-  } else {
-    for (auto &L : Lanes)
-      L->Q.clear();
-  }
+  // Adjust incrementally: existing Lane objects (and their deque
+  // storage) survive a lane-count change, so a recycled session only
+  // allocates the delta.
+  if (Lanes.size() > NumLanes)
+    Lanes.resize(NumLanes);
+  while (Lanes.size() < NumLanes)
+    Lanes.push_back(std::make_unique<Lane>());
+  for (auto &L : Lanes)
+    L->Q.clear();
   Stealing = AllowStealing;
   Closed.store(false, std::memory_order_release);
 }
@@ -174,9 +174,8 @@ size_t ChunkDeques::pending() const {
 // WorkerSession
 //===----------------------------------------------------------------------===//
 
-WorkerSession::~WorkerSession() {
-  assert(!InFlight && "destroying a session with a job still in flight");
-  Pool.releaseSession(*this);
+void WorkerSession::Recycler::operator()(WorkerSession *S) const {
+  S->Pool.recycleSession(S);
 }
 
 void WorkerSession::launch(std::function<void(unsigned)> NewJob) {
@@ -230,6 +229,9 @@ WorkerPool::~WorkerPool() {
   WakeCV.notify_all();
   for (std::thread &T : Threads)
     T.join();
+  // Workers are joined: the freelist can no longer be touched.
+  for (WorkerSession *S : FreeSessions)
+    delete S;
 }
 
 void WorkerPool::workerMain(unsigned Index) {
@@ -268,7 +270,7 @@ WorkerPool::SessionHandle WorkerPool::acquireSession(unsigned MaxLanes,
                                                      bool AllowStealing) {
   assert(!Threads.empty() && "acquireSession on an empty pool");
   assert(MaxLanes >= 1 && "a session needs at least one lane");
-  SessionHandle S(new WorkerSession(*this));
+  SessionHandle S;
   {
     std::unique_lock<std::mutex> Lock(Mutex);
     // Self-deadlock diagnostic: when *every* worker is leased by the
@@ -300,6 +302,7 @@ WorkerPool::SessionHandle WorkerPool::acquireSession(unsigned MaxLanes,
       reportFatalError("WorkerPool::acquireSession called while a legacy "
                        "launch is in flight; legacy launches may not be "
                        "mixed with concurrent sessions");
+    S = SessionHandle(takeSessionLocked());
     leaseLocked(*S, std::min(FreeCount, MaxLanes),
                 std::this_thread::get_id());
   }
@@ -312,7 +315,7 @@ WorkerPool::tryAcquireSessionFor(unsigned MaxLanes, bool AllowStealing,
                                  std::thread::id Owner) {
   assert(!Threads.empty() && "tryAcquireSessionFor on an empty pool");
   assert(MaxLanes >= 1 && "a session needs at least one lane");
-  SessionHandle S(new WorkerSession(*this));
+  SessionHandle S;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
     if (FreeCount == 0)
@@ -325,6 +328,7 @@ WorkerPool::tryAcquireSessionFor(unsigned MaxLanes, bool AllowStealing,
       reportFatalError("WorkerPool::tryAcquireSessionFor called while a "
                        "legacy launch is in flight; legacy launches may "
                        "not be mixed with concurrent sessions");
+    S = SessionHandle(takeSessionLocked());
     leaseLocked(*S, std::min(FreeCount, MaxLanes), Owner);
   }
   S->Deques.reset(S->lanes(), AllowStealing);
@@ -364,7 +368,19 @@ bool WorkerPool::callerHoldsEntirePool() const {
          Held->second == Slots.size();
 }
 
-void WorkerPool::releaseSession(WorkerSession &S) {
+WorkerSession *WorkerPool::takeSessionLocked() {
+  if (!FreeSessions.empty()) {
+    WorkerSession *S = FreeSessions.back();
+    FreeSessions.pop_back();
+    ++PoolSt.SessionPoolHits;
+    return S;
+  }
+  ++PoolSt.SessionsCreated;
+  return new WorkerSession(*this);
+}
+
+void WorkerPool::recycleSession(WorkerSession *S) {
+  assert(!S->InFlight && "recycling a session with a job still in flight");
   unsigned Released;
   // The hook object is written once before any session exists and never
   // reassigned, so the pointer taken under the mutex stays valid after
@@ -373,14 +389,14 @@ void WorkerPool::releaseSession(WorkerSession &S) {
   const std::function<void()> *Hook = nullptr;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
-    for (unsigned W : S.Workers) {
+    for (unsigned W : S->Workers) {
       assert(Slots[W].Leased && "releasing a worker that was not leased");
       Slots[W].Leased = false;
     }
-    Released = static_cast<unsigned>(S.Workers.size());
+    Released = static_cast<unsigned>(S->Workers.size());
     FreeCount += Released;
-    S.Workers.clear();
-    auto It = WorkersHeldByThread.find(S.Owner);
+    S->Workers.clear();
+    auto It = WorkersHeldByThread.find(S->Owner);
     assert((Released == 0 ||
             (It != WorkersHeldByThread.end() && It->second >= Released)) &&
            "held-worker accounting out of sync");
@@ -391,6 +407,9 @@ void WorkerPool::releaseSession(WorkerSession &S) {
     }
     if (Released > 0 && ReleaseHook)
       Hook = &ReleaseHook;
+    // Parked before the hook runs, so a deferred grant triggered by this
+    // very release can reuse the session it is releasing.
+    FreeSessions.push_back(S);
   }
   if (Released > 0)
     LeaseCV.notify_all();
@@ -404,6 +423,11 @@ void WorkerPool::releaseSession(WorkerSession &S) {
 unsigned WorkerPool::freeWorkers() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return FreeCount;
+}
+
+SessionPoolStats WorkerPool::sessionPoolStats() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return PoolSt;
 }
 
 //===----------------------------------------------------------------------===//

@@ -128,7 +128,17 @@ private:
 /// (push/launch/help/close/wait); the leased workers run its job.
 class WorkerSession {
 public:
-  ~WorkerSession();
+  /// SessionHandle deleter: returns the lanes and parks the session
+  /// object on the pool's freelist for reuse (its deques keep their lane
+  /// allocations), instead of destroying it. The pool deletes parked
+  /// sessions at teardown.
+  struct Recycler {
+    void operator()(WorkerSession *S) const;
+  };
+
+  ~WorkerSession() {
+    assert(!InFlight && "destroying a session with a job still in flight");
+  }
   WorkerSession(const WorkerSession &) = delete;
   WorkerSession &operator=(const WorkerSession &) = delete;
 
@@ -179,6 +189,17 @@ private:
   unsigned Remaining = 0; ///< Workers still running the job (pool mutex).
 };
 
+/// Session-freelist counters, read via WorkerPool::sessionPoolStats().
+/// A serving workload's steady state is all hits: SessionsCreated stops
+/// growing once every concurrency level has been seen.
+struct SessionPoolStats {
+  /// WorkerSession objects allocated (freelist misses).
+  uint64_t SessionsCreated = 0;
+  /// Acquisitions served by recycling a parked session -- no session,
+  /// deque, or lane allocation.
+  uint64_t SessionPoolHits = 0;
+};
+
 /// Persistent pool of worker threads shared by every loop of a runtime.
 /// Invocations lease lanes through sessions; the legacy one-shot API
 /// (launch/wait + pool-level queues) drives workers 0..Count-1 directly.
@@ -202,7 +223,8 @@ public:
   // Sessions: leased worker lanes for concurrent invocations.
   //===--------------------------------------------------------------------===//
 
-  using SessionHandle = std::unique_ptr<WorkerSession>;
+  using SessionHandle =
+      std::unique_ptr<WorkerSession, WorkerSession::Recycler>;
 
   /// Leases min(free workers, MaxLanes) workers as a session, blocking
   /// while no worker is free (concurrent invocations partition the pool;
@@ -246,6 +268,10 @@ public:
   /// nature, exposed for tests and diagnostics).
   unsigned freeWorkers() const;
 
+  /// Session-freelist counters (see SessionPoolStats). Snapshot under
+  /// the pool mutex.
+  SessionPoolStats sessionPoolStats() const;
+
   //===--------------------------------------------------------------------===//
   // Legacy one-shot API: drives workers 0..Count-1 with no lease. May not
   // be mixed with concurrent sessions.
@@ -276,7 +302,15 @@ private:
   friend class WorkerSession;
 
   void workerMain(unsigned Index);
-  void releaseSession(WorkerSession &S);
+
+  /// Handle-destruction path (WorkerSession::Recycler): returns the
+  /// leased lanes, runs the release hook, and parks \p S on the
+  /// freelist for reuse instead of deleting it.
+  void recycleSession(WorkerSession *S);
+
+  /// Pops a parked session or allocates a fresh one, bumping the
+  /// SessionPoolStats counters. Requires the pool mutex.
+  WorkerSession *takeSessionLocked();
 
   /// Leases \p Take free workers into \p S on behalf of \p Owner.
   /// Requires the pool mutex and Take <= FreeCount.
@@ -313,6 +347,12 @@ private:
   unsigned LegacyRemaining = 0;
   bool LegacyInFlight = false;
   bool ShuttingDown = false;
+  /// Released sessions parked for reuse (guarded by Mutex; deleted in
+  /// the pool destructor). Reusing a session reuses its ChunkDeques
+  /// lanes and job storage, so the steady-state submit path allocates
+  /// no session state at all.
+  std::vector<WorkerSession *> FreeSessions;
+  SessionPoolStats PoolSt;
 
   detail::ChunkDeques LegacyDeques;
 };

@@ -7,7 +7,9 @@
 #include "core/SpecWriteBuffer.h"
 
 #include <cstdint>
+#include <cstring>
 #include <gtest/gtest.h>
+#include <vector>
 
 using namespace spice::core;
 
@@ -160,4 +162,131 @@ TEST(SpecSpace, FetchAddLogsSharedReadForValidation) {
   Counter = 99; // A predecessor chunk committed a different count.
   EXPECT_FALSE(Buf.validateReads())
       << "a raced counter update must fail validation";
+}
+
+//===----------------------------------------------------------------------===//
+// Edge cases: mixed sizes at one address, odd widths, reuse
+//===----------------------------------------------------------------------===//
+
+TEST(SpecWriteBufferEdge, SameAddressNarrowerRewriteCommitsLastSize) {
+  // One address, one table slot: a repeat write replaces the slot and
+  // the *last* write's size wins. Committing the narrower rewrite
+  // stores exactly its bytes; the wider earlier write is superseded, so
+  // the cell's upper bytes keep their pre-speculation memory value.
+  uint64_t Cell = 0xAABBCCDDEEFF0011ull;
+  SpecWriteBuffer Buf;
+  Buf.write(&Cell, uint64_t{0x1111111111111111ull});
+  Buf.write(reinterpret_cast<uint16_t *>(&Cell), uint16_t{0xBEEF});
+  EXPECT_EQ(Buf.numWrites(), 1u) << "same address must share one slot";
+  Buf.commit();
+  EXPECT_EQ(Cell, 0xAABBCCDDEEFFBEEFull)
+      << "only the final 2-byte write may touch memory";
+}
+
+TEST(SpecWriteBufferEdge, SameAddressWiderRewriteCommitsLastSize) {
+  uint64_t Cell = 0;
+  SpecWriteBuffer Buf;
+  Buf.write(reinterpret_cast<uint16_t *>(&Cell), uint16_t{0xBEEF});
+  Buf.write(&Cell, uint64_t{0x2222222222222222ull});
+  EXPECT_EQ(Buf.numWrites(), 1u);
+  Buf.commit();
+  EXPECT_EQ(Cell, 0x2222222222222222ull);
+}
+
+namespace {
+/// Odd-sized trivially copyable values: exercise the non-atomic memcpy
+/// fallback in loads, validation, and commit.
+struct Rgb {
+  uint8_t C[3];
+  bool operator==(const Rgb &O) const {
+    return C[0] == O.C[0] && C[1] == O.C[1] && C[2] == O.C[2];
+  }
+};
+struct Packed5 {
+  uint8_t B[5];
+  bool operator==(const Packed5 &O) const {
+    return std::memcmp(B, O.B, 5) == 0;
+  }
+};
+static_assert(sizeof(Rgb) == 3 && sizeof(Packed5) == 5);
+} // namespace
+
+TEST(SpecWriteBufferEdge, OddSizedValuesRoundTripAllBytes) {
+  Rgb Pixel = {{1, 2, 3}};
+  Packed5 Rec = {{9, 8, 7, 6, 5}};
+  SpecWriteBuffer Buf;
+  Buf.write(&Pixel, Rgb{{10, 20, 30}});
+  Buf.write(&Rec, Packed5{{50, 40, 30, 20, 10}});
+  EXPECT_EQ(Buf.read(&Pixel), (Rgb{{10, 20, 30}}));
+  EXPECT_EQ(Buf.read(&Rec), (Packed5{{50, 40, 30, 20, 10}}));
+  Buf.commit();
+  EXPECT_EQ(Pixel, (Rgb{{10, 20, 30}})) << "all 3 bytes must commit";
+  EXPECT_EQ(Rec, (Packed5{{50, 40, 30, 20, 10}}))
+      << "all 5 bytes must commit";
+}
+
+TEST(SpecWriteBufferEdge, OddSizedValidationSeesEveryByte) {
+  Rgb Pixel = {{1, 2, 3}};
+  SpecWriteBuffer Buf;
+  EXPECT_EQ(Buf.read(&Pixel), (Rgb{{1, 2, 3}}));
+  Pixel.C[2] = 99; // Byte past the first: a 1-byte check would miss it.
+  EXPECT_FALSE(Buf.validateReads())
+      << "validation must compare all 3 bytes, not a truncated prefix";
+  Pixel.C[2] = 3;
+  EXPECT_TRUE(Buf.validateReads());
+}
+
+TEST(SpecWriteBufferEdge, ReadAfterCommitSeesPublishedValue) {
+  int64_t Cell = 1;
+  SpecWriteBuffer Buf;
+  Buf.write(&Cell, int64_t{2});
+  Buf.commit();
+  EXPECT_TRUE(Buf.empty());
+  // The cleared buffer starts a fresh generation: the read must miss
+  // the dead table slot, hit shared memory, and log a new read.
+  EXPECT_EQ(Buf.read(&Cell), 2);
+  EXPECT_EQ(Buf.numWrites(), 0u);
+  EXPECT_EQ(Buf.numLoggedReads(), 1u);
+  EXPECT_TRUE(Buf.validateReads());
+}
+
+TEST(SpecWriteBufferEdge, AbaChangedThenRestoredValidatesClean) {
+  // Intended paper semantics (value-based conflict detection, section
+  // 3): validation compares *values*, not version counters. A
+  // concurrent writer that changes a location and restores the observed
+  // value before this chunk commits is serializable, so the chunk must
+  // commit -- there is deliberately no ABA detection here.
+  int64_t Balance = 100;
+  SpecWriteBuffer Buf;
+  EXPECT_EQ(Buf.fetchAdd(&Balance, int64_t{5}), 100);
+  Balance = 250; // Another chunk's transient update...
+  Balance = 100; // ...rolled back before this chunk resolves.
+  EXPECT_TRUE(Buf.validateReads()) << "ABA must validate clean";
+  Buf.commit();
+  EXPECT_EQ(Balance, 105);
+}
+
+TEST(SpecWriteBufferEdge, GrowthRetainsCapacityAcrossClear) {
+  std::vector<int64_t> Cells(100, 0);
+  SpecWriteBuffer Buf;
+  EXPECT_TRUE(Buf.usesInlineStorage());
+  for (size_t I = 0; I < Cells.size(); ++I)
+    Buf.write(&Cells[I], static_cast<int64_t>(I));
+  EXPECT_FALSE(Buf.usesInlineStorage())
+      << "100 live addresses must outgrow the inline table";
+  EXPECT_GE(Buf.capacity(), 256u) << "1/2 load factor over 100 entries";
+  const uint64_t Grown = Buf.rehashes();
+  EXPECT_GT(Grown, 0u);
+
+  Buf.clear();
+  EXPECT_TRUE(Buf.empty());
+  EXPECT_EQ(Buf.capacity(), 256u) << "clear must retain capacity";
+
+  // Refilling the same working set after clear() must be rehash-free.
+  for (size_t I = 0; I < Cells.size(); ++I)
+    Buf.write(&Cells[I], static_cast<int64_t>(I + 1));
+  EXPECT_EQ(Buf.rehashes(), Grown) << "reuse must not grow again";
+  Buf.commit();
+  for (size_t I = 0; I < Cells.size(); ++I)
+    EXPECT_EQ(Cells[I], static_cast<int64_t>(I + 1));
 }
