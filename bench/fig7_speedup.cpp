@@ -28,6 +28,8 @@
 #include "core/SpiceRuntime.h"
 #include "jit/JitLoop.h"
 #include "support/MathUtil.h"
+#include "topology/Placement.h"
+#include "topology/Topology.h"
 #include "vm/Interpreter.h"
 #include "workloads/Graph.h"
 #include "workloads/IRWorkloads.h"
@@ -77,6 +79,8 @@ struct NativeCell {
   double MisspecRate = 0.0;
   uint64_t QueuedMicros = 0;
   uint64_t GrantedLanes = 0;
+  uint64_t LocalSteals = 0;
+  uint64_t RemoteSteals = 0;
   bool Correct = true;
 };
 
@@ -96,6 +100,8 @@ NativeCell finishCell(const SpiceStats &S, double SeqSeconds,
   Cell.MisspecRate = S.misspeculationRate();
   Cell.QueuedMicros = S.QueuedMicros;
   Cell.GrantedLanes = S.GrantedLanes;
+  Cell.LocalSteals = S.LocalSteals;
+  Cell.RemoteSteals = S.RemoteSteals;
   return Cell;
 }
 
@@ -533,22 +539,37 @@ int main() {
   struct PolicyRun {
     const char *Name;
     LanePolicy Policy;
+    /// Run on a fake 2-node topology (PlacementConfig::overrideWith):
+    /// node-packed grants and locality-ordered steals, same workloads.
+    bool Topo = false;
   };
   const PolicyRun Policies[] = {
       {"firstcome", LanePolicy::FirstCome},
       {"fairshare", LanePolicy::FairShare},
       {"priority", LanePolicy::Priority},
+      {"topo", LanePolicy::FairShare, /*Topo=*/true},
   };
-  std::printf("%-10s | %8s | %10s | %8s | %8s | %8s | %8s\n", "policy",
-              "seconds", "queued-us", "granted", "deferred", "capped",
-              "correct");
-  std::printf("%.*s\n", 78,
+  std::printf("%-10s | %8s | %7s | %10s | %8s | %8s | %8s | %8s\n",
+              "policy", "seconds", "geomean", "queued-us", "granted",
+              "deferred", "capped", "correct");
+  std::printf("%.*s\n", 88,
               "-----------------------------------------------------------"
-              "-------------------");
+              "-----------------------------");
   bool ContentionCorrect = true;
+  std::vector<double> PolicyGeomeans;
+  double StealLocalFraction = 1.0;
   for (const PolicyRun &P : Policies) {
     RuntimeConfig RC = Bench.runtimeConfig();
     RC.Policy = P.Policy;
+    if (P.Topo) {
+      // Fake symmetric 2-node machine sized to the worker count: the
+      // deterministic injection path, so this row exercises node-packed
+      // leases and locality-ordered stealing on any host.
+      const unsigned Workers = RC.NumThreads > 0 ? RC.NumThreads - 1 : 0;
+      const unsigned Half = (Workers + 1) / 2;
+      RC.Topology = topology::PlacementConfig::overrideWith(
+          topology::Topology::fromNodeSizes({Half, Half}));
+    }
     SpiceRuntime CRT(RC);
     // Distinct priorities (only the Priority policy reads them): the
     // paper kernels outrank the post-paper workloads.
@@ -578,22 +599,30 @@ int main() {
     for (std::thread &C : Clients)
       C.join();
     double Seconds = secondsSince(T0);
-    uint64_t Queued = 0, Granted = 0;
+    uint64_t Queued = 0, Granted = 0, Local = 0, Remote = 0;
     bool Correct = true;
+    std::vector<double> Speedups;
     for (const NativeCell &Cell : Cells) {
       Queued += Cell.QueuedMicros;
       Granted += Cell.GrantedLanes;
+      Local += Cell.LocalSteals;
+      Remote += Cell.RemoteSteals;
       Correct &= Cell.Correct;
+      Speedups.push_back(Cell.Speedup);
     }
+    const double Geomean = geometricMean(Speedups);
     SchedulerStats SS = CRT.schedulerStats();
-    std::printf("%-10s | %8.3f | %10lu | %8lu | %8lu | %8lu | %8s\n",
-                P.Name, Seconds, static_cast<unsigned long>(Queued),
+    std::printf("%-10s | %8.3f | %7.3f | %10lu | %8lu | %8lu | %8lu | "
+                "%8s\n",
+                P.Name, Seconds, Geomean,
+                static_cast<unsigned long>(Queued),
                 static_cast<unsigned long>(Granted),
                 static_cast<unsigned long>(SS.DeferredGrants),
                 static_cast<unsigned long>(SS.CappedGrants),
                 Correct ? "yes" : "NO");
     ContentionCorrect &= Correct;
     Json.scalar(std::string("contention_seconds_") + P.Name, Seconds);
+    Json.scalar(std::string("contention_geomean_") + P.Name, Geomean);
     Json.scalar(std::string("contention_queued_micros_") + P.Name, Queued);
     Json.scalar(std::string("contention_granted_lanes_") + P.Name,
                 Granted);
@@ -601,7 +630,26 @@ int main() {
                 SS.DeferredGrants);
     Json.scalar(std::string("contention_capped_grants_") + P.Name,
                 SS.CappedGrants);
+    if (P.Topo) {
+      // Steal locality on the fake 2-node machine: node-packed leases
+      // should keep nearly every steal on the victim's node. 1.0 when
+      // the run happened not to steal at all.
+      StealLocalFraction =
+          Local + Remote > 0
+              ? static_cast<double>(Local) /
+                    static_cast<double>(Local + Remote)
+              : 1.0;
+      Json.scalar("steal_local_fraction", StealLocalFraction);
+      Json.scalar("contention_local_steals", Local);
+      Json.scalar("contention_remote_steals", Remote);
+    } else {
+      PolicyGeomeans.push_back(Geomean);
+    }
   }
+  // Cross-policy contention geomean (topology-off rows only, so the
+  // gate compares like with like across commits).
+  const double ContentionGeomean = geometricMean(PolicyGeomeans);
+  Json.scalar("contention_geomean", ContentionGeomean);
   Json.scalar("contention_clients", uint64_t{6});
   Json.scalar("contention_all_correct",
               static_cast<uint64_t>(ContentionCorrect ? 1 : 0));
@@ -609,7 +657,11 @@ int main() {
               "sequential oracle while the\nother five compete for "
               "lanes: queued-us is time invocations sat in the\n"
               "admission queue, capped grants ran on fewer lanes than "
-              "requested (FairShare\nsplits deliberately).\n");
+              "requested (FairShare\nsplits deliberately). The topo row "
+              "reruns fairshare on a fake 2-node topology\n"
+              "(docs/topology.md): steal_local_fraction %.3f of steals "
+              "stayed on the victim's\nnode.\n",
+              StealLocalFraction);
 
   Json.scalar("budget", std::string(Bench.budgetName()));
   Json.scalar("native_all_correct",
@@ -617,6 +669,13 @@ int main() {
   Json.write(); // Before the gate: the artifact matters most on failure.
   if (!AllCorrect || !ContentionCorrect) {
     std::printf("NATIVE RESULT MISMATCH\n");
+    return 1;
+  }
+  if (StealLocalFraction < 0.9) {
+    // Locality acceptance gate: on the fake 2-node topology the
+    // node-packed leases and victim ordering must keep steals local.
+    std::printf("STEAL LOCALITY REGRESSION: local fraction %.3f < 0.9\n",
+                StealLocalFraction);
     return 1;
   }
   std::printf("All native runs verified against the sequential reference, "

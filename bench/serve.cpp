@@ -39,6 +39,8 @@
 #include "core/SpiceFuture.h"
 #include "core/SpiceLoop.h"
 #include "core/SpiceRuntime.h"
+#include "topology/Placement.h"
+#include "topology/Topology.h"
 #include "workloads/Graph.h"
 #include "workloads/Packets.h"
 #include "workloads/Sjeng.h"
@@ -96,7 +98,18 @@ struct ServeResult {
   std::vector<double> LatenciesUs; ///< Merged, measured phase only.
   double ElapsedSeconds = 0;
   uint64_t Requests = 0;
+  uint64_t LocalSteals = 0;  ///< Summed over every client loop.
+  uint64_t RemoteSteals = 0; ///< Nonzero only on a multi-node topology.
   bool OracleOk = true;
+
+  /// Fraction of worker steals that stayed on the victim's node (1.0
+  /// when the run never stole).
+  double stealLocalFraction() const {
+    uint64_t Total = LocalSteals + RemoteSteals;
+    return Total ? static_cast<double>(LocalSteals) /
+                       static_cast<double>(Total)
+                 : 1.0;
+  }
 };
 
 /// Part 1: the sustained mixed-load phase. Every client runs warmup
@@ -105,7 +118,7 @@ struct ServeResult {
 /// lane policy: FairShare (no tenant monopolizes the lanes) and Adaptive
 /// (lanes follow observed marginal throughput; see docs/tuning.md).
 ServeResult runSustainedLoad(const benchutil::BenchConfig &Bench,
-                             LanePolicy Policy) {
+                             LanePolicy Policy, bool FakeTopology = false) {
   const unsigned Clients = Bench.pick(6u, 4u);
   const size_t TraceBase = Bench.pick<size_t>(16000, 3000);
   const int PacketWarmup = Bench.pick(4, 2);
@@ -116,11 +129,21 @@ ServeResult runSustainedLoad(const benchutil::BenchConfig &Bench,
 
   RuntimeConfig RC = Bench.runtimeConfig();
   RC.Policy = Policy;
+  if (FakeTopology) {
+    // Deterministic 2-node override sized to the worker count: the
+    // serving path with node-packed leases, node-local buffer shards,
+    // and locality-ordered steals (docs/topology.md).
+    const unsigned Workers = RC.NumThreads > 0 ? RC.NumThreads - 1 : 0;
+    const unsigned Half = (Workers + 1) / 2;
+    RC.Topology = topology::PlacementConfig::overrideWith(
+        topology::Topology::fromNodeSizes({Half, Half}));
+  }
   SpiceRuntime RT(RC);
 
   std::atomic<unsigned> Ready{0};
   std::atomic<bool> Go{false};
   std::atomic<bool> OracleOk{true};
+  std::atomic<uint64_t> LocalSteals{0}, RemoteSteals{0};
   std::vector<std::vector<double>> PerClient(Clients);
   std::mutex PrintM;
 
@@ -161,6 +184,8 @@ ServeResult runSustainedLoad(const benchutil::BenchConfig &Bench,
       if (S.Packets < 0) // Defeat dead-code elimination; never true.
         OracleOk.store(false);
     }
+    LocalSteals.fetch_add(Loop.stats().LocalSteals);
+    RemoteSteals.fetch_add(Loop.stats().RemoteSteals);
   };
 
   auto SsspClient = [&](unsigned C) {
@@ -186,6 +211,8 @@ ServeResult runSustainedLoad(const benchutil::BenchConfig &Bench,
       PerClient[C].push_back(microsSince(T0));
       Work.reset(0);
     }
+    LocalSteals.fetch_add(Loop.stats().LocalSteals);
+    RemoteSteals.fetch_add(Loop.stats().RemoteSteals);
   };
 
   std::vector<std::thread> Threads;
@@ -208,6 +235,8 @@ ServeResult runSustainedLoad(const benchutil::BenchConfig &Bench,
   R.ElapsedSeconds =
       std::chrono::duration<double>(Clock::now() - T0).count();
   R.OracleOk = OracleOk.load();
+  R.LocalSteals = LocalSteals.load();
+  R.RemoteSteals = RemoteSteals.load();
   for (std::vector<double> &L : PerClient) {
     R.Requests += L.size();
     R.LatenciesUs.insert(R.LatenciesUs.end(), L.begin(), L.end());
@@ -319,10 +348,13 @@ int main() {
   std::printf("spice serving bench (budget=%s, threads=%u)\n\n",
               Bench.budgetName(), Bench.threads());
 
-  // Part 1: sustained mixed load, once per lane policy.
+  // Part 1: sustained mixed load, once per lane policy, plus a
+  // FairShare rerun on a fake 2-node topology (docs/topology.md).
   ServeResult Serve = runSustainedLoad(Bench, LanePolicy::FairShare);
   ServeResult Adaptive = runSustainedLoad(Bench, LanePolicy::Adaptive);
-  if (!Serve.OracleOk || !Adaptive.OracleOk) {
+  ServeResult Topo =
+      runSustainedLoad(Bench, LanePolicy::FairShare, /*FakeTopology=*/true);
+  if (!Serve.OracleOk || !Adaptive.OracleOk || !Topo.OracleOk) {
     std::printf("FAILED: serving results diverged from the oracles\n");
     return 1;
   }
@@ -338,9 +370,16 @@ int main() {
   double AdRps = Adaptive.Requests / Adaptive.ElapsedSeconds;
   double AdP99 = percentileUs(Adaptive.LatenciesUs, 990);
   std::printf("adaptive lanes:  %lu requests in %.2fs -> %.0f req/s, "
-              "p99 %.0fus (%.2fx FairShare)\n\n",
+              "p99 %.0fus (%.2fx FairShare)\n",
               (unsigned long)Adaptive.Requests, Adaptive.ElapsedSeconds,
               AdRps, AdP99, Rps ? AdRps / Rps : 0.0);
+  double TopoRps = Topo.Requests / Topo.ElapsedSeconds;
+  std::printf("2-node topology: %lu requests in %.2fs -> %.0f req/s, "
+              "steal locality %.3f (%lu local / %lu remote)\n\n",
+              (unsigned long)Topo.Requests, Topo.ElapsedSeconds, TopoRps,
+              Topo.stealLocalFraction(),
+              (unsigned long)Topo.LocalSteals,
+              (unsigned long)Topo.RemoteSteals);
 
   // Part 2: batch amortization under contention.
   const int BatchReps = Bench.pick(100, 16);
@@ -381,6 +420,10 @@ int main() {
   Json.scalar("serve_p999_us", P999);
   Json.scalar("serve_adaptive_throughput_rps", AdRps);
   Json.scalar("serve_adaptive_p99_us", AdP99);
+  Json.scalar("serve_topo_throughput_rps", TopoRps);
+  Json.scalar("serve_steal_local_fraction", Topo.stealLocalFraction());
+  Json.scalar("serve_topo_local_steals", Topo.LocalSteals);
+  Json.scalar("serve_topo_remote_steals", Topo.RemoteSteals);
   Json.scalar("serve_solo_submit_ns", SoloNs);
   Json.scalar("serve_batch16_submit_per_invocation_ns", BatchNs);
   Json.scalar("serve_rejected_submissions",

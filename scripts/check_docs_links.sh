@@ -8,7 +8,9 @@
 #  3. every core header (src/core/*.h) is mentioned somewhere under
 #     docs/, so a new core subsystem cannot land undocumented;
 #  4. every JIT header (src/jit/*.h) is mentioned somewhere under
-#     docs/, for the same reason (docs/jit.md is the map).
+#     docs/, for the same reason (docs/jit.md is the map);
+#  5. every topology header (src/topology/*.h) is mentioned somewhere
+#     under docs/ (docs/topology.md is the operator guide).
 set -u
 cd "$(dirname "$0")/.."
 
@@ -62,8 +64,17 @@ for hdr in src/jit/*.h; do
   fi
 done
 
+# --- 5. every topology header is documented ----------------------------------
+for hdr in src/topology/*.h; do
+  base=$(basename "$hdr")
+  if ! grep -rq "$base" docs/; then
+    echo "src/topology/$base is not referenced anywhere in docs/"
+    fail=1
+  fi
+done
+
 if [ "$fail" -ne 0 ]; then
   echo "docs link check FAILED"
   exit 1
 fi
-echo "docs links resolve; all workload, core and jit headers documented"
+echo "docs links resolve; all workload, core, jit and topology headers documented"

@@ -26,6 +26,7 @@ cache): the script prints a notice and exits 0.
 
 import argparse
 import json
+import math
 import os
 import sys
 
@@ -48,11 +49,19 @@ import sys
 # submit-round-trip gates (lower is better) guard the scheduler/buffer
 # hot path now that it has been attacked directly: the solo and
 # contended submit().get() medians from bench_micro_runtime must not
-# creep back up as per-submit allocations sneak in.
+# creep back up as per-submit allocations sneak in. The topology gates
+# (docs/topology.md) guard the NUMA-aware placement layer:
+# steal_local_fraction is the share of worker steals that stayed on the
+# victim's node on the fake 2-node contention run (the bench itself
+# hard-fails below 0.9), and contention_geomean is the cross-policy
+# contention speedup geomean -- the locality machinery must not slow
+# the topology-off scheduler paths down.
 DEFAULT_GATES = [
     ("fig7_speedup", "sim_geomean_2t", True),
     ("fig7_speedup", "sim_geomean_4t", True),
     ("fig7_speedup", "jit_vs_interp_throughput", True),
+    ("fig7_speedup", "steal_local_fraction", True),
+    ("fig7_speedup", "contention_geomean", True),
     ("ablation_loadbalance", "load_imbalance_k1", False),
     ("ablation_loadbalance", "load_imbalance_k2", False),
     ("ablation_loadbalance", "load_imbalance_k4", False),
@@ -156,12 +165,19 @@ def main():
             if stem in baseline else None
         cur = numeric_keys(current[stem]).get(key) \
             if stem in current else None
-        if base is None or base == 0:
+        if base is None or base == 0 or math.isnan(base):
             print(f"gate {stem}:{key}: no baseline value; skipped")
             continue
         if cur is None:
             print(f"gate {stem}:{key}: baseline has it but the current "
                   "run does not emit it ... FAIL")
+            failures.append((stem, key, float("inf")))
+            continue
+        if math.isnan(cur):
+            # NaN compares false against every threshold, so without
+            # this check a gated metric could regress to NaN and pass
+            # silently. A NaN current value is as bad as a missing one.
+            print(f"gate {stem}:{key}: current value is NaN ... FAIL")
             failures.append((stem, key, float("inf")))
             continue
         regression = (base - cur) / base if higher_is_better \

@@ -193,7 +193,8 @@ uint64_t Scheduler::queuedInvocations() const {
 std::vector<Scheduler::Grant>
 Scheduler::planGrants(const std::vector<Candidate> &Pending,
                       unsigned FreeLanes, LanePolicy Policy,
-                      uint64_t AgingStepMicros) {
+                      uint64_t AgingStepMicros,
+                      const std::vector<unsigned> *NodeFreeLanes) {
   std::vector<Grant> Plan;
   if (FreeLanes == 0 || Pending.empty())
     return Plan;
@@ -321,6 +322,73 @@ Scheduler::planGrants(const std::vector<Candidate> &Pending,
     break;
   }
   }
+
+  // Node-packing post-pass (multi-node placement only): pick each
+  // grant's home node so its lanes come from one node where possible.
+  // Policy (who gets how many lanes) stays exactly as planned above;
+  // only the trim-to-node rule may shrink a grant, and the lanes it
+  // frees are re-offered to still-queued candidates below.
+  if (NodeFreeLanes && NodeFreeLanes->size() > 1) {
+    std::vector<unsigned> Free = *NodeFreeLanes;
+    auto Largest = [&Free] {
+      unsigned Big = 0;
+      for (unsigned N = 1; N != Free.size(); ++N)
+        if (Free[N] > Free[Big])
+          Big = N;
+      return Big;
+    };
+    for (Grant &G : Plan) {
+      // Best fit: the smallest block covering the grant (ties to the
+      // lower node id) leaves bigger blocks intact for wider grants.
+      int Best = -1;
+      for (unsigned N = 0; N != Free.size(); ++N)
+        if (Free[N] >= G.Lanes &&
+            (Best < 0 || Free[N] < Free[static_cast<unsigned>(Best)]))
+          Best = static_cast<int>(N);
+      if (Best >= 0) {
+        G.Node = Best;
+        Free[static_cast<unsigned>(Best)] -= G.Lanes;
+        continue;
+      }
+      unsigned Big = Largest();
+      if (Free[Big] > 0 && 2 * Free[Big] >= G.Lanes) {
+        // Trim to the largest block: one-node locality beats raw lane
+        // count when the block covers at least half the grant.
+        G.Lanes = Free[Big];
+        G.Node = static_cast<int>(Big);
+        Free[Big] = 0;
+        continue;
+      }
+      // The grant must span nodes; start it at the largest block and
+      // account the spill against the next-largest blocks, mirroring
+      // the pool's lease spill-over.
+      G.Node = Free[Big] > 0 ? static_cast<int>(Big) : -1;
+      unsigned Left = G.Lanes;
+      while (Left > 0) {
+        unsigned B = Largest();
+        if (Free[B] == 0)
+          break;
+        unsigned Take = std::min(Free[B], Left);
+        Free[B] -= Take;
+        Left -= Take;
+      }
+    }
+    // Trimmed lanes are real capacity: offer one node block each to the
+    // candidates the policy pass left queued, in admission order.
+    std::vector<bool> InPlan(Pending.size(), false);
+    for (const Grant &G : Plan)
+      InPlan[G.Index] = true;
+    for (size_t I = 0; I != Pending.size(); ++I) {
+      if (InPlan[I])
+        continue;
+      unsigned Big = Largest();
+      if (Free[Big] == 0)
+        break;
+      unsigned Lanes = std::min(Pending[I].RequestedLanes, Free[Big]);
+      Plan.push_back(Grant{I, Lanes, static_cast<int>(Big)});
+      Free[Big] -= Lanes;
+    }
+  }
   return Plan;
 }
 
@@ -375,54 +443,69 @@ void Scheduler::runGrants() {
         Solo.emplace(Action{std::move(E), std::move(S), Waited});
         Queue.pop_front();
       }
-    } else if (unsigned Free = Pool.freeWorkers();
-               !Queue.empty() && Free > 0) {
-      std::vector<Candidate> Pending;
-      Pending.reserve(Queue.size());
-      for (const Entry &E : Queue) {
-        uint64_t Waited =
-            E.Immediate
-                ? 0
-                : static_cast<uint64_t>(
-                      std::chrono::duration_cast<std::chrono::microseconds>(
-                          Now - E.Enqueued)
-                          .count());
-        double Rate = -1.0;
-        if (Policy == LanePolicy::Adaptive && E.R.LoopTag) {
-          auto It = LaneRates.find(E.R.LoopTag);
-          if (It != LaneRates.end())
-            Rate = It->second;
+    } else if (!Queue.empty()) {
+      // One snapshot drives both the lane total and the node-packing
+      // post-pass, so the plan can never see more (or differently
+      // distributed) lanes than the nodes it packs onto.
+      unsigned Free;
+      const std::vector<unsigned> *NodeFree = nullptr;
+      if (Pool.localityActive()) {
+        Pool.freeWorkersByNode(NodeFreeScratch);
+        Free = 0;
+        for (unsigned N : NodeFreeScratch)
+          Free += N;
+        NodeFree = &NodeFreeScratch;
+      } else {
+        Free = Pool.freeWorkers();
+      }
+      if (Free > 0) {
+        std::vector<Candidate> Pending;
+        Pending.reserve(Queue.size());
+        for (const Entry &E : Queue) {
+          uint64_t Waited =
+              E.Immediate
+                  ? 0
+                  : static_cast<uint64_t>(
+                        std::chrono::duration_cast<std::chrono::microseconds>(
+                            Now - E.Enqueued)
+                            .count());
+          double Rate = -1.0;
+          if (Policy == LanePolicy::Adaptive && E.R.LoopTag) {
+            auto It = LaneRates.find(E.R.LoopTag);
+            if (It != LaneRates.end())
+              Rate = It->second;
+          }
+          Pending.push_back(
+              Candidate{E.R.RequestedLanes, E.R.Priority, Waited, Rate});
         }
-        Pending.push_back(
-            Candidate{E.R.RequestedLanes, E.R.Priority, Waited, Rate});
+        std::vector<Grant> Plan =
+            planGrants(Pending, Free, Policy, AgingStepMicros, NodeFree);
+        std::vector<size_t> Granted;
+        for (const Grant &G : Plan) {
+          Entry &E = Queue[G.Index];
+          WorkerPool::SessionHandle S = Pool.tryAcquireSessionFor(
+              G.Lanes, E.R.AllowStealing, E.R.Owner, G.Node);
+          if (!S)
+            break; // Raced with a blocking acquirer; retry on next release.
+          if (E.Immediate)
+            ++St.ImmediateGrants;
+          else
+            ++St.DeferredGrants;
+          if (Policy == LanePolicy::Adaptive)
+            ++St.AdaptiveGrants;
+          if (S->lanes() < E.R.RequestedLanes)
+            ++St.CappedGrants;
+          uint64_t Waited = Pending[G.Index].QueuedMicros;
+          St.TotalQueuedMicros += Waited;
+          noteRemovedLocked(E);
+          Actions.push_back(Action{std::move(E), std::move(S), Waited});
+          Granted.push_back(G.Index);
+        }
+        std::sort(Granted.begin(), Granted.end());
+        for (size_t I = Granted.size(); I-- > 0;)
+          Queue.erase(Queue.begin() +
+                      static_cast<std::ptrdiff_t>(Granted[I]));
       }
-      std::vector<Grant> Plan =
-          planGrants(Pending, Free, Policy, AgingStepMicros);
-      std::vector<size_t> Granted;
-      for (const Grant &G : Plan) {
-        Entry &E = Queue[G.Index];
-        WorkerPool::SessionHandle S = Pool.tryAcquireSessionFor(
-            G.Lanes, E.R.AllowStealing, E.R.Owner);
-        if (!S)
-          break; // Raced with a blocking acquirer; retry on next release.
-        if (E.Immediate)
-          ++St.ImmediateGrants;
-        else
-          ++St.DeferredGrants;
-        if (Policy == LanePolicy::Adaptive)
-          ++St.AdaptiveGrants;
-        if (S->lanes() < E.R.RequestedLanes)
-          ++St.CappedGrants;
-        uint64_t Waited = Pending[G.Index].QueuedMicros;
-        St.TotalQueuedMicros += Waited;
-        noteRemovedLocked(E);
-        Actions.push_back(Action{std::move(E), std::move(S), Waited});
-        Granted.push_back(G.Index);
-      }
-      std::sort(Granted.begin(), Granted.end());
-      for (size_t I = Granted.size(); I-- > 0;)
-        Queue.erase(Queue.begin() +
-                    static_cast<std::ptrdiff_t>(Granted[I]));
     }
   }
   // Every removal makes room below the caps: wake parked Block

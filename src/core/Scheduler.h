@@ -228,19 +228,35 @@ public:
     double LaneRate = -1.0;
   };
   /// One planned grant: lane cap for the request at \p Index of the
-  /// candidate (admission-ordered) vector.
+  /// candidate (admission-ordered) vector. \p Node is the placement
+  /// node the lanes should come from (the pool's PreferredNode hint),
+  /// or -1 when the plan ran without node information (or the grant
+  /// must span nodes from the pool's choice of start block).
   struct Grant {
     size_t Index;
     unsigned Lanes;
+    int Node = -1;
   };
 
   /// Pure policy core: splits \p FreeLanes over \p Pending (admission
   /// order) and returns the grants in execution order; requests absent
   /// from the result stay queued. Guarantees sum(Lanes) <= FreeLanes and
   /// 1 <= Lanes <= RequestedLanes per grant.
-  static std::vector<Grant> planGrants(const std::vector<Candidate> &Pending,
-                                       unsigned FreeLanes, LanePolicy Policy,
-                                       uint64_t AgingStepMicros);
+  ///
+  /// \p NodeFreeLanes, when non-null with more than one entry, is the
+  /// free-lane count per placement node (summing to FreeLanes) and
+  /// turns on the node-packing post-pass: each planned grant is
+  /// assigned the free node block that fits it most tightly; a grant no
+  /// block covers is trimmed to the largest free block when that block
+  /// covers at least half of it (one-node locality beats raw lane
+  /// count), else it spans nodes starting from the largest block. Lanes
+  /// the trims freed are then re-offered to the candidates the plan
+  /// left queued, in admission order, one node block each -- so packing
+  /// never idles lanes that a queued request could use.
+  static std::vector<Grant>
+  planGrants(const std::vector<Candidate> &Pending, unsigned FreeLanes,
+             LanePolicy Policy, uint64_t AgingStepMicros,
+             const std::vector<unsigned> *NodeFreeLanes = nullptr);
 
 private:
   struct Entry {
@@ -294,6 +310,9 @@ private:
   /// Marginal-throughput EWMA per loop (iterations per lane-microsecond,
   /// keyed by Request::LoopTag); the LanePolicy::Adaptive grant weights.
   std::unordered_map<const void *, double> LaneRates;
+  /// Per-node free-lane snapshot for the node-packing plan (guarded by
+  /// M; reused across passes to keep the grant path allocation-free).
+  std::vector<unsigned> NodeFreeScratch;
   /// Blocked submitters (OverloadPolicy::Block) park here until a grant
   /// or drop shrinks the queue below the caps.
   std::condition_variable CapCV;

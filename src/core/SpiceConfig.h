@@ -23,6 +23,8 @@
 #ifndef SPICE_CORE_SPICECONFIG_H
 #define SPICE_CORE_SPICECONFIG_H
 
+#include "topology/Placement.h"
+
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -112,6 +114,16 @@ struct RuntimeConfig {
   /// MaxQueuedInvocations or the submitting loop's
   /// LoopOptions::MaxQueuedSubmissions (see OverloadPolicy).
   OverloadPolicy Overload = OverloadPolicy::Block;
+
+  /// Hardware-topology placement (docs/topology.md). Off (the default)
+  /// keeps the runtime bit-for-bit topology-blind. Auto discovers the
+  /// machine (or honors SPICE_TOPOLOGY); Override injects a fake
+  /// topology for tests. When the resolved topology has more than one
+  /// node, workers are pinned to home nodes (real topologies only, in
+  /// front of WorkerStartHook), lane grants pack onto one node, steals
+  /// prefer same-core then same-node victims, and warm
+  /// session/SpecWriteBuffer freelists shard per node.
+  topology::PlacementConfig Topology;
 };
 
 /// Chunk-granularity policy of one loop (LoopOptions::Chunking): either
@@ -326,6 +338,17 @@ struct SpiceStats {
   /// Recovery chunks whose re-execution ran off the home lane (stolen by
   /// an idle worker or drained by the resolving main thread).
   uint64_t StolenRecoveryChunks = 0;
+  /// Worker-to-worker steals whose thief and victim lanes live on the
+  /// same placement node -- with topology off (or a single node), every
+  /// worker steal counts here. Main-thread helping (MainHelpedChunks)
+  /// is not a steal and is counted by neither locality counter;
+  /// LocalSteals + RemoteSteals == StolenChunks - MainHelpedChunks.
+  /// See the StealLocality section of docs/stats.md.
+  uint64_t LocalSteals = 0;
+  /// Worker-to-worker steals that crossed placement nodes -- the
+  /// cross-node traffic NUMA-aware placement exists to shrink. Always 0
+  /// with topology off or a single node.
+  uint64_t RemoteSteals = 0;
   /// Time this loop's submissions spent in the runtime's admission queue
   /// before the Scheduler granted them lanes. An uncontended submission
   /// is granted inside submit() and contributes exactly 0; only deferred

@@ -369,7 +369,7 @@ private:
     R.S = T.initialState();
     bool Speculative = ChunkIdx != 0;
     SpecSpace Mem =
-        Speculative ? SpecSpace(&Buffers[ChunkIdx]) : SpecSpace();
+        Speculative ? SpecSpace(&specBuf(ChunkIdx)) : SpecSpace();
     for (;;) {
       if (Speculative &&
           AbortFlags[ChunkIdx].load(std::memory_order_relaxed)) {
@@ -604,7 +604,7 @@ private:
     /// Grant callback (scheduler): lease in hand, start element 0's
     /// speculative chunks, then publish the session to the driver.
     void onGrant(WorkerPool::SessionHandle S, uint64_t Micros) {
-      L.prepareParallel(ActiveChunks);
+      L.prepareParallel(ActiveChunks, S.get());
       L.launchChunks(*S, ActiveChunks);
       {
         std::lock_guard<std::mutex> Lock(M);
@@ -723,7 +723,7 @@ private:
       // The leased workers are parked between elements (resolveGranted
       // joins them), so reopening the deques here is race-free.
       Session->reopenQueues();
-      L.prepareParallel(Active);
+      L.prepareParallel(Active, Session.get());
       L.launchChunks(*Session, Active);
       return L.resolveGranted(*Session, Starts[I], Active,
                               /*QueuedMicros=*/0);
@@ -761,14 +761,54 @@ private:
   /// onGrant publishes them to the driver. One invocation per loop is in
   /// flight at a time (InvokeInFlight), so the loop-owned arena is safe
   /// and its capacity is reused by every invocation.
-  void prepareParallel(unsigned ActiveChunks) {
+  void prepareParallel(unsigned ActiveChunks, WorkerSession *S) {
     PredArena.assign(SVA.begin(), SVA.begin() + ActiveChunks);
+    bindChunkBuffers(ActiveChunks, S);
     for (unsigned I = 0; I <= ActiveChunks; ++I) {
       AbortFlags[I].store(false, std::memory_order_relaxed);
       DoneFlags[I].store(false, std::memory_order_relaxed);
-      Buffers[I].clear();
+      specBuf(I).clear();
       Results[I].reset();
     }
+  }
+
+  /// The write buffer chunk \p C runs against this invocation: the
+  /// loop-owned buffer by default, or a node-local pool buffer while a
+  /// NUMA binding is active (bindChunkBuffers).
+  SpecWriteBuffer &specBuf(unsigned C) { return *BufPtrs[C]; }
+
+  /// NUMA half of prepareParallel: when the runtime runs a multi-node
+  /// placement, each speculative chunk draws its SpecWriteBuffer from
+  /// the shard of the node owning the chunk's home lane, so a chunk's
+  /// speculative writes -- and the commit chain's reads of them -- stay
+  /// in node-local memory. Without placement (or for the sequential
+  /// chunk 0, which buffers nothing) the loop-owned buffers are used
+  /// unchanged and this is a no-op. Balanced by releaseChunkBuffers.
+  void bindChunkBuffers(unsigned ActiveChunks, WorkerSession *S) {
+    if (!S || S->lanes() == 0 || !RT->pool().hasBufferShards())
+      return;
+    const unsigned Lanes = S->lanes();
+    for (unsigned C = 1; C <= ActiveChunks; ++C) {
+      unsigned Node = S->laneNode(homeLane(C, Lanes));
+      DrawnBufs.emplace_back(Node, RT->pool().acquireSpecBuffer(Node));
+      BufPtrs[C] = DrawnBufs.back().second;
+    }
+  }
+
+  /// Returns pool-drawn buffers to their node shards (cleared, so the
+  /// next borrower starts empty) and repoints every chunk at its
+  /// loop-owned buffer. Runs only after the session is joined -- no
+  /// worker can still be writing through BufPtrs.
+  void releaseChunkBuffers() {
+    if (DrawnBufs.empty())
+      return;
+    for (size_t C = 0; C != BufPtrs.size(); ++C)
+      BufPtrs[C] = &Buffers[C];
+    for (auto &[Node, B] : DrawnBufs) {
+      B->clear();
+      RT->pool().releaseSpecBuffer(Node, B);
+    }
+    DrawnBufs.clear();
   }
 
   /// Grant-side setup, step 2: queue the speculative chunks on the
@@ -830,6 +870,9 @@ private:
           L.AbortFlags[I].store(true, std::memory_order_relaxed);
         S.closeQueues();
         S.wait();
+        // Safe only here: the join above is what guarantees no worker
+        // still writes through the chunk buffers.
+        L.releaseChunkBuffers();
       }
     } Joiner{*this, Session, ActiveChunks};
     Results[0] = runChunk(Start, &Pred[0], /*ChunkIdx=*/0,
@@ -883,7 +926,7 @@ private:
       bool Healthy =
           R.Status == ChunkStatus::Matched || R.Status == ChunkStatus::Exited;
       bool ReadsOk = !Config.EnableConflictDetection ||
-                     Buffers[J].validateReads();
+                     specBuf(J).validateReads();
       if (!Healthy || !ReadsOk) {
         if (!ReadsOk)
           ++Stats.ConflictSquashes;
@@ -901,7 +944,7 @@ private:
             ++Stats.StolenChunks;
           for (unsigned Row : R.WrittenRows)
             RowValid[Row] = 0;
-          Buffers[J].clear();
+          specBuf(J).clear();
           Results[J].reset();
           DoneFlags[J].store(false, std::memory_order_relaxed);
           AbortFlags[J].store(false, std::memory_order_relaxed);
@@ -918,7 +961,7 @@ private:
         ++J;
         continue;
       }
-      Buffers[J].commit();
+      specBuf(J).commit();
       T.combine(Merged, std::move(*R.S));
       Work[J] = R.Work;
       Stats.TotalIterations += R.Iterations;
@@ -946,6 +989,16 @@ private:
     Session.closeQueues();
     Session.wait(); // The caller's finish() returns the leased lanes.
 
+    // Steal locality: fold this element's deque counters into the loop
+    // stats now (before the LastStats snapshot below); the exchange
+    // leaves the session's counters at zero for the next batch element.
+    {
+      const detail::ChunkDeques::StealCounters SC =
+          Session.takeStealCounters();
+      Stats.LocalSteals += SC.Local;
+      Stats.RemoteSteals += SC.Remote;
+    }
+
     // Post-join bookkeeping: wasted work and stale rows of dead chunks.
     bool AnySquash = AnyFailure;
     for (unsigned J = Committed + 1; J <= ActiveChunks; ++J) {
@@ -953,7 +1006,7 @@ private:
       AnySquash = true;
       ++Stats.SquashedThreads;
       Stats.WastedIterations += R.Iterations;
-      Buffers[J].clear();
+      specBuf(J).clear();
       for (unsigned Row : R.WrittenRows)
         RowValid[Row] = 0; // Memoized by a dead chunk: untrustworthy.
     }
@@ -1137,6 +1190,9 @@ private:
         AbortFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
         DoneFlags(std::make_unique<std::atomic<bool>[]>(NumChunks)),
         Results(NumChunks) {
+    BufPtrs.reserve(Buffers.size());
+    for (SpecWriteBuffer &B : Buffers)
+      BufPtrs.push_back(&B);
     // NumChunks (and every invocation-sized structure above) is sized
     // for the policy's largest k; adaptive loops start at MinK and the
     // controller moves PlanChunks within the allocation.
@@ -1186,6 +1242,15 @@ private:
   std::vector<LiveIn> SVA;
   std::vector<uint8_t> RowValid;
   std::vector<SpecWriteBuffer> Buffers;
+  /// Per-chunk buffer indirection: BufPtrs[C] is the buffer chunk C
+  /// actually runs against. Normally &Buffers[C]; while a NUMA binding
+  /// is active it points at a node-local pool buffer instead
+  /// (bindChunkBuffers / releaseChunkBuffers). Same write/publish
+  /// discipline as PredArena.
+  std::vector<SpecWriteBuffer *> BufPtrs;
+  /// (node, buffer) pairs drawn from the pool's node shards for the
+  /// in-flight invocation; empty whenever no invocation is bound.
+  std::vector<std::pair<unsigned, SpecWriteBuffer *>> DrawnBufs;
   std::unique_ptr<std::atomic<bool>[]> AbortFlags;
   std::unique_ptr<std::atomic<bool>[]> DoneFlags;
   std::vector<std::optional<ChunkResult>> Results;

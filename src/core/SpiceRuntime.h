@@ -61,8 +61,12 @@ class SpiceRuntime {
 public:
   explicit SpiceRuntime(RuntimeConfig Config = {})
       : Config(std::move(Config)),
+        Place(topology::makePlacement(
+            this->Config.Topology,
+            this->Config.NumThreads > 0 ? this->Config.NumThreads - 1 : 0)),
         Pool(this->Config.NumThreads > 0 ? this->Config.NumThreads - 1 : 0,
-             this->Config.WorkerStartHook),
+             topology::composedStartHook(Place, this->Config.WorkerStartHook),
+             Place),
         Sched(Pool, this->Config) {
     assert(this->Config.NumThreads >= 1 && "need at least one thread");
     Pool.setReleaseHook([this] { Sched.onLanesFreed(); });
@@ -103,6 +107,11 @@ public:
   /// lanes go to (RuntimeConfig::Policy).
   Scheduler &scheduler() { return Sched; }
 
+  /// The worker placement resolved from RuntimeConfig::Topology, or
+  /// null when placement is off (or resolved to nothing). See
+  /// docs/topology.md.
+  const topology::Placement *placement() const { return Place.get(); }
+
   /// Snapshot of the runtime-wide admission counters.
   SchedulerStats schedulerStats() const { return Sched.stats(); }
 
@@ -140,6 +149,8 @@ private:
   }
 
   RuntimeConfig Config;
+  /// Declared before Pool: the pool's workers pin through it at start.
+  std::shared_ptr<const topology::Placement> Place;
   WorkerPool Pool;
   Scheduler Sched;
   std::atomic<unsigned> RegisteredLoops{0};

@@ -6,6 +6,7 @@
 
 #include "core/WorkerPool.h"
 
+#include "core/SpecWriteBuffer.h"
 #include "support/ErrorHandling.h"
 
 #include <cassert>
@@ -13,6 +14,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <unordered_map>
 #include <utility>
@@ -36,7 +38,36 @@ void ChunkDeques::reset(unsigned NumLanes, bool AllowStealing) {
   for (auto &L : Lanes)
     L->Q.clear();
   Stealing = AllowStealing;
+  // Locality belongs to a lease: the next one re-installs it (or not).
+  // The locality vectors keep their capacity for that re-install.
+  UseLocality = false;
+  LocalSteals.store(0, std::memory_order_relaxed);
+  RemoteSteals.store(0, std::memory_order_relaxed);
   Closed.store(false, std::memory_order_release);
+}
+
+void ChunkDeques::setLocality(const topology::Placement &P,
+                              const std::vector<unsigned> &Workers) {
+  assert(Workers.size() == Lanes.size() &&
+         "locality installed for a different lease");
+  size_t L = Lanes.size();
+  LaneNode.resize(L);
+  LaneCpu.resize(L);
+  for (size_t I = 0; I != L; ++I) {
+    LaneNode[I] = P.nodeOfWorker(Workers[I]);
+    LaneCpu[I] = P.cpuOfWorker(Workers[I]);
+  }
+  VictimOrder.clear();
+  if (L > 1) {
+    VictimOrder.reserve(L * (L - 1));
+    for (size_t I = 0; I != L; ++I) {
+      topology::Placement::victimOrder(static_cast<unsigned>(I), LaneCpu,
+                                       LaneNode, OrderScratch);
+      VictimOrder.insert(VictimOrder.end(), OrderScratch.begin(),
+                         OrderScratch.end());
+    }
+  }
+  UseLocality = true;
 }
 
 void ChunkDeques::reopen() {
@@ -97,8 +128,31 @@ bool ChunkDeques::tryAcquire(unsigned LaneIdx, uint32_t &Chunk,
   }
   if (!Stealing)
     return false;
-  // Steal from the back (most speculative chunk) of the other lanes,
-  // scanning from our right-hand neighbour.
+  // Steal from the back (most speculative chunk) of the other lanes.
+  if (UseLocality) {
+    // Placement-aware victim scan: same-core siblings first, then
+    // same-node lanes, then remote nodes (precomputed per lane by
+    // setLocality), counting which side of the node boundary the steal
+    // landed on.
+    size_t NumVictims = Lanes.size() - 1;
+    const unsigned *Order = VictimOrder.data() + LaneIdx * NumVictims;
+    for (size_t I = 0; I != NumVictims; ++I) {
+      unsigned V = Order[I];
+      Lane &Victim = *Lanes[V];
+      std::lock_guard<std::mutex> Lock(Victim.M);
+      if (!Victim.Q.empty()) {
+        Chunk = Victim.Q.back();
+        Victim.Q.pop_back();
+        Stolen = true;
+        (LaneNode[V] == LaneNode[LaneIdx] ? LocalSteals : RemoteSteals)
+            .fetch_add(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+  // Blind ring scan from our right-hand neighbour. Every steal is local
+  // by definition: without a placement there is only one node.
   for (size_t Off = 1; Off != Lanes.size(); ++Off) {
     Lane &Victim = *Lanes[(LaneIdx + Off) % Lanes.size()];
     std::lock_guard<std::mutex> Lock(Victim.M);
@@ -106,6 +160,7 @@ bool ChunkDeques::tryAcquire(unsigned LaneIdx, uint32_t &Chunk,
       Chunk = Victim.Q.back();
       Victim.Q.pop_back();
       Stolen = true;
+      LocalSteals.fetch_add(1, std::memory_order_relaxed);
       return true;
     }
   }
@@ -170,6 +225,13 @@ size_t ChunkDeques::pending() const {
   return N;
 }
 
+ChunkDeques::StealCounters ChunkDeques::takeStealCounters() {
+  StealCounters C;
+  C.Local = LocalSteals.exchange(0, std::memory_order_relaxed);
+  C.Remote = RemoteSteals.exchange(0, std::memory_order_relaxed);
+  return C;
+}
+
 //===----------------------------------------------------------------------===//
 // WorkerSession
 //===----------------------------------------------------------------------===//
@@ -211,9 +273,27 @@ void WorkerSession::wait() {
 //===----------------------------------------------------------------------===//
 
 WorkerPool::WorkerPool(unsigned NumWorkers,
-                       std::function<void(unsigned)> StartHook)
-    : WorkerStartHook(std::move(StartHook)), Slots(NumWorkers),
-      FreeCount(NumWorkers) {
+                       std::function<void(unsigned)> StartHook,
+                       std::shared_ptr<const topology::Placement> Placement)
+    : WorkerStartHook(std::move(StartHook)), Place(std::move(Placement)),
+      Slots(NumWorkers), FreeCount(NumWorkers) {
+  assert((!Place || Place->numWorkers() == NumWorkers) &&
+         "placement sized for a different pool");
+  if (Place && Place->numWorkers() != NumWorkers)
+    reportFatalError("WorkerPool placement does not cover the pool's "
+                     "workers (placement built for a different size?)");
+  if (localityActive()) {
+    // Everything node-aware hangs off these: per-node free counts for
+    // the lease/grant packing, and per-node freelist shards so reused
+    // sessions and warm buffers stay with the node that touched them.
+    FreeByNode.reserve(Place->numNodes());
+    for (unsigned N = 0; N != Place->numNodes(); ++N)
+      FreeByNode.push_back(Place->workersOfNode(N));
+    BufferShards.reserve(Place->numNodes());
+    for (unsigned N = 0; N != Place->numNodes(); ++N)
+      BufferShards.push_back(std::make_unique<BufferShard>());
+  }
+  FreeSessionShards.resize(localityActive() ? Place->numNodes() : 1);
   Threads.reserve(NumWorkers);
   for (unsigned I = 0; I != NumWorkers; ++I)
     Threads.emplace_back([this, I] { workerMain(I); });
@@ -229,14 +309,36 @@ WorkerPool::~WorkerPool() {
   WakeCV.notify_all();
   for (std::thread &T : Threads)
     T.join();
-  // Workers are joined: the freelist can no longer be touched.
-  for (WorkerSession *S : FreeSessions)
-    delete S;
+  // Workers are joined: the freelists can no longer be touched. Any
+  // drawn buffer is back in its shard between invocations, so the
+  // shards own every buffer by now.
+  for (std::vector<WorkerSession *> &Shard : FreeSessionShards)
+    for (WorkerSession *S : Shard)
+      delete S;
+  for (std::unique_ptr<BufferShard> &Shard : BufferShards)
+    for (SpecWriteBuffer *B : Shard->Free)
+      delete B;
 }
 
 void WorkerPool::workerMain(unsigned Index) {
-  if (WorkerStartHook)
-    WorkerStartHook(Index);
+  if (WorkerStartHook) {
+    // An exception here would escape the thread entry point as a bare
+    // std::terminate with no context, leaving the pool's accounting
+    // expecting a worker that never parks. Fail loudly instead: the
+    // pool cannot run without its workers.
+    try {
+      WorkerStartHook(Index);
+    } catch (const std::exception &E) {
+      std::string Msg =
+          "RuntimeConfig::WorkerStartHook threw during worker start: ";
+      Msg += E.what();
+      reportFatalError(Msg.c_str(), __FILE__, __LINE__);
+    } catch (...) {
+      reportFatalError("RuntimeConfig::WorkerStartHook threw a non-"
+                       "std::exception value during worker start",
+                       __FILE__, __LINE__);
+    }
+  }
   for (;;) {
     WorkerSession *Session;
     unsigned Lane;
@@ -302,17 +404,25 @@ WorkerPool::SessionHandle WorkerPool::acquireSession(unsigned MaxLanes,
       reportFatalError("WorkerPool::acquireSession called while a legacy "
                        "launch is in flight; legacy launches may not be "
                        "mixed with concurrent sessions");
-    S = SessionHandle(takeSessionLocked());
-    leaseLocked(*S, std::min(FreeCount, MaxLanes),
-                std::this_thread::get_id());
+    unsigned Take = std::min(FreeCount, MaxLanes);
+    int StartNode = -1;
+    if (localityActive()) {
+      auto [Node, Trimmed] = chooseStartNodeLocked(Take, /*Preferred=*/-1);
+      StartNode = static_cast<int>(Node);
+      Take = Trimmed;
+    }
+    S = SessionHandle(takeSessionLocked(StartNode < 0 ? 0 : StartNode));
+    leaseLocked(*S, Take, std::this_thread::get_id(), StartNode);
   }
   S->Deques.reset(S->lanes(), AllowStealing);
+  if (localityActive())
+    S->Deques.setLocality(*Place, S->Workers);
   return S;
 }
 
 WorkerPool::SessionHandle
 WorkerPool::tryAcquireSessionFor(unsigned MaxLanes, bool AllowStealing,
-                                 std::thread::id Owner) {
+                                 std::thread::id Owner, int PreferredNode) {
   assert(!Threads.empty() && "tryAcquireSessionFor on an empty pool");
   assert(MaxLanes >= 1 && "a session needs at least one lane");
   SessionHandle S;
@@ -328,22 +438,89 @@ WorkerPool::tryAcquireSessionFor(unsigned MaxLanes, bool AllowStealing,
       reportFatalError("WorkerPool::tryAcquireSessionFor called while a "
                        "legacy launch is in flight; legacy launches may "
                        "not be mixed with concurrent sessions");
-    S = SessionHandle(takeSessionLocked());
-    leaseLocked(*S, std::min(FreeCount, MaxLanes), Owner);
+    unsigned Take = std::min(FreeCount, MaxLanes);
+    int StartNode = -1;
+    if (localityActive()) {
+      auto [Node, Trimmed] = chooseStartNodeLocked(Take, PreferredNode);
+      StartNode = static_cast<int>(Node);
+      Take = Trimmed;
+    }
+    S = SessionHandle(takeSessionLocked(StartNode < 0 ? 0 : StartNode));
+    leaseLocked(*S, Take, Owner, StartNode);
   }
   S->Deques.reset(S->lanes(), AllowStealing);
+  if (localityActive())
+    S->Deques.setLocality(*Place, S->Workers);
   return S;
 }
 
+std::pair<unsigned, unsigned>
+WorkerPool::chooseStartNodeLocked(unsigned Take, int Preferred) const {
+  assert(localityActive() && "node packing without a multi-node placement");
+  assert(Take >= 1 && Take <= FreeCount);
+  // A scheduler grant's node wins while it still has free lanes; a
+  // racing lease may have shrunk the node since the plan, in which case
+  // the lease spills over from there rather than re-planning.
+  if (Preferred >= 0 && static_cast<size_t>(Preferred) < FreeByNode.size() &&
+      FreeByNode[Preferred] > 0)
+    return {static_cast<unsigned>(Preferred), Take};
+  // Best fit: the smallest free node block covering the ask (ties to
+  // the lower node id), leaving bigger blocks intact for wider asks.
+  int Best = -1;
+  for (unsigned N = 0; N != FreeByNode.size(); ++N)
+    if (FreeByNode[N] >= Take &&
+        (Best < 0 || FreeByNode[N] < FreeByNode[Best]))
+      Best = static_cast<int>(N);
+  if (Best >= 0)
+    return {static_cast<unsigned>(Best), Take};
+  // No node covers the ask. Trim to the largest free block when it
+  // covers at least half of it -- one-node locality beats raw lane
+  // count there -- else span nodes starting from that block.
+  unsigned Big = 0;
+  for (unsigned N = 1; N != FreeByNode.size(); ++N)
+    if (FreeByNode[N] > FreeByNode[Big])
+      Big = N;
+  if (2 * FreeByNode[Big] >= Take)
+    return {Big, FreeByNode[Big]};
+  return {Big, Take};
+}
+
 void WorkerPool::leaseLocked(WorkerSession &S, unsigned Take,
-                             std::thread::id Owner) {
+                             std::thread::id Owner, int StartNode) {
   assert(Take <= FreeCount && "leasing more workers than are free");
   S.Workers.reserve(Take);
-  for (unsigned I = 0; I != Slots.size() && S.Workers.size() != Take; ++I) {
-    if (Slots[I].Leased)
-      continue;
-    Slots[I].Leased = true;
-    S.Workers.push_back(I);
+  if (StartNode < 0) {
+    // Topology-blind lease: first free workers by index.
+    for (unsigned I = 0; I != Slots.size() && S.Workers.size() != Take;
+         ++I) {
+      if (Slots[I].Leased)
+        continue;
+      Slots[I].Leased = true;
+      S.Workers.push_back(I);
+    }
+  } else {
+    // Node-contiguous lease: drain StartNode's free workers first (the
+    // placement lays each node out as one index range), then spill to
+    // whichever node has the most free lanes until the ask is covered.
+    int Node = FreeByNode[StartNode] > 0 ? StartNode : -1;
+    while (S.Workers.size() != Take) {
+      if (Node < 0) {
+        unsigned Widest = 0;
+        for (unsigned N = 1; N != FreeByNode.size(); ++N)
+          if (FreeByNode[N] > FreeByNode[Widest])
+            Widest = N;
+        Node = static_cast<int>(Widest);
+      }
+      auto [First, Last] = Place->workerRangeOfNode(Node);
+      for (unsigned I = First; I != Last && S.Workers.size() != Take; ++I) {
+        if (Slots[I].Leased)
+          continue;
+        Slots[I].Leased = true;
+        S.Workers.push_back(I);
+        --FreeByNode[Node];
+      }
+      Node = -1;
+    }
   }
   FreeCount -= Take;
   // Owner-keyed (not thread_local) accounting, so a handle destroyed
@@ -368,12 +545,19 @@ bool WorkerPool::callerHoldsEntirePool() const {
          Held->second == Slots.size();
 }
 
-WorkerSession *WorkerPool::takeSessionLocked() {
-  if (!FreeSessions.empty()) {
-    WorkerSession *S = FreeSessions.back();
-    FreeSessions.pop_back();
-    ++PoolSt.SessionPoolHits;
-    return S;
+WorkerSession *WorkerPool::takeSessionLocked(unsigned Shard) {
+  // The home shard's sessions ran on this node last -- their deque and
+  // job storage is warm there. Any parked session beats an allocation,
+  // so fall through the other shards before newing.
+  for (size_t I = 0; I != FreeSessionShards.size(); ++I) {
+    std::vector<WorkerSession *> &List =
+        FreeSessionShards[(Shard + I) % FreeSessionShards.size()];
+    if (!List.empty()) {
+      WorkerSession *S = List.back();
+      List.pop_back();
+      ++PoolSt.SessionPoolHits;
+      return S;
+    }
   }
   ++PoolSt.SessionsCreated;
   return new WorkerSession(*this);
@@ -389,9 +573,14 @@ void WorkerPool::recycleSession(WorkerSession *S) {
   const std::function<void()> *Hook = nullptr;
   {
     std::lock_guard<std::mutex> Lock(Mutex);
+    unsigned Shard = 0;
+    if (localityActive() && !S->Workers.empty())
+      Shard = nodeOfWorker(S->Workers[0]);
     for (unsigned W : S->Workers) {
       assert(Slots[W].Leased && "releasing a worker that was not leased");
       Slots[W].Leased = false;
+      if (localityActive())
+        ++FreeByNode[nodeOfWorker(W)];
     }
     Released = static_cast<unsigned>(S->Workers.size());
     FreeCount += Released;
@@ -409,7 +598,7 @@ void WorkerPool::recycleSession(WorkerSession *S) {
       Hook = &ReleaseHook;
     // Parked before the hook runs, so a deferred grant triggered by this
     // very release can reuse the session it is releasing.
-    FreeSessions.push_back(S);
+    FreeSessionShards[Shard].push_back(S);
   }
   if (Released > 0)
     LeaseCV.notify_all();
@@ -425,9 +614,53 @@ unsigned WorkerPool::freeWorkers() const {
   return FreeCount;
 }
 
+void WorkerPool::freeWorkersByNode(std::vector<unsigned> &Out) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  if (FreeByNode.empty()) {
+    Out.assign(1, FreeCount);
+    return;
+  }
+  Out.assign(FreeByNode.begin(), FreeByNode.end());
+}
+
 SessionPoolStats WorkerPool::sessionPoolStats() const {
   std::lock_guard<std::mutex> Lock(Mutex);
   return PoolSt;
+}
+
+SpecWriteBuffer *WorkerPool::acquireSpecBuffer(unsigned Node) {
+  assert(Node < BufferShards.size() &&
+         "buffer draw for a node without a shard");
+  BufferShard &Shard = *BufferShards[Node];
+  {
+    std::lock_guard<std::mutex> Lock(Shard.M);
+    if (!Shard.Free.empty()) {
+      SpecWriteBuffer *B = Shard.Free.back();
+      Shard.Free.pop_back();
+      ++Shard.Hits;
+      return B;
+    }
+    ++Shard.Created;
+  }
+  return new SpecWriteBuffer();
+}
+
+void WorkerPool::releaseSpecBuffer(unsigned Node, SpecWriteBuffer *B) {
+  assert(Node < BufferShards.size() &&
+         "buffer release for a node without a shard");
+  BufferShard &Shard = *BufferShards[Node];
+  std::lock_guard<std::mutex> Lock(Shard.M);
+  Shard.Free.push_back(B);
+}
+
+NodeBufferPoolStats WorkerPool::nodeBufferStats() const {
+  NodeBufferPoolStats Agg;
+  for (const std::unique_ptr<BufferShard> &Shard : BufferShards) {
+    std::lock_guard<std::mutex> Lock(Shard->M);
+    Agg.BuffersCreated += Shard->Created;
+    Agg.BufferPoolHits += Shard->Hits;
+  }
+  return Agg;
 }
 
 //===----------------------------------------------------------------------===//

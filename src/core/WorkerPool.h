@@ -34,6 +34,17 @@
 /// execution and the simple locking keeps the protocol easy to reason
 /// about (and TSan-clean).
 ///
+/// When the pool is built with a multi-node topology::Placement
+/// (docs/topology.md), locality shapes all of this: leases take
+/// node-contiguous worker ranges (packing an invocation onto one node,
+/// with a trim-to-node rule when no node has enough free lanes), steals
+/// scan victims same-core -> same-node -> remote and count their
+/// locality (ChunkDeques::takeStealCounters), and released sessions and
+/// warm SpecWriteBuffers park on per-node freelist shards so a reused
+/// session or buffer is warm in the right node's cache. Without a
+/// placement -- or on a single node -- none of it engages and every
+/// path below is bit-for-bit the topology-blind behavior.
+///
 /// The pre-session one-shot API (launch/wait + pool-level queues) is kept
 /// for single-client users and tests; it drives workers 0..Count-1
 /// directly and may not be mixed with concurrent sessions.
@@ -42,6 +53,8 @@
 
 #ifndef SPICE_CORE_WORKERPOOL_H
 #define SPICE_CORE_WORKERPOOL_H
+
+#include "topology/Placement.h"
 
 #include <atomic>
 #include <cassert>
@@ -58,6 +71,7 @@
 namespace spice {
 namespace core {
 
+class SpecWriteBuffer;
 class WorkerPool;
 
 namespace detail {
@@ -67,8 +81,28 @@ namespace detail {
 /// API); all methods are thread-safe against each other.
 class ChunkDeques {
 public:
-  /// Prepares \p NumLanes open deques, discarding any previous state.
+  /// Worker-to-worker steal counts by victim locality, accumulated
+  /// since the last takeStealCounters(). Main-thread helpPopFront is
+  /// not a steal and counts in neither bucket. Without locality
+  /// (setLocality not called since the last reset) every steal is
+  /// Local: one node means nothing is remote.
+  struct StealCounters {
+    uint64_t Local = 0;
+    uint64_t Remote = 0;
+  };
+
+  /// Prepares \p NumLanes open deques, discarding any previous state
+  /// (including locality: the next lease must call setLocality again).
   void reset(unsigned NumLanes, bool AllowStealing);
+
+  /// Installs the steal-locality order for this lease: lane i runs on
+  /// pool worker \p Workers[i], whose node and cpu slot \p P knows.
+  /// Steals then scan victims same-core -> same-node -> remote (ring
+  /// order within each class) instead of the blind ring, and the
+  /// counters split by locality. Only between reset() and the first
+  /// acquire.
+  void setLocality(const topology::Placement &P,
+                   const std::vector<unsigned> &Workers);
 
   /// Clears every lane and lifts a previous close(), keeping the lane
   /// count and stealing mode: the next launch round of a multi-round
@@ -98,6 +132,11 @@ public:
   /// Pending (not yet acquired) chunks across all lanes.
   size_t pending() const;
 
+  /// Reads and zeroes the steal-locality counters. Only race-free while
+  /// no acquirer is active (after a wait(), before the next launch) --
+  /// the resolve path reads them once per launch round.
+  StealCounters takeStealCounters();
+
 private:
   bool tryAcquire(unsigned Lane, uint32_t &Chunk, bool &Stolen);
   void bumpEpoch();
@@ -117,6 +156,20 @@ private:
   std::mutex Mutex;
   std::condition_variable CV;
   std::atomic<uint64_t> Epoch{0};
+
+  /// Locality state (setLocality). The vectors keep their capacity
+  /// across reset() so a recycled session's lease re-fills them without
+  /// allocating.
+  bool UseLocality = false;
+  std::vector<unsigned> LaneNode; ///< lane -> placement node
+  std::vector<unsigned> LaneCpu;  ///< lane -> placement cpu slot
+  /// Flat victim order: lane i's Lanes.size()-1 victims at offset
+  /// i * (Lanes.size() - 1), same-core first, then same-node, then
+  /// remote.
+  std::vector<unsigned> VictimOrder;
+  std::vector<unsigned> OrderScratch; ///< setLocality per-lane scratch.
+  std::atomic<uint64_t> LocalSteals{0};
+  std::atomic<uint64_t> RemoteSteals{0};
 };
 
 } // namespace detail
@@ -145,6 +198,10 @@ public:
   /// Lanes leased to this session (>= 1).
   unsigned lanes() const { return static_cast<unsigned>(Workers.size()); }
 
+  /// Placement node of the worker behind \p Lane; 0 when the pool has
+  /// no placement. What the loop's per-chunk buffer draw keys on.
+  unsigned laneNode(unsigned Lane) const;
+
   /// Wakes the leased workers to run Job(LaneIndex), LaneIndex in
   /// [0, lanes()). The client thread does not participate and may execute
   /// its own chunk concurrently. Must be paired with wait().
@@ -170,6 +227,12 @@ public:
   }
   bool helpPopFront(uint32_t &Chunk) { return Deques.helpPopFront(Chunk); }
   size_t pendingChunks() const { return Deques.pending(); }
+
+  /// Steal-locality counters of this lease since the last take (see
+  /// ChunkDeques::takeStealCounters; read after wait()).
+  detail::ChunkDeques::StealCounters takeStealCounters() {
+    return Deques.takeStealCounters();
+  }
 
 private:
   friend class WorkerPool;
@@ -200,6 +263,16 @@ struct SessionPoolStats {
   uint64_t SessionPoolHits = 0;
 };
 
+/// Counters of the pool's per-node SpecWriteBuffer freelist shards
+/// (multi-node placement only; see WorkerPool::acquireSpecBuffer).
+/// Aggregated across shards by nodeBufferStats().
+struct NodeBufferPoolStats {
+  /// Buffers allocated (shard freelist misses).
+  uint64_t BuffersCreated = 0;
+  /// Draws served by a warm buffer from the requested node's shard.
+  uint64_t BufferPoolHits = 0;
+};
+
 /// Persistent pool of worker threads shared by every loop of a runtime.
 /// Invocations lease lanes through sessions; the legacy one-shot API
 /// (launch/wait + pool-level queues) drives workers 0..Count-1 directly.
@@ -207,9 +280,14 @@ class WorkerPool {
 public:
   /// Spawns \p NumWorkers threads; they park immediately. \p
   /// WorkerStartHook, when set, runs once on each worker thread before it
-  /// first parks (NUMA / affinity placement).
-  explicit WorkerPool(unsigned NumWorkers,
-                      std::function<void(unsigned)> WorkerStartHook = {});
+  /// first parks (NUMA / affinity placement); a hook that throws aborts
+  /// the process with a diagnostic (the pool cannot run without its
+  /// workers). \p Placement, when set, must cover exactly NumWorkers
+  /// workers; with more than one node it turns on the locality behavior
+  /// described in the file comment.
+  explicit WorkerPool(
+      unsigned NumWorkers, std::function<void(unsigned)> WorkerStartHook = {},
+      std::shared_ptr<const topology::Placement> Placement = nullptr);
 
   /// Stops and joins all workers. All sessions must have been released.
   ~WorkerPool();
@@ -218,6 +296,30 @@ public:
   WorkerPool &operator=(const WorkerPool &) = delete;
 
   unsigned size() const { return static_cast<unsigned>(Threads.size()); }
+
+  //===--------------------------------------------------------------------===//
+  // Placement: the topology view the pool was built with.
+  //===--------------------------------------------------------------------===//
+
+  /// The worker placement, or null for a topology-blind pool.
+  const topology::Placement *placement() const { return Place.get(); }
+
+  /// Placement nodes the workers span (1 without a placement).
+  unsigned numNodes() const { return Place ? Place->numNodes() : 1; }
+
+  /// Home node of worker \p Worker (0 without a placement).
+  unsigned nodeOfWorker(unsigned Worker) const {
+    return Place ? Place->nodeOfWorker(Worker) : 0;
+  }
+
+  /// True when leases, steals, and freelists are node-aware: a
+  /// placement with more than one node.
+  bool localityActive() const { return Place && Place->numNodes() > 1; }
+
+  /// Snapshot of free (unleased) workers per node into \p Out (sized
+  /// numNodes()). The Scheduler's node-packing pass reads this; like
+  /// freeWorkers() it is racy by nature.
+  void freeWorkersByNode(std::vector<unsigned> &Out) const;
 
   //===--------------------------------------------------------------------===//
   // Sessions: leased worker lanes for concurrent invocations.
@@ -231,7 +333,11 @@ public:
   /// when they want more lanes than exist, later acquirers wait for the
   /// earlier ones to release). The session's deques are reset open with
   /// one lane per leased worker. Requires a non-empty pool and MaxLanes
-  /// >= 1. Destroying the handle returns the lanes.
+  /// >= 1. Destroying the handle returns the lanes. Under a multi-node
+  /// placement the lease is node-packed: it comes from one node when a
+  /// node has enough free lanes, is trimmed to the largest free node
+  /// block when that block covers at least half the ask, and spans
+  /// nodes only as a last resort.
   SessionHandle acquireSession(unsigned MaxLanes, bool AllowStealing);
 
   /// Non-blocking half of the deferred-grant path: leases min(free,
@@ -240,9 +346,12 @@ public:
   /// session -- rather than the calling thread, because a deferred grant
   /// executes on whichever thread released the lanes (see
   /// core/Scheduler.h). Self-deadlock diagnostics and the pool's
-  /// held-lane bookkeeping key off that owner.
+  /// held-lane bookkeeping key off that owner. \p PreferredNode is the
+  /// Scheduler's node-packing hint (Grant::Node): the lease starts on
+  /// that node when it still has free lanes; -1 lets the pool pick.
   SessionHandle tryAcquireSessionFor(unsigned MaxLanes, bool AllowStealing,
-                                     std::thread::id Owner);
+                                     std::thread::id Owner,
+                                     int PreferredNode = -1);
 
   /// tryAcquireSessionFor with the calling thread as the owner.
   SessionHandle tryAcquireSession(unsigned MaxLanes, bool AllowStealing) {
@@ -271,6 +380,29 @@ public:
   /// Session-freelist counters (see SessionPoolStats). Snapshot under
   /// the pool mutex.
   SessionPoolStats sessionPoolStats() const;
+
+  //===--------------------------------------------------------------------===//
+  // Per-node SpecWriteBuffer shards: warm speculative-store buffers that
+  // stay node-local. Active only under a multi-node placement
+  // (hasBufferShards()); loops fall back to their own buffers otherwise.
+  //===--------------------------------------------------------------------===//
+
+  /// True when the pool keeps per-node buffer shards (multi-node
+  /// placement): loops should draw chunk buffers from the home lane's
+  /// node instead of using their loop-owned (placement-blind) pool.
+  bool hasBufferShards() const { return !BufferShards.empty(); }
+
+  /// Draws a buffer from \p Node's shard (allocating on a cold shard).
+  /// The buffer may hold a previous draw's contents; clear() before
+  /// use. Requires hasBufferShards().
+  SpecWriteBuffer *acquireSpecBuffer(unsigned Node);
+
+  /// Returns \p B to \p Node's shard -- the node it was drawn for, so
+  /// the warm memory stays with that node's workers.
+  void releaseSpecBuffer(unsigned Node, SpecWriteBuffer *B);
+
+  /// Aggregated shard counters (see NodeBufferPoolStats).
+  NodeBufferPoolStats nodeBufferStats() const;
 
   //===--------------------------------------------------------------------===//
   // Legacy one-shot API: drives workers 0..Count-1 with no lease. May not
@@ -305,16 +437,33 @@ private:
 
   /// Handle-destruction path (WorkerSession::Recycler): returns the
   /// leased lanes, runs the release hook, and parks \p S on the
-  /// freelist for reuse instead of deleting it.
+  /// freelist shard of its first worker's node for reuse instead of
+  /// deleting it.
   void recycleSession(WorkerSession *S);
 
-  /// Pops a parked session or allocates a fresh one, bumping the
-  /// SessionPoolStats counters. Requires the pool mutex.
-  WorkerSession *takeSessionLocked();
+  /// Pops a parked session -- \p Shard's freelist first, then the other
+  /// shards -- or allocates a fresh one, bumping the SessionPoolStats
+  /// counters. Requires the pool mutex.
+  WorkerSession *takeSessionLocked(unsigned Shard);
+
+  /// Node-packing decision for a lease of \p Take lanes (locality
+  /// active, pool mutex held): the node to start taking workers from,
+  /// and the possibly-trimmed lane count. \p Preferred (a scheduler
+  /// grant's node, -1 for none) wins while it has free lanes; otherwise
+  /// best-fit (the smallest free block that covers Take), then the
+  /// trim-to-node rule: when no node covers Take but the largest free
+  /// block covers at least half of it, the lease shrinks to that block
+  /// rather than spanning nodes.
+  std::pair<unsigned, unsigned> chooseStartNodeLocked(unsigned Take,
+                                                      int Preferred) const;
 
   /// Leases \p Take free workers into \p S on behalf of \p Owner.
-  /// Requires the pool mutex and Take <= FreeCount.
-  void leaseLocked(WorkerSession &S, unsigned Take, std::thread::id Owner);
+  /// Requires the pool mutex and Take <= FreeCount. \p StartNode (-1
+  /// without locality) is where the node-contiguous scan begins;
+  /// spill-over continues through the remaining nodes by descending
+  /// free count.
+  void leaseLocked(WorkerSession &S, unsigned Take, std::thread::id Owner,
+                   int StartNode);
 
   /// Per-worker mailbox (guarded by Mutex). A worker runs at most one
   /// job at a time: Session is null for legacy launches, and the job
@@ -326,8 +475,18 @@ private:
     bool Leased = false;
   };
 
+  /// One node's warm-buffer freelist (multi-node placement only). Own
+  /// mutex: buffer draws must not contend with the lease path.
+  struct BufferShard {
+    std::mutex M;
+    std::vector<SpecWriteBuffer *> Free;
+    uint64_t Created = 0;
+    uint64_t Hits = 0;
+  };
+
   std::vector<std::thread> Threads;
   std::function<void(unsigned)> WorkerStartHook;
+  std::shared_ptr<const topology::Placement> Place;
   /// Deferred-grant hook (see setReleaseHook). Written once before any
   /// session exists; read under the pool mutex, invoked outside it.
   std::function<void()> ReleaseHook;
@@ -338,6 +497,9 @@ private:
   std::condition_variable LeaseCV; ///< acquireSession() callers park here.
   std::vector<WorkerSlot> Slots;
   unsigned FreeCount = 0;
+  /// Free workers per placement node (guarded by Mutex; maintained only
+  /// while localityActive(), else empty).
+  std::vector<unsigned> FreeByNode;
   /// Leased workers per acquiring thread (self-deadlock diagnostic in
   /// acquireSession; keyed by the session's owner, guarded by Mutex).
   std::unordered_map<std::thread::id, unsigned> WorkersHeldByThread;
@@ -347,15 +509,23 @@ private:
   unsigned LegacyRemaining = 0;
   bool LegacyInFlight = false;
   bool ShuttingDown = false;
-  /// Released sessions parked for reuse (guarded by Mutex; deleted in
-  /// the pool destructor). Reusing a session reuses its ChunkDeques
-  /// lanes and job storage, so the steady-state submit path allocates
-  /// no session state at all.
-  std::vector<WorkerSession *> FreeSessions;
+  /// Released sessions parked for reuse, sharded by the node of the
+  /// session's first worker -- one shard without locality (guarded by
+  /// Mutex; deleted in the pool destructor). Reusing a session reuses
+  /// its ChunkDeques lanes and job storage, so the steady-state submit
+  /// path allocates no session state at all.
+  std::vector<std::vector<WorkerSession *>> FreeSessionShards;
   SessionPoolStats PoolSt;
+  /// Per-node warm SpecWriteBuffer freelists (empty without a
+  /// multi-node placement; buffers deleted in the pool destructor).
+  std::vector<std::unique_ptr<BufferShard>> BufferShards;
 
   detail::ChunkDeques LegacyDeques;
 };
+
+inline unsigned WorkerSession::laneNode(unsigned Lane) const {
+  return Pool.nodeOfWorker(Workers[Lane]);
+}
 
 } // namespace core
 } // namespace spice

@@ -1,0 +1,146 @@
+//===- topology/Placement.cpp - NUMA-aware worker placement ---------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "topology/Placement.h"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace spice {
+namespace topology {
+
+Placement::Placement(Topology T, unsigned NumWorkers, bool PinWorkers)
+    : Topo(std::move(T)), Pin(PinWorkers) {
+  unsigned Nodes = Topo.numNodes();
+  NodeFirst.assign(Nodes, 0);
+  NodeCount.assign(Nodes, 0);
+  if (!Nodes || !NumWorkers)
+    return;
+
+  // Distribute workers proportionally to node cpu counts by largest
+  // remainder; ties go to the lower node id so the layout is
+  // deterministic. Every remaining worker after the floor pass lands
+  // somewhere, so the counts always sum to NumWorkers.
+  unsigned TotalCpus = Topo.numCpus();
+  std::vector<std::pair<unsigned, unsigned>> Remainder; // (node, remainder)
+  unsigned Assigned = 0;
+  for (unsigned N = 0; N != Nodes; ++N) {
+    unsigned Cpus = static_cast<unsigned>(Topo.cpusOfNode(N).size());
+    uint64_t Scaled = static_cast<uint64_t>(NumWorkers) * Cpus;
+    NodeCount[N] = static_cast<unsigned>(Scaled / TotalCpus);
+    Assigned += NodeCount[N];
+    Remainder.push_back({N, static_cast<unsigned>(Scaled % TotalCpus)});
+  }
+  std::stable_sort(Remainder.begin(), Remainder.end(),
+                   [](const auto &A, const auto &B) {
+                     return A.second > B.second;
+                   });
+  for (unsigned I = 0; Assigned < NumWorkers; ++I, ++Assigned)
+    ++NodeCount[Remainder[I % Nodes].first];
+
+  // Node-contiguous layout: node 0's workers first. Within a node,
+  // workers round-robin over its cpu slots (oversubscription wraps, so
+  // a shared slot is what "same core" means downstream).
+  WorkerNode.resize(NumWorkers);
+  WorkerCpu.resize(NumWorkers);
+  unsigned W = 0;
+  for (unsigned N = 0; N != Nodes; ++N) {
+    NodeFirst[N] = W;
+    const std::vector<unsigned> &Slots = Topo.cpusOfNode(N);
+    for (unsigned I = 0; I != NodeCount[N]; ++I, ++W) {
+      WorkerNode[W] = N;
+      WorkerCpu[W] = Slots[I % Slots.size()];
+    }
+  }
+}
+
+std::function<void(unsigned)>
+Placement::workerStartHook(std::function<void(unsigned)> Chained) const {
+  if (!pinsWorkers())
+    return Chained;
+  // Capture per-worker cpu masks by value: the hook must not dangle if
+  // the Placement dies first (it is shared, but cheap insurance).
+  std::vector<std::vector<unsigned>> NodeOsCpus(numWorkers());
+  for (unsigned W = 0; W != numWorkers(); ++W) {
+    const std::vector<unsigned> &Slots = Topo.cpusOfNode(WorkerNode[W]);
+    for (unsigned Slot : Slots)
+      NodeOsCpus[W].push_back(Topo.osCpuOf(Slot));
+  }
+  return [NodeOsCpus = std::move(NodeOsCpus),
+          Chained = std::move(Chained)](unsigned Worker) {
+#if defined(__linux__)
+    // Pin to the whole home node, not the single slot: the kernel can
+    // still balance within the node, and a failed pin (cgroup mask
+    // shrank since discovery) is not worth dying over.
+    if (Worker < NodeOsCpus.size() && !NodeOsCpus[Worker].empty()) {
+      cpu_set_t Mask;
+      CPU_ZERO(&Mask);
+      for (unsigned OsCpu : NodeOsCpus[Worker])
+        if (OsCpu < CPU_SETSIZE)
+          CPU_SET(OsCpu, &Mask);
+      (void)sched_setaffinity(0, sizeof(Mask), &Mask);
+    }
+#endif
+    if (Chained)
+      Chained(Worker);
+  };
+}
+
+void Placement::victimOrder(unsigned Lane,
+                            const std::vector<unsigned> &LaneCpus,
+                            const std::vector<unsigned> &LaneNodes,
+                            std::vector<unsigned> &Out) {
+  size_t Lanes = LaneCpus.size();
+  Out.clear();
+  if (Lanes < 2)
+    return;
+  Out.reserve(Lanes - 1);
+  // Three passes over the ring starting after Lane: same cpu slot
+  // (sibling on a shared core), then same node, then remote. Ring
+  // order within a class keeps thieves of one node from all converging
+  // on the same victim.
+  for (int Class = 0; Class != 3; ++Class) {
+    for (size_t Off = 1; Off != Lanes; ++Off) {
+      unsigned V = static_cast<unsigned>((Lane + Off) % Lanes);
+      bool SameCpu = LaneCpus[V] == LaneCpus[Lane] &&
+                     LaneNodes[V] == LaneNodes[Lane];
+      bool SameNode = LaneNodes[V] == LaneNodes[Lane];
+      int C = SameCpu ? 0 : SameNode ? 1 : 2;
+      if (C == Class)
+        Out.push_back(V);
+    }
+  }
+}
+
+std::shared_ptr<const Placement> makePlacement(const PlacementConfig &C,
+                                               unsigned NumWorkers) {
+  if (!C.enabled() || NumWorkers == 0)
+    return nullptr;
+  Topology T;
+  if (C.M == PlacementConfig::Mode::Override) {
+    T = C.Fake;
+  } else {
+    std::optional<Topology> Env = Topology::fromEnv();
+    T = Env ? *Env : Topology::discover();
+  }
+  if (T.empty())
+    return nullptr;
+  return std::make_shared<Placement>(std::move(T), NumWorkers, C.PinWorkers);
+}
+
+std::function<void(unsigned)>
+composedStartHook(const std::shared_ptr<const Placement> &P,
+                  std::function<void(unsigned)> UserHook) {
+  if (!P)
+    return UserHook;
+  return P->workerStartHook(std::move(UserHook));
+}
+
+} // namespace topology
+} // namespace spice

@@ -1,0 +1,216 @@
+//===- topology/Topology.cpp - Hardware topology discovery ----------------===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+
+#include "topology/Topology.h"
+
+#include "support/ErrorHandling.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+namespace spice {
+namespace topology {
+
+Topology Topology::build(const std::vector<std::vector<unsigned>> &OsIds,
+                         bool Synthetic) {
+  Topology T;
+  T.Synthetic = Synthetic;
+  for (const std::vector<unsigned> &Node : OsIds) {
+    if (Node.empty())
+      continue;
+    std::vector<unsigned> Slots;
+    Slots.reserve(Node.size());
+    unsigned NodeIdx = static_cast<unsigned>(T.NodeCpus.size());
+    for (unsigned OsId : Node) {
+      Slots.push_back(static_cast<unsigned>(T.Cpus.size()));
+      T.Cpus.push_back({OsId, NodeIdx});
+    }
+    T.NodeCpus.push_back(std::move(Slots));
+  }
+  return T;
+}
+
+Topology Topology::singleNode(unsigned NumCpus) {
+  std::vector<unsigned> Ids(NumCpus);
+  for (unsigned I = 0; I != NumCpus; ++I)
+    Ids[I] = I;
+  return build({Ids}, /*Synthetic=*/true);
+}
+
+Topology Topology::fromNodeSizes(const std::vector<unsigned> &CpusPerNode) {
+  std::vector<std::vector<unsigned>> OsIds;
+  unsigned Next = 0;
+  for (unsigned Count : CpusPerNode) {
+    std::vector<unsigned> Node(Count);
+    for (unsigned I = 0; I != Count; ++I)
+      Node[I] = Next++;
+    OsIds.push_back(std::move(Node));
+  }
+  return build(OsIds, /*Synthetic=*/true);
+}
+
+std::optional<Topology> Topology::parse(std::string_view Spec) {
+  std::vector<unsigned> Sizes;
+  size_t Pos = 0;
+  while (Pos <= Spec.size()) {
+    size_t Comma = Spec.find(',', Pos);
+    std::string_view Field = Spec.substr(
+        Pos, Comma == std::string_view::npos ? Spec.size() - Pos
+                                             : Comma - Pos);
+    // Tolerate surrounding whitespace, reject anything non-numeric.
+    while (!Field.empty() && (Field.front() == ' ' || Field.front() == '\t'))
+      Field.remove_prefix(1);
+    while (!Field.empty() && (Field.back() == ' ' || Field.back() == '\t'))
+      Field.remove_suffix(1);
+    if (Field.empty())
+      return std::nullopt;
+    unsigned Value = 0;
+    for (char C : Field) {
+      if (C < '0' || C > '9')
+        return std::nullopt;
+      unsigned Digit = static_cast<unsigned>(C - '0');
+      if (Value > (~0u - Digit) / 10)
+        return std::nullopt;
+      Value = Value * 10 + Digit;
+    }
+    Sizes.push_back(Value);
+    if (Comma == std::string_view::npos)
+      break;
+    Pos = Comma + 1;
+  }
+  Topology T = fromNodeSizes(Sizes);
+  if (T.empty())
+    return std::nullopt;
+  return T;
+}
+
+std::optional<Topology> Topology::fromEnv() {
+  const char *Spec = std::getenv("SPICE_TOPOLOGY");
+  if (!Spec)
+    return std::nullopt;
+  std::optional<Topology> T = parse(Spec);
+  if (!T)
+    reportFatalError("SPICE_TOPOLOGY is set but not a comma-separated list "
+                     "of per-node cpu counts (e.g. \"8,8\")",
+                     __FILE__, __LINE__);
+  return T;
+}
+
+#if defined(__linux__)
+namespace {
+
+/// Parses a sysfs cpulist ("0-7,16-23") into os cpu ids. Returns false
+/// on any token it does not understand so callers can fall back.
+bool parseCpuList(const std::string &List, std::vector<unsigned> &Out) {
+  std::istringstream In(List);
+  std::string Tok;
+  while (std::getline(In, Tok, ',')) {
+    while (!Tok.empty() && (Tok.back() == '\n' || Tok.back() == ' '))
+      Tok.pop_back();
+    if (Tok.empty())
+      continue;
+    size_t Dash = Tok.find('-');
+    try {
+      if (Dash == std::string::npos) {
+        Out.push_back(static_cast<unsigned>(std::stoul(Tok)));
+      } else {
+        unsigned Lo = static_cast<unsigned>(std::stoul(Tok.substr(0, Dash)));
+        unsigned Hi = static_cast<unsigned>(std::stoul(Tok.substr(Dash + 1)));
+        if (Hi < Lo)
+          return false;
+        for (unsigned C = Lo; C <= Hi; ++C)
+          Out.push_back(C);
+      }
+    } catch (const std::exception &) {
+      return false;
+    }
+  }
+  return true;
+}
+
+} // namespace
+#endif // defined(__linux__)
+
+Topology Topology::discover() {
+#if defined(__linux__)
+  // The affinity mask bounds everything: cpus outside it are invisible
+  // to this process no matter what sysfs says.
+  cpu_set_t Mask;
+  bool HaveMask = sched_getaffinity(0, sizeof(Mask), &Mask) == 0;
+
+  std::vector<unsigned> OnlineNodes;
+  {
+    std::ifstream In("/sys/devices/system/node/online");
+    std::string List;
+    if (In && std::getline(In, List))
+      if (!parseCpuList(List, OnlineNodes))
+        OnlineNodes.clear();
+  }
+
+  std::vector<std::vector<unsigned>> OsIds;
+  for (unsigned Node : OnlineNodes) {
+    std::ifstream In("/sys/devices/system/node/node" + std::to_string(Node) +
+                     "/cpulist");
+    std::string List;
+    if (!In || !std::getline(In, List))
+      continue;
+    std::vector<unsigned> Cpus;
+    if (!parseCpuList(List, Cpus))
+      continue;
+    if (HaveMask) {
+      std::vector<unsigned> Allowed;
+      for (unsigned C : Cpus)
+        if (C < CPU_SETSIZE && CPU_ISSET(C, &Mask))
+          Allowed.push_back(C);
+      Cpus = std::move(Allowed);
+    }
+    if (!Cpus.empty())
+      OsIds.push_back(std::move(Cpus));
+  }
+  if (!OsIds.empty())
+    return build(OsIds, /*Synthetic=*/false);
+
+  // No usable sysfs view (non-NUMA kernel, masked /sys): flat fallback
+  // sized by the affinity mask so worker counts still match reality.
+  if (HaveMask) {
+    std::vector<unsigned> Cpus;
+    for (unsigned C = 0; C < CPU_SETSIZE; ++C)
+      if (CPU_ISSET(C, &Mask))
+        Cpus.push_back(C);
+    if (!Cpus.empty())
+      return build({Cpus}, /*Synthetic=*/true);
+  }
+#endif // defined(__linux__)
+  unsigned N = std::max(1u, std::thread::hardware_concurrency());
+  return singleNode(N);
+}
+
+std::string Topology::describe() const {
+  if (empty())
+    return "empty topology";
+  std::ostringstream Out;
+  Out << numNodes() << (numNodes() == 1 ? " node (" : " nodes (");
+  for (unsigned N = 0; N != numNodes(); ++N) {
+    if (N)
+      Out << "+";
+    Out << NodeCpus[N].size();
+  }
+  Out << (numCpus() == 1 ? " cpu" : " cpus");
+  if (Synthetic)
+    Out << ", synthetic";
+  Out << ")";
+  return Out.str();
+}
+
+} // namespace topology
+} // namespace spice

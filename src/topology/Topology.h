@@ -1,0 +1,120 @@
+//===- topology/Topology.h - Hardware topology discovery --------*- C++ -*-===//
+//
+// Part of the Spice reproduction project, under the MIT license.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine model behind NUMA-aware placement (docs/topology.md): a
+/// Topology is a set of cpu slots grouped into nodes. Three ways to get
+/// one:
+///
+///  * discover() -- the real machine: /sys/devices/system/node parsed
+///    and intersected with this process's sched_getaffinity mask, with
+///    a flat single-node fallback when sysfs is absent (non-Linux,
+///    containers without /sys).
+///  * fromNodeSizes({8, 8}) -- a deterministic *synthetic* topology for
+///    tests and single-node CI (the TopologyOverride path of
+///    topology::PlacementConfig). Synthetic cpus are never pinned to.
+///  * fromEnv() -- the SPICE_TOPOLOGY environment knob: a comma-
+///    separated list of per-node cpu counts ("8,8" = two nodes of
+///    eight, "12,4" = one fat and one thin node). Malformed specs abort
+///    with a diagnostic rather than silently running topology-blind.
+///
+/// A "cpu" here is a schedulable slot; workers of one node that wrap
+/// onto the same slot (more workers than cpus) count as sharing a core,
+/// which is what the same-core steal preference keys on. The policy
+/// layer consuming this model is topology::Placement.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef SPICE_TOPOLOGY_TOPOLOGY_H
+#define SPICE_TOPOLOGY_TOPOLOGY_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spice {
+namespace topology {
+
+/// Immutable machine model: cpu slots grouped into NUMA nodes. Cheap to
+/// copy (two small vectors); an empty topology means "unknown machine"
+/// and disables placement.
+class Topology {
+public:
+  Topology() = default;
+
+  /// Flat machine: one node holding \p NumCpus cpus (os ids 0..N-1).
+  /// Synthetic (never pinned to).
+  static Topology singleNode(unsigned NumCpus);
+
+  /// Synthetic topology from per-node cpu counts; os cpu ids are
+  /// assigned sequentially across nodes. Nodes with zero cpus are
+  /// dropped. The deterministic fake-topology injection path for tests
+  /// and single-node CI.
+  static Topology fromNodeSizes(const std::vector<unsigned> &CpusPerNode);
+
+  /// Parses a SPICE_TOPOLOGY spec: comma-separated per-node cpu counts,
+  /// e.g. "8" (one node), "8,8" (2x8), "12,4" (asymmetric). Returns
+  /// nullopt on a malformed spec (empty, non-numeric, zero total cpus).
+  static std::optional<Topology> parse(std::string_view Spec);
+
+  /// The SPICE_TOPOLOGY environment knob: nullopt when unset, the
+  /// parsed synthetic topology when set. A set-but-malformed value
+  /// aborts with a diagnostic -- an operator asking for placement must
+  /// not silently run topology-blind.
+  static std::optional<Topology> fromEnv();
+
+  /// The real machine: sysfs NUMA nodes intersected with this process's
+  /// affinity mask, falling back to a flat single node (of the affinity
+  /// mask's size, or hardware_concurrency) when sysfs is unavailable.
+  /// The result is non-synthetic: Placement may pin workers to its os
+  /// cpu ids.
+  static Topology discover();
+
+  bool empty() const { return Cpus.empty(); }
+  unsigned numCpus() const { return static_cast<unsigned>(Cpus.size()); }
+  unsigned numNodes() const {
+    return static_cast<unsigned>(NodeCpus.size());
+  }
+
+  /// Node of cpu slot \p Cpu (slots are dense indices 0..numCpus()-1).
+  unsigned nodeOfCpu(unsigned Cpu) const { return Cpus[Cpu].Node; }
+
+  /// OS cpu id behind slot \p Cpu (what sched_setaffinity pins to).
+  unsigned osCpuOf(unsigned Cpu) const { return Cpus[Cpu].OsId; }
+
+  /// Cpu slots of \p Node, in slot order.
+  const std::vector<unsigned> &cpusOfNode(unsigned Node) const {
+    return NodeCpus[Node];
+  }
+
+  /// True for fabricated topologies (fromNodeSizes/parse/fromEnv and
+  /// the no-sysfs fallback): their os cpu ids are made up, so Placement
+  /// never pins worker threads to them.
+  bool synthetic() const { return Synthetic; }
+
+  /// Human-readable shape, e.g. "2 nodes (8+8 cpus, synthetic)".
+  std::string describe() const;
+
+private:
+  struct CpuSlot {
+    unsigned OsId = 0;
+    unsigned Node = 0;
+  };
+
+  static Topology build(const std::vector<std::vector<unsigned>> &OsIds,
+                        bool Synthetic);
+
+  std::vector<CpuSlot> Cpus;
+  /// Cpu slot indices per node; nodes are dense 0..numNodes()-1.
+  std::vector<std::vector<unsigned>> NodeCpus;
+  bool Synthetic = true;
+};
+
+} // namespace topology
+} // namespace spice
+
+#endif // SPICE_TOPOLOGY_TOPOLOGY_H

@@ -364,6 +364,8 @@ void expectStatsEqual(const SpiceStats &A, const SpiceStats &B) {
   EXPECT_EQ(A.MainHelpedChunks, B.MainHelpedChunks);
   EXPECT_EQ(A.RecoveryChunks, B.RecoveryChunks);
   EXPECT_EQ(A.StolenRecoveryChunks, B.StolenRecoveryChunks);
+  EXPECT_EQ(A.LocalSteals, B.LocalSteals);
+  EXPECT_EQ(A.RemoteSteals, B.RemoteSteals);
   // Scheduler-era fields: a sole client is always granted immediately
   // (0 queued micros) with the same lane partition on both paths.
   EXPECT_EQ(A.QueuedMicros, B.QueuedMicros);

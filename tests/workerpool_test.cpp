@@ -11,6 +11,7 @@
 #include <atomic>
 #include <cstdint>
 #include <numeric>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -75,6 +76,24 @@ TEST(WorkerPool, DestructionJoinsCleanly) {
     Pool.wait();
     EXPECT_EQ(N.load(), 2);
   }
+}
+
+TEST(WorkerPoolDeathTest, ThrowingWorkerStartHookAborts) {
+  // A WorkerStartHook that throws during pool start has no unwind path
+  // (workers never propagate exceptions); it must abort loudly with the
+  // hook's message instead of calling std::terminate with no context --
+  // or worse, wedging the pool with fewer workers than it advertises.
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        WorkerPool Pool(2, [](unsigned Index) {
+          if (Index == 1)
+            throw std::runtime_error("pinning failed: no such node");
+        });
+        // The destructor joins the workers, so the block cannot exit
+        // normally: worker 1 runs the hook before its first park.
+      },
+      "WorkerStartHook threw during worker start.*no such node");
 }
 
 TEST(WorkerPoolDeathTest, ReentrantLaunchAborts) {
